@@ -1,0 +1,115 @@
+// Command sciql is an interactive shell and script runner for the
+// SciQL engine.
+//
+// Usage:
+//
+//	sciql                 # REPL on stdin
+//	sciql -f script.sql   # execute a script file
+//	sciql -c "SELECT 1"   # execute one statement string
+//
+// REPL meta commands: \d lists catalog objects, \q quits.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+)
+
+func main() {
+	file := flag.String("f", "", "execute the statements in this file and exit")
+	cmd := flag.String("c", "", "execute this statement string and exit")
+	flag.Parse()
+
+	s := core.NewSession()
+	if err := s.DeclareStdFunctions(); err != nil {
+		fmt.Fprintln(os.Stderr, "init:", err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *cmd != "":
+		if err := runScript(s, *cmd); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if err := runScript(s, string(data)); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	default:
+		repl(s)
+	}
+}
+
+func runScript(s *core.Session, sql string) error {
+	ds, err := s.Run(sql, nil)
+	if err != nil {
+		return err
+	}
+	if ds != nil {
+		fmt.Print(ds)
+	}
+	return nil
+}
+
+func repl(s *core.Session) {
+	fmt.Println("SciQL shell — arrays as first class citizens. \\d lists objects, \\q quits.")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := "sciql> "
+	for {
+		fmt.Print(prompt)
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			switch {
+			case trimmed == "\\q":
+				return
+			case trimmed == "\\d":
+				for _, kind := range []string{"ARRAY", "TABLE", "SEQUENCE", "FUNCTION"} {
+					for _, n := range s.Engine.Cat.Names(kind) {
+						fmt.Printf("%-9s %s\n", strings.ToLower(kind), n)
+					}
+				}
+			default:
+				fmt.Println("unknown meta command; try \\d or \\q")
+			}
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			prompt = "   ...> "
+			continue
+		}
+		prompt = "sciql> "
+		sql := buf.String()
+		buf.Reset()
+		ds, err := s.Run(sql, nil)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		if ds != nil {
+			fmt.Print(ds)
+		} else {
+			fmt.Println("ok")
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Command vaultgen generates synthetic science files in the FITS-lite
+// and mSEED-lite formats for data-vault experiments.
+//
+// Usage:
+//
+//	vaultgen -kind fits  -out obs.fits  -n 256  -events 100000
+//	vaultgen -kind mseed -out day.mseed -samples 3600 -stations 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/vault/fits"
+	"repro/internal/vault/mseed"
+	"repro/internal/workload"
+)
+
+func main() {
+	kind := flag.String("kind", "fits", "file kind: fits | mseed")
+	out := flag.String("out", "", "output path (required)")
+	n := flag.Int("n", 256, "fits: image edge length")
+	events := flag.Int("events", 100000, "fits: photon events in the table extension")
+	samples := flag.Int("samples", 3600, "mseed: samples per station record")
+	stations := flag.Int("stations", 3, "mseed: number of station records")
+	gaps := flag.Int("gaps", 3, "mseed: gaps injected per record")
+	spikes := flag.Int("spikes", 5, "mseed: spikes injected per record")
+	seed := flag.Int64("seed", 42, "generator seed")
+	flag.Parse()
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "vaultgen: -out is required")
+		os.Exit(2)
+	}
+	switch *kind {
+	case "fits":
+		ls := workload.NewLandsat(1, *n, *seed)
+		ev := workload.NewXRayEvents(*events, *n, 5, *seed+1)
+		f := &fits.File{Primary: ls.ToFITS(0), Tables: []*fits.BinTable{ev.ToFITSTable()}}
+		if err := fits.WriteFile(*out, f); err != nil {
+			fmt.Fprintln(os.Stderr, "vaultgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote FITS-lite %s: %dx%d image + %d-event table\n", *out, *n, *n, *events)
+	case "mseed":
+		var recs []*mseed.Record
+		for i := 0; i < *stations; i++ {
+			ids, _, _, _, _ := workload.Stations(i+1, *seed)
+			w := workload.NewWaveform(ids[i], *samples, 0, 1_000_000, *gaps, *spikes, *seed+int64(i))
+			recs = append(recs, w.ToRecord(uint32(i+1)))
+		}
+		if err := mseed.WriteVolume(*out, recs); err != nil {
+			fmt.Fprintln(os.Stderr, "vaultgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote mSEED-lite %s: %d records x %d samples\n", *out, *stations, *samples)
+	default:
+		fmt.Fprintln(os.Stderr, "vaultgen: unknown kind", *kind)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,104 @@
+// Astronomy: the §7.2 FITS use cases — register a FITS-lite file in
+// the data vault, answer COUNT from the header alone, attach the
+// payload, bin X-ray photon events into an image, re-bin via tiling,
+// and map pixel coordinates to a world coordinate system.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/value"
+	"repro/internal/vault/fits"
+	"repro/internal/workload"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "sciql-astro")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Produce a FITS-lite file: a 256x256 image in the primary HDU and
+	// an X-ray photon event table extension.
+	ls := workload.NewLandsat(1, 256, 7)
+	ev := workload.NewXRayEvents(200000, 256, 5, 7)
+	path := filepath.Join(dir, "obs.fits")
+	f := &fits.File{Primary: ls.ToFITS(0), Tables: []*fits.BinTable{ev.ToFITSTable()}}
+	if err := fits.WriteFile(path, f); err != nil {
+		panic(err)
+	}
+	fi, _ := os.Stat(path)
+	fmt.Printf("wrote %s (%d bytes)\n", path, fi.Size())
+
+	s := core.NewSession()
+
+	// Data vault (§2.1): register, then answer metadata queries from
+	// the header without loading the payload.
+	if _, err := s.Vault.Register(path, "", "obs"); err != nil {
+		panic(err)
+	}
+	n, err := s.Vault.Count(path)
+	if err != nil {
+		panic(err)
+	}
+	shape, _ := s.Vault.Shape(path)
+	fmt.Printf("vault peek: %d pixels, shape %v (header only — no payload read)\n", n, shape)
+
+	// Attach: materialize image + event table into the catalog.
+	if err := s.Vault.AttachFITS(path, s.Engine.Cat); err != nil {
+		panic(err)
+	}
+	fmt.Println("attached: array 'obs' and table 'obs_t1'")
+
+	// X-ray binning (§7.2.1): the event table becomes a 2-D histogram.
+	mustRun := func(sql string, params map[string]value.Value) {
+		if _, err := s.Run(sql, params); err != nil {
+			panic(fmt.Sprintf("%v\nSQL: %s", err, sql))
+		}
+	}
+	mustRun(`
+		CREATE ARRAY ximage (
+			x INTEGER DIMENSION,
+			y INTEGER DIMENSION,
+			v INTEGER DEFAULT 0);
+		INSERT INTO ximage SELECT [x], [y], count(*) FROM obs_t1 GROUP BY x, y;
+	`, nil)
+	tot, _ := s.Run(`SELECT SUM(v), MAX(v) FROM ximage`, nil)
+	fmt.Printf("binned image: %s events total, hottest pixel %s\n",
+		tot.Get(0, 0), tot.Get(0, 1))
+
+	// Re-binning 16x via DISTINCT tiling.
+	rebin, err := s.Run(`
+		SELECT [x/16], [y/16], SUM(v) FROM ximage
+		GROUP BY DISTINCT ximage[x:x+16][y:y+16]
+		ORDER BY 3 DESC LIMIT 3`, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("brightest 16x16 super-bins (the injected point sources):")
+	fmt.Print(rebin)
+
+	// WCS transformation (§7.2.1): linear transform + scaling from
+	// pixel to world coordinates.
+	mustRun(`
+		CREATE ARRAY m (i INTEGER DIMENSION[2], j INTEGER DIMENSION[2], v FLOAT DEFAULT 0.0);
+		SET m[0][0].v = (0.99); SET m[1][1].v = (0.99);
+		SET m[0][1].v = (0.01); SET m[1][0].v = (-0.01);
+		CREATE ARRAY ref (i INTEGER DIMENSION[2], v FLOAT DEFAULT 128.0);
+		CREATE ARRAY sc (i INTEGER DIMENSION[2], v FLOAT DEFAULT 0.0025);
+		ALTER ARRAY obs ADD wcs_x FLOAT;
+		ALTER ARRAY obs ADD wcs_y FLOAT;
+		UPDATE obs SET
+			wcs_x = (SELECT sc[0].v * (m[0][0].v * (obs.x1 - ref[0].v) + m[0][1].v * (obs.x2 - ref[1].v)) FROM m, ref, sc),
+			wcs_y = (SELECT sc[1].v * (m[1][0].v * (obs.x1 - ref[0].v) + m[1][1].v * (obs.x2 - ref[1].v)) FROM m, ref, sc);
+	`, nil)
+	corner, _ := s.Run(`SELECT wcs_x, wcs_y FROM obs WHERE x1 = 0 AND x2 = 0`, nil)
+	center, _ := s.Run(`SELECT wcs_x, wcs_y FROM obs WHERE x1 = 128 AND x2 = 128`, nil)
+	fmt.Printf("WCS: corner (0,0) -> (%.4f, %.4f); reference pixel -> (%.4f, %.4f)\n",
+		corner.Get(0, 0).AsFloat(), corner.Get(0, 1).AsFloat(),
+		center.Get(0, 0).AsFloat(), center.Get(0, 1).AsFloat())
+}

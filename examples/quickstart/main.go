@@ -1,0 +1,77 @@
+// Quickstart: arrays as first-class citizens — create, update, slice,
+// tile and coerce, following the running example of the SciQL paper
+// (§3–§5).
+package main
+
+import (
+	"fmt"
+
+	"repro/sciql"
+)
+
+func main() {
+	db := sciql.Open()
+
+	// §3.1: a 4x4 zero-initialized matrix with named dimensions.
+	db.MustExec(`
+		CREATE ARRAY matrix (
+			x INTEGER DIMENSION[4],
+			y INTEGER DIMENSION[4],
+			v FLOAT DEFAULT 0.0)`)
+
+	// §3.2: guarded update — the first matching predicate dictates the
+	// cell value.
+	db.MustExec(`
+		UPDATE matrix SET v = CASE
+			WHEN x > y THEN x + y
+			WHEN x < y THEN x - y
+			ELSE 0 END`)
+
+	fmt.Println("matrix after the guarded update:")
+	fmt.Println(db.MustQuery(`SELECT x, y, v FROM matrix`))
+
+	// §4.2: array slicing.
+	fmt.Println("top-left 2x2 slab:")
+	fmt.Println(db.MustQuery(`SELECT matrix[0:2][0:2].v`))
+
+	// §4.4: structural grouping. Overlapping 2x2 tiles anchor at every
+	// valid cell — 16 groups on a 4x4 matrix (Fig. 3).
+	fmt.Println("overlapping 2x2 tile averages (16 anchors):")
+	fmt.Println(db.MustQuery(`
+		SELECT [x], [y], AVG(v) FROM matrix
+		GROUP BY matrix[x:x+2][y:y+2]`))
+
+	// DISTINCT tiles are mutually exclusive — 4 groups.
+	fmt.Println("DISTINCT 2x2 tile averages (4 non-overlapping tiles):")
+	fmt.Println(db.MustQuery(`
+		SELECT [x], [y], AVG(v) FROM matrix
+		GROUP BY DISTINCT matrix[x:x+2][y:y+2]`))
+
+	// §5.2: dimension reduction — re-grid 4x4 into 2x2 by averaging.
+	db.MustExec(`
+		CREATE ARRAY tmp (x INTEGER DIMENSION, y INTEGER DIMENSION, v FLOAT);
+		INSERT INTO tmp SELECT x, y, AVG(v) FROM matrix
+		GROUP BY DISTINCT matrix[x:x+2][y:y+2]`)
+	fmt.Println("re-gridded array:")
+	fmt.Println(db.MustQuery(`SELECT x, y, v FROM tmp`))
+
+	// §3.3: the TABLE ⇄ ARRAY coercion. Any table with candidate-key
+	// columns can be viewed as a sparse array.
+	db.MustExec(`
+		CREATE TABLE mtable (x INTEGER, y INTEGER, v FLOAT);
+		INSERT INTO mtable VALUES (0, 0, 1.5), (2, 3, 4.5)`)
+	arr, err := db.QueryArray(`SELECT [x], [y], v FROM mtable`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("coerced array: %d dims, %d cells, scheme=%s\n",
+		arr.NumDims(), arr.Len(), arr.Scheme())
+
+	// §6.1: white-box array-producing function.
+	db.MustExec(`
+		CREATE FUNCTION transpose (a ARRAY (i INTEGER DIMENSION, j INTEGER DIMENSION, v FLOAT))
+		RETURNS ARRAY (i INTEGER DIMENSION, j INTEGER DIMENSION, v FLOAT)
+		BEGIN RETURN SELECT [j],[i], v FROM a; END`)
+	fmt.Println("transpose(matrix):")
+	fmt.Println(db.MustQuery(`SELECT transpose(matrix[*][*])`))
+}

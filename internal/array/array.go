@@ -1,0 +1,293 @@
+// Package array defines the SciQL array model: named DIMENSION index
+// attributes with declarative range constraints, non-index attributes
+// with DEFAULT initialization, holes (NULL cells indistinguishable at
+// the logical level from out-of-bounds space), and the Store interface
+// behind which the adaptive storage schemes of the paper's Figure 1
+// live.
+package array
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/value"
+)
+
+// Unbounded marks a dimension bound left open with '*' in the DDL.
+const (
+	UnboundedLow  = math.MinInt64
+	UnboundedHigh = math.MaxInt64
+)
+
+// Dimension describes one DIMENSION-constrained index attribute. The
+// sequence pattern start:final:step follows the paper's §3.1: for
+// integers the defaults are start 0, step 1; '*' leaves an end open.
+// Timestamp dimensions hold Unix microseconds, with Step 0 meaning
+// "order only, any timestamp is valid" (the experiment array of §3.1).
+type Dimension struct {
+	Name string
+	Typ  value.Type // value.Int or value.Timestamp
+	// Start is the first valid index value; UnboundedLow if open.
+	Start int64
+	// End is the exclusive upper bound; UnboundedHigh if open.
+	End int64
+	// Step is the index increment; 0 is allowed only for Timestamp
+	// dimensions and means the dimension merely enforces an order.
+	Step int64
+	// Check is an optional predicate over full cell coordinates that
+	// carves the valid domain (the stripes/diagonal arrays of Fig. 2);
+	// nil means every in-range index is valid.
+	Check func(coords []int64) bool
+	// CheckSQL preserves the CHECK clause text for catalog display.
+	CheckSQL string
+}
+
+// Bounded reports whether both ends of the range are fixed.
+func (d Dimension) Bounded() bool { return d.Start != UnboundedLow && d.End != UnboundedHigh }
+
+// Size returns the number of valid index values of a bounded
+// dimension, or -1 when unbounded.
+func (d Dimension) Size() int64 {
+	if !d.Bounded() {
+		return -1
+	}
+	step := d.Step
+	if step == 0 {
+		step = 1
+	}
+	if d.End <= d.Start {
+		return 0
+	}
+	return (d.End - d.Start + step - 1) / step
+}
+
+// Contains reports whether index value x falls on the dimension's
+// sequence pattern (within bounds and on-step).
+func (d Dimension) Contains(x int64) bool {
+	if d.Start != UnboundedLow && x < d.Start {
+		return false
+	}
+	if d.End != UnboundedHigh && x >= d.End {
+		return false
+	}
+	if d.Step > 1 && d.Start != UnboundedLow {
+		if (x-d.Start)%d.Step != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Ordinal converts an index value to a zero-based position along the
+// dimension. Only meaningful when Start is bounded.
+func (d Dimension) Ordinal(x int64) int64 {
+	step := d.Step
+	if step == 0 {
+		step = 1
+	}
+	return (x - d.Start) / step
+}
+
+// Index converts a zero-based ordinal back to the index value.
+func (d Dimension) Index(ord int64) int64 {
+	step := d.Step
+	if step == 0 {
+		step = 1
+	}
+	return d.Start + ord*step
+}
+
+func (d Dimension) String() string {
+	fmtBound := func(b int64, open string) string {
+		if b == UnboundedLow || b == UnboundedHigh {
+			return open
+		}
+		return fmt.Sprintf("%d", b)
+	}
+	return fmt.Sprintf("%s %s DIMENSION[%s:%s:%d]", d.Name, d.Typ,
+		fmtBound(d.Start, "*"), fmtBound(d.End, "*"), d.Step)
+}
+
+// Attr is a non-index attribute. Every cell covered by the dimensions
+// holds the Default value until updated; a NULL value is a hole that
+// scans skip (paper §3.1–3.2).
+type Attr struct {
+	Name string
+	Typ  value.Type
+	// Default initializes cells; a NULL default produces holes
+	// everywhere until cells are assigned.
+	Default value.Value
+	// DefaultFn, when non-nil, computes the default from the cell
+	// coordinates (derived columns like r = SQRT(x²+y²), §5.1).
+	DefaultFn func(coords []int64) value.Value
+	// Check is an optional content predicate that nullifies cells
+	// outside the domain of validity (the sparse array of Fig. 2).
+	Check func(v value.Value) bool
+	// CheckSQL preserves the CHECK clause text.
+	CheckSQL string
+	// Nested describes the element schema for Array-typed attributes.
+	Nested *Schema
+}
+
+// Schema is the logical shape of an array: its dimensions and
+// attributes, in declaration order.
+type Schema struct {
+	Dims  []Dimension
+	Attrs []Attr
+}
+
+// AttrIndex returns the position of the named attribute, or -1.
+func (s *Schema) AttrIndex(name string) int {
+	for i, a := range s.Attrs {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// DimIndex returns the position of the named dimension, or -1.
+func (s *Schema) DimIndex(name string) int {
+	for i, d := range s.Dims {
+		if d.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Store is the physical representation of an array's cells. The
+// paper's runtime "selects the best representation based on the
+// intrinsic properties of an array instance" (§2.2); each of the four
+// schemes of Figure 1 implements this interface in internal/storage.
+type Store interface {
+	// Scheme names the storage scheme (Tabular, Virtual, DOrder, Slab).
+	Scheme() string
+	// Len returns the number of materialized (non-hole) cells.
+	Len() int
+	// Get returns attribute attr of the cell at coords. Holes and
+	// out-of-bounds coordinates read as NULL — the paper makes the two
+	// logically indistinguishable.
+	Get(coords []int64, attr int) value.Value
+	// Set writes attribute attr of the cell at coords. Writing NULL
+	// punches a hole. Out-of-bounds writes error.
+	Set(coords []int64, attr int, v value.Value) error
+	// Scan visits every non-hole cell; a cell is a hole if all its
+	// attributes are NULL. The coords and vals slices are reused
+	// between calls; the callback must not retain them. Returning
+	// false stops the scan.
+	Scan(visit func(coords []int64, vals []value.Value) bool)
+	// Bounds returns the current minimal bounding box (per-dimension
+	// lo..hi inclusive index values) of materialized cells. Bounded
+	// dimensions report their declared bounds.
+	Bounds() (lo, hi []int64, ok bool)
+	// Clone deep-copies the store.
+	Clone() Store
+}
+
+// Array binds a schema to a storage instance. It is the engine's
+// first-class citizen.
+type Array struct {
+	Name   string
+	Schema Schema
+	Store  Store
+}
+
+// NumDims returns the dimensionality.
+func (a *Array) NumDims() int { return len(a.Schema.Dims) }
+
+// Get reads a single attribute at coords (NULL for holes/out of bounds).
+func (a *Array) Get(coords []int64, attr int) value.Value {
+	if !a.ValidCoords(coords) {
+		if attr < len(a.Schema.Attrs) {
+			return value.NewNull(a.Schema.Attrs[attr].Typ)
+		}
+		return value.NewNull(value.Unknown)
+	}
+	return a.Store.Get(coords, attr)
+}
+
+// Set writes a single attribute at coords, enforcing dimension and
+// content CHECK constraints: writes outside the valid domain are
+// ignored for CHECK-carved dimensions, and content checks nullify
+// failing values (Fig. 2 semantics).
+func (a *Array) Set(coords []int64, attr int, v value.Value) error {
+	if !a.ValidCoords(coords) {
+		return fmt.Errorf("array %s: coordinates %v outside the valid domain", a.Name, coords)
+	}
+	at := a.Schema.Attrs[attr]
+	if at.Check != nil && !v.Null && !at.Check(v) {
+		v = value.NewNull(at.Typ)
+	}
+	return a.Store.Set(coords, attr, v)
+}
+
+// ValidCoords reports whether coords fall inside every dimension's
+// range and satisfy all dimension CHECK predicates.
+func (a *Array) ValidCoords(coords []int64) bool {
+	if len(coords) != len(a.Schema.Dims) {
+		return false
+	}
+	for i, d := range a.Schema.Dims {
+		if !d.Contains(coords[i]) {
+			return false
+		}
+	}
+	for _, d := range a.Schema.Dims {
+		if d.Check != nil && !d.Check(coords) {
+			return false
+		}
+	}
+	return true
+}
+
+// BoundingBox returns the per-dimension inclusive lo..hi ranges that a
+// full listing of the array would cover: declared bounds where fixed,
+// else the minimal bounding rectangle of materialized cells (§3.1).
+func (a *Array) BoundingBox() (lo, hi []int64, err error) {
+	slo, shi, ok := a.Store.Bounds()
+	lo = make([]int64, len(a.Schema.Dims))
+	hi = make([]int64, len(a.Schema.Dims))
+	for i, d := range a.Schema.Dims {
+		switch {
+		case d.Bounded():
+			lo[i], hi[i] = d.Start, d.End-stepOf(d)
+			if d.Step > 1 {
+				// Snap the inclusive upper bound onto the step grid.
+				hi[i] = d.Start + (d.Size()-1)*d.Step
+			}
+		case ok:
+			lo[i], hi[i] = slo[i], shi[i]
+		default:
+			return nil, nil, fmt.Errorf("array %s: unbounded dimension %s with no cells", a.Name, d.Name)
+		}
+	}
+	return lo, hi, nil
+}
+
+func stepOf(d Dimension) int64 {
+	if d.Step <= 0 {
+		return 1
+	}
+	return d.Step
+}
+
+// CellCount returns the number of cells a full listing would produce
+// (the bounding-box volume), or -1 if the array is unbounded and empty.
+func (a *Array) CellCount() int64 {
+	lo, hi, err := a.BoundingBox()
+	if err != nil {
+		return -1
+	}
+	n := int64(1)
+	for i, d := range a.Schema.Dims {
+		step := stepOf(d)
+		n *= (hi[i]-lo[i])/step + 1
+	}
+	return n
+}
+
+// Clone deep-copies the array.
+func (a *Array) Clone() *Array {
+	return &Array{Name: a.Name, Schema: a.Schema, Store: a.Store.Clone()}
+}

@@ -1,0 +1,219 @@
+package array
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/value"
+)
+
+func TestDimensionSizeAndContains(t *testing.T) {
+	d := Dimension{Name: "x", Typ: value.Int, Start: 0, End: 4, Step: 1}
+	if d.Size() != 4 || !d.Bounded() {
+		t.Fatalf("size = %d", d.Size())
+	}
+	for _, x := range []int64{0, 1, 2, 3} {
+		if !d.Contains(x) {
+			t.Errorf("should contain %d", x)
+		}
+	}
+	for _, x := range []int64{-1, 4, 100} {
+		if d.Contains(x) {
+			t.Errorf("should not contain %d", x)
+		}
+	}
+}
+
+func TestDimensionStep(t *testing.T) {
+	d := Dimension{Name: "x", Typ: value.Int, Start: 10, End: 20, Step: 3}
+	// Valid: 10, 13, 16, 19.
+	if d.Size() != 4 {
+		t.Fatalf("stepped size = %d, want 4", d.Size())
+	}
+	if !d.Contains(13) || d.Contains(14) {
+		t.Error("step membership wrong")
+	}
+	if d.Ordinal(16) != 2 || d.Index(2) != 16 {
+		t.Error("ordinal/index round trip wrong")
+	}
+}
+
+func TestDimensionOrdinalIndexInverse(t *testing.T) {
+	f := func(startRaw, stepRaw, ordRaw int16) bool {
+		start := int64(startRaw)
+		step := int64(stepRaw%7) + 1 // 1..7
+		ord := int64(ordRaw % 1000)
+		if ord < 0 {
+			ord = -ord
+		}
+		d := Dimension{Start: start, End: start + 10000*step, Step: step, Typ: value.Int}
+		return d.Ordinal(d.Index(ord)) == ord
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnboundedDimension(t *testing.T) {
+	d := Dimension{Name: "t", Typ: value.Timestamp, Start: UnboundedLow, End: UnboundedHigh, Step: 0}
+	if d.Bounded() || d.Size() != -1 {
+		t.Fatal("unbounded dimension misreported")
+	}
+	if !d.Contains(-1<<40) || !d.Contains(1<<40) {
+		t.Error("unbounded dimension should contain everything")
+	}
+	half := Dimension{Name: "x", Typ: value.Int, Start: 5, End: UnboundedHigh, Step: 1}
+	if half.Contains(4) || !half.Contains(5) {
+		t.Error("half-bounded membership wrong")
+	}
+}
+
+func TestSchemaIndexes(t *testing.T) {
+	s := Schema{
+		Dims:  []Dimension{{Name: "x"}, {Name: "y"}},
+		Attrs: []Attr{{Name: "v"}, {Name: "w"}},
+	}
+	if s.DimIndex("y") != 1 || s.DimIndex("z") != -1 {
+		t.Error("DimIndex wrong")
+	}
+	if s.AttrIndex("w") != 1 || s.AttrIndex("v") != 0 || s.AttrIndex("q") != -1 {
+		t.Error("AttrIndex wrong")
+	}
+}
+
+// fakeStore lets the Array wrapper be tested without a real scheme.
+type fakeStore struct {
+	cells map[[2]int64][]value.Value
+}
+
+func (f *fakeStore) Scheme() string { return "fake" }
+func (f *fakeStore) Len() int       { return len(f.cells) }
+func (f *fakeStore) Get(c []int64, a int) value.Value {
+	if vs, ok := f.cells[[2]int64{c[0], c[1]}]; ok {
+		return vs[a]
+	}
+	return value.NewNull(value.Float)
+}
+func (f *fakeStore) Set(c []int64, a int, v value.Value) error {
+	key := [2]int64{c[0], c[1]}
+	vs, ok := f.cells[key]
+	if !ok {
+		vs = []value.Value{value.NewNull(value.Float)}
+		f.cells[key] = vs
+	}
+	vs[a] = v
+	return nil
+}
+func (f *fakeStore) Scan(visit func([]int64, []value.Value) bool) {
+	for k, vs := range f.cells {
+		if !visit([]int64{k[0], k[1]}, vs) {
+			return
+		}
+	}
+}
+func (f *fakeStore) Bounds() ([]int64, []int64, bool) {
+	if len(f.cells) == 0 {
+		return nil, nil, false
+	}
+	lo := []int64{1 << 62, 1 << 62}
+	hi := []int64{-(1 << 62), -(1 << 62)}
+	for k := range f.cells {
+		for i := 0; i < 2; i++ {
+			if k[i] < lo[i] {
+				lo[i] = k[i]
+			}
+			if k[i] > hi[i] {
+				hi[i] = k[i]
+			}
+		}
+	}
+	return lo, hi, true
+}
+func (f *fakeStore) Clone() Store { return f }
+
+func newTestArray() *Array {
+	return &Array{
+		Name: "a",
+		Schema: Schema{
+			Dims: []Dimension{
+				{Name: "x", Typ: value.Int, Start: 0, End: 4, Step: 1},
+				{Name: "y", Typ: value.Int, Start: 0, End: 4, Step: 1},
+			},
+			Attrs: []Attr{{Name: "v", Typ: value.Float, Default: value.NewFloat(0)}},
+		},
+		Store: &fakeStore{cells: map[[2]int64][]value.Value{}},
+	}
+}
+
+func TestArrayOutOfBoundsReadsNull(t *testing.T) {
+	a := newTestArray()
+	if !a.Get([]int64{10, 10}, 0).Null {
+		t.Error("out-of-bounds read should be NULL")
+	}
+	if err := a.Set([]int64{10, 10}, 0, value.NewFloat(1)); err == nil {
+		t.Error("out-of-bounds write should error")
+	}
+}
+
+func TestArrayContentCheckNullifies(t *testing.T) {
+	a := newTestArray()
+	a.Schema.Attrs[0].Check = func(v value.Value) bool { return v.AsFloat() > 0 }
+	if err := a.Set([]int64{1, 1}, 0, value.NewFloat(-5)); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Get([]int64{1, 1}, 0).Null {
+		t.Error("CHECK-failing write should store NULL")
+	}
+	if err := a.Set([]int64{1, 1}, 0, value.NewFloat(5)); err != nil {
+		t.Fatal(err)
+	}
+	if a.Get([]int64{1, 1}, 0).AsFloat() != 5 {
+		t.Error("CHECK-passing write lost")
+	}
+}
+
+func TestArrayDimCheck(t *testing.T) {
+	a := newTestArray()
+	a.Schema.Dims[1].Check = func(coords []int64) bool { return coords[0] == coords[1] }
+	if a.ValidCoords([]int64{1, 2}) {
+		t.Error("off-diagonal should be invalid")
+	}
+	if !a.ValidCoords([]int64{2, 2}) {
+		t.Error("diagonal should be valid")
+	}
+}
+
+func TestBoundingBoxBoundedDims(t *testing.T) {
+	a := newTestArray()
+	lo, hi, err := a.BoundingBox()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo[0] != 0 || hi[0] != 3 || lo[1] != 0 || hi[1] != 3 {
+		t.Errorf("bbox = %v..%v", lo, hi)
+	}
+	if a.CellCount() != 16 {
+		t.Errorf("cell count = %d", a.CellCount())
+	}
+}
+
+func TestBoundingBoxUnboundedFromCells(t *testing.T) {
+	a := newTestArray()
+	a.Schema.Dims[0].Start, a.Schema.Dims[0].End = UnboundedLow, UnboundedHigh
+	if _, _, err := a.BoundingBox(); err == nil {
+		t.Error("empty unbounded array should have no bbox")
+	}
+	_ = a.Store.Set([]int64{-3, 1}, 0, value.NewFloat(1))
+	_ = a.Store.Set([]int64{7, 2}, 0, value.NewFloat(2))
+	lo, hi, err := a.BoundingBox()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo[0] != -3 || hi[0] != 7 {
+		t.Errorf("unbounded dim bbox = %v..%v", lo[0], hi[0])
+	}
+	// Bounded dim keeps declared bounds.
+	if lo[1] != 0 || hi[1] != 3 {
+		t.Errorf("bounded dim bbox = %v..%v", lo[1], hi[1])
+	}
+}

@@ -1,0 +1,290 @@
+// Package catalog holds the schema objects of a SciQL database:
+// tables, arrays, sequences and functions. A TABLE denotes a
+// (multi-)set of tuples; an ARRAY denotes a (sparsely) indexed
+// collection of cells (§3.1) — the catalog keeps both side by side so
+// queries can mix them freely.
+package catalog
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/array"
+	"repro/internal/bat"
+	"repro/internal/sql/ast"
+	"repro/internal/value"
+)
+
+// TableColumn describes one column of a relational table.
+type TableColumn struct {
+	Name       string
+	Typ        value.Type
+	PrimaryKey bool
+	// Nested carries the element schema of ARRAY-typed columns.
+	Nested *array.Schema
+}
+
+// Table is an in-memory relational table backed by BAT columns.
+type Table struct {
+	Name string
+	Cols []TableColumn
+	Vecs []bat.Vector
+}
+
+// NewTable allocates an empty table.
+func NewTable(name string, cols []TableColumn) *Table {
+	t := &Table{Name: name, Cols: cols}
+	t.Vecs = make([]bat.Vector, len(cols))
+	for i, c := range cols {
+		t.Vecs[i] = bat.New(c.Typ, 0)
+	}
+	return t
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int {
+	if len(t.Vecs) == 0 {
+		return 0
+	}
+	return t.Vecs[0].Len()
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (t *Table) ColIndex(name string) int {
+	for i, c := range t.Cols {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Append adds a row; vals must align with Cols.
+func (t *Table) Append(vals []value.Value) error {
+	if len(vals) != len(t.Cols) {
+		return fmt.Errorf("table %s: expected %d values, got %d", t.Name, len(t.Cols), len(vals))
+	}
+	for i, v := range vals {
+		t.Vecs[i].Append(v)
+	}
+	return nil
+}
+
+// Sequence is a SQL SEQUENCE usable as a dimension range (§3.1).
+type Sequence struct {
+	Name      string
+	Typ       value.Type
+	Start     int64
+	Increment int64
+	// MaxValue is inclusive, per CREATE SEQUENCE ... MAXVALUE n.
+	MaxValue int64
+	next     int64
+	primed   bool
+}
+
+// Next returns the next sequence value.
+func (s *Sequence) Next() int64 {
+	if !s.primed {
+		s.next = s.Start
+		s.primed = true
+	}
+	v := s.next
+	s.next += s.Increment
+	return v
+}
+
+// Dimension converts the sequence into a dimension range. MAXVALUE is
+// inclusive so End is MaxValue+Increment (exclusive form).
+func (s *Sequence) Dimension(name string) array.Dimension {
+	return array.Dimension{
+		Name:  name,
+		Typ:   s.Typ,
+		Start: s.Start,
+		End:   s.MaxValue + s.Increment,
+		Step:  s.Increment,
+	}
+}
+
+// Function is a catalog entry for white-box (PSM) and black-box
+// (EXTERNAL NAME) functions (§6).
+type Function struct {
+	Name string
+	Def  *ast.CreateFunction
+	// External resolves EXTERNAL NAME entries to a registered Go
+	// implementation; nil for white-box functions.
+	External func(args []value.Value) (value.Value, error)
+}
+
+// Catalog is the schema root. It is safe for concurrent readers with
+// a single writer, which matches the engine's execution model.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	arrays map[string]*array.Array
+	seqs   map[string]*Sequence
+	funcs  map[string]*Function
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables: make(map[string]*Table),
+		arrays: make(map[string]*array.Array),
+		seqs:   make(map[string]*Sequence),
+		funcs:  make(map[string]*Function),
+	}
+}
+
+func key(name string) string { return strings.ToLower(name) }
+
+// PutTable registers a table; it errors if any object has the name.
+func (c *Catalog) PutTable(t *Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.checkFree(t.Name); err != nil {
+		return err
+	}
+	c.tables[key(t.Name)] = t
+	return nil
+}
+
+// PutArray registers an array.
+func (c *Catalog) PutArray(a *array.Array) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.checkFree(a.Name); err != nil {
+		return err
+	}
+	c.arrays[key(a.Name)] = a
+	return nil
+}
+
+// PutSequence registers a sequence.
+func (c *Catalog) PutSequence(s *Sequence) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.checkFree(s.Name); err != nil {
+		return err
+	}
+	c.seqs[key(s.Name)] = s
+	return nil
+}
+
+// PutFunction registers a function (replacing any previous version).
+func (c *Catalog) PutFunction(f *Function) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.funcs[key(f.Name)] = f
+}
+
+func (c *Catalog) checkFree(name string) error {
+	k := key(name)
+	if _, ok := c.tables[k]; ok {
+		return fmt.Errorf("object %s already exists (table)", name)
+	}
+	if _, ok := c.arrays[k]; ok {
+		return fmt.Errorf("object %s already exists (array)", name)
+	}
+	if _, ok := c.seqs[k]; ok {
+		return fmt.Errorf("object %s already exists (sequence)", name)
+	}
+	return nil
+}
+
+// Table looks up a table by name.
+func (c *Catalog) Table(name string) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[key(name)]
+	return t, ok
+}
+
+// Array looks up an array by name.
+func (c *Catalog) Array(name string) (*array.Array, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	a, ok := c.arrays[key(name)]
+	return a, ok
+}
+
+// Sequence looks up a sequence by name.
+func (c *Catalog) Sequence(name string) (*Sequence, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.seqs[key(name)]
+	return s, ok
+}
+
+// Function looks up a function by name.
+func (c *Catalog) Function(name string) (*Function, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	f, ok := c.funcs[key(name)]
+	return f, ok
+}
+
+// ReplaceArray swaps an array's definition in place (ALTER ARRAY).
+func (c *Catalog) ReplaceArray(a *array.Array) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.arrays[key(a.Name)] = a
+}
+
+// Drop removes the named object of the given kind.
+func (c *Catalog) Drop(kind, name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	switch kind {
+	case "TABLE":
+		if _, ok := c.tables[k]; !ok {
+			return fmt.Errorf("no such table %s", name)
+		}
+		delete(c.tables, k)
+	case "ARRAY":
+		if _, ok := c.arrays[k]; !ok {
+			return fmt.Errorf("no such array %s", name)
+		}
+		delete(c.arrays, k)
+	case "SEQUENCE":
+		if _, ok := c.seqs[k]; !ok {
+			return fmt.Errorf("no such sequence %s", name)
+		}
+		delete(c.seqs, k)
+	case "FUNCTION":
+		if _, ok := c.funcs[k]; !ok {
+			return fmt.Errorf("no such function %s", name)
+		}
+		delete(c.funcs, k)
+	default:
+		return fmt.Errorf("unknown object kind %s", kind)
+	}
+	return nil
+}
+
+// Names lists all object names of a kind (for the REPL's \d command).
+func (c *Catalog) Names(kind string) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []string
+	switch kind {
+	case "TABLE":
+		for _, t := range c.tables {
+			out = append(out, t.Name)
+		}
+	case "ARRAY":
+		for _, a := range c.arrays {
+			out = append(out, a.Name)
+		}
+	case "SEQUENCE":
+		for _, s := range c.seqs {
+			out = append(out, s.Name)
+		}
+	case "FUNCTION":
+		for _, f := range c.funcs {
+			out = append(out, f.Name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package catalog
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestTableAppendAndLookup(t *testing.T) {
+	tbl := NewTable("t", []TableColumn{
+		{Name: "a", Typ: value.Int},
+		{Name: "b", Typ: value.String},
+	})
+	if err := tbl.Append([]value.Value{value.NewInt(1), value.NewString("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Append([]value.Value{value.NewInt(2)}); err == nil {
+		t.Fatal("short row should error")
+	}
+	if tbl.NumRows() != 1 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	if tbl.ColIndex("B") != 1 || tbl.ColIndex("nope") != -1 {
+		t.Fatal("ColIndex case-insensitive lookup failed")
+	}
+}
+
+func TestSequenceNextAndDimension(t *testing.T) {
+	s := &Sequence{Name: "rng", Typ: value.Int, Start: 0, Increment: 1, MaxValue: 7}
+	if s.Next() != 0 || s.Next() != 1 {
+		t.Fatal("sequence Next wrong")
+	}
+	d := s.Dimension("i")
+	if d.Start != 0 || d.End != 8 || d.Step != 1 {
+		t.Fatalf("dimension from sequence: %+v (MAXVALUE is inclusive)", d)
+	}
+	if d.Size() != 8 {
+		t.Fatalf("size = %d", d.Size())
+	}
+}
+
+func TestCatalogNameCollisions(t *testing.T) {
+	c := New()
+	if err := c.PutTable(NewTable("obj", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutSequence(&Sequence{Name: "OBJ"}); err == nil {
+		t.Fatal("cross-kind name collision should error (case-insensitive)")
+	}
+	if _, ok := c.Table("Obj"); !ok {
+		t.Fatal("case-insensitive lookup failed")
+	}
+}
+
+func TestCatalogDrop(t *testing.T) {
+	c := New()
+	_ = c.PutTable(NewTable("t1", nil))
+	if err := c.Drop("TABLE", "t1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Table("t1"); ok {
+		t.Fatal("dropped table still visible")
+	}
+	if err := c.Drop("TABLE", "t1"); err == nil {
+		t.Fatal("double drop should error")
+	}
+	if err := c.Drop("GIZMO", "x"); err == nil {
+		t.Fatal("unknown kind should error")
+	}
+}
+
+func TestCatalogNames(t *testing.T) {
+	c := New()
+	_ = c.PutTable(NewTable("t1", nil))
+	_ = c.PutSequence(&Sequence{Name: "s1"})
+	c.PutFunction(&Function{Name: "f1"})
+	if len(c.Names("TABLE")) != 1 || len(c.Names("SEQUENCE")) != 1 || len(c.Names("FUNCTION")) != 1 {
+		t.Fatal("Names listing wrong")
+	}
+}

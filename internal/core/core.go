@@ -1,0 +1,259 @@
+// Package core wires the SciQL system together: an engine session with
+// the standard black-box function library registered (§6.2), the data
+// vault attached (§2.1), and bulk loaders that move synthetic science
+// workloads into engine arrays without a per-cell SQL round-trip.
+// It is the integration point the public sciql package, the examples
+// and the benchmark harness all build on.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/array"
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/sql/parser"
+	"repro/internal/storage"
+	"repro/internal/udf"
+	"repro/internal/value"
+	"repro/internal/vault"
+	"repro/internal/workload"
+)
+
+// Session is a fully wired SciQL engine: catalog, executor, vault and
+// the standard external function library.
+type Session struct {
+	Engine *exec.Engine
+	Vault  *vault.Vault
+}
+
+// NewSession creates a session with the standard externals registered.
+func NewSession() *Session {
+	s := &Session{Engine: exec.New(), Vault: vault.New()}
+	s.registerExternals()
+	return s
+}
+
+// Run parses and executes a script, returning the last result.
+func (s *Session) Run(sql string, params map[string]value.Value) (*exec.Dataset, error) {
+	stmts, err := parser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	var last *exec.Dataset
+	for _, st := range stmts {
+		ds, err := s.Engine.Exec(st, params)
+		if err != nil {
+			return nil, err
+		}
+		last = ds
+	}
+	return last, nil
+}
+
+// registerExternals installs the black-box library the paper's
+// examples link in: markov.loop (matrix algebra package), distance
+// (feature-vector metric) and noise (DESTRIPE sensor correction).
+func (s *Session) registerExternals() {
+	// markov.loop: arrives as (array, steps); the engine rebases the
+	// array parameter; the implementation marshals to the row-major
+	// layout the "library" expects (§6.2's recast).
+	s.Engine.RegisterExternal("markov.loop", func(args []value.Value) (value.Value, error) {
+		if len(args) != 2 {
+			return value.Value{}, fmt.Errorf("markov.loop expects (matrix, steps)")
+		}
+		a, ok := args[0].A.(*array.Array)
+		if !ok {
+			return value.Value{}, fmt.Errorf("markov.loop: first argument must be an array")
+		}
+		steps := int(args[1].AsInt())
+		m, err := udf.Marshal2D(a, 0, udf.RowMajor)
+		if err != nil {
+			return value.Value{}, err
+		}
+		out := udf.MarkovStep(m, steps)
+		res := a.Clone()
+		if err := udf.Unmarshal2D(res, 0, out); err != nil {
+			return value.Value{}, err
+		}
+		return value.NewArray(res), nil
+	})
+	// distance: Euclidean metric between two vectors (§4.4's nearest
+	// neighbor search).
+	s.Engine.RegisterExternal("distance", func(args []value.Value) (value.Value, error) {
+		if len(args) != 2 {
+			return value.Value{}, fmt.Errorf("distance expects two vectors")
+		}
+		va, err := vectorOf(args[0])
+		if err != nil {
+			return value.Value{}, err
+		}
+		vb, err := vectorOf(args[1])
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.NewFloat(udf.Euclidean(va, vb)), nil
+	})
+	// noise: the DESTRIPE per-pixel correction (§7.1.1).
+	s.Engine.RegisterExternal("noise", func(args []value.Value) (value.Value, error) {
+		if len(args) != 2 {
+			return value.Value{}, fmt.Errorf("noise expects (v, delta)")
+		}
+		if args[0].Null {
+			return value.NewNull(value.Float), nil
+		}
+		return value.NewFloat(udf.Noise(args[0].AsFloat(), args[1].AsFloat())), nil
+	})
+}
+
+func vectorOf(v value.Value) ([]float64, error) {
+	if v.Typ != value.Array || v.Null {
+		return nil, fmt.Errorf("expected an array value")
+	}
+	a, ok := v.A.(*array.Array)
+	if !ok {
+		return nil, fmt.Errorf("expected an array value")
+	}
+	return udf.Marshal1D(a, 0)
+}
+
+// DeclareStdFunctions registers the SQL-level wrappers for the
+// external library so scripts can call them without re-declaring.
+func (s *Session) DeclareStdFunctions() error {
+	_, err := s.Run(`
+		CREATE FUNCTION noise (v FLOAT, delta FLOAT) RETURNS FLOAT EXTERNAL NAME 'noise';
+		CREATE FUNCTION distance (a ARRAY (i INTEGER DIMENSION, v FLOAT),
+		                          b ARRAY (i INTEGER DIMENSION, v FLOAT))
+			RETURNS FLOAT EXTERNAL NAME 'distance';
+		CREATE FUNCTION markov (input ARRAY (x INT DIMENSION, y INT DIMENSION, f FLOAT), steps INT)
+			RETURNS ARRAY (x INT DIMENSION, y INT DIMENSION, f FLOAT) EXTERNAL NAME 'markov.loop';
+	`, nil)
+	return err
+}
+
+// --- bulk loaders --------------------------------------------------------------
+
+// LoadLandsat creates the §7.1 landsat array
+// (channel, x, y INTEGER DIMENSIONs; v INTEGER) and bulk-fills it from
+// the synthetic scene.
+func (s *Session) LoadLandsat(name string, ls *workload.Landsat) (*array.Array, error) {
+	sch := array.Schema{
+		Dims: []array.Dimension{
+			{Name: "channel", Typ: value.Int, Start: 0, End: int64(ls.Channels), Step: 1},
+			{Name: "x", Typ: value.Int, Start: 0, End: int64(ls.N), Step: 1},
+			{Name: "y", Typ: value.Int, Start: 0, End: int64(ls.N), Step: 1},
+		},
+		Attrs: []array.Attr{{Name: "v", Typ: value.Int, Default: value.NewNull(value.Int)}},
+	}
+	st, err := storage.New(sch, storage.Hints{})
+	if err != nil {
+		return nil, err
+	}
+	a := &array.Array{Name: name, Schema: sch, Store: st}
+	coords := make([]int64, 3)
+	for c := 0; c < ls.Channels; c++ {
+		coords[0] = int64(c)
+		for x := 0; x < ls.N; x++ {
+			coords[1] = int64(x)
+			for y := 0; y < ls.N; y++ {
+				coords[2] = int64(y)
+				if err := st.Set(coords, 0, value.NewInt(int64(ls.At(c, x, y)))); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := s.Engine.Cat.PutArray(a); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// LoadChannel creates a 2-D array <name>(x, y; v FLOAT) from one
+// Landsat channel — the per-band working arrays of the AML queries.
+func (s *Session) LoadChannel(name string, ls *workload.Landsat, channel int) (*array.Array, error) {
+	sch := array.Schema{
+		Dims: []array.Dimension{
+			{Name: "x", Typ: value.Int, Start: 0, End: int64(ls.N), Step: 1},
+			{Name: "y", Typ: value.Int, Start: 0, End: int64(ls.N), Step: 1},
+		},
+		Attrs: []array.Attr{{Name: "v", Typ: value.Float, Default: value.NewNull(value.Float)}},
+	}
+	h := s.Engine.StorageHints[name]
+	st, err := storage.New(sch, h)
+	if err != nil {
+		return nil, err
+	}
+	a := &array.Array{Name: name, Schema: sch, Store: st}
+	coords := make([]int64, 2)
+	for x := 0; x < ls.N; x++ {
+		coords[0] = int64(x)
+		for y := 0; y < ls.N; y++ {
+			coords[1] = int64(y)
+			if err := st.Set(coords, 0, value.NewFloat(float64(ls.At(channel, x, y)))); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := s.Engine.Cat.PutArray(a); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// LoadEvents creates the §7.2 events(x, y) table from a photon list.
+func (s *Session) LoadEvents(name string, ev *workload.XRayEvents) error {
+	tbl := catalog.NewTable(name, []catalog.TableColumn{
+		{Name: "x", Typ: value.Int},
+		{Name: "y", Typ: value.Int},
+	})
+	for i := 0; i < ev.N; i++ {
+		if err := tbl.Append([]value.Value{value.NewInt(ev.X[i]), value.NewInt(ev.Y[i])}); err != nil {
+			return err
+		}
+	}
+	return s.Engine.Cat.PutTable(tbl)
+}
+
+// LoadWaveform creates a 1-D time-series array <name>(time TIMESTAMP
+// DIMENSION, data DOUBLE) from a synthetic waveform — the §7.3 working
+// array for gap/spike/moving-average queries.
+func (s *Session) LoadWaveform(name string, w *workload.Waveform) (*array.Array, error) {
+	sch := array.Schema{
+		Dims:  []array.Dimension{{Name: "time", Typ: value.Timestamp, Start: array.UnboundedLow, End: array.UnboundedHigh, Step: 0}},
+		Attrs: []array.Attr{{Name: "data", Typ: value.Float, Default: value.NewNull(value.Float)}},
+	}
+	st, err := storage.NewTabular(sch)
+	if err != nil {
+		return nil, err
+	}
+	a := &array.Array{Name: name, Schema: sch, Store: st}
+	coords := make([]int64, 1)
+	for i := range w.Samples {
+		coords[0] = w.Times[i]
+		if err := st.Set(coords, 0, value.NewFloat(w.Samples[i])); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.Engine.Cat.PutArray(a); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Checksum folds an array attribute into a single float for
+// experiment validation (order-independent sum).
+func Checksum(a *array.Array, attr int) float64 {
+	sum := 0.0
+	a.Store.Scan(func(_ []int64, vals []value.Value) bool {
+		if !vals[attr].Null {
+			f := vals[attr].AsFloat()
+			if !math.IsNaN(f) {
+				sum += f
+			}
+		}
+		return true
+	})
+	return sum
+}

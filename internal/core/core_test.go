@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+func TestSessionStdFunctions(t *testing.T) {
+	s := NewSession()
+	if err := s.DeclareStdFunctions(); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := s.Run(`SELECT noise(100.0, 18.0)`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.Get(0, 0).AsFloat(); got != 82 {
+		t.Errorf("noise = %v, want 82", got)
+	}
+}
+
+func TestDistanceOverVectors(t *testing.T) {
+	s := NewSession()
+	if err := s.DeclareStdFunctions(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Run(`
+		CREATE ARRAY va (i INTEGER DIMENSION[2], v FLOAT DEFAULT 0.0);
+		CREATE ARRAY vb (i INTEGER DIMENSION[2], v FLOAT DEFAULT 0.0);
+		UPDATE vb SET v = CASE WHEN i = 0 THEN 3 ELSE 4 END;
+	`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := s.Run(`SELECT distance(va[*], vb[*])`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.Get(0, 0).AsFloat(); got != 5 {
+		t.Errorf("distance = %v, want 5", got)
+	}
+}
+
+func TestMarkovBlackBox(t *testing.T) {
+	s := NewSession()
+	if err := s.DeclareStdFunctions(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Run(`
+		CREATE ARRAY tm (x INTEGER DIMENSION[3], y INTEGER DIMENSION[3], f FLOAT DEFAULT 1.0);
+		SELECT markov(tm[*][*], 2);
+	`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadLandsatAndQuery(t *testing.T) {
+	s := NewSession()
+	ls := workload.NewLandsat(7, 16, 1)
+	a, err := s.LoadLandsat("landsat", ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Store.Len() != 7*16*16 {
+		t.Fatalf("landsat cells = %d", a.Store.Len())
+	}
+	ds, err := s.Run(`SELECT count(*) FROM landsat WHERE channel = 3`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.Get(0, 0).I; got != 256 {
+		t.Errorf("channel slice count = %d, want 256", got)
+	}
+	ds, err = s.Run(`SELECT landsat[2][5][5].v`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.Get(0, 0).AsInt(); got != int64(ls.At(2, 5, 5)) {
+		t.Errorf("cell = %d, want %d", got, ls.At(2, 5, 5))
+	}
+}
+
+func TestLoadWaveformAndGaps(t *testing.T) {
+	s := NewSession()
+	w := workload.NewWaveform("AASN", 500, 0, 1000, 3, 2, 7)
+	if _, err := s.LoadWaveform("samples", w); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := s.Run(`
+		SELECT [time] FROM samples
+		WHERE next(time) - time > ?nominal`,
+		map[string]value.Value{"nominal": value.NewInt(1000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumRows() != len(w.GapStarts) {
+		t.Fatalf("gap query found %d, generator injected %d", ds.NumRows(), len(w.GapStarts))
+	}
+	found := map[int64]bool{}
+	for r := 0; r < ds.NumRows(); r++ {
+		found[ds.Get(r, 0).I] = true
+	}
+	for _, g := range w.GapStarts {
+		if !found[g] {
+			t.Errorf("gap at %d not detected", g)
+		}
+	}
+}
+
+func TestLoadEventsAndBinning(t *testing.T) {
+	s := NewSession()
+	ev := workload.NewXRayEvents(2000, 64, 2, 3)
+	if err := s.LoadEvents("events", ev); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Run(`
+		CREATE ARRAY ximage (x INTEGER DIMENSION, y INTEGER DIMENSION, v INTEGER DEFAULT 0);
+		INSERT INTO ximage SELECT [x], [y], count(*) FROM events GROUP BY x, y;
+	`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := s.Run(`SELECT SUM(v) FROM ximage`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.Get(0, 0).AsInt(); got != 2000 {
+		t.Errorf("total binned events = %d, want 2000", got)
+	}
+}
+
+func TestChecksum(t *testing.T) {
+	s := NewSession()
+	_, err := s.Run(`
+		CREATE ARRAY cs (x INTEGER DIMENSION[4], v FLOAT DEFAULT 0.0);
+		UPDATE cs SET v = x;
+	`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := s.Engine.Cat.Array("cs")
+	if got := Checksum(a, 0); got != 6 {
+		t.Errorf("checksum = %v, want 6", got)
+	}
+}

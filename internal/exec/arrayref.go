@@ -1,0 +1,518 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/array"
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/sql/ast"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+func sortSliceInt64(xs []int64) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+func searchInt64s(xs []int64, v int64) int {
+	return sort.Search(len(xs), func(i int) bool { return xs[i] >= v })
+}
+
+// resolveArrayBase finds the array an ArrayRef talks about: a PSM
+// local / function parameter holding an array value, a catalog array,
+// or a computed base (nested access like next(samples[t]).data never
+// reaches here — the engine rewrites NEXT earlier).
+func (e *Engine) resolveArrayBase(base ast.Expr, env expr.Env) (*array.Array, error) {
+	switch b := base.(type) {
+	case *ast.Ident:
+		if b.Table == "" {
+			if v, ok := env.Lookup("", b.Name); ok && v.Typ == value.Array && !v.Null {
+				if a, ok := v.A.(*array.Array); ok {
+					return a, nil
+				}
+			}
+		}
+		if a, ok := e.Cat.Array(b.Name); ok {
+			return a, nil
+		}
+		// A qualified name (alias.attr) can name a row's nested array.
+		if v, ok := env.Lookup(b.Table, b.Name); ok && v.Typ == value.Array && !v.Null {
+			if a, ok := v.A.(*array.Array); ok {
+				return a, nil
+			}
+		}
+		return nil, fmt.Errorf("no such array %s", b.String())
+	default:
+		v, err := e.Ev.Eval(base, env)
+		if err != nil {
+			return nil, err
+		}
+		if v.Typ == value.Array && !v.Null {
+			if a, ok := v.A.(*array.Array); ok {
+				return a, nil
+			}
+		}
+		return nil, fmt.Errorf("expression is not an array")
+	}
+}
+
+// dimSel is a resolved indexer against one dimension: either a point
+// or a half-open [lo, hi) range (step-aware). sparse marks order-only
+// dimensions (timestamp dims with no grid step), whose ranges expand
+// over the existing coordinate values rather than a stepped sequence.
+type dimSel struct {
+	point  bool
+	val    int64
+	lo, hi int64 // half-open
+	step   int64
+	full   bool // [*]
+	sparse bool
+}
+
+// resolveIndexers evaluates the indexer expressions of ref against
+// env, aligning them with the array's dimensions in declaration order.
+func (e *Engine) resolveIndexers(a *array.Array, ixs []ast.Indexer, env expr.Env) ([]dimSel, error) {
+	if len(ixs) > len(a.Schema.Dims) {
+		return nil, fmt.Errorf("array %s has %d dimensions, got %d indexers", a.Name, len(a.Schema.Dims), len(ixs))
+	}
+	out := make([]dimSel, len(a.Schema.Dims))
+	// The bounding box is only needed for open-ended selections; point
+	// indexers (the convolution anchor lists) skip the computation.
+	var lo, hi []int64
+	var boundsErr error
+	boundsDone := false
+	bounds := func() bool {
+		if !boundsDone {
+			lo, hi, boundsErr = a.BoundingBox()
+			boundsDone = true
+		}
+		return boundsErr == nil
+	}
+	for di := range a.Schema.Dims {
+		d := a.Schema.Dims[di]
+		sparse := d.Step == 0
+		step := d.Step
+		if step <= 0 {
+			step = 1
+		}
+		if di >= len(ixs) {
+			// Unindexed trailing dimensions select everything.
+			out[di] = dimSel{full: true, step: step, sparse: sparse}
+			if bounds() {
+				out[di].lo, out[di].hi = lo[di], hi[di]+step
+			}
+			continue
+		}
+		ix := ixs[di]
+		switch {
+		case ix.Star:
+			out[di] = dimSel{full: true, step: step, sparse: sparse}
+			if bounds() {
+				out[di].lo, out[di].hi = lo[di], hi[di]+step
+			}
+		case ix.Point != nil:
+			v, err := e.Ev.Eval(ix.Point, env)
+			if err != nil {
+				return nil, err
+			}
+			out[di] = dimSel{point: true, val: v.AsInt(), step: step, sparse: sparse}
+		case ix.Range:
+			s := dimSel{step: step, sparse: sparse}
+			if ix.Start != nil {
+				v, err := e.Ev.Eval(ix.Start, env)
+				if err != nil {
+					return nil, err
+				}
+				s.lo = v.AsInt()
+			} else if bounds() {
+				s.lo = lo[di]
+			}
+			if ix.Stop != nil {
+				v, err := e.Ev.Eval(ix.Stop, env)
+				if err != nil {
+					return nil, err
+				}
+				s.hi = v.AsInt()
+			} else if bounds() {
+				s.hi = hi[di] + step
+			}
+			if ix.Step != nil {
+				v, err := e.Ev.Eval(ix.Step, env)
+				if err != nil {
+					return nil, err
+				}
+				if v.AsInt() > 0 {
+					s.step = v.AsInt()
+				}
+			}
+			out[di] = s
+		default:
+			out[di] = dimSel{full: true, step: step, sparse: sparse}
+			if bounds() {
+				out[di].lo, out[di].hi = lo[di], hi[di]+step
+			}
+		}
+	}
+	return out, nil
+}
+
+// evalArrayRef resolves an array reference in expression position:
+// a full point access returns the cell attribute (NULL when out of
+// bounds or a hole, per §3.1); any range produces a sub-array value.
+func (e *Engine) evalArrayRef(ref *ast.ArrayRef, env expr.Env) (value.Value, error) {
+	a, err := e.resolveArrayBase(ref.Base, env)
+	if err != nil {
+		return value.Value{}, err
+	}
+	sels, err := e.resolveIndexers(a, ref.Indexers, env)
+	if err != nil {
+		return value.Value{}, err
+	}
+	allPoint := true
+	for _, s := range sels {
+		if !s.point {
+			allPoint = false
+			break
+		}
+	}
+	if allPoint {
+		coords := make([]int64, len(sels))
+		for i, s := range sels {
+			coords[i] = s.val
+		}
+		ai, err := pickAttr(a, ref.Attr)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return a.Get(coords, ai), nil
+	}
+	sub, err := e.sliceArray(a, sels, ref.Attr)
+	if err != nil {
+		return value.Value{}, err
+	}
+	return value.NewArray(sub), nil
+}
+
+// dimValuesCache memoizes the sorted distinct coordinate values of an
+// array's order-only (sparse) dimensions, so range expansion over a
+// timestamp dimension walks existing samples instead of every
+// microsecond between the bounds.
+type dimValuesCache struct {
+	vals map[int][]int64
+}
+
+func newDimValuesCache() *dimValuesCache { return &dimValuesCache{vals: make(map[int][]int64)} }
+
+// dimValuesProvider is implemented by stores that maintain their own
+// sorted per-dimension value index (the tabular scheme).
+type dimValuesProvider interface {
+	DimValues(di int) []int64
+}
+
+func (c *dimValuesCache) values(a *array.Array, di int) []int64 {
+	if v, ok := c.vals[di]; ok {
+		return v
+	}
+	if p, ok := a.Store.(dimValuesProvider); ok {
+		v := p.DimValues(di)
+		c.vals[di] = v
+		return v
+	}
+	set := make(map[int64]struct{})
+	a.Store.Scan(func(coords []int64, _ []value.Value) bool {
+		set[coords[di]] = struct{}{}
+		return true
+	})
+	out := make([]int64, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sortInt64s(out)
+	c.vals[di] = out
+	return out
+}
+
+// inRange returns the cached values within [lo, hi).
+func (c *dimValuesCache) inRange(a *array.Array, di int, lo, hi int64) []int64 {
+	vals := c.values(a, di)
+	i := searchInt64s(vals, lo)
+	j := searchInt64s(vals, hi)
+	return vals[i:j]
+}
+
+func sortInt64s(xs []int64) {
+	// Insertion-free path via sort.Slice (stdlib only).
+	if len(xs) > 1 {
+		sortSliceInt64(xs)
+	}
+}
+
+// pickAttr resolves an attribute name; "" selects the single attribute
+// of one-attribute arrays (payload[x][y] form).
+func pickAttr(a *array.Array, name string) (int, error) {
+	if name == "" {
+		if len(a.Schema.Attrs) == 1 {
+			return 0, nil
+		}
+		return -1, fmt.Errorf("array %s has %d attributes; qualify with .attr", a.Name, len(a.Schema.Attrs))
+	}
+	ai := a.Schema.AttrIndex(name)
+	if ai < 0 {
+		return -1, fmt.Errorf("array %s has no attribute %s", a.Name, name)
+	}
+	return ai, nil
+}
+
+// sliceArray carves a sub-array: point dimensions collapse, ranges
+// restrict, '*' keeps the whole dimension. Index values are preserved
+// (the minimal bounding box of the answers, §4.1); function-parameter
+// binding rebases when the parameter declares fixed bounds.
+func (e *Engine) sliceArray(a *array.Array, sels []dimSel, attr string) (*array.Array, error) {
+	var dims []array.Dimension
+	var keep []int // source dim index per kept dim
+	sparseSlice := false
+	for di, s := range sels {
+		if s.point {
+			continue
+		}
+		d := a.Schema.Dims[di]
+		nd := array.Dimension{Name: d.Name, Typ: d.Typ, Start: s.lo, End: s.hi, Step: s.step}
+		if s.sparse {
+			// Order-only dimensions keep their gridless nature.
+			nd.Step = 0
+			sparseSlice = true
+		}
+		if s.full && s.hi == 0 && s.lo == 0 && !d.Bounded() {
+			nd.Start, nd.End = array.UnboundedLow, array.UnboundedHigh
+		}
+		dims = append(dims, nd)
+		keep = append(keep, di)
+	}
+	attrs := a.Schema.Attrs
+	attrMap := make([]int, 0, len(attrs))
+	if attr != "" {
+		ai := a.Schema.AttrIndex(attr)
+		if ai < 0 {
+			return nil, fmt.Errorf("array %s has no attribute %s", a.Name, attr)
+		}
+		attrs = []array.Attr{a.Schema.Attrs[ai]}
+		attrMap = append(attrMap, ai)
+	} else {
+		for i := range attrs {
+			attrMap = append(attrMap, i)
+		}
+	}
+	// Strip CHECK/default machinery from the slice schema: the values
+	// are copied as-is.
+	outAttrs := make([]array.Attr, len(attrs))
+	for i, at := range attrs {
+		outAttrs[i] = array.Attr{Name: at.Name, Typ: at.Typ, Default: value.NewNull(at.Typ), Nested: at.Nested}
+	}
+	outDims := make([]array.Dimension, len(dims))
+	copy(outDims, dims)
+	sch := array.Schema{Dims: outDims, Attrs: outAttrs}
+	var st array.Store
+	var err error
+	if sparseSlice {
+		st, err = storage.NewTabular(sch)
+	} else {
+		st, err = storage.New(sch, storage.Hints{})
+	}
+	if err != nil {
+		return nil, err
+	}
+	sub := &array.Array{Name: a.Name + "_slice", Schema: sch, Store: st}
+	// Walk the selection cross product, reading through a.Get so
+	// out-of-bounds positions arrive as NULL (holes in the slice).
+	// Sparse (order-only) dimensions expand over existing coordinate
+	// values, never over the raw index range.
+	cache := newDimValuesCache()
+	src := make([]int64, len(sels))
+	dst := make([]int64, len(dims))
+	var walk func(di int) error
+	walk = func(di int) error {
+		if di == len(sels) {
+			for oi, ai := range attrMap {
+				v := a.Get(src, ai)
+				if v.Null {
+					continue
+				}
+				if err := st.Set(dst, oi, v); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		s := sels[di]
+		if s.point {
+			src[di] = s.val
+			return walk(di + 1)
+		}
+		ki := 0
+		for ; ki < len(keep); ki++ {
+			if keep[ki] == di {
+				break
+			}
+		}
+		if s.sparse {
+			for _, v := range cache.inRange(a, di, s.lo, s.hi) {
+				src[di] = v
+				dst[ki] = v
+				if err := walk(di + 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for v := s.lo; v < s.hi; v += s.step {
+			src[di] = v
+			dst[ki] = v
+			if err := walk(di + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(0); err != nil {
+		return nil, err
+	}
+	return sub, nil
+}
+
+// rebaseForParam copies an array value into the shape a function
+// parameter declares, mapping ordinals (the 3x3 conv window arrives
+// indexed [0..2] regardless of where it was cut, §7.1.2).
+func (e *Engine) rebaseForParam(src *array.Array, paramSchema *array.Schema) (*array.Array, error) {
+	if len(paramSchema.Dims) != len(src.Schema.Dims) {
+		return nil, fmt.Errorf("parameter expects %d dimensions, got %d", len(paramSchema.Dims), len(src.Schema.Dims))
+	}
+	st, err := storage.New(*paramSchema, storage.Hints{})
+	if err != nil {
+		return nil, err
+	}
+	out := &array.Array{Name: src.Name + "_param", Schema: *paramSchema, Store: st}
+	dst := make([]int64, len(paramSchema.Dims))
+	srcLo, _, err2 := src.BoundingBox()
+	if err2 != nil {
+		return out, nil // empty source: all holes
+	}
+	nAttrs := len(paramSchema.Attrs)
+	src.Store.Scan(func(coords []int64, vals []value.Value) bool {
+		for i, d := range paramSchema.Dims {
+			step := src.Schema.Dims[i].Step
+			if step <= 0 {
+				step = 1
+			}
+			ord := (coords[i] - srcLo[i]) / step
+			dst[i] = d.Index(ord)
+		}
+		for ai := 0; ai < nAttrs && ai < len(vals); ai++ {
+			if !vals[ai].Null {
+				_ = st.Set(dst, ai, vals[ai])
+			}
+		}
+		return true
+	})
+	return out, nil
+}
+
+// callUDF resolves a non-builtin function call: catalog white-box
+// (PSM) and black-box (EXTERNAL NAME) functions.
+func (e *Engine) callUDF(name string, args []value.Value, env expr.Env) (value.Value, error) {
+	f, ok := e.Cat.Function(name)
+	if !ok {
+		if strings.EqualFold(name, "NEXT") {
+			return value.Value{}, fmt.Errorf("next() requires a scanned time-series source")
+		}
+		return value.Value{}, fmt.Errorf("unknown function %s", name)
+	}
+	bound, err := e.bindParams(f, args)
+	if err != nil {
+		return value.Value{}, err
+	}
+	if f.External != nil {
+		// Black-box call (§6.2): the registered Go implementation does
+		// its own layout marshaling; arguments arrive rebased.
+		return f.External(bound)
+	}
+	return e.callPSM(f, bound)
+}
+
+// bindParams coerces scalar arguments to the declared parameter types
+// and rebases array arguments onto the declared parameter shape when
+// the parameter carries fixed dimension bounds (the conv 3x3 window
+// of §7.1.2 arrives indexed [0..2] wherever it was cut).
+func (e *Engine) bindParams(f *catalog.Function, args []value.Value) ([]value.Value, error) {
+	def := f.Def
+	if def == nil || len(def.Params) == 0 {
+		return args, nil
+	}
+	if len(args) != len(def.Params) {
+		return nil, fmt.Errorf("function %s expects %d argument(s), got %d", f.Name, len(def.Params), len(args))
+	}
+	out := make([]value.Value, len(args))
+	for i, prm := range def.Params {
+		v := args[i]
+		if prm.Type == value.Array {
+			if v.Null {
+				out[i] = v
+				continue
+			}
+			src, ok := v.A.(*array.Array)
+			if !ok {
+				return nil, fmt.Errorf("function %s: argument %s is not an array", f.Name, prm.Name)
+			}
+			sch, err := e.compileSchema(prm.Array, &baseEnv{})
+			if err != nil {
+				return nil, fmt.Errorf("function %s parameter %s: %w", f.Name, prm.Name, err)
+			}
+			// Unbounded parameter dimensions inherit the argument's
+			// bounds; bounded ones force a rebase onto the declared
+			// origin. Either way the declared names apply (the
+			// function body addresses a[i][j] regardless of where the
+			// argument was cut from).
+			if len(sch.Dims) != len(src.Schema.Dims) {
+				return nil, fmt.Errorf("function %s parameter %s: expects %d dimensions, got %d",
+					f.Name, prm.Name, len(sch.Dims), len(src.Schema.Dims))
+			}
+			for di := range sch.Dims {
+				if !sch.Dims[di].Bounded() {
+					lo, hi, err := src.BoundingBox()
+					if err == nil {
+						step := src.Schema.Dims[di].Step
+						if step <= 0 {
+							step = 1
+						}
+						sch.Dims[di].Start = lo[di]
+						sch.Dims[di].End = hi[di] + step
+						sch.Dims[di].Step = step
+					}
+				}
+			}
+			rb, err := e.rebaseForParam(src, sch)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = value.NewArray(rb)
+			continue
+		}
+		cv, err := value.Coerce(v, prm.Type)
+		if err != nil {
+			return nil, fmt.Errorf("function %s parameter %s: %w", f.Name, prm.Name, err)
+		}
+		out[i] = cv
+	}
+	return out, nil
+}
+
+func allDimsBounded(dims []array.Dimension) bool {
+	for _, d := range dims {
+		if !d.Bounded() {
+			return false
+		}
+	}
+	return true
+}

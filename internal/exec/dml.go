@@ -1,0 +1,654 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/array"
+	"repro/internal/expr"
+	"repro/internal/sql/ast"
+	"repro/internal/value"
+)
+
+// cellEnv exposes one array cell (dimension variables and attribute
+// values) as an environment; lookups may be qualified by the array
+// name (wavelet: WHERE img.y = d.y inside img's UPDATE).
+type cellEnv struct {
+	arrName string
+	vars    map[string]value.Value
+	outer   expr.Env
+}
+
+func (c *cellEnv) Lookup(qual, name string) (value.Value, bool) {
+	if qual == "" || strings.EqualFold(qual, c.arrName) {
+		if v, ok := c.vars[strings.ToLower(name)]; ok {
+			return v, true
+		}
+	}
+	if c.outer != nil {
+		return c.outer.Lookup(qual, name)
+	}
+	return value.Value{}, false
+}
+
+func (c *cellEnv) Param(name string) (value.Value, bool) {
+	if c.outer != nil {
+		return c.outer.Param(name)
+	}
+	return value.Value{}, false
+}
+
+// forEachCoveredCell iterates the cells an array UPDATE/DELETE ranges
+// over: for bounded arrays every covered coordinate (the paper: "all
+// cells covered by the dimensions exist"), for unbounded arrays the
+// materialized cells. restrict (pushed-down dimension predicates)
+// bounds the walk.
+func (e *Engine) forEachCoveredCell(a *array.Array, restrict map[int]dimSel, visit func(coords []int64, vals []value.Value) error) error {
+	nd, na := len(a.Schema.Dims), len(a.Schema.Attrs)
+	bounded := true
+	for _, d := range a.Schema.Dims {
+		if !d.Bounded() {
+			bounded = false
+			break
+		}
+	}
+	if !bounded {
+		var err error
+		a.Store.Scan(func(coords []int64, vals []value.Value) bool {
+			for di, s := range restrict {
+				if s.point && coords[di] != s.val {
+					return true
+				}
+				if !s.point && !s.full && (coords[di] < s.lo || coords[di] >= s.hi) {
+					return true
+				}
+			}
+			err = visit(coords, vals)
+			return err == nil
+		})
+		return err
+	}
+	coords := make([]int64, nd)
+	vals := make([]value.Value, na)
+	var rec func(di int) error
+	rec = func(di int) error {
+		if di == nd {
+			if !a.ValidCoords(coords) {
+				return nil
+			}
+			for ai := 0; ai < na; ai++ {
+				vals[ai] = a.Store.Get(coords, ai)
+			}
+			return visit(coords, vals)
+		}
+		d := a.Schema.Dims[di]
+		step := d.Step
+		if step <= 0 {
+			step = 1
+		}
+		lo, hi := d.Start, d.End
+		if s, ok := restrict[di]; ok {
+			if s.point {
+				if !d.Contains(s.val) {
+					return nil
+				}
+				coords[di] = s.val
+				return rec(di + 1)
+			}
+			if !s.full {
+				if s.lo > lo {
+					lo = s.lo
+				}
+				if s.hi < hi {
+					hi = s.hi
+				}
+			}
+		}
+		for v := lo; v < hi; v += step {
+			coords[di] = v
+			if err := rec(di + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+func (e *Engine) makeCellEnv(a *array.Array, coords []int64, vals []value.Value, outer expr.Env) *cellEnv {
+	env := &cellEnv{arrName: a.Name, vars: make(map[string]value.Value, len(coords)+len(vals)), outer: outer}
+	for i, d := range a.Schema.Dims {
+		env.vars[strings.ToLower(d.Name)] = value.Value{Typ: d.Typ, I: coords[i]}
+	}
+	for i, at := range a.Schema.Attrs {
+		env.vars[strings.ToLower(at.Name)] = vals[i]
+	}
+	return env
+}
+
+// --- UPDATE ------------------------------------------------------------------
+
+func (e *Engine) execUpdate(s *ast.Update, outer expr.Env) error {
+	if a, ok := e.Cat.Array(s.Table); ok {
+		return e.updateArray(a, s, outer)
+	}
+	if t, ok := e.Cat.Table(s.Table); ok {
+		return e.updateTable(t, s, outer)
+	}
+	return fmt.Errorf("UPDATE: no such table or array %s", s.Table)
+}
+
+func (e *Engine) updateArray(a *array.Array, s *ast.Update, outer expr.Env) error {
+	// Nested-array targets (UPDATE experiment SET payload[x][y] = ...)
+	// iterate the nested cells of every outer cell.
+	if len(s.Sets) == 1 {
+		if ref, ok := s.Sets[0].Target.(*ast.ArrayRef); ok {
+			if id, ok2 := ref.Base.(*ast.Ident); ok2 {
+				if ai := attrIndexFold(a, id.Name); ai >= 0 && a.Schema.Attrs[ai].Typ == value.Array {
+					return e.updateNestedArray(a, ai, ref, s, outer)
+				}
+			}
+		}
+	}
+	conjs := splitConjuncts(s.Where)
+	consumed := make([]bool, len(conjs))
+	restrict := e.pushdownDims(a, a.Name, conjs, consumed, outer)
+	var residual []ast.Expr
+	for i, c := range conjs {
+		if !consumed[i] {
+			residual = append(residual, c)
+		}
+	}
+	where := andAll(residual)
+	return e.forEachCoveredCell(a, restrict, func(coords []int64, vals []value.Value) error {
+		env := e.makeCellEnv(a, coords, vals, outer)
+		if where != nil {
+			ok, err := e.Ev.EvalBool(where, env)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		// Assignments are applied sequentially so later SET clauses see
+		// earlier results (the NDVI pipeline relies on this).
+		for _, asg := range s.Sets {
+			tCoords, ai, err := e.resolveAssignTarget(a, asg.Target, coords, env)
+			if err != nil {
+				return err
+			}
+			v, err := e.Ev.Eval(asg.Value, env)
+			if err != nil {
+				return err
+			}
+			cv, err := value.Coerce(v, a.Schema.Attrs[ai].Typ)
+			if err != nil {
+				cv = value.NewNull(a.Schema.Attrs[ai].Typ)
+			}
+			if err := e.writeCell(a, tCoords, ai, cv); err != nil {
+				return err
+			}
+			env.vars[strings.ToLower(a.Schema.Attrs[ai].Name)] = cv
+		}
+		return nil
+	})
+}
+
+// writeCell writes honoring attribute CHECK constraints (content
+// checks nullify failing values, Fig. 2's sparse form).
+func (e *Engine) writeCell(a *array.Array, coords []int64, attr int, v value.Value) error {
+	if !a.ValidCoords(coords) {
+		return nil // silently outside the valid domain
+	}
+	at := a.Schema.Attrs[attr]
+	if at.Check != nil && !v.Null && !at.Check(v) {
+		v = value.NewNull(at.Typ)
+	}
+	return a.Store.Set(coords, attr, v)
+}
+
+// resolveAssignTarget maps a SET target onto (coords, attr index).
+// Plain identifiers write the current cell; array references evaluate
+// their indexers under the cell environment (m[x].v writes row x).
+func (e *Engine) resolveAssignTarget(a *array.Array, target ast.Expr, cur []int64, env expr.Env) ([]int64, int, error) {
+	switch t := target.(type) {
+	case *ast.Ident:
+		ai := attrIndexFold(a, t.Name)
+		if ai < 0 {
+			return nil, 0, fmt.Errorf("array %s has no attribute %s", a.Name, t.Name)
+		}
+		return cur, ai, nil
+	case *ast.ArrayRef:
+		id, ok := t.Base.(*ast.Ident)
+		if !ok || (!strings.EqualFold(id.Name, a.Name) && attrIndexFold(a, id.Name) < 0) {
+			return nil, 0, fmt.Errorf("assignment target must reference %s", a.Name)
+		}
+		sels, err := e.resolveIndexers(a, t.Indexers, env)
+		if err != nil {
+			return nil, 0, err
+		}
+		coords := make([]int64, len(sels))
+		for i, s := range sels {
+			if !s.point {
+				return nil, 0, fmt.Errorf("assignment target must use point indexes")
+			}
+			coords[i] = s.val
+		}
+		ai, err := pickAttr(a, t.Attr)
+		if err != nil {
+			return nil, 0, err
+		}
+		return coords, ai, nil
+	}
+	return nil, 0, fmt.Errorf("invalid assignment target %T", target)
+}
+
+// updateNestedArray handles SET <nested>[i][j] = expr over an
+// array-valued attribute: the free index variables range over the
+// nested array's cells (§3.2's payload example).
+func (e *Engine) updateNestedArray(a *array.Array, ai int, ref *ast.ArrayRef, s *ast.Update, outer expr.Env) error {
+	return e.forEachCoveredCell(a, nil, func(coords []int64, vals []value.Value) error {
+		nv := vals[ai]
+		if nv.Null || nv.Typ != value.Array {
+			return nil
+		}
+		nested, ok := nv.A.(*array.Array)
+		if !ok {
+			return nil
+		}
+		outerCell := e.makeCellEnv(a, coords, vals, outer)
+		nd := len(nested.Schema.Dims)
+		return e.forEachCoveredCell(nested, nil, func(nc []int64, nvals []value.Value) error {
+			env := e.makeCellEnv(nested, nc, nvals, outerCell)
+			if s.Where != nil {
+				ok, err := e.Ev.EvalBool(s.Where, env)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+			}
+			v, err := e.Ev.Eval(s.Sets[0].Value, env)
+			if err != nil {
+				return err
+			}
+			nai, err := pickAttr(nested, ref.Attr)
+			if err != nil {
+				return err
+			}
+			cv, err := value.Coerce(v, nested.Schema.Attrs[nai].Typ)
+			if err != nil {
+				cv = value.NewNull(nested.Schema.Attrs[nai].Typ)
+			}
+			_ = nd
+			return nested.Store.Set(nc, nai, cv)
+		})
+	})
+}
+
+func (e *Engine) updateTable(t *catalogTable, s *ast.Update, outer expr.Env) error {
+	return e.updateTableImpl(t, s, outer)
+}
+
+// --- SET statement -------------------------------------------------------------
+
+// execSetStmt implements the standalone guarded SET form (§4.2):
+// SET vector[x].v = CASE ... END. Free dimension variables in the
+// target's indexers range over all valid dimension values; a guarded
+// CASE with no matching arm leaves the cell unchanged.
+func (e *Engine) execSetStmt(s *ast.SetStmt, outer expr.Env) error {
+	ref, ok := s.Assign.Target.(*ast.ArrayRef)
+	if !ok {
+		return fmt.Errorf("SET requires an array reference target")
+	}
+	a, err := e.resolveArrayBase(ref.Base, outer)
+	if err != nil {
+		return err
+	}
+	ai, err := pickAttr(a, ref.Attr)
+	if err != nil {
+		return err
+	}
+	guarded := false
+	if c, ok := s.Assign.Value.(*ast.Case); ok && c.Else == nil {
+		guarded = true
+	}
+	// Positional list assignment: SET vector[0:2].v = (e1, e2).
+	if list, ok := s.Assign.Value.(*ast.ExprList); ok {
+		sels, err := e.resolveIndexers(a, ref.Indexers, outer)
+		if err != nil {
+			return err
+		}
+		var coordsList [][]int64
+		cur := make([]int64, len(sels))
+		var rec func(di int)
+		rec = func(di int) {
+			if di == len(sels) {
+				coordsList = append(coordsList, append([]int64(nil), cur...))
+				return
+			}
+			sl := sels[di]
+			if sl.point {
+				cur[di] = sl.val
+				rec(di + 1)
+				return
+			}
+			step := sl.step
+			if step <= 0 {
+				step = 1
+			}
+			for v := sl.lo; v < sl.hi; v += step {
+				cur[di] = v
+				rec(di + 1)
+			}
+		}
+		rec(0)
+		if len(list.Elems) > len(coordsList) {
+			return fmt.Errorf("SET: %d values for %d cells", len(list.Elems), len(coordsList))
+		}
+		for i, el := range list.Elems {
+			v, err := e.Ev.Eval(el, outer)
+			if err != nil {
+				return err
+			}
+			cv, err := value.Coerce(v, a.Schema.Attrs[ai].Typ)
+			if err != nil {
+				return err
+			}
+			if err := e.writeCell(a, coordsList[i], ai, cv); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// General form: iterate covered cells; the target indexers are
+	// evaluated per cell (free variables bind to the cell coords).
+	return e.forEachCoveredCell(a, nil, func(coords []int64, vals []value.Value) error {
+		env := e.makeCellEnv(a, coords, vals, outer)
+		sels, err := e.resolveIndexers(a, ref.Indexers, env)
+		if err != nil {
+			return err
+		}
+		target := make([]int64, len(sels))
+		for i, sl := range sels {
+			if sl.point {
+				target[i] = sl.val
+			} else {
+				target[i] = coords[i]
+			}
+		}
+		// Only write when this cell is the addressed one.
+		for i := range target {
+			if target[i] != coords[i] {
+				return nil
+			}
+		}
+		v, err := e.Ev.Eval(s.Assign.Value, env)
+		if err != nil {
+			return err
+		}
+		if guarded && v.Null {
+			return nil
+		}
+		cv, err := value.Coerce(v, a.Schema.Attrs[ai].Typ)
+		if err != nil {
+			cv = value.NewNull(a.Schema.Attrs[ai].Typ)
+		}
+		return e.writeCell(a, coords, ai, cv)
+	})
+}
+
+// --- INSERT ---------------------------------------------------------------------
+
+func (e *Engine) execInsert(s *ast.Insert, outer expr.Env) error {
+	if a, ok := e.Cat.Array(s.Table); ok {
+		return e.insertArray(a, s, outer)
+	}
+	if t, ok := e.Cat.Table(s.Table); ok {
+		return e.insertTable(t, s, outer)
+	}
+	return fmt.Errorf("INSERT: no such table or array %s", s.Table)
+}
+
+func (e *Engine) insertArray(a *array.Array, s *ast.Insert, outer expr.Env) error {
+	if s.Select != nil {
+		ds, err := e.execSelect(s.Select, outer)
+		if err != nil {
+			return err
+		}
+		return e.fillArrayFromDataset(a, ds)
+	}
+	nd, na := len(a.Schema.Dims), len(a.Schema.Attrs)
+	for _, row := range s.Values {
+		if len(row) > nd+na {
+			return fmt.Errorf("INSERT INTO %s: too many values", a.Name)
+		}
+		vals := make([]value.Value, len(row))
+		for i, x := range row {
+			v, err := e.Ev.Eval(x, outer)
+			if err != nil {
+				return err
+			}
+			vals[i] = v
+		}
+		coords := make([]int64, nd)
+		for d := 0; d < nd; d++ {
+			if d < len(vals) {
+				coords[d] = vals[d].AsInt()
+			}
+		}
+		if err := e.insertCell(a, coords, vals[nd:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// insertCell places one cell. If the target is occupied, rows and
+// columns shift to make room (§3.2's spreadsheet semantics): every
+// cell with coordinate >= the insert coordinate moves one step up in
+// every dimension; for fixed-bound arrays, cells shifted past the
+// bound are lost.
+func (e *Engine) insertCell(a *array.Array, coords []int64, attrVals []value.Value) error {
+	occupied := false
+	for ai := range a.Schema.Attrs {
+		if !a.Store.Get(coords, ai).Null {
+			occupied = true
+			break
+		}
+	}
+	if occupied {
+		if err := e.shiftForInsert(a, coords); err != nil {
+			return err
+		}
+	}
+	for ai := range a.Schema.Attrs {
+		var v value.Value
+		if ai < len(attrVals) {
+			v = attrVals[ai]
+		} else {
+			v = defaultFor(a, coords, ai)
+		}
+		cv, err := value.Coerce(v, a.Schema.Attrs[ai].Typ)
+		if err != nil {
+			cv = value.NewNull(a.Schema.Attrs[ai].Typ)
+		}
+		if err := e.writeCell(a, coords, ai, cv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func defaultFor(a *array.Array, coords []int64, ai int) value.Value {
+	at := a.Schema.Attrs[ai]
+	if at.DefaultFn != nil {
+		return at.DefaultFn(coords)
+	}
+	return at.Default
+}
+
+func (e *Engine) shiftForInsert(a *array.Array, at []int64) error {
+	st, err := e.newStore(a.Name, a.Schema)
+	if err != nil {
+		return err
+	}
+	moved := make([]int64, len(at))
+	var werr error
+	a.Store.Scan(func(coords []int64, vals []value.Value) bool {
+		copy(moved, coords)
+		for d := range moved {
+			step := a.Schema.Dims[d].Step
+			if step <= 0 {
+				step = 1
+			}
+			if moved[d] >= at[d] {
+				moved[d] += step
+			}
+		}
+		tmp := &array.Array{Name: a.Name, Schema: a.Schema, Store: st}
+		if !tmp.ValidCoords(moved) {
+			return true // shifted past a fixed bound: lost
+		}
+		for ai, v := range vals {
+			if err := st.Set(moved, ai, v); err != nil {
+				werr = err
+				return false
+			}
+		}
+		return true
+	})
+	if werr != nil {
+		return werr
+	}
+	a.Store = st
+	return nil
+}
+
+func (e *Engine) insertTable(t *catalogTable, s *ast.Insert, outer expr.Env) error {
+	return e.insertTableImpl(t, s, outer)
+}
+
+// --- DELETE ---------------------------------------------------------------------
+
+func (e *Engine) execDelete(s *ast.Delete, outer expr.Env) error {
+	if a, ok := e.Cat.Array(s.Table); ok {
+		return e.deleteArray(a, s, outer)
+	}
+	if t, ok := e.Cat.Table(s.Table); ok {
+		return e.deleteTableImpl(t, s, outer)
+	}
+	return fmt.Errorf("DELETE: no such table or array %s", s.Table)
+}
+
+// deleteArray implements the anchor-kill semantics of §3.2: matched
+// cells are deleted; any complete dimension line whose cells are all
+// deleted is taken out, relocating the remaining cells toward the
+// lower bounds; vacated cells reset to the attribute defaults.
+func (e *Engine) deleteArray(a *array.Array, s *ast.Delete, outer expr.Env) error {
+	nd := len(a.Schema.Dims)
+	matched := make(map[string]bool)
+	// lineTotal/lineDead count valid vs matched cells per (dim, value).
+	lineTotal := make([]map[int64]int64, nd)
+	lineDead := make([]map[int64]int64, nd)
+	for d := 0; d < nd; d++ {
+		lineTotal[d] = make(map[int64]int64)
+		lineDead[d] = make(map[int64]int64)
+	}
+	err := e.forEachCoveredCell(a, nil, func(coords []int64, vals []value.Value) error {
+		hit := true
+		if s.Where != nil {
+			env := e.makeCellEnv(a, coords, vals, outer)
+			ok, err := e.Ev.EvalBool(s.Where, env)
+			if err != nil {
+				return err
+			}
+			hit = ok
+		}
+		for d := 0; d < nd; d++ {
+			lineTotal[d][coords[d]]++
+			if hit {
+				lineDead[d][coords[d]]++
+			}
+		}
+		if hit {
+			matched[coordKey(coords)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if len(matched) == 0 {
+		return nil
+	}
+	// Surviving line values per dimension, remapped onto the low end.
+	remap := make([]map[int64]int64, nd)
+	for d := 0; d < nd; d++ {
+		var survive []int64
+		for v, total := range lineTotal[d] {
+			if lineDead[d][v] < total {
+				survive = append(survive, v)
+			}
+		}
+		sort.Slice(survive, func(i, j int) bool { return survive[i] < survive[j] })
+		remap[d] = make(map[int64]int64, len(survive))
+		dim := a.Schema.Dims[d]
+		step := dim.Step
+		if step <= 0 {
+			step = 1
+		}
+		start := dim.Start
+		if start == array.UnboundedLow {
+			if len(survive) > 0 {
+				start = survive[0]
+			} else {
+				start = 0
+			}
+		}
+		for rank, v := range survive {
+			remap[d][v] = start + int64(rank)*step
+		}
+	}
+	st, err := e.newStore(a.Name, a.Schema)
+	if err != nil {
+		return err
+	}
+	nc := make([]int64, nd)
+	var werr error
+	a.Store.Scan(func(coords []int64, vals []value.Value) bool {
+		if matched[coordKey(coords)] {
+			return true
+		}
+		for d := 0; d < nd; d++ {
+			m, ok := remap[d][coords[d]]
+			if !ok {
+				return true
+			}
+			nc[d] = m
+		}
+		for ai, v := range vals {
+			if err := st.Set(nc, ai, v); err != nil {
+				werr = err
+				return false
+			}
+		}
+		return true
+	})
+	if werr != nil {
+		return werr
+	}
+	a.Store = st
+	return nil
+}
+
+func coordKey(coords []int64) string {
+	var sb strings.Builder
+	for _, c := range coords {
+		fmt.Fprintf(&sb, "%d,", c)
+	}
+	return sb.String()
+}

@@ -1,0 +1,552 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/array"
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/sql/ast"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Engine executes SciQL statements against a catalog. It owns the
+// expression evaluator (wired with hooks for subqueries, array
+// references and UDF calls) and the black-box function registry.
+type Engine struct {
+	Cat *catalog.Catalog
+	Ev  *expr.Evaluator
+	// externals maps EXTERNAL NAME strings to Go implementations
+	// (§6.2 black-box functions).
+	externals map[string]func(args []value.Value) (value.Value, error)
+	// StorageHints overrides the adaptive storage policy per array
+	// name (ablation benches force schemes through this).
+	StorageHints map[string]storage.Hints
+}
+
+// New creates an engine with an empty catalog.
+func New() *Engine {
+	e := &Engine{
+		Cat:          catalog.New(),
+		Ev:           expr.New(),
+		externals:    make(map[string]func([]value.Value) (value.Value, error)),
+		StorageHints: make(map[string]storage.Hints),
+	}
+	e.Ev.Hooks = expr.Hooks{
+		Subquery: e.scalarSubquery,
+		ArrayRef: e.evalArrayRef,
+		Call:     e.callUDF,
+	}
+	return e
+}
+
+// RegisterExternal binds an EXTERNAL NAME to a Go implementation.
+func (e *Engine) RegisterExternal(name string, fn func(args []value.Value) (value.Value, error)) {
+	e.externals[strings.ToLower(name)] = fn
+}
+
+// SetStorageHint records a storage-scheme hint for an array created
+// later under the given name.
+func (e *Engine) SetStorageHint(arrayName string, h storage.Hints) {
+	e.StorageHints[strings.ToLower(arrayName)] = h
+}
+
+// DatasetToArray exposes the dataset→array coercion (§3.3) to the
+// public API.
+func (e *Engine) DatasetToArray(ds *Dataset, name string) (*array.Array, error) {
+	return e.datasetToArray(ds, nil, name)
+}
+
+// baseEnv wraps host parameters as the root environment.
+type baseEnv struct{ params map[string]value.Value }
+
+func (b *baseEnv) Lookup(string, string) (value.Value, bool) { return value.Value{}, false }
+func (b *baseEnv) Param(name string) (value.Value, bool) {
+	v, ok := b.params[strings.ToLower(name)]
+	return v, ok
+}
+
+// Exec runs one statement. Params bind ?name host parameters. SELECT
+// returns a dataset; DDL/DML return nil (or a small info dataset).
+func (e *Engine) Exec(stmt ast.Statement, params map[string]value.Value) (*Dataset, error) {
+	norm := make(map[string]value.Value, len(params))
+	for k, v := range params {
+		norm[strings.ToLower(k)] = v
+	}
+	env := &baseEnv{params: norm}
+	switch s := stmt.(type) {
+	case *ast.Select:
+		return e.execSelect(s, env)
+	case *ast.CreateTable:
+		return nil, e.execCreateTable(s)
+	case *ast.CreateArray:
+		return nil, e.execCreateArray(s, env)
+	case *ast.CreateSequence:
+		return nil, e.execCreateSequence(s, env)
+	case *ast.CreateFunction:
+		return nil, e.execCreateFunction(s)
+	case *ast.AlterArray:
+		return nil, e.execAlterArray(s, env)
+	case *ast.Drop:
+		return nil, e.Cat.Drop(s.Kind, s.Name)
+	case *ast.Insert:
+		return nil, e.execInsert(s, env)
+	case *ast.Update:
+		return nil, e.execUpdate(s, env)
+	case *ast.SetStmt:
+		return nil, e.execSetStmt(s, env)
+	case *ast.Delete:
+		return nil, e.execDelete(s, env)
+	default:
+		return nil, fmt.Errorf("unsupported statement %T", stmt)
+	}
+}
+
+// constEval evaluates an expression that must be constant under env.
+func (e *Engine) constEval(x ast.Expr, env expr.Env) (value.Value, error) {
+	if x == nil {
+		return value.NewNull(value.Unknown), nil
+	}
+	return e.Ev.Eval(x, env)
+}
+
+// --- CREATE TABLE ----------------------------------------------------------
+
+func (e *Engine) execCreateTable(s *ast.CreateTable) error {
+	cols := make([]catalog.TableColumn, 0, len(s.Cols))
+	for _, c := range s.Cols {
+		tc := catalog.TableColumn{Name: c.Name, Typ: c.Type, PrimaryKey: c.PrimaryKey}
+		if c.Type == value.Array {
+			sch, err := e.compileSchema(c.NestedArray, &baseEnv{})
+			if err != nil {
+				return fmt.Errorf("column %s: %w", c.Name, err)
+			}
+			tc.Nested = sch
+		}
+		cols = append(cols, tc)
+	}
+	return e.Cat.PutTable(catalog.NewTable(s.Name, cols))
+}
+
+// --- CREATE ARRAY ----------------------------------------------------------
+
+// compileSchema turns parsed column definitions into an array schema,
+// resolving dimension ranges, CHECK predicates and defaults.
+func (e *Engine) compileSchema(cols []ast.ColDef, env expr.Env) (*array.Schema, error) {
+	sch := &array.Schema{}
+	var dimNames []string
+	for _, c := range cols {
+		if c.IsDim {
+			dimNames = append(dimNames, c.Name)
+		}
+	}
+	for _, c := range cols {
+		if c.IsDim {
+			d, err := e.compileDimension(c, env)
+			if err != nil {
+				return nil, err
+			}
+			if c.Check != nil {
+				d.Check = e.compileCoordPredicate(c.Check, dimNames)
+				d.CheckSQL = "CHECK(...)"
+			}
+			sch.Dims = append(sch.Dims, *d)
+			continue
+		}
+		at := array.Attr{Name: c.Name, Typ: c.Type}
+		if c.Type == value.Array {
+			nestedCols := c.NestedArray
+			if len(c.FixedArrayDims) > 0 {
+				// FLOAT ARRAY[4][4] shorthand: synthesize integer
+				// dimensions x0..xn with the declared sizes.
+				dims := make([]ast.ColDef, len(c.FixedArrayDims))
+				for i, sz := range c.FixedArrayDims {
+					dims[i] = ast.ColDef{
+						Name:  fmt.Sprintf("x%d", i),
+						Type:  value.Int,
+						IsDim: true,
+						Dim:   &ast.DimSpec{Size: sz},
+					}
+				}
+				nestedCols = append(dims, nestedCols...)
+			}
+			nested, err := e.compileSchema(nestedCols, env)
+			if err != nil {
+				return nil, fmt.Errorf("attribute %s: %w", c.Name, err)
+			}
+			// A scalar DEFAULT on an ARRAY[n][m] column initializes the
+			// nested cells (payload FLOAT ARRAY[4][4] DEFAULT 0.0).
+			if c.Default != nil && constExpr(c.Default) && len(nested.Attrs) == 1 {
+				dv, err := e.constEval(c.Default, env)
+				if err != nil {
+					return nil, fmt.Errorf("attribute %s DEFAULT: %w", c.Name, err)
+				}
+				if cv, err := value.Coerce(dv, nested.Attrs[0].Typ); err == nil {
+					nested.Attrs[0].Default = cv
+				}
+				c.Default = nil
+			}
+			at.Nested = nested
+			at.Default = value.NewNull(value.Array)
+			sch.Attrs = append(sch.Attrs, at)
+			continue
+		}
+		if c.Default != nil {
+			if constExpr(c.Default) {
+				dv, err := e.constEval(c.Default, env)
+				if err != nil {
+					return nil, fmt.Errorf("attribute %s DEFAULT: %w", c.Name, err)
+				}
+				cv, err := value.Coerce(dv, effectiveType(at))
+				if err != nil {
+					return nil, fmt.Errorf("attribute %s DEFAULT: %w", c.Name, err)
+				}
+				at.Default = cv
+			} else {
+				at.DefaultFn = e.compileCoordDefault(c.Default, dimNames, at.Typ, env)
+			}
+		} else if c.Type != value.Array {
+			at.Default = value.NewNull(c.Type)
+		}
+		if c.Check != nil {
+			at.Check = e.compileValuePredicate(c.Check, c.Name)
+			at.CheckSQL = "CHECK(...)"
+		}
+		sch.Attrs = append(sch.Attrs, at)
+	}
+	return sch, nil
+}
+
+func effectiveType(at array.Attr) value.Type {
+	if at.Typ == value.Array {
+		return value.Array
+	}
+	return at.Typ
+}
+
+// constExpr reports whether an expression contains no identifiers
+// (so it can be folded at DDL time).
+func constExpr(x ast.Expr) bool {
+	ok := true
+	ast.Walk(x, func(n ast.Expr) bool {
+		switch n.(type) {
+		case *ast.Ident, *ast.Subquery, *ast.ArrayRef, *ast.Param:
+			ok = false
+			return false
+		case *ast.FuncCall:
+			if strings.EqualFold(n.(*ast.FuncCall).Name, "RAND") {
+				ok = false
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+func (e *Engine) compileDimension(c ast.ColDef, env expr.Env) (*array.Dimension, error) {
+	d := &array.Dimension{Name: c.Name, Typ: c.Type, Step: 1}
+	if c.Type != value.Int && c.Type != value.Timestamp {
+		return nil, fmt.Errorf("dimension %s: index type must be INTEGER or TIMESTAMP, got %s", c.Name, c.Type)
+	}
+	if c.Type == value.Timestamp {
+		// Temporal dims default to order-only (no grid step).
+		d.Step = 0
+	}
+	spec := c.Dim
+	if spec == nil || spec.Bare {
+		// Bare DIMENSION: unbounded both ways; the instance bounds are
+		// the minimal bounding rectangle of its cells (§3.1).
+		d.Start, d.End = array.UnboundedLow, array.UnboundedHigh
+		return d, nil
+	}
+	if spec.SeqName != "" {
+		seq, ok := e.Cat.Sequence(spec.SeqName)
+		if !ok {
+			return nil, fmt.Errorf("dimension %s: no such sequence %s", c.Name, spec.SeqName)
+		}
+		sd := seq.Dimension(c.Name)
+		sd.Typ = c.Type
+		return &sd, nil
+	}
+	if spec.Size != nil {
+		n, err := e.constEval(spec.Size, env)
+		if err != nil {
+			return nil, err
+		}
+		d.Start, d.End, d.Step = 0, n.AsInt(), 1
+		return d, nil
+	}
+	// Colon form.
+	d.Start, d.End = array.UnboundedLow, array.UnboundedHigh
+	if !spec.StarStart && spec.Start != nil {
+		v, err := e.constEval(spec.Start, env)
+		if err != nil {
+			return nil, err
+		}
+		d.Start = v.AsInt()
+	} else if !spec.StarStart && spec.Start == nil {
+		d.Start = 0
+	}
+	if !spec.StarEnd && spec.End != nil {
+		v, err := e.constEval(spec.End, env)
+		if err != nil {
+			return nil, err
+		}
+		d.End = v.AsInt()
+	}
+	if !spec.StarStep && spec.Step != nil {
+		v, err := e.constEval(spec.Step, env)
+		if err != nil {
+			return nil, err
+		}
+		d.Step = v.AsInt()
+	} else if c.Type == value.Int {
+		d.Step = 1
+	}
+	return d, nil
+}
+
+// compileCoordPredicate builds a coordinate predicate from a CHECK
+// expression over dimension names (diagonal: CHECK(x = y)).
+func (e *Engine) compileCoordPredicate(check ast.Expr, dimNames []string) func([]int64) bool {
+	return func(coords []int64) bool {
+		env := &expr.MapEnv{Vars: make(map[string]value.Value, len(dimNames))}
+		for i, n := range dimNames {
+			if i < len(coords) {
+				env.Vars[strings.ToLower(n)] = value.NewInt(coords[i])
+			}
+		}
+		ok, err := e.Ev.EvalBool(check, env)
+		return err == nil && ok
+	}
+}
+
+// compileValuePredicate builds a content predicate from a CHECK over
+// the attribute itself (sparse: CHECK(v > 0)).
+func (e *Engine) compileValuePredicate(check ast.Expr, attrName string) func(value.Value) bool {
+	return func(v value.Value) bool {
+		env := &expr.MapEnv{Vars: map[string]value.Value{strings.ToLower(attrName): v}}
+		ok, err := e.Ev.EvalBool(check, env)
+		return err == nil && ok
+	}
+}
+
+// compileCoordDefault builds a coordinate-dependent DEFAULT
+// (r = SQRT(POWER(x,2)+POWER(y,2)), §5.1).
+func (e *Engine) compileCoordDefault(def ast.Expr, dimNames []string, t value.Type, outer expr.Env) func([]int64) value.Value {
+	return func(coords []int64) value.Value {
+		env := &expr.MapEnv{Vars: make(map[string]value.Value, len(dimNames)), Parent: outer}
+		for i, n := range dimNames {
+			if i < len(coords) {
+				env.Vars[strings.ToLower(n)] = value.NewInt(coords[i])
+			}
+		}
+		v, err := e.Ev.Eval(def, env)
+		if err != nil {
+			return value.NewNull(t)
+		}
+		cv, err := value.Coerce(v, t)
+		if err != nil {
+			return value.NewNull(t)
+		}
+		return cv
+	}
+}
+
+func (e *Engine) execCreateArray(s *ast.CreateArray, env expr.Env) error {
+	cols := s.Cols
+	if s.Like != "" {
+		src, ok := e.Cat.Array(s.Like)
+		if !ok {
+			return fmt.Errorf("CREATE ARRAY %s LIKE: no such array %s", s.Name, s.Like)
+		}
+		a := &array.Array{Name: s.Name, Schema: src.Schema}
+		st, err := e.newStore(s.Name, src.Schema)
+		if err != nil {
+			return err
+		}
+		a.Store = st
+		return e.Cat.PutArray(a)
+	}
+	sch, err := e.compileSchema(cols, env)
+	if err != nil {
+		return fmt.Errorf("CREATE ARRAY %s: %w", s.Name, err)
+	}
+	st, err := e.newStore(s.Name, *sch)
+	if err != nil {
+		return fmt.Errorf("CREATE ARRAY %s: %w", s.Name, err)
+	}
+	a := &array.Array{Name: s.Name, Schema: *sch, Store: st}
+	if err := e.Cat.PutArray(a); err != nil {
+		return err
+	}
+	if s.AsSelect != nil {
+		ds, err := e.execSelect(s.AsSelect, env)
+		if err != nil {
+			return err
+		}
+		return e.fillArrayFromDataset(a, ds)
+	}
+	return nil
+}
+
+// newStore instantiates storage under the adaptive policy, honoring
+// per-array hints.
+func (e *Engine) newStore(name string, sch array.Schema) (array.Store, error) {
+	h := e.StorageHints[strings.ToLower(name)]
+	return storage.New(sch, h)
+}
+
+func (e *Engine) execCreateSequence(s *ast.CreateSequence, env expr.Env) error {
+	seq := &catalog.Sequence{Name: s.Name, Typ: s.Typ, Start: 0, Increment: 1, MaxValue: int64(1) << 40}
+	if s.Start != nil {
+		v, err := e.constEval(s.Start, env)
+		if err != nil {
+			return err
+		}
+		seq.Start = v.AsInt()
+	}
+	if s.Increment != nil {
+		v, err := e.constEval(s.Increment, env)
+		if err != nil {
+			return err
+		}
+		seq.Increment = v.AsInt()
+	}
+	if s.MaxValue != nil {
+		v, err := e.constEval(s.MaxValue, env)
+		if err != nil {
+			return err
+		}
+		seq.MaxValue = v.AsInt()
+	}
+	return e.Cat.PutSequence(seq)
+}
+
+func (e *Engine) execCreateFunction(s *ast.CreateFunction) error {
+	f := &catalog.Function{Name: s.Name, Def: s}
+	if s.External != "" {
+		impl, ok := e.externals[strings.ToLower(s.External)]
+		if !ok {
+			return fmt.Errorf("CREATE FUNCTION %s: no registered implementation for EXTERNAL NAME '%s'", s.Name, s.External)
+		}
+		f.External = impl
+	}
+	e.Cat.PutFunction(f)
+	return nil
+}
+
+// --- ALTER ARRAY -----------------------------------------------------------
+
+func (e *Engine) execAlterArray(s *ast.AlterArray, env expr.Env) error {
+	a, ok := e.Cat.Array(s.Name)
+	if !ok {
+		return fmt.Errorf("ALTER ARRAY: no such array %s", s.Name)
+	}
+	switch {
+	case s.AlterDim != nil:
+		return e.alterDimension(a, s.AlterDimName, s.AlterDim, env)
+	case s.AddCol != nil:
+		return e.addAttribute(a, s.AddCol, env)
+	}
+	return fmt.Errorf("ALTER ARRAY %s: nothing to do", s.Name)
+}
+
+// alterDimension re-declares a dimension's range, shifting the index
+// labels of existing cells without touching cell contents (§5.1: the
+// image shift is a catalog update).
+func (e *Engine) alterDimension(a *array.Array, dimName string, spec *ast.DimSpec, env expr.Env) error {
+	di := a.Schema.DimIndex(dimName)
+	if di < 0 {
+		return fmt.Errorf("ALTER ARRAY %s: no dimension %s", a.Name, dimName)
+	}
+	old := a.Schema.Dims[di]
+	nd, err := e.compileDimension(ast.ColDef{Name: dimName, Type: old.Typ, Dim: spec, IsDim: true}, env)
+	if err != nil {
+		return err
+	}
+	// Label shift: the cell at old Start now carries new Start.
+	delta := int64(0)
+	if nd.Start != array.UnboundedLow && old.Start != array.UnboundedLow {
+		delta = nd.Start - old.Start
+	}
+	newSchema := a.Schema
+	newSchema.Dims = append([]array.Dimension(nil), a.Schema.Dims...)
+	newSchema.Dims[di] = *nd
+	st, err := e.newStore(a.Name, newSchema)
+	if err != nil {
+		return err
+	}
+	nb := &array.Array{Name: a.Name, Schema: newSchema, Store: st}
+	a.Store.Scan(func(coords []int64, vals []value.Value) bool {
+		nc := append([]int64(nil), coords...)
+		nc[di] += delta
+		if !nb.ValidCoords(nc) {
+			return true
+		}
+		for ai, v := range vals {
+			_ = st.Set(nc, ai, v)
+		}
+		return true
+	})
+	e.Cat.ReplaceArray(nb)
+	return nil
+}
+
+// addAttribute appends an attribute, evaluating its DEFAULT against
+// each existing cell (dims and prior attributes are in scope, so
+// theta can reference r).
+func (e *Engine) addAttribute(a *array.Array, col *ast.ColDef, env expr.Env) error {
+	if col.IsDim {
+		// Adding a dimension-tagged attribute (wcs_x FLOAT DIMENSION)
+		// stores it as a regular attribute; SciQL treats it as a
+		// derived coordinate system (§7.2.1).
+		col.IsDim = false
+	}
+	newSchema := a.Schema
+	newSchema.Attrs = append(append([]array.Attr(nil), a.Schema.Attrs...),
+		array.Attr{Name: col.Name, Typ: col.Type, Default: value.NewNull(col.Type)})
+	st, err := e.newStore(a.Name, newSchema)
+	if err != nil {
+		return err
+	}
+	nb := &array.Array{Name: a.Name, Schema: newSchema, Store: st}
+	nAttrs := len(a.Schema.Attrs)
+	var evalErr error
+	a.Store.Scan(func(coords []int64, vals []value.Value) bool {
+		for ai, v := range vals {
+			_ = st.Set(coords, ai, v)
+		}
+		nv := value.NewNull(col.Type)
+		if col.Default != nil {
+			cellEnv := &expr.MapEnv{Vars: make(map[string]value.Value), Parent: env}
+			for i, d := range a.Schema.Dims {
+				cellEnv.Vars[strings.ToLower(d.Name)] = value.Value{Typ: d.Typ, I: coords[i]}
+			}
+			for i, at := range a.Schema.Attrs {
+				cellEnv.Vars[strings.ToLower(at.Name)] = vals[i]
+			}
+			v, err := e.Ev.Eval(col.Default, cellEnv)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			cv, err := value.Coerce(v, col.Type)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			nv = cv
+		}
+		_ = st.Set(coords, nAttrs, nv)
+		return true
+	})
+	if evalErr != nil {
+		return fmt.Errorf("ALTER ARRAY %s ADD %s: %w", a.Name, col.Name, evalErr)
+	}
+	e.Cat.ReplaceArray(nb)
+	return nil
+}

@@ -1,0 +1,574 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/array"
+	"repro/internal/bat"
+	"repro/internal/expr"
+	"repro/internal/sql/ast"
+	"repro/internal/value"
+)
+
+// expandStars replaces * and A.* select items with explicit column
+// references, preserving the source columns' dimension flags.
+func expandStars(items []ast.SelectItem, ds *Dataset) []ast.SelectItem {
+	var out []ast.SelectItem
+	for _, it := range items {
+		st, ok := it.Expr.(*ast.Star)
+		if !ok {
+			out = append(out, it)
+			continue
+		}
+		for _, c := range ds.Cols {
+			if st.Table != "" && !strings.EqualFold(c.Qual, st.Table) {
+				continue
+			}
+			if strings.HasPrefix(c.Name, "__") {
+				continue
+			}
+			out = append(out, ast.SelectItem{
+				Expr:    &ast.Ident{Table: c.Qual, Name: c.Name},
+				Alias:   c.Name,
+				DimQual: c.IsDim,
+			})
+		}
+	}
+	return out
+}
+
+// project evaluates the target list for every row of ds.
+func (e *Engine) project(items []ast.SelectItem, ds *Dataset, outer expr.Env) (*Dataset, error) {
+	items = expandStars(items, ds)
+	n := ds.NumRows()
+	colVals := make([][]value.Value, len(items))
+	for i := range colVals {
+		colVals[i] = make([]value.Value, 0, n)
+	}
+	for r := 0; r < n; r++ {
+		env := &rowEnv{d: ds, row: r, outer: outer}
+		for i, it := range items {
+			v, err := e.Ev.Eval(it.Expr, env)
+			if err != nil {
+				return nil, err
+			}
+			colVals[i] = append(colVals[i], v)
+		}
+	}
+	return buildProjected(items, colVals), nil
+}
+
+// buildProjected assembles output vectors with per-column type
+// promotion (all-Int stays Int; any Float promotes; mixed boxes).
+func buildProjected(items []ast.SelectItem, colVals [][]value.Value) *Dataset {
+	cols := make([]Col, len(items))
+	vecs := make([]bat.Vector, len(items))
+	for i, it := range items {
+		t := promoteType(colVals[i])
+		cols[i] = Col{Name: itemName(it, i), Typ: t, IsDim: it.DimQual}
+		if id, ok := it.Expr.(*ast.Ident); ok {
+			cols[i].Qual = id.Table
+		}
+		vecs[i] = bat.FromValues(t, colVals[i])
+	}
+	return &Dataset{Cols: cols, Vecs: vecs}
+}
+
+func promoteType(vals []value.Value) value.Type {
+	t := value.Unknown
+	for _, v := range vals {
+		if v.Null {
+			continue
+		}
+		switch {
+		case t == value.Unknown:
+			t = v.Typ
+		case t == v.Typ:
+		case t == value.Int && v.Typ == value.Float, t == value.Float && v.Typ == value.Int:
+			t = value.Float
+		default:
+			return value.Unknown // boxed AnyVector
+		}
+	}
+	if t == value.Unknown {
+		return value.Float
+	}
+	return t
+}
+
+// --- aggregate rewriting -----------------------------------------------------
+
+// aggCollector assigns placeholder columns to aggregate calls during
+// grouped evaluation.
+type aggCollector struct {
+	calls []*ast.FuncCall
+	names []string
+}
+
+func (a *aggCollector) placeholder(f *ast.FuncCall) string {
+	for i, c := range a.calls {
+		if c == f {
+			return a.names[i]
+		}
+	}
+	name := fmt.Sprintf("__agg%d", len(a.calls))
+	a.calls = append(a.calls, f)
+	a.names = append(a.names, name)
+	return name
+}
+
+// rewriteAggs deep-copies x, replacing aggregate calls with
+// placeholder identifiers registered in ac.
+func rewriteAggs(x ast.Expr, ac *aggCollector) ast.Expr {
+	return transformExpr(x, func(n ast.Expr) ast.Expr {
+		if f, ok := n.(*ast.FuncCall); ok && f.IsAggregate() {
+			return &ast.Ident{Name: ac.placeholder(f)}
+		}
+		return nil
+	})
+}
+
+// transformExpr rebuilds the expression tree, letting f substitute
+// whole subtrees (returning non-nil stops recursion on that node).
+func transformExpr(x ast.Expr, f func(ast.Expr) ast.Expr) ast.Expr {
+	if x == nil {
+		return nil
+	}
+	if r := f(x); r != nil {
+		return r
+	}
+	switch t := x.(type) {
+	case *ast.Unary:
+		return &ast.Unary{Op: t.Op, X: transformExpr(t.X, f)}
+	case *ast.Binary:
+		return &ast.Binary{Op: t.Op, L: transformExpr(t.L, f), R: transformExpr(t.R, f)}
+	case *ast.FuncCall:
+		out := &ast.FuncCall{Name: t.Name, Star: t.Star, Distinct: t.Distinct}
+		for _, a := range t.Args {
+			out.Args = append(out.Args, transformExpr(a, f))
+		}
+		return out
+	case *ast.Case:
+		out := &ast.Case{Operand: transformExpr(t.Operand, f), Else: transformExpr(t.Else, f)}
+		for _, w := range t.Whens {
+			out.Whens = append(out.Whens, ast.WhenClause{
+				Cond:   transformExpr(w.Cond, f),
+				Result: transformExpr(w.Result, f),
+			})
+		}
+		return out
+	case *ast.Cast:
+		return &ast.Cast{X: transformExpr(t.X, f), To: t.To}
+	case *ast.IsNull:
+		return &ast.IsNull{X: transformExpr(t.X, f), Neg: t.Neg}
+	case *ast.Between:
+		return &ast.Between{X: transformExpr(t.X, f), Lo: transformExpr(t.Lo, f), Hi: transformExpr(t.Hi, f), Neg: t.Neg}
+	case *ast.InList:
+		out := &ast.InList{X: transformExpr(t.X, f), Neg: t.Neg}
+		for _, el := range t.Elems {
+			out.Elems = append(out.Elems, transformExpr(el, f))
+		}
+		return out
+	case *ast.ArrayRef:
+		out := &ast.ArrayRef{Base: transformExpr(t.Base, f), Attr: t.Attr}
+		for _, ix := range t.Indexers {
+			out.Indexers = append(out.Indexers, ast.Indexer{
+				Point: transformExpr(ix.Point, f),
+				Start: transformExpr(ix.Start, f),
+				Stop:  transformExpr(ix.Stop, f),
+				Step:  transformExpr(ix.Step, f),
+				Star:  ix.Star,
+				Range: ix.Range,
+			})
+		}
+		return out
+	case *ast.ExprList:
+		out := &ast.ExprList{}
+		for _, el := range t.Elems {
+			out.Elems = append(out.Elems, transformExpr(el, f))
+		}
+		return out
+	default:
+		return x
+	}
+}
+
+// aggType picks the intermediate column type for an aggregate: COUNT
+// is integral; MIN/MAX preserve their input type (boxed); SUM/AVG are
+// floats.
+func aggType(c *ast.FuncCall) value.Type {
+	switch strings.ToUpper(c.Name) {
+	case "COUNT":
+		return value.Int
+	case "MIN", "MAX":
+		return value.Unknown // boxed, preserves input type
+	default:
+		return value.Float
+	}
+}
+
+// andAll folds conjuncts back into one expression.
+func andAll(conjs []ast.Expr) ast.Expr {
+	var out ast.Expr
+	for _, c := range conjs {
+		if out == nil {
+			out = c
+		} else {
+			out = &ast.Binary{Op: "AND", L: out, R: c}
+		}
+	}
+	return out
+}
+
+// --- value-based GROUP BY ----------------------------------------------------
+
+// execValueGroupBy evaluates GROUP BY <exprs> (or a single implicit
+// group when aggregates appear without GROUP BY).
+func (e *Engine) execValueGroupBy(sel *ast.Select, items []ast.SelectItem, having ast.Expr, ds *Dataset, outer expr.Env) (*Dataset, error) {
+	items = expandStars(items, ds)
+	ac := &aggCollector{}
+	rewritten := make([]ast.SelectItem, len(items))
+	for i, it := range items {
+		// Preserve the display name through the placeholder rewrite.
+		rewritten[i] = ast.SelectItem{Expr: rewriteAggs(it.Expr, ac), Alias: itemName(it, i), DimQual: it.DimQual}
+	}
+	var havingRw ast.Expr
+	if having != nil {
+		havingRw = rewriteAggs(having, ac)
+	}
+	var keyExprs []ast.Expr
+	if sel.GroupBy != nil {
+		keyExprs = sel.GroupBy.Exprs
+	}
+	type group struct {
+		firstRow int
+		aggs     []*bat.AggState
+		distinct []map[string]bool
+		counts   []int64
+	}
+	groups := make(map[string]*group)
+	var order []string
+	n := ds.NumRows()
+	for r := 0; r < n; r++ {
+		env := &rowEnv{d: ds, row: r, outer: outer}
+		var sb strings.Builder
+		for _, k := range keyExprs {
+			v, err := e.Ev.Eval(k, env)
+			if err != nil {
+				return nil, err
+			}
+			sb.WriteString(v.String())
+			sb.WriteByte('\x00')
+		}
+		key := sb.String()
+		g, ok := groups[key]
+		if !ok {
+			g = &group{firstRow: r,
+				aggs:     make([]*bat.AggState, len(ac.calls)),
+				distinct: make([]map[string]bool, len(ac.calls)),
+				counts:   make([]int64, len(ac.calls)),
+			}
+			for i, c := range ac.calls {
+				g.aggs[i] = bat.NewAggState(c.Name)
+				if c.Distinct {
+					g.distinct[i] = make(map[string]bool)
+				}
+			}
+			groups[key] = g
+			order = append(order, key)
+		}
+		for i, c := range ac.calls {
+			if c.Star {
+				g.counts[i]++
+				continue
+			}
+			v, err := e.Ev.Eval(c.Args[0], env)
+			if err != nil {
+				return nil, err
+			}
+			if c.Distinct {
+				k := v.String()
+				if g.distinct[i][k] {
+					continue
+				}
+				g.distinct[i][k] = true
+			}
+			g.aggs[i].Add(v)
+		}
+	}
+	// Aggregates over zero rows with no GROUP BY still yield one row.
+	if len(groups) == 0 && len(keyExprs) == 0 {
+		g := &group{firstRow: -1,
+			aggs:   make([]*bat.AggState, len(ac.calls)),
+			counts: make([]int64, len(ac.calls)),
+		}
+		for i, c := range ac.calls {
+			g.aggs[i] = bat.NewAggState(c.Name)
+		}
+		groups[""] = g
+		order = append(order, "")
+	}
+	// Build the per-group intermediate: source columns of the first
+	// row plus placeholder aggregate columns.
+	interCols := append([]Col(nil), ds.Cols...)
+	for i, nme := range ac.names {
+		interCols = append(interCols, Col{Name: nme, Typ: aggType(ac.calls[i])})
+	}
+	inter := NewDataset(interCols)
+	row := make([]value.Value, len(interCols))
+	for _, key := range order {
+		g := groups[key]
+		for c := range ds.Cols {
+			if g.firstRow >= 0 {
+				row[c] = ds.Vecs[c].Get(g.firstRow)
+			} else {
+				row[c] = value.NewNull(ds.Cols[c].Typ)
+			}
+		}
+		for i, c := range ac.calls {
+			if c.Star {
+				row[len(ds.Cols)+i] = value.NewInt(g.counts[i])
+			} else {
+				row[len(ds.Cols)+i] = g.aggs[i].Result()
+			}
+		}
+		inter.Append(row)
+	}
+	if havingRw != nil {
+		var keep []int
+		for r := 0; r < inter.NumRows(); r++ {
+			env := &rowEnv{d: inter, row: r, outer: outer}
+			ok, err := e.Ev.EvalBool(havingRw, env)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				keep = append(keep, r)
+			}
+		}
+		inter = inter.Gather(keep)
+	}
+	return e.project(rewritten, inter, outer)
+}
+
+// --- NEXT() time-series rewriting ---------------------------------------------
+
+// rewriteNextCalls implements the paper's next() builtin (§7.3.2): it
+// sorts the source by its dimension columns and materializes, for
+// every NEXT(col) occurrence, a shifted companion column holding the
+// following row's value (NULL on the last row). Expressions are
+// rewritten to reference the companion column.
+func (e *Engine) rewriteNextCalls(sel *ast.Select, ds *Dataset, remaining []ast.Expr) (items []ast.SelectItem, where, having ast.Expr, rewrote bool, err error) {
+	where = andAll(remaining)
+	having = sel.Having
+	items = sel.Items
+	// Detect NEXT usage.
+	used := map[string]bool{}
+	scan := func(x ast.Expr) {
+		ast.Walk(x, func(n ast.Expr) bool {
+			if f, ok := n.(*ast.FuncCall); ok && strings.EqualFold(f.Name, "NEXT") && len(f.Args) == 1 {
+				if id, ok := f.Args[0].(*ast.Ident); ok {
+					used[strings.ToLower(id.Name)] = true
+				}
+			}
+			return true
+		})
+	}
+	for _, it := range items {
+		scan(it.Expr)
+	}
+	scan(where)
+	scan(having)
+	if len(used) == 0 {
+		return items, where, having, false, nil
+	}
+	// Order by the dimension columns (insertion order otherwise).
+	var dimCols []int
+	for i, c := range ds.Cols {
+		if c.IsDim {
+			dimCols = append(dimCols, i)
+		}
+	}
+	if len(dimCols) > 0 {
+		ds.SortBy(dimCols, nil)
+	}
+	for name := range used {
+		ci := ds.ColIndex("", name)
+		if ci < 0 {
+			return nil, nil, nil, false, fmt.Errorf("next(%s): no such column", name)
+		}
+		n := ds.NumRows()
+		nv := bat.New(ds.Cols[ci].Typ, n)
+		for r := 0; r < n; r++ {
+			if r+1 < n {
+				nv.Append(ds.Vecs[ci].Get(r + 1))
+			} else {
+				nv.Append(value.NewNull(ds.Cols[ci].Typ))
+			}
+		}
+		ds.Cols = append(ds.Cols, Col{Name: "__next_" + name, Typ: ds.Cols[ci].Typ})
+		ds.Vecs = append(ds.Vecs, nv)
+	}
+	rw := func(x ast.Expr) ast.Expr {
+		return transformExpr(x, func(n ast.Expr) ast.Expr {
+			if f, ok := n.(*ast.FuncCall); ok && strings.EqualFold(f.Name, "NEXT") && len(f.Args) == 1 {
+				if id, ok := f.Args[0].(*ast.Ident); ok {
+					return &ast.Ident{Name: "__next_" + strings.ToLower(id.Name)}
+				}
+			}
+			return nil
+		})
+	}
+	outItems := make([]ast.SelectItem, len(items))
+	for i, it := range items {
+		outItems[i] = ast.SelectItem{Expr: rw(it.Expr), Alias: it.Alias, DimQual: it.DimQual}
+	}
+	return outItems, rw(where), rw(having), true, nil
+}
+
+// --- dataset → array ----------------------------------------------------------
+
+// datasetToArray builds an array from a query result. When colDefs is
+// non-nil it declares the target schema (function RETURNS ARRAY);
+// otherwise dimension-qualified columns become dimensions with bounds
+// from the minimal bounding box of the data (§4.1).
+func (e *Engine) datasetToArray(ds *Dataset, colDefs []ast.ColDef, name string) (*array.Array, error) {
+	var sch *array.Schema
+	if colDefs != nil {
+		s, err := e.compileSchema(colDefs, &baseEnv{})
+		if err != nil {
+			return nil, err
+		}
+		sch = s
+	} else {
+		s := &array.Schema{}
+		for i, c := range ds.Cols {
+			if c.IsDim {
+				s.Dims = append(s.Dims, array.Dimension{
+					Name: c.Name, Typ: dimType(c.Typ),
+					Start: array.UnboundedLow, End: array.UnboundedHigh, Step: 1,
+				})
+			} else {
+				s.Attrs = append(s.Attrs, array.Attr{Name: c.Name, Typ: ds.Cols[i].Typ, Default: value.NewNull(ds.Cols[i].Typ)})
+			}
+		}
+		if len(s.Dims) == 0 {
+			return nil, fmt.Errorf("result has no dimension-qualified columns; cannot coerce to an array")
+		}
+		sch = s
+	}
+	st, err := e.newStore(name, *sch)
+	if err != nil {
+		return nil, err
+	}
+	a := &array.Array{Name: name, Schema: *sch, Store: st}
+	if err := e.fillArrayFromDataset(a, ds); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func dimType(t value.Type) value.Type {
+	if t == value.Timestamp {
+		return value.Timestamp
+	}
+	return value.Int
+}
+
+// fillArrayFromDataset writes query-result rows into an array's cells.
+// Mapping rules (§3.3, §4.3):
+//   - dimension-qualified columns pair with the array's dimensions in
+//     order; remaining columns pair with attributes positionally;
+//   - with no dimension columns and ndims+nattrs columns, the leading
+//     columns are coordinates (INSERT INTO tmp SELECT x, y, AVG(v)...);
+//   - with only attribute columns, cells fill in row-major dimension
+//     order ("the array is filled in the order of the dimension
+//     bounds").
+func (e *Engine) fillArrayFromDataset(a *array.Array, ds *Dataset) error {
+	nd, na := len(a.Schema.Dims), len(a.Schema.Attrs)
+	var dimCols, attrCols []int
+	for i, c := range ds.Cols {
+		if c.IsDim {
+			dimCols = append(dimCols, i)
+		} else {
+			attrCols = append(attrCols, i)
+		}
+	}
+	n := ds.NumRows()
+	switch {
+	case len(dimCols) == nd && nd > 0:
+		// Dimension-qualified mapping.
+	case len(dimCols) == 0 && ds.NumCols() == nd+na:
+		dimCols = nil
+		for i := 0; i < nd; i++ {
+			dimCols = append(dimCols, i)
+		}
+		attrCols = nil
+		for i := nd; i < nd+na; i++ {
+			attrCols = append(attrCols, i)
+		}
+	case len(dimCols) == 0 && ds.NumCols() == na:
+		// Fill in row-major dimension order.
+		lo, hi, err := a.BoundingBox()
+		if err != nil {
+			return fmt.Errorf("array %s: cannot fill an unbounded empty array positionally", a.Name)
+		}
+		coords := append([]int64(nil), lo...)
+		for r := 0; r < n; r++ {
+			for ai := 0; ai < na; ai++ {
+				v := ds.Vecs[attrCols[ai]].Get(r)
+				if a.ValidCoords(coords) {
+					if err := a.Set(coords, ai, v); err != nil {
+						return err
+					}
+				}
+			}
+			// Advance row-major (last dimension fastest).
+			for d := nd - 1; d >= 0; d-- {
+				step := a.Schema.Dims[d].Step
+				if step <= 0 {
+					step = 1
+				}
+				coords[d] += step
+				if coords[d] <= hi[d] {
+					break
+				}
+				coords[d] = lo[d]
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("array %s: cannot map %d columns (%d dim-qualified) onto %d dims + %d attrs",
+			a.Name, ds.NumCols(), len(dimCols), nd, na)
+	}
+	if len(attrCols) != na {
+		return fmt.Errorf("array %s: %d attribute columns for %d attributes", a.Name, len(attrCols), na)
+	}
+	coords := make([]int64, nd)
+	for r := 0; r < n; r++ {
+		valid := true
+		for d, ci := range dimCols {
+			v := ds.Vecs[ci].Get(r)
+			if v.Null {
+				valid = false
+				break
+			}
+			coords[d] = v.AsInt()
+		}
+		if !valid || !a.ValidCoords(coords) {
+			continue
+		}
+		for ai, ci := range attrCols {
+			v := ds.Vecs[ci].Get(r)
+			cv, err := value.Coerce(v, a.Schema.Attrs[ai].Typ)
+			if err != nil {
+				cv = value.NewNull(a.Schema.Attrs[ai].Typ)
+			}
+			if err := a.Set(coords, ai, cv); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

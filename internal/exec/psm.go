@@ -1,0 +1,96 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/sql/ast"
+	"repro/internal/value"
+)
+
+// callPSM interprets a white-box function body (§6.1): a sequence of
+// DECLARE / SET / IF / RETURN statements over SciQL expressions, with
+// array-valued parameters in scope for subqueries and slicing.
+func (e *Engine) callPSM(f *catalog.Function, args []value.Value) (value.Value, error) {
+	def := f.Def
+	env := &expr.MapEnv{Vars: make(map[string]value.Value, len(def.Params)+4)}
+	for i, prm := range def.Params {
+		env.Vars[strings.ToLower(prm.Name)] = args[i]
+	}
+	v, returned, err := e.runPSM(def.Body, env, def)
+	if err != nil {
+		return value.Value{}, fmt.Errorf("function %s: %w", f.Name, err)
+	}
+	if !returned {
+		return value.NewNull(def.Returns.Type), nil
+	}
+	return v, nil
+}
+
+// runPSM executes a statement list; returned reports whether a RETURN
+// fired.
+func (e *Engine) runPSM(body []ast.PSMStmt, env *expr.MapEnv, def *ast.CreateFunction) (value.Value, bool, error) {
+	for _, s := range body {
+		switch st := s.(type) {
+		case *ast.Declare:
+			for _, n := range st.Names {
+				env.Vars[strings.ToLower(n)] = value.NewNull(st.Type)
+			}
+		case *ast.SetVar:
+			v, err := e.Ev.Eval(st.Value, env)
+			if err != nil {
+				return value.Value{}, false, err
+			}
+			env.Vars[strings.ToLower(st.Name)] = v
+		case *ast.If:
+			ok, err := e.Ev.EvalBool(st.Cond, env)
+			if err != nil {
+				return value.Value{}, false, err
+			}
+			branch := st.Then
+			if !ok {
+				branch = st.Else
+			}
+			v, returned, err := e.runPSM(branch, env, def)
+			if err != nil || returned {
+				return v, returned, err
+			}
+		case *ast.Return:
+			if st.Select != nil {
+				ds, err := e.execSelect(st.Select, env)
+				if err != nil {
+					return value.Value{}, false, err
+				}
+				if def.Returns.Type == value.Array {
+					arr, err := e.datasetToArray(ds, def.Returns.Array, "result")
+					if err != nil {
+						return value.Value{}, false, err
+					}
+					return value.NewArray(arr), true, nil
+				}
+				// Scalar RETURN SELECT: first value of the first row.
+				if ds.NumRows() == 0 || ds.NumCols() == 0 {
+					return value.NewNull(def.Returns.Type), true, nil
+				}
+				return ds.Get(0, 0), true, nil
+			}
+			v, err := e.Ev.Eval(st.Expr, env)
+			if err != nil {
+				return value.Value{}, false, err
+			}
+			if def.Returns.Type != value.Array && def.Returns.Type != value.Unknown {
+				cv, err := value.Coerce(v, def.Returns.Type)
+				if err != nil {
+					return value.Value{}, false, err
+				}
+				v = cv
+			}
+			return v, true, nil
+		default:
+			return value.Value{}, false, fmt.Errorf("unsupported PSM statement %T", s)
+		}
+	}
+	return value.Value{}, false, nil
+}

@@ -1,0 +1,948 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/array"
+	"repro/internal/bat"
+	"repro/internal/expr"
+	"repro/internal/sql/ast"
+	"repro/internal/value"
+)
+
+// source describes one resolved FROM item backed by an array (tables
+// have arr == nil). Tiling and slicing consult it.
+type source struct {
+	name  string
+	alias string
+	arr   *array.Array
+	// sels restricts the scan when the FROM item was sliced
+	// (FROM vmatrix[0:3][0:3]); nil means the full array.
+	sels []dimSel
+}
+
+func (s *source) qual() string {
+	if s.alias != "" {
+		return s.alias
+	}
+	return s.name
+}
+
+// execSelect runs a query expression including UNION chains.
+func (e *Engine) execSelect(sel *ast.Select, outer expr.Env) (*Dataset, error) {
+	left, err := e.execSelectCore(sel, outer)
+	if err != nil {
+		return nil, err
+	}
+	if sel.SetRight == nil {
+		return left, nil
+	}
+	right, err := e.execSelect(sel.SetRight, outer)
+	if err != nil {
+		return nil, err
+	}
+	if left.NumCols() != right.NumCols() {
+		return nil, fmt.Errorf("UNION operands have %d and %d columns", left.NumCols(), right.NumCols())
+	}
+	for r := 0; r < right.NumRows(); r++ {
+		left.Append(right.Row(r))
+	}
+	if sel.SetOp == "UNION" {
+		return left.dedupe(), nil
+	}
+	return left, nil
+}
+
+func (e *Engine) execSelectCore(sel *ast.Select, outer expr.Env) (*Dataset, error) {
+	// FROM-less or vacuous-FROM selects evaluate the target list once
+	// under the outer environment (point array refs, literals).
+	if len(sel.From) == 0 || e.fromIsVacuous(sel, outer) {
+		return e.projectRowless(sel, outer)
+	}
+	conjs := splitConjuncts(sel.Where)
+	ds, sources, remaining, err := e.buildFrom(sel.From, conjs, outer)
+	if err != nil {
+		return nil, err
+	}
+	// Structural (tiling) grouping takes its own path.
+	if sel.GroupBy != nil && len(sel.GroupBy.Tiles) > 0 {
+		return e.execTiling(sel, ds, sources, remaining, outer)
+	}
+	// NEXT(col) rewriting requires an ordered view of the source.
+	items, where, having, rewrote, err := e.rewriteNextCalls(sel, ds, remaining)
+	if err != nil {
+		return nil, err
+	}
+	_ = rewrote
+	// Row filter.
+	if where != nil {
+		var keep []int
+		n := ds.NumRows()
+		for r := 0; r < n; r++ {
+			env := &rowEnv{d: ds, row: r, outer: outer}
+			ok, err := e.Ev.EvalBool(where, env)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				keep = append(keep, r)
+			}
+		}
+		ds = ds.Gather(keep)
+	}
+	// Value grouping / plain aggregation.
+	hasAgg := false
+	for _, it := range items {
+		if it.Expr != nil && ast.HasAggregate(it.Expr) {
+			hasAgg = true
+			break
+		}
+	}
+	if having != nil && ast.HasAggregate(having) {
+		hasAgg = true
+	}
+	var out *Dataset
+	sorted := false
+	if (sel.GroupBy != nil && len(sel.GroupBy.Exprs) > 0) || hasAgg {
+		out, err = e.execValueGroupBy(sel, items, having, ds, outer)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// ORDER BY may name source columns that the projection drops;
+		// sort the source first when every key resolves there.
+		if len(sel.OrderBy) > 0 {
+			if cols, desc, ok := resolveOrderCols(sel.OrderBy, ds); ok {
+				ds.SortBy(cols, desc)
+				sorted = true
+			}
+		}
+		out, err = e.project(items, ds, outer)
+		if err != nil {
+			return nil, err
+		}
+		// HAVING without grouping post-filters (the paper's gap query).
+		if having != nil {
+			var keep []int
+			for r := 0; r < ds.NumRows(); r++ {
+				env := &rowEnv{d: ds, row: r, outer: outer}
+				ok, err := e.Ev.EvalBool(having, env)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					keep = append(keep, r)
+				}
+			}
+			out = out.Gather(keep)
+		}
+	}
+	return e.finishSelectSorted(sel, out, outer, sorted)
+}
+
+// resolveOrderCols maps ORDER BY keys onto dataset columns (by name or
+// 1-based ordinal); ok is false when any key does not resolve.
+func resolveOrderCols(items []ast.OrderItem, ds *Dataset) (cols []int, desc []bool, ok bool) {
+	for _, oi := range items {
+		ci := -1
+		if id, isID := oi.Expr.(*ast.Ident); isID {
+			ci = ds.ColIndex(id.Table, id.Name)
+		}
+		if lit, isLit := oi.Expr.(*ast.Literal); isLit && lit.Val.Typ == value.Int {
+			pos := int(lit.Val.I) - 1
+			if pos >= 0 && pos < ds.NumCols() {
+				ci = pos
+			}
+		}
+		if ci < 0 {
+			return nil, nil, false
+		}
+		cols = append(cols, ci)
+		desc = append(desc, oi.Desc)
+	}
+	return cols, desc, true
+}
+
+// finishSelect applies DISTINCT, ORDER BY and LIMIT.
+func (e *Engine) finishSelect(sel *ast.Select, out *Dataset, outer expr.Env) (*Dataset, error) {
+	return e.finishSelectSorted(sel, out, outer, false)
+}
+
+func (e *Engine) finishSelectSorted(sel *ast.Select, out *Dataset, outer expr.Env, sorted bool) (*Dataset, error) {
+	if sel.Distinct {
+		out = out.dedupe()
+	}
+	if len(sel.OrderBy) > 0 && !sorted {
+		cols, desc, ok := resolveOrderCols(sel.OrderBy, out)
+		if !ok {
+			return nil, fmt.Errorf("ORDER BY expression must name an output column")
+		}
+		out.SortBy(cols, desc)
+	}
+	if sel.Limit != nil {
+		lv, err := e.Ev.Eval(sel.Limit, outer)
+		if err != nil {
+			return nil, err
+		}
+		n := int(lv.AsInt())
+		if n < out.NumRows() {
+			idx := make([]int, n)
+			for i := range idx {
+				idx[i] = i
+			}
+			out = out.Gather(idx)
+		}
+	}
+	return out, nil
+}
+
+// fromIsVacuous reports whether the FROM arrays are referenced only
+// through explicit array references (d[x/2][y].v), in which case the
+// paper's examples intend the free dimension variables to bind to the
+// *outer* statement (UPDATE target cells) and no scan is needed.
+func (e *Engine) fromIsVacuous(sel *ast.Select, outer expr.Env) bool {
+	if sel.Where != nil || sel.GroupBy != nil || sel.Having != nil || sel.Distinct ||
+		len(sel.OrderBy) > 0 || sel.Limit != nil {
+		return false
+	}
+	names := map[string]bool{}
+	for _, fi := range sel.From {
+		tr, ok := fi.(*ast.TableRef)
+		if !ok || tr.Subquery != nil || tr.Alias != "" || len(tr.Indexers) > 0 {
+			return false
+		}
+		if _, ok := e.Cat.Array(tr.Name); !ok {
+			if v, ok2 := outer.Lookup("", tr.Name); !ok2 || v.Typ != value.Array {
+				return false
+			}
+		}
+		names[strings.ToLower(tr.Name)] = true
+	}
+	usedAsBase := map[string]bool{}
+	for _, it := range sel.Items {
+		if _, ok := it.Expr.(*ast.Star); ok {
+			return false
+		}
+		if ast.HasAggregate(it.Expr) {
+			return false
+		}
+		if exprMentionsSourceOutsideRef(it.Expr, names) {
+			return false
+		}
+		ast.Walk(it.Expr, func(n ast.Expr) bool {
+			if ref, ok := n.(*ast.ArrayRef); ok {
+				if id, ok2 := ref.Base.(*ast.Ident); ok2 {
+					usedAsBase[strings.ToLower(id.Name)] = true
+				}
+			}
+			return true
+		})
+	}
+	// Every FROM array must actually be addressed through an ArrayRef;
+	// otherwise this is a genuine scan.
+	for n := range names {
+		if !usedAsBase[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// exprMentionsSourceOutsideRef reports whether any bare identifier
+// names or qualifies by one of the FROM sources outside an ArrayRef
+// base position.
+func exprMentionsSourceOutsideRef(x ast.Expr, names map[string]bool) bool {
+	bad := false
+	var walk func(ast.Expr)
+	walk = func(n ast.Expr) {
+		if n == nil || bad {
+			return
+		}
+		switch t := n.(type) {
+		case *ast.Ident:
+			if names[strings.ToLower(t.Name)] || names[strings.ToLower(t.Table)] {
+				bad = true
+			}
+		case *ast.ArrayRef:
+			// The base ident is the sanctioned mention; indexer
+			// expressions and nested bases are still checked.
+			if _, ok := t.Base.(*ast.Ident); !ok {
+				walk(t.Base)
+			}
+			for _, ix := range t.Indexers {
+				walk(ix.Point)
+				walk(ix.Start)
+				walk(ix.Stop)
+				walk(ix.Step)
+			}
+		case *ast.Unary:
+			walk(t.X)
+		case *ast.Binary:
+			walk(t.L)
+			walk(t.R)
+		case *ast.FuncCall:
+			for _, a := range t.Args {
+				walk(a)
+			}
+		case *ast.Case:
+			walk(t.Operand)
+			for _, w := range t.Whens {
+				walk(w.Cond)
+				walk(w.Result)
+			}
+			walk(t.Else)
+		case *ast.Cast:
+			walk(t.X)
+		case *ast.IsNull:
+			walk(t.X)
+		case *ast.Between:
+			walk(t.X)
+			walk(t.Lo)
+			walk(t.Hi)
+		case *ast.InList:
+			walk(t.X)
+			for _, el := range t.Elems {
+				walk(el)
+			}
+		case *ast.Subquery:
+			bad = true // conservatively scan
+		case *ast.ExprList:
+			for _, el := range t.Elems {
+				walk(el)
+			}
+		}
+	}
+	walk(x)
+	return bad
+}
+
+// projectRowless evaluates the target list once under the outer
+// environment; single array-valued results expand into a dataset so
+// SELECT matrix[0:2][0:2].v lists cells.
+func (e *Engine) projectRowless(sel *ast.Select, outer expr.Env) (*Dataset, error) {
+	vals := make([]value.Value, 0, len(sel.Items))
+	names := make([]string, 0, len(sel.Items))
+	dims := make([]bool, 0, len(sel.Items))
+	for i, it := range sel.Items {
+		if it.Expr == nil {
+			return nil, fmt.Errorf("empty select item")
+		}
+		if lit, ok := it.Expr.(*ast.ArrayLit); ok {
+			arr, err := e.buildArrayLit(lit, outer)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, value.NewArray(arr))
+			names = append(names, itemName(it, i))
+			dims = append(dims, it.DimQual)
+			continue
+		}
+		v, err := e.Ev.Eval(it.Expr, outer)
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+		names = append(names, itemName(it, i))
+		dims = append(dims, it.DimQual)
+	}
+	// A single array value expands into its cell listing.
+	if len(vals) == 1 && vals[0].Typ == value.Array && !vals[0].Null {
+		if a, ok := vals[0].A.(*array.Array); ok {
+			return e.scanArray(a, a.Name, nil, nil)
+		}
+	}
+	cols := make([]Col, len(vals))
+	for i := range vals {
+		cols[i] = Col{Name: names[i], Typ: vals[i].Typ, IsDim: dims[i]}
+	}
+	out := NewDataset(cols)
+	out.Append(vals)
+	return out, nil
+}
+
+// buildArrayLit materializes SELECT ARRAY(...) literals with implicit
+// integer dimensions (§4.1).
+func (e *Engine) buildArrayLit(lit *ast.ArrayLit, env expr.Env) (*array.Array, error) {
+	rows := len(lit.Rows)
+	colsN := 0
+	for _, r := range lit.Rows {
+		if len(r) > colsN {
+			colsN = len(r)
+		}
+	}
+	var sch array.Schema
+	if rows == 1 {
+		sch.Dims = []array.Dimension{{Name: "x", Typ: value.Int, Start: 0, End: int64(colsN), Step: 1}}
+	} else {
+		sch.Dims = []array.Dimension{
+			{Name: "x", Typ: value.Int, Start: 0, End: int64(rows), Step: 1},
+			{Name: "y", Typ: value.Int, Start: 0, End: int64(colsN), Step: 1},
+		}
+	}
+	sch.Attrs = []array.Attr{{Name: "v", Typ: value.Float, Default: value.NewNull(value.Float)}}
+	st, err := e.newStore("array_literal", sch)
+	if err != nil {
+		return nil, err
+	}
+	a := &array.Array{Name: "array", Schema: sch, Store: st}
+	for ri, row := range lit.Rows {
+		for ci, cell := range row {
+			v, err := e.Ev.Eval(cell, env)
+			if err != nil {
+				return nil, err
+			}
+			coords := []int64{int64(ci)}
+			if rows > 1 {
+				coords = []int64{int64(ri), int64(ci)}
+			}
+			if err := st.Set(coords, 0, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return a, nil
+}
+
+func itemName(it ast.SelectItem, pos int) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	switch x := it.Expr.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.FuncCall:
+		return strings.ToLower(x.Name)
+	case *ast.ArrayRef:
+		if x.Attr != "" {
+			return x.Attr
+		}
+		if id, ok := x.Base.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return fmt.Sprintf("col%d", pos+1)
+}
+
+// --- FROM ------------------------------------------------------------------
+
+// splitConjuncts flattens an AND tree.
+func splitConjuncts(where ast.Expr) []ast.Expr {
+	if where == nil {
+		return nil
+	}
+	if b, ok := where.(*ast.Binary); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []ast.Expr{where}
+}
+
+// buildFrom scans and joins the FROM items, pushing dimension
+// equality/range conjuncts into array scans (the "symbolic reasoning
+// over the dimensions" of §2.3). It returns the joined dataset, the
+// source descriptors, and the conjuncts not fully consumed.
+func (e *Engine) buildFrom(items []ast.FromItem, conjs []ast.Expr, outer expr.Env) (*Dataset, []*source, []ast.Expr, error) {
+	var ds *Dataset
+	var sources []*source
+	consumed := make([]bool, len(conjs))
+	for _, fi := range items {
+		d, srcs, err := e.buildFromItem(fi, conjs, consumed, outer)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		sources = append(sources, srcs...)
+		if ds == nil {
+			ds = d
+		} else {
+			ds = crossJoin(ds, d)
+		}
+	}
+	var remaining []ast.Expr
+	for i, c := range conjs {
+		if !consumed[i] {
+			remaining = append(remaining, c)
+		}
+	}
+	return ds, sources, remaining, nil
+}
+
+func (e *Engine) buildFromItem(fi ast.FromItem, conjs []ast.Expr, consumed []bool, outer expr.Env) (*Dataset, []*source, error) {
+	switch t := fi.(type) {
+	case *ast.TableRef:
+		return e.buildTableRef(t, conjs, consumed, outer)
+	case *ast.Join:
+		left, ls, err := e.buildFromItem(t.Left, conjs, consumed, outer)
+		if err != nil {
+			return nil, nil, err
+		}
+		right, rs, err := e.buildFromItem(t.Right, conjs, consumed, outer)
+		if err != nil {
+			return nil, nil, err
+		}
+		joined, err := e.join(left, right, t, outer)
+		if err != nil {
+			return nil, nil, err
+		}
+		return joined, append(ls, rs...), nil
+	}
+	return nil, nil, fmt.Errorf("unsupported FROM item %T", fi)
+}
+
+func (e *Engine) buildTableRef(t *ast.TableRef, conjs []ast.Expr, consumed []bool, outer expr.Env) (*Dataset, []*source, error) {
+	if t.Subquery != nil {
+		ds, err := e.execSelect(t.Subquery, outer)
+		if err != nil {
+			return nil, nil, err
+		}
+		qual := t.Alias
+		for i := range ds.Cols {
+			ds.Cols[i].Qual = qual
+		}
+		return ds, []*source{{name: t.Alias, alias: t.Alias}}, nil
+	}
+	// Array from the environment (PSM array parameters) or catalog.
+	var arr *array.Array
+	if v, ok := outer.Lookup("", t.Name); ok && v.Typ == value.Array && !v.Null {
+		arr, _ = v.A.(*array.Array)
+	}
+	if arr == nil {
+		if a, ok := e.Cat.Array(t.Name); ok {
+			arr = a
+		}
+	}
+	if arr != nil {
+		src := &source{name: t.Name, alias: t.Alias, arr: arr}
+		var sels []dimSel
+		if len(t.Indexers) > 0 {
+			s, err := e.resolveIndexers(arr, t.Indexers, outer)
+			if err != nil {
+				return nil, nil, err
+			}
+			sels = s
+		}
+		src.sels = sels
+		restrict := e.pushdownDims(arr, src.qual(), conjs, consumed, outer)
+		ds, err := e.scanArray(arr, src.qual(), sels, restrict)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ds, []*source{src}, nil
+	}
+	if tbl, ok := e.Cat.Table(t.Name); ok {
+		qual := t.Alias
+		if qual == "" {
+			qual = t.Name
+		}
+		cols := make([]Col, len(tbl.Cols))
+		vecs := make([]bat.Vector, len(tbl.Cols))
+		for i, c := range tbl.Cols {
+			cols[i] = Col{Name: c.Name, Qual: qual, Typ: c.Typ}
+			vecs[i] = tbl.Vecs[i].Clone()
+		}
+		return &Dataset{Cols: cols, Vecs: vecs}, []*source{{name: t.Name, alias: t.Alias}}, nil
+	}
+	return nil, nil, fmt.Errorf("no such table or array %s", t.Name)
+}
+
+// pushdownDims extracts per-dimension point/range restrictions from
+// WHERE conjuncts of the form <dim> op <outer-constant>, marking fully
+// consumed equality conjuncts.
+func (e *Engine) pushdownDims(a *array.Array, qual string, conjs []ast.Expr, consumed []bool, outer expr.Env) map[int]dimSel {
+	restrict := make(map[int]dimSel)
+	for ci, c := range conjs {
+		b, ok := c.(*ast.Binary)
+		if !ok {
+			continue
+		}
+		op := b.Op
+		var dimIdent *ast.Ident
+		var other ast.Expr
+		if id, ok := b.L.(*ast.Ident); ok && matchesDim(a, qual, id) {
+			dimIdent, other = id, b.R
+		} else if id, ok := b.R.(*ast.Ident); ok && matchesDim(a, qual, id) {
+			dimIdent, other = id, b.L
+			op = flipOp(op)
+		} else {
+			continue
+		}
+		if !e.constUnderOuter(other, a, qual, outer) {
+			continue
+		}
+		v, err := e.Ev.Eval(other, outer)
+		if err != nil || v.Null {
+			continue
+		}
+		di := a.Schema.DimIndex(dimIdent.Name)
+		if di < 0 {
+			di = dimIndexFold(a, dimIdent.Name)
+		}
+		if di < 0 {
+			continue
+		}
+		cur, have := restrict[di]
+		step := a.Schema.Dims[di].Step
+		if step <= 0 {
+			step = 1
+		}
+		switch op {
+		case "=":
+			restrict[di] = dimSel{point: true, val: v.AsInt(), step: step}
+			consumed[ci] = true
+		case "<", "<=", ">", ">=":
+			if !have {
+				lo, hi, err := a.BoundingBox()
+				if err != nil {
+					continue
+				}
+				cur = dimSel{lo: lo[di], hi: hi[di] + step, step: step}
+			}
+			switch op {
+			case "<":
+				if v.AsInt() < cur.hi {
+					cur.hi = v.AsInt()
+				}
+			case "<=":
+				if v.AsInt()+1 < cur.hi {
+					cur.hi = v.AsInt() + 1
+				}
+			case ">":
+				if v.AsInt()+1 > cur.lo {
+					cur.lo = v.AsInt() + 1
+				}
+			case ">=":
+				if v.AsInt() > cur.lo {
+					cur.lo = v.AsInt()
+				}
+			}
+			if !cur.point {
+				restrict[di] = cur
+			}
+			// Range conjuncts stay for re-checking (cheap) to keep the
+			// logic simple; only equality is consumed.
+		}
+	}
+	return restrict
+}
+
+func dimIndexFold(a *array.Array, name string) int {
+	for i, d := range a.Schema.Dims {
+		if strings.EqualFold(d.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+func matchesDim(a *array.Array, qual string, id *ast.Ident) bool {
+	if id.Table != "" && !strings.EqualFold(id.Table, qual) {
+		return false
+	}
+	return dimIndexFold(a, id.Name) >= 0
+}
+
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op
+}
+
+// constUnderOuter reports whether x can be evaluated with only the
+// outer environment (no references to the scanned array's columns).
+func (e *Engine) constUnderOuter(x ast.Expr, a *array.Array, qual string, outer expr.Env) bool {
+	ok := true
+	ast.Walk(x, func(n ast.Expr) bool {
+		switch t := n.(type) {
+		case *ast.Ident:
+			if t.Table != "" && strings.EqualFold(t.Table, qual) {
+				ok = false
+				return false
+			}
+			if t.Table == "" {
+				// A bare name that belongs to this array's schema and
+				// is not outer-bound refers to the scan.
+				if _, bound := outer.Lookup("", t.Name); !bound {
+					if dimIndexFold(a, t.Name) >= 0 || attrIndexFold(a, t.Name) >= 0 {
+						ok = false
+						return false
+					}
+				}
+			} else {
+				// Qualified by something else: must resolve outer.
+				if _, bound := outer.Lookup(t.Table, t.Name); !bound {
+					ok = false
+					return false
+				}
+			}
+		case *ast.Subquery:
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+func attrIndexFold(a *array.Array, name string) int {
+	for i, at := range a.Schema.Attrs {
+		if strings.EqualFold(at.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// scanArray materializes an array as a dataset of dimension columns
+// (IsDim) and attribute columns, skipping holes (§3.1). sels (FROM
+// slicing) and restrict (pushed-down predicates) bound the scan; when
+// every dimension is pinned to a point the scan is a direct cell read.
+func (e *Engine) scanArray(a *array.Array, qual string, sels []dimSel, restrict map[int]dimSel) (*Dataset, error) {
+	nd, na := len(a.Schema.Dims), len(a.Schema.Attrs)
+	cols := make([]Col, 0, nd+na)
+	for _, d := range a.Schema.Dims {
+		cols = append(cols, Col{Name: d.Name, Qual: qual, Typ: d.Typ, IsDim: true})
+	}
+	for _, at := range a.Schema.Attrs {
+		cols = append(cols, Col{Name: at.Name, Qual: qual, Typ: at.Typ})
+	}
+	out := NewDataset(cols)
+	// Effective per-dim constraint = intersection of sels and restrict.
+	eff := make([]dimSel, nd)
+	for i := range eff {
+		eff[i] = dimSel{full: true}
+		if sels != nil {
+			eff[i] = sels[i]
+		}
+		if r, ok := restrict[i]; ok {
+			eff[i] = intersectSel(eff[i], r)
+		}
+	}
+	allPoint := nd > 0
+	for i := range eff {
+		if !eff[i].point {
+			allPoint = false
+			break
+		}
+	}
+	row := make([]value.Value, nd+na)
+	if allPoint {
+		coords := make([]int64, nd)
+		for i := range eff {
+			coords[i] = eff[i].val
+		}
+		if a.ValidCoords(coords) {
+			hole := true
+			for ai := 0; ai < na; ai++ {
+				v := a.Store.Get(coords, ai)
+				row[nd+ai] = v
+				if !v.Null {
+					hole = false
+				}
+			}
+			if !hole {
+				for i, c := range coords {
+					row[i] = value.Value{Typ: a.Schema.Dims[i].Typ, I: c}
+				}
+				out.Append(row)
+			}
+		}
+		return out, nil
+	}
+	a.Store.Scan(func(coords []int64, vals []value.Value) bool {
+		for i := range eff {
+			s := eff[i]
+			if s.point {
+				if coords[i] != s.val {
+					return true
+				}
+			} else if !s.full || s.hi != 0 || s.lo != 0 {
+				if !s.full && (coords[i] < s.lo || coords[i] >= s.hi) {
+					return true
+				}
+			}
+		}
+		for i, c := range coords {
+			row[i] = value.Value{Typ: a.Schema.Dims[i].Typ, I: c}
+		}
+		copy(row[nd:], vals)
+		out.Append(row)
+		return true
+	})
+	return out, nil
+}
+
+func intersectSel(a, b dimSel) dimSel {
+	if b.point {
+		return b
+	}
+	if a.point {
+		return a
+	}
+	if a.full {
+		return b
+	}
+	if b.full {
+		return a
+	}
+	out := a
+	if b.lo > out.lo {
+		out.lo = b.lo
+	}
+	if b.hi < out.hi {
+		out.hi = b.hi
+	}
+	return out
+}
+
+// crossJoin forms the Cartesian product (comma joins; WHERE conjuncts
+// filter afterwards).
+func crossJoin(l, r *Dataset) *Dataset {
+	cols := append(append([]Col(nil), l.Cols...), r.Cols...)
+	out := NewDataset(cols)
+	ln, rn := l.NumRows(), r.NumRows()
+	row := make([]value.Value, len(cols))
+	for i := 0; i < ln; i++ {
+		for c := range l.Cols {
+			row[c] = l.Vecs[c].Get(i)
+		}
+		for j := 0; j < rn; j++ {
+			for c := range r.Cols {
+				row[len(l.Cols)+c] = r.Vecs[c].Get(j)
+			}
+			out.Append(row)
+		}
+	}
+	return out
+}
+
+// join executes JOIN ... ON with a hash join when the condition is a
+// conjunction of cross-side equalities; otherwise it filters the
+// Cartesian product.
+func (e *Engine) join(l, r *Dataset, j *ast.Join, outer expr.Env) (*Dataset, error) {
+	if j.Kind == "CROSS" || j.On == nil {
+		return crossJoin(l, r), nil
+	}
+	type keyPair struct{ li, ri int }
+	var pairs []keyPair
+	var residual []ast.Expr
+	for _, c := range splitConjuncts(j.On) {
+		b, ok := c.(*ast.Binary)
+		if !ok || b.Op != "=" {
+			residual = append(residual, c)
+			continue
+		}
+		lid, lok := b.L.(*ast.Ident)
+		rid, rok := b.R.(*ast.Ident)
+		if !lok || !rok {
+			residual = append(residual, c)
+			continue
+		}
+		li, ri := l.ColIndex(lid.Table, lid.Name), r.ColIndex(rid.Table, rid.Name)
+		if li >= 0 && ri >= 0 {
+			pairs = append(pairs, keyPair{li, ri})
+			continue
+		}
+		li, ri = l.ColIndex(rid.Table, rid.Name), r.ColIndex(lid.Table, lid.Name)
+		if li >= 0 && ri >= 0 {
+			pairs = append(pairs, keyPair{li, ri})
+			continue
+		}
+		residual = append(residual, c)
+	}
+	cols := append(append([]Col(nil), l.Cols...), r.Cols...)
+	out := NewDataset(cols)
+	row := make([]value.Value, len(cols))
+	emit := func(i, j2 int) error {
+		for c := range l.Cols {
+			row[c] = l.Vecs[c].Get(i)
+		}
+		for c := range r.Cols {
+			row[len(l.Cols)+c] = r.Vecs[c].Get(j2)
+		}
+		for _, c := range residual {
+			env := &valuesEnv{cols: cols, vals: row, outer: outer}
+			ok, err := e.Ev.EvalBool(c, env)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		out.Append(row)
+		return nil
+	}
+	if len(pairs) == 0 {
+		// Pure residual join: filter the cross product.
+		for i := 0; i < l.NumRows(); i++ {
+			for j2 := 0; j2 < r.NumRows(); j2++ {
+				if err := emit(i, j2); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return out, nil
+	}
+	// Hash join on the equality key columns.
+	idx := make(map[string][]int, r.NumRows())
+	for j2 := 0; j2 < r.NumRows(); j2++ {
+		var sb strings.Builder
+		null := false
+		for _, p := range pairs {
+			v := r.Vecs[p.ri].Get(j2)
+			if v.Null {
+				null = true
+				break
+			}
+			sb.WriteString(v.String())
+			sb.WriteByte('\x00')
+		}
+		if null {
+			continue
+		}
+		idx[sb.String()] = append(idx[sb.String()], j2)
+	}
+	for i := 0; i < l.NumRows(); i++ {
+		var sb strings.Builder
+		null := false
+		for _, p := range pairs {
+			v := l.Vecs[p.li].Get(i)
+			if v.Null {
+				null = true
+				break
+			}
+			sb.WriteString(v.String())
+			sb.WriteByte('\x00')
+		}
+		if null {
+			continue
+		}
+		for _, j2 := range idx[sb.String()] {
+			if err := emit(i, j2); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// scalarSubquery is the evaluator hook for subqueries in expression
+// position: it returns the first column of the first row (NULL when
+// the result is empty).
+func (e *Engine) scalarSubquery(sel *ast.Select, env expr.Env) (value.Value, error) {
+	ds, err := e.execSelect(sel, env)
+	if err != nil {
+		return value.Value{}, err
+	}
+	if ds.NumRows() == 0 || ds.NumCols() == 0 {
+		return value.NewNull(value.Unknown), nil
+	}
+	return ds.Get(0, 0), nil
+}

@@ -1,0 +1,461 @@
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"repro/internal/array"
+	"repro/internal/bat"
+	"repro/internal/expr"
+	"repro/internal/sql/ast"
+	"repro/internal/value"
+)
+
+// execTiling evaluates structural grouping (§4.4): GROUP BY over a
+// parametrized series of array elements (tiles). Every valid anchor
+// point in the array's dimensions yields one group of cells; cells
+// denoted outside the index domain read as outer NULLs and are ignored
+// by the aggregates. DISTINCT restricts anchors so tile boundaries are
+// mutually exclusive.
+func (e *Engine) execTiling(sel *ast.Select, ds *Dataset, sources []*source, remaining []ast.Expr, outer expr.Env) (*Dataset, error) {
+	gb := sel.GroupBy
+	// Locate the tiled array from the first tile's base name.
+	firstRef := gb.Tiles[0].Ref
+	baseID, ok := firstRef.Base.(*ast.Ident)
+	if !ok {
+		return nil, fmt.Errorf("tile pattern must reference an array by name")
+	}
+	var src *source
+	for _, s := range sources {
+		if strings.EqualFold(s.name, baseID.Name) || strings.EqualFold(s.alias, baseID.Name) {
+			src = s
+			break
+		}
+	}
+	var arr *array.Array
+	if src != nil && src.arr != nil {
+		arr = src.arr
+	} else {
+		a, err := e.resolveArrayBase(firstRef.Base, outer)
+		if err != nil {
+			return nil, fmt.Errorf("tile pattern: %w", err)
+		}
+		arr = a
+	}
+	// Anchor variables: dimension names of the tiled array that appear
+	// free (not outer-bound) in the tile indexer expressions.
+	anchorVars := e.collectAnchorVars(gb.Tiles, arr, outer)
+	// Anchor domain: the rows of ds (each a valid cell of the possibly
+	// sliced FROM scan) filtered by WHERE, projected onto the anchor
+	// variables' dimension columns.
+	where := andAll(remaining)
+	var anchorRows []int
+	n := ds.NumRows()
+	for r := 0; r < n; r++ {
+		if where != nil {
+			env := &rowEnv{d: ds, row: r, outer: outer}
+			ok, err := e.Ev.EvalBool(where, env)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		anchorRows = append(anchorRows, r)
+	}
+	// Column indexes of anchor dims in ds.
+	qual := ""
+	if src != nil {
+		qual = src.qual()
+	}
+	anchorCols := make([]int, len(anchorVars))
+	for i, v := range anchorVars {
+		ci := ds.ColIndex(qual, v)
+		if ci < 0 {
+			ci = ds.ColIndex("", v)
+		}
+		if ci < 0 {
+			return nil, fmt.Errorf("tile pattern: dimension %s not in scan", v)
+		}
+		anchorCols[i] = ci
+	}
+	// Deduplicate anchors (a 2-D scan grouped by matrix[x][*] anchors
+	// on distinct x values only).
+	type anchor struct {
+		row  int
+		vals []int64
+	}
+	var anchors []anchor
+	seen := make(map[string]bool)
+	for _, r := range anchorRows {
+		vals := make([]int64, len(anchorCols))
+		var sb strings.Builder
+		for i, ci := range anchorCols {
+			v := ds.Vecs[ci].Get(r)
+			vals[i] = v.AsInt()
+			fmt.Fprintf(&sb, "%d\x00", vals[i])
+		}
+		k := sb.String()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		anchors = append(anchors, anchor{row: r, vals: vals})
+	}
+	// DISTINCT tiles: keep only anchors aligned to the tile extent.
+	if gb.Distinct && len(anchors) > 0 {
+		extent, origin, err := e.tileExtent(gb.Tiles, arr, anchorVars, anchors[0].vals, outer)
+		if err != nil {
+			return nil, err
+		}
+		var kept []anchor
+		for _, a := range anchors {
+			aligned := true
+			for i := range anchorVars {
+				if extent[i] > 1 && (a.vals[i]-origin[i])%extent[i] != 0 {
+					aligned = false
+					break
+				}
+			}
+			if aligned {
+				kept = append(kept, a)
+			}
+		}
+		anchors = kept
+	}
+	// Rewrite aggregates in items/having to placeholders.
+	items := expandStars(sel.Items, ds)
+	ac := &aggCollector{}
+	rewritten := make([]ast.SelectItem, len(items))
+	for i, it := range items {
+		// Preserve the display name through the placeholder rewrite.
+		rewritten[i] = ast.SelectItem{Expr: rewriteAggs(it.Expr, ac), Alias: itemName(it, i), DimQual: it.DimQual}
+	}
+	var havingRw ast.Expr
+	if sel.Having != nil {
+		havingRw = rewriteAggs(sel.Having, ac)
+	}
+	// Evaluate each anchor's group.
+	interCols := append([]Col(nil), ds.Cols...)
+	for i, nme := range ac.names {
+		interCols = append(interCols, Col{Name: nme, Typ: aggType(ac.calls[i])})
+	}
+	inter := NewDataset(interCols)
+	rowBuf := make([]value.Value, len(interCols))
+	dimNames := make([]string, len(arr.Schema.Dims))
+	for i, d := range arr.Schema.Dims {
+		dimNames[i] = strings.ToLower(d.Name)
+	}
+	attrNames := make([]string, len(arr.Schema.Attrs))
+	for i, at := range arr.Schema.Attrs {
+		attrNames[i] = strings.ToLower(at.Name)
+	}
+	cache := newDimValuesCache()
+	// Hoisted per-anchor state: environments and accumulators are
+	// reused across anchors (the tiling loop is the engine's hottest
+	// path).
+	anchorEnv := &expr.MapEnv{Vars: make(map[string]value.Value, len(anchorVars)), Parent: outer}
+	cellEnv := &expr.MapEnv{Vars: make(map[string]value.Value, len(dimNames)+len(attrNames)), Parent: anchorEnv}
+	aggs := make([]*bat.AggState, len(ac.calls))
+	counts := make([]int64, len(ac.calls))
+	preFolded := make([]bool, len(ac.calls))
+	// Static analysis per aggregate: a bare-identifier argument naming
+	// one of the tiled array's attributes feeds directly from the cell
+	// values; an argument containing a range ArrayRef may fold a slice
+	// per anchor (§7.3.4).
+	directAttr := make([]int, len(ac.calls))
+	mayPreFold := make([]bool, len(ac.calls))
+	for i, c := range ac.calls {
+		aggs[i] = bat.NewAggState(c.Name)
+		directAttr[i] = -1
+		if c.Star || len(c.Args) != 1 {
+			continue
+		}
+		if id, ok := c.Args[0].(*ast.Ident); ok && (id.Table == "" || strings.EqualFold(id.Table, qual)) {
+			directAttr[i] = attrIndexFold(arr, id.Name)
+		}
+		ast.Walk(c.Args[0], func(n ast.Expr) bool {
+			if ref, ok := n.(*ast.ArrayRef); ok {
+				for _, ix := range ref.Indexers {
+					if ix.Range {
+						mayPreFold[i] = true
+						return false
+					}
+				}
+			}
+			return true
+		})
+	}
+	lowerAnchorVars := make([]string, len(anchorVars))
+	for i, v := range anchorVars {
+		lowerAnchorVars[i] = strings.ToLower(v)
+	}
+	for _, a := range anchors {
+		for i, v := range lowerAnchorVars {
+			anchorEnv.Vars[v] = value.NewInt(a.vals[i])
+		}
+		for i, c := range ac.calls {
+			aggs[i].Reset()
+			counts[i] = 0
+			preFolded[i] = false
+			if !mayPreFold[i] {
+				continue
+			}
+			// An argument that evaluates to an array under the anchor
+			// bindings (AVG(samples[time-2:time+1].data), §7.3.4) is
+			// folded once per anchor over its cells.
+			if v, err := e.Ev.Eval(c.Args[0], anchorEnv); err == nil && v.Typ == value.Array && !v.Null {
+				if sub, ok := v.A.(*array.Array); ok && len(sub.Schema.Attrs) > 0 {
+					sub.Store.Scan(func(_ []int64, vals []value.Value) bool {
+						aggs[i].Add(vals[0])
+						return true
+					})
+					preFolded[i] = true
+				}
+			}
+		}
+		// Expand the tile cells and feed the aggregates.
+		err := e.forEachTileCell(gb.Tiles, arr, anchorEnv, cache, func(coords []int64, vals []value.Value) error {
+			envReady := false
+			for i, c := range ac.calls {
+				if c.Star {
+					counts[i]++
+					continue
+				}
+				if preFolded[i] {
+					continue
+				}
+				if ai := directAttr[i]; ai >= 0 {
+					aggs[i].Add(vals[ai])
+					continue
+				}
+				if !envReady {
+					for di, nme := range dimNames {
+						cellEnv.Vars[nme] = value.Value{Typ: arr.Schema.Dims[di].Typ, I: coords[di]}
+					}
+					for vi, nme := range attrNames {
+						cellEnv.Vars[nme] = vals[vi]
+					}
+					envReady = true
+				}
+				v, err := e.Ev.Eval(c.Args[0], cellEnv)
+				if err != nil {
+					return err
+				}
+				aggs[i].Add(v)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for c := range ds.Cols {
+			rowBuf[c] = ds.Vecs[c].Get(a.row)
+		}
+		for i, c := range ac.calls {
+			if c.Star {
+				rowBuf[len(ds.Cols)+i] = value.NewInt(counts[i])
+			} else {
+				rowBuf[len(ds.Cols)+i] = aggs[i].Result()
+			}
+		}
+		inter.Append(rowBuf)
+	}
+	if havingRw != nil {
+		var keep []int
+		for r := 0; r < inter.NumRows(); r++ {
+			env := &rowEnv{d: inter, row: r, outer: outer}
+			ok, err := e.Ev.EvalBool(havingRw, env)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				keep = append(keep, r)
+			}
+		}
+		inter = inter.Gather(keep)
+	}
+	out, err := e.project(rewritten, inter, outer)
+	if err != nil {
+		return nil, err
+	}
+	return e.finishSelect(sel, out, outer)
+}
+
+// collectAnchorVars finds the tiled array's dimension names used free
+// in tile indexer expressions, in dimension declaration order.
+func (e *Engine) collectAnchorVars(tiles []ast.TileElement, arr *array.Array, outer expr.Env) []string {
+	found := make(map[string]bool)
+	for _, t := range tiles {
+		for _, ix := range t.Ref.Indexers {
+			for _, x := range []ast.Expr{ix.Point, ix.Start, ix.Stop, ix.Step} {
+				ast.Walk(x, func(n ast.Expr) bool {
+					if id, ok := n.(*ast.Ident); ok && id.Table == "" {
+						if dimIndexFold(arr, id.Name) >= 0 {
+							if _, bound := outer.Lookup("", id.Name); !bound {
+								found[strings.ToLower(id.Name)] = true
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	var out []string
+	for _, d := range arr.Schema.Dims {
+		if found[strings.ToLower(d.Name)] {
+			out = append(out, d.Name)
+		}
+	}
+	return out
+}
+
+// tileExtent measures, per anchor variable, how many index steps the
+// tile spans when anchored at a sample anchor; DISTINCT steps anchors
+// by this extent so tiles are mutually exclusive. origin records the
+// sample anchor's alignment base.
+func (e *Engine) tileExtent(tiles []ast.TileElement, arr *array.Array, anchorVars []string, sample []int64, outer expr.Env) (extent, origin []int64, err error) {
+	env := &expr.MapEnv{Vars: make(map[string]value.Value, len(anchorVars)), Parent: outer}
+	for i, v := range anchorVars {
+		env.Vars[strings.ToLower(v)] = value.NewInt(sample[i])
+	}
+	// Per anchored dimension, find min/max covered coordinate.
+	mins := make(map[int]int64)
+	maxs := make(map[int]int64)
+	varDim := make(map[string]int)
+	for i, v := range anchorVars {
+		varDim[strings.ToLower(v)] = i
+	}
+	for _, t := range tiles {
+		sels, err := e.resolveIndexers(arr, t.Ref.Indexers, env)
+		if err != nil {
+			return nil, nil, err
+		}
+		for di, s := range sels {
+			name := strings.ToLower(arr.Schema.Dims[di].Name)
+			ai, anchored := varDim[name]
+			if !anchored {
+				continue
+			}
+			_ = ai
+			var lo, hi int64
+			if s.point {
+				lo, hi = s.val, s.val+1
+			} else {
+				lo, hi = s.lo, s.hi
+			}
+			if cur, ok := mins[di]; !ok || lo < cur {
+				mins[di] = lo
+			}
+			if cur, ok := maxs[di]; !ok || hi > cur {
+				maxs[di] = hi
+			}
+		}
+	}
+	extent = make([]int64, len(anchorVars))
+	origin = make([]int64, len(anchorVars))
+	for i, v := range anchorVars {
+		di := dimIndexFold(arr, v)
+		step := arr.Schema.Dims[di].Step
+		if step <= 0 {
+			step = 1
+		}
+		span := int64(1)
+		if hi, ok := maxs[di]; ok {
+			span = (hi - mins[di]) / step
+			if span < 1 {
+				span = 1
+			}
+		}
+		extent[i] = span * step
+		origin[i] = sample[i]
+	}
+	return extent, origin, nil
+}
+
+// forEachTileCell expands every tile element at the current anchor and
+// visits each distinct cell once. Cells outside the index domain are
+// skipped — their attributes are the ignored outer NULLs. Ranges over
+// order-only (timestamp) dimensions expand through the cache of
+// existing coordinate values.
+func (e *Engine) forEachTileCell(tiles []ast.TileElement, arr *array.Array, env expr.Env, cache *dimValuesCache, visit func(coords []int64, vals []value.Value) error) error {
+	nd := len(arr.Schema.Dims)
+	na := len(arr.Schema.Attrs)
+	// A single tile element can never denote the same cell twice; only
+	// multi-element patterns (the anchor-list convolution form) need
+	// cross-element deduplication.
+	var seen map[string]bool
+	if len(tiles) > 1 {
+		seen = make(map[string]bool, 16)
+	}
+	keyBuf := make([]byte, 8*nd)
+	coords := make([]int64, nd)
+	vals := make([]value.Value, na)
+	var rec func(sels []dimSel, di int) error
+	rec = func(sels []dimSel, di int) error {
+		if di == nd {
+			if seen != nil {
+				for i, c := range coords {
+					binary.LittleEndian.PutUint64(keyBuf[8*i:], uint64(c))
+				}
+				k := string(keyBuf)
+				if seen[k] {
+					return nil
+				}
+				seen[k] = true
+			}
+			if !arr.ValidCoords(coords) {
+				return nil
+			}
+			hole := true
+			for ai := 0; ai < na; ai++ {
+				vals[ai] = arr.Store.Get(coords, ai)
+				if !vals[ai].Null {
+					hole = false
+				}
+			}
+			if hole {
+				return nil
+			}
+			return visit(coords, vals)
+		}
+		s := sels[di]
+		if s.point {
+			coords[di] = s.val
+			return rec(sels, di+1)
+		}
+		if s.sparse {
+			for _, v := range cache.inRange(arr, di, s.lo, s.hi) {
+				coords[di] = v
+				if err := rec(sels, di+1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		step := s.step
+		if step <= 0 {
+			step = 1
+		}
+		for v := s.lo; v < s.hi; v += step {
+			coords[di] = v
+			if err := rec(sels, di+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, t := range tiles {
+		sels, err := e.resolveIndexers(arr, t.Ref.Indexers, env)
+		if err != nil {
+			return err
+		}
+		if err := rec(sels, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}

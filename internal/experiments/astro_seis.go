@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/array"
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/udf"
+	"repro/internal/value"
+	"repro/internal/vault/fits"
+	"repro/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// B1 / B2 / X2 — astronomy (§7.2)
+
+// Astro bundles the X-ray session state.
+type Astro struct {
+	S      *core.Session
+	Events int
+	Size   int
+}
+
+// NewAstro loads a photon event table of n events on a size×size
+// detector.
+func NewAstro(events, size int) (*Astro, error) {
+	s := core.NewSession()
+	ev := workload.NewXRayEvents(events, size, 5, 7)
+	if err := s.LoadEvents("events", ev); err != nil {
+		return nil, err
+	}
+	return &Astro{S: s, Events: events, Size: size}, nil
+}
+
+// Binning runs B1: bin the event table into a fresh 2-D histogram
+// array, returning the total count (must equal the event count).
+func (a *Astro) Binning(tag int) (int64, error) {
+	name := fmt.Sprintf("ximage%d", tag)
+	_, err := a.S.Run(fmt.Sprintf(`
+		CREATE ARRAY %s (x INTEGER DIMENSION, y INTEGER DIMENSION, v INTEGER DEFAULT 0);
+		INSERT INTO %s SELECT [x], [y], count(*) FROM events GROUP BY x, y;`, name, name), nil)
+	if err != nil {
+		return 0, err
+	}
+	ds, err := a.S.Run(`SELECT SUM(v) FROM `+name, nil)
+	if err != nil {
+		return 0, err
+	}
+	total := ds.Get(0, 0).AsInt()
+	_, err = a.S.Run(`DROP ARRAY `+name, nil)
+	return total, err
+}
+
+// PrepareImage bins once into a persistent 'ximage' for Rebin/WCS.
+func (a *Astro) PrepareImage() error {
+	_, err := a.S.Run(`
+		CREATE ARRAY ximage (x INTEGER DIMENSION, y INTEGER DIMENSION, v INTEGER DEFAULT 0);
+		INSERT INTO ximage SELECT [x], [y], count(*) FROM events GROUP BY x, y;`, nil)
+	return err
+}
+
+// Rebin runs the 16× re-binning of B1 via DISTINCT tiling.
+func (a *Astro) Rebin() (int, error) {
+	ds, err := a.S.Run(`
+		SELECT [x/16], [y/16], SUM(v) FROM ximage
+		GROUP BY DISTINCT ximage[x:x+16][y:y+16]`, nil)
+	if err != nil {
+		return 0, err
+	}
+	return ds.NumRows(), nil
+}
+
+// NewWCSSession builds an n×n image array plus the transform matrix,
+// reference point and scale vectors of §7.2.1.
+func NewWCSSession(n int64) (*core.Session, error) {
+	s := core.NewSession()
+	_, err := s.Run(fmt.Sprintf(`
+		CREATE ARRAY img (x INTEGER DIMENSION[%d], y INTEGER DIMENSION[%d], v FLOAT DEFAULT 1.0, wcs_x FLOAT, wcs_y FLOAT);
+		CREATE ARRAY m (i INTEGER DIMENSION[2], j INTEGER DIMENSION[2], v FLOAT DEFAULT 0.0);
+		SET m[0][0].v = (0.99); SET m[1][1].v = (0.99);
+		SET m[0][1].v = (0.01); SET m[1][0].v = (-0.01);
+		CREATE ARRAY ref (i INTEGER DIMENSION[2], v FLOAT DEFAULT %d.0);
+		CREATE ARRAY sc (i INTEGER DIMENSION[2], v FLOAT DEFAULT 0.0025);
+	`, n, n, n/2), nil)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// WCS runs B2: the linear pixel→world transform over every cell.
+func WCS(s *core.Session) error {
+	_, err := s.Run(`
+		UPDATE img SET
+			wcs_x = (SELECT sc[0].v * (m[0][0].v * (img.x - ref[0].v) + m[0][1].v * (img.y - ref[1].v)) FROM m, ref, sc),
+			wcs_y = (SELECT sc[1].v * (m[1][0].v * (img.x - ref[0].v) + m[1][1].v * (img.y - ref[1].v)) FROM m, ref, sc);`, nil)
+	return err
+}
+
+// VaultFixture writes a FITS-lite file for the X2 lazy-access
+// experiment and registers it in a fresh session.
+type VaultFixture struct {
+	S    *core.Session
+	Path string
+	dir  string
+}
+
+// NewVaultFixture creates the file (n×n image + event table).
+func NewVaultFixture(n, events int) (*VaultFixture, error) {
+	dir, err := os.MkdirTemp("", "sciql-bench")
+	if err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, "obs.fits")
+	ls := workload.NewLandsat(1, n, 7)
+	ev := workload.NewXRayEvents(events, n, 5, 8)
+	f := &fits.File{Primary: ls.ToFITS(0), Tables: []*fits.BinTable{ev.ToFITSTable()}}
+	if err := fits.WriteFile(path, f); err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	s := core.NewSession()
+	if _, err := s.Vault.Register(path, "", "obs"); err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	return &VaultFixture{S: s, Path: path, dir: dir}, nil
+}
+
+// Close removes the fixture's temp directory.
+func (v *VaultFixture) Close() { os.RemoveAll(v.dir) }
+
+// LazyCount answers COUNT from the FITS header alone (X2's cheap arm).
+func (v *VaultFixture) LazyCount() (int64, error) { return v.S.Vault.Count(v.Path) }
+
+// FullCount attaches the payload into a fresh session and counts by
+// scanning (X2's expensive arm).
+func (v *VaultFixture) FullCount() (int64, error) {
+	s := core.NewSession()
+	vv := s.Vault
+	if _, err := vv.Register(v.Path, "", "obs"); err != nil {
+		return 0, err
+	}
+	if err := vv.AttachFITS(v.Path, s.Engine.Cat); err != nil {
+		return 0, err
+	}
+	ds, err := s.Run(`SELECT count(*) FROM obs`, nil)
+	if err != nil {
+		return 0, err
+	}
+	return ds.Get(0, 0).I, nil
+}
+
+// ---------------------------------------------------------------------------
+// C1–C4 — seismology (§7.3)
+
+// Seis bundles the time-series session state.
+type Seis struct {
+	S *core.Session
+	W *workload.Waveform
+	// Interval is the nominal sample spacing in micros.
+	Interval int64
+}
+
+// NewSeis loads a waveform of n samples with the given gaps/spikes
+// into a 'samples' array.
+func NewSeis(n, gaps, spikes int) (*Seis, error) {
+	s := core.NewSession()
+	const interval = 1_000_000
+	w := workload.NewWaveform("AASN", n, 0, interval, gaps, spikes, 11)
+	if _, err := s.LoadWaveform("samples", w); err != nil {
+		return nil, err
+	}
+	return &Seis{S: s, W: w, Interval: interval}, nil
+}
+
+// Retrieve runs C1: a time-window slice count.
+func (se *Seis) Retrieve() (int64, error) {
+	n := len(se.W.Times)
+	t0 := se.W.Times[n/4]
+	t1 := se.W.Times[3*n/4]
+	ds, err := se.S.Run(fmt.Sprintf(`SELECT count(*) FROM samples[%d:%d]`, t0, t1), nil)
+	if err != nil {
+		return 0, err
+	}
+	return ds.Get(0, 0).I, nil
+}
+
+// Gaps runs C2: next()-based gap detection; returns the gap count.
+func (se *Seis) Gaps() (int, error) {
+	ds, err := se.S.Run(`
+		SELECT [time] FROM samples
+		WHERE next(time) - time BETWEEN ?gmin AND ?gmax`,
+		map[string]value.Value{
+			"gmin": value.NewInt(2 * se.Interval),
+			"gmax": value.NewInt(1000 * se.Interval),
+		})
+	if err != nil {
+		return 0, err
+	}
+	return ds.NumRows(), nil
+}
+
+// Spikes runs C3: threshold detection on the jump to the next sample.
+func (se *Seis) Spikes() (int, error) {
+	ds, err := se.S.Run(`
+		SELECT [time], data FROM samples
+		WHERE ABS(data - next(data)) > ?T`,
+		map[string]value.Value{"T": value.NewFloat(4)})
+	if err != nil {
+		return 0, err
+	}
+	return ds.NumRows(), nil
+}
+
+// MovAvg runs C4: the 3-sample trailing moving average via tiling.
+func (se *Seis) MovAvg() (int, error) {
+	w := 2 * se.Interval
+	ds, err := se.S.Run(fmt.Sprintf(`
+		SELECT [time], AVG(samples[time-%d:time+1].data)
+		FROM samples GROUP BY samples[time-%d:time+1]`, w, w), nil)
+	if err != nil {
+		return 0, err
+	}
+	return ds.NumRows(), nil
+}
+
+// ---------------------------------------------------------------------------
+// X3 — black-box marshaling cost
+
+// MarshalFixture holds aligned and misaligned source arrays for the
+// §6.2 recast measurement.
+type MarshalFixture struct {
+	Aligned    *array.Array // virtual (row-major) store
+	Misaligned *array.Array // dorder (column-major) store
+}
+
+// NewMarshalFixture builds n×n dense arrays under both layouts.
+func NewMarshalFixture(n int64) (*MarshalFixture, error) {
+	al, err := MakeGrid(storage.SchemeVirtual, n, 1.0, 3)
+	if err != nil {
+		return nil, err
+	}
+	mis, err := MakeGrid(storage.SchemeDOrder, n, 1.0, 3)
+	if err != nil {
+		return nil, err
+	}
+	return &MarshalFixture{Aligned: al, Misaligned: mis}, nil
+}
+
+// MarshalAligned marshals the row-major store to a row-major buffer
+// (the memcpy path).
+func (m *MarshalFixture) MarshalAligned() (float64, error) {
+	d, err := udf.Marshal2D(m.Aligned, 0, udf.RowMajor)
+	if err != nil {
+		return 0, err
+	}
+	return d.Data[0], nil
+}
+
+// MarshalRecast marshals the column-major store to a row-major buffer
+// (the per-element recast path the paper flags as expensive).
+func (m *MarshalFixture) MarshalRecast() (float64, error) {
+	d, err := udf.Marshal2D(m.Misaligned, 0, udf.RowMajor)
+	if err != nil {
+		return 0, err
+	}
+	return d.Data[0], nil
+}

@@ -1,0 +1,408 @@
+// Package experiments implements every figure and functional
+// experiment of the paper's evaluation as reusable setup + operation
+// pairs. The root bench_test.go wraps them in testing.B benchmarks;
+// cmd/sciqlbench runs them once with wall-clock timing and prints the
+// paper-style tables (see DESIGN.md's experiment index F1–F3, A1–A6,
+// B1–B2, C1–C4, X1–X3).
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/array"
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// F1 / F2 — storage schemes and array forms
+
+// MakeGrid builds an n×n float array under the given scheme, filling
+// approximately density·n² cells with a deterministic pattern.
+func MakeGrid(scheme string, n int64, density float64, seed int64) (*array.Array, error) {
+	sch := array.Schema{
+		Dims: []array.Dimension{
+			{Name: "x", Typ: value.Int, Start: 0, End: n, Step: 1},
+			{Name: "y", Typ: value.Int, Start: 0, End: n, Step: 1},
+		},
+		Attrs: []array.Attr{{Name: "v", Typ: value.Float, Default: value.NewNull(value.Float)}},
+	}
+	st, err := storage.NewScheme(scheme, sch, storage.Hints{})
+	if err != nil {
+		return nil, err
+	}
+	a := &array.Array{Name: "grid_" + scheme, Schema: sch, Store: st}
+	rng := rand.New(rand.NewSource(seed))
+	coords := make([]int64, 2)
+	for x := int64(0); x < n; x++ {
+		coords[0] = x
+		for y := int64(0); y < n; y++ {
+			if rng.Float64() >= density {
+				continue
+			}
+			coords[1] = y
+			if err := st.Set(coords, 0, value.NewFloat(float64(x*n+y))); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return a, nil
+}
+
+// MakeGridSlab builds a dense n×n float array under the slab scheme
+// with a custom slab edge length (the slab-size ablation).
+func MakeGridSlab(n, slabSize, seed int64) (*array.Array, error) {
+	sch := array.Schema{
+		Dims: []array.Dimension{
+			{Name: "x", Typ: value.Int, Start: 0, End: n, Step: 1},
+			{Name: "y", Typ: value.Int, Start: 0, End: n, Step: 1},
+		},
+		Attrs: []array.Attr{{Name: "v", Typ: value.Float, Default: value.NewNull(value.Float)}},
+	}
+	st, err := storage.NewSlabSized(sch, slabSize)
+	if err != nil {
+		return nil, err
+	}
+	a := &array.Array{Name: "grid_slab", Schema: sch, Store: st}
+	coords := make([]int64, 2)
+	for x := int64(0); x < n; x++ {
+		coords[0] = x
+		for y := int64(0); y < n; y++ {
+			coords[1] = y
+			if err := st.Set(coords, 0, value.NewFloat(float64(x*n+y))); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return a, nil
+}
+
+// ScanSum is the sequential-scan workload of F1: fold every live cell.
+func ScanSum(a *array.Array) float64 {
+	sum := 0.0
+	a.Store.Scan(func(_ []int64, vals []value.Value) bool {
+		if !vals[0].Null {
+			sum += vals[0].F
+		}
+		return true
+	})
+	return sum
+}
+
+// PointProbes is the random-access workload of F1: k pseudo-random
+// cell reads.
+func PointProbes(a *array.Array, k int, seed int64) float64 {
+	lo, hi, err := a.BoundingBox()
+	if err != nil {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sum := 0.0
+	coords := make([]int64, len(lo))
+	for i := 0; i < k; i++ {
+		for d := range coords {
+			coords[d] = lo[d] + rng.Int63n(hi[d]-lo[d]+1)
+		}
+		v := a.Store.Get(coords, 0)
+		if !v.Null {
+			sum += v.F
+		}
+	}
+	return sum
+}
+
+// SliceSum is the slab-access workload of F1: fold a centered
+// quarter-size window through coordinate reads.
+func SliceSum(a *array.Array) float64 {
+	lo, hi, err := a.BoundingBox()
+	if err != nil {
+		return 0
+	}
+	sum := 0.0
+	coords := make([]int64, 2)
+	x0, x1 := lo[0]+(hi[0]-lo[0])/4, lo[0]+3*(hi[0]-lo[0])/4
+	y0, y1 := lo[1]+(hi[1]-lo[1])/4, lo[1]+3*(hi[1]-lo[1])/4
+	for x := x0; x <= x1; x++ {
+		coords[0] = x
+		for y := y0; y <= y1; y++ {
+			coords[1] = y
+			v := a.Store.Get(coords, 0)
+			if !v.Null {
+				sum += v.F
+			}
+		}
+	}
+	return sum
+}
+
+// MakeForm builds the Fig. 2 array forms (matrix, stripes, diagonal,
+// sparse) at edge n under the adaptive policy.
+func MakeForm(form string, n int64) (*core.Session, error) {
+	s := core.NewSession()
+	var ddl string
+	switch form {
+	case "matrix":
+		ddl = fmt.Sprintf(`CREATE ARRAY f (x INTEGER DIMENSION[%d], y INTEGER DIMENSION[%d], v FLOAT DEFAULT 0.0)`, n, n)
+	case "stripes":
+		ddl = fmt.Sprintf(`CREATE ARRAY f (x INTEGER DIMENSION[%d] CHECK(MOD(x,2) = 1), y INTEGER DIMENSION[%d], v FLOAT DEFAULT 0.0)`, n, n)
+	case "diagonal":
+		ddl = fmt.Sprintf(`CREATE ARRAY f (x INTEGER DIMENSION[%d], y INTEGER DIMENSION[%d] CHECK(x = y), v FLOAT DEFAULT 0.0)`, n, n)
+	case "sparse":
+		ddl = fmt.Sprintf(`CREATE ARRAY f (x INTEGER DIMENSION[%d], y INTEGER DIMENSION[%d], v FLOAT DEFAULT 0.0 CHECK(v>0))`, n, n)
+	default:
+		return nil, fmt.Errorf("unknown form %s", form)
+	}
+	if _, err := s.Run(ddl+`; UPDATE f SET v = MOD(x + y, 7)`, nil); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// FormAggregate runs the F2 workload: a full-scan aggregate.
+func FormAggregate(s *core.Session) (float64, error) {
+	ds, err := s.Run(`SELECT SUM(v), COUNT(v) FROM f`, nil)
+	if err != nil {
+		return 0, err
+	}
+	return ds.Get(0, 0).AsFloat(), nil
+}
+
+// ---------------------------------------------------------------------------
+// F3 — tiling
+
+// NewMatrixSession creates an n×n matrix with v = x*n + y for tiling
+// experiments.
+func NewMatrixSession(n int64) (*core.Session, error) {
+	s := core.NewSession()
+	_, err := s.Run(fmt.Sprintf(`
+		CREATE ARRAY matrix (x INTEGER DIMENSION[%d], y INTEGER DIMENSION[%d], v FLOAT DEFAULT 0.0);
+		UPDATE matrix SET v = x * %d + y;`, n, n, n), nil)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Tiling runs the F3 workload: t×t tile averages, overlapping or
+// DISTINCT, returning the group count.
+func Tiling(s *core.Session, t int64, distinct bool) (int, error) {
+	kw := ""
+	if distinct {
+		kw = "DISTINCT "
+	}
+	ds, err := s.Run(fmt.Sprintf(
+		`SELECT [x], [y], AVG(v) FROM matrix GROUP BY %smatrix[x:x+%d][y:y+%d]`, kw, t, t), nil)
+	if err != nil {
+		return 0, err
+	}
+	return ds.NumRows(), nil
+}
+
+// ---------------------------------------------------------------------------
+// A1–A6 — the AML image-analysis suite (§7.1)
+
+// AML bundles the Landsat session state for the §7.1 experiments.
+type AML struct {
+	S  *core.Session
+	N  int
+	Ls *workload.Landsat
+}
+
+// NewAML loads a synthetic 7-channel n×n scene plus per-band working
+// arrays b3/b4 and declares the §7.1 functions.
+func NewAML(n int) (*AML, error) {
+	s := core.NewSession()
+	if err := s.DeclareStdFunctions(); err != nil {
+		return nil, err
+	}
+	ls := workload.NewLandsat(7, n, 42)
+	if _, err := s.LoadLandsat("landsat", ls); err != nil {
+		return nil, err
+	}
+	if _, err := s.LoadChannel("b3", ls, 3); err != nil {
+		return nil, err
+	}
+	if _, err := s.LoadChannel("b4", ls, 4); err != nil {
+		return nil, err
+	}
+	_, err := s.Run(`
+		CREATE FUNCTION tvi (b3v REAL, b4v REAL) RETURNS REAL
+		RETURN POWER(((b4v - b3v) / (b4v + b3v) + 0.5), 0.5);
+		CREATE FUNCTION intens2radiance (b INT, lmin REAL, lmax REAL) RETURNS REAL
+		RETURN (lmax-lmin) * b / 255.0 + lmin;
+		CREATE FUNCTION conv (a ARRAY(i INTEGER DIMENSION[3], j INTEGER DIMENSION[3], v FLOAT))
+		RETURNS FLOAT
+		BEGIN
+			DECLARE s1 FLOAT, s2 FLOAT, z FLOAT;
+			SET s1 = (a[0][0].v + a[0][2].v + a[2][0].v + a[2][2].v)/4.0;
+			SET s2 = (a[0][1].v + a[1][0].v + a[1][2].v + a[2][1].v)/4.0;
+			SET z = 2 * ABS(s1 - s2);
+			IF ((ABS(a[1][1].v - s1) > z) OR (ABS(a[1][1].v - s2) > z))
+			THEN RETURN s2;
+			ELSE RETURN a[1][1].v;
+			END IF;
+		END;
+	`, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &AML{S: s, N: n, Ls: ls}, nil
+}
+
+// Destripe runs A1: the every-sixth-line channel-6 correction.
+func (a *AML) Destripe() error {
+	_, err := a.S.Run(`UPDATE landsat SET v = noise(v, ?delta) WHERE channel = 6 AND MOD(x,6) = 1`,
+		map[string]value.Value{"delta": value.NewFloat(float64(a.Ls.Delta))})
+	return err
+}
+
+// StripedLineMeans reports (striped-line mean, clean-line mean) of
+// channel 6 for validating A1.
+func (a *AML) StripedLineMeans() (striped, clean float64, err error) {
+	ds, err := a.S.Run(`SELECT AVG(v) FROM landsat WHERE channel = 6 AND MOD(x,6) = 1`, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	striped = ds.Get(0, 0).AsFloat()
+	ds, err = a.S.Run(`SELECT AVG(v) FROM landsat WHERE channel = 6 AND MOD(x,6) = 0`, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	return striped, ds.Get(0, 0).AsFloat(), nil
+}
+
+// TVI runs A2 on an inner window of w×w pixels: the 3×3 conv filter on
+// bands 3 and 4 composed through the tvi white-box function.
+func (a *AML) TVI(w int) (int, error) {
+	if w > a.N-2 {
+		w = a.N - 2
+	}
+	ds, err := a.S.Run(fmt.Sprintf(`
+		SELECT [x], [y], tvi(conv(b3[x-1:x+2][y-1:y+2]), conv(b4[x-1:x+2][y-1:y+2]))
+		FROM b3[1:%d][1:%d]`, 1+w, 1+w), nil)
+	if err != nil {
+		return 0, err
+	}
+	return ds.NumRows(), nil
+}
+
+// NDVI runs A3: radiance conversion and the normalized difference
+// vegetation index, materialized into a fresh ndvi array.
+func (a *AML) NDVI(tag int) (float64, error) {
+	name := fmt.Sprintf("ndvi%d", tag)
+	_, err := a.S.Run(fmt.Sprintf(`
+		CREATE ARRAY %s (x INT DIMENSION[%d], y INT DIMENSION[%d], b1 REAL, b2 REAL, v REAL);
+		UPDATE %s SET
+			b1 = (SELECT intens2radiance(landsat[3][x][y].v, ?lmin, ?lmax) FROM landsat),
+			b2 = (SELECT intens2radiance(landsat[4][x][y].v, ?lmin, ?lmax) FROM landsat),
+			v  = (b2 - b1) / (b2 + b1);
+	`, name, a.N, a.N, name),
+		map[string]value.Value{"lmin": value.NewFloat(0.5), "lmax": value.NewFloat(1.5)})
+	if err != nil {
+		return 0, err
+	}
+	ds, err := a.S.Run(`SELECT AVG(v) FROM `+name, nil)
+	if err != nil {
+		return 0, err
+	}
+	avg := ds.Get(0, 0).AsFloat()
+	_, err = a.S.Run(`DROP ARRAY `+name, nil)
+	return avg, err
+}
+
+// Mask runs A4: 3×3 tile averages filtered to [10, 100].
+func (a *AML) Mask() (int, error) {
+	ds, err := a.S.Run(`
+		SELECT [x], [y], AVG(v) FROM b3
+		GROUP BY b3[x-1:x+2][y-1:y+2]
+		HAVING AVG(v) BETWEEN 10 AND 100`, nil)
+	if err != nil {
+		return 0, err
+	}
+	return ds.NumRows(), nil
+}
+
+// Wavelet runs A5: reconstruct an n×n/2 image from two n/2×n/2
+// component arrays using the array-slicing formulation.
+func (a *AML) Wavelet(tag int) error {
+	h := a.N / 2
+	_, err := a.S.Run(fmt.Sprintf(`
+		CREATE ARRAY wd%[1]d (x INTEGER DIMENSION[%[2]d], y INTEGER DIMENSION[%[2]d], v FLOAT DEFAULT 1.0);
+		CREATE ARRAY we%[1]d (x INTEGER DIMENSION[%[2]d], y INTEGER DIMENSION[%[2]d], v FLOAT DEFAULT 0.25);
+		CREATE ARRAY wimg%[1]d (x INTEGER DIMENSION[%[3]d], y INTEGER DIMENSION[%[2]d], v FLOAT DEFAULT 0.0);
+		UPDATE wimg%[1]d SET wimg%[1]d[x][y].v =
+			(SELECT wd%[1]d[x/2][y].v + we%[1]d[x/2][y].v * POWER(-1,x) FROM wd%[1]d, we%[1]d);
+		DROP ARRAY wd%[1]d; DROP ARRAY we%[1]d; DROP ARRAY wimg%[1]d;
+	`, tag, h, a.N), nil)
+	return err
+}
+
+// MatVec runs A6: matrix–vector multiplication via row tiling at the
+// given edge length.
+func MatVec(n int64) (float64, error) {
+	s := core.NewSession()
+	_, err := s.Run(fmt.Sprintf(`
+		CREATE ARRAY a (x INT DIMENSION[%d], y INT DIMENSION[%d], v FLOAT DEFAULT 0.0);
+		CREATE ARRAY b (k INT DIMENSION[%d], v FLOAT DEFAULT 0.0);
+		CREATE ARRAY m (x INT DIMENSION[%d], v FLOAT DEFAULT 0.0);
+		UPDATE a SET v = MOD(x + y, 5);
+		UPDATE b SET v = MOD(k, 3);
+	`, n, n, n, n), nil)
+	if err != nil {
+		return 0, err
+	}
+	_, err = s.Run(`UPDATE m SET m[x].v = (SELECT SUM(a[x][y].v * b[y].v) FROM a GROUP BY a[x][*])`, nil)
+	if err != nil {
+		return 0, err
+	}
+	ds, err := s.Run(`SELECT SUM(v) FROM m`, nil)
+	if err != nil {
+		return 0, err
+	}
+	return ds.Get(0, 0).AsFloat(), nil
+}
+
+// ---------------------------------------------------------------------------
+// X1 — structural grouping vs the relational self-join baseline
+
+// ConvTiling computes a 4-neighbor average with SciQL structural
+// grouping (the paper's claim: windows express naturally and evaluate
+// with positional access).
+func ConvTiling(s *core.Session) (int, error) {
+	ds, err := s.Run(`
+		SELECT [x], [y], AVG(v) FROM matrix
+		GROUP BY matrix[x][y], matrix[x-1][y], matrix[x+1][y], matrix[x][y-1], matrix[x][y+1]`, nil)
+	if err != nil {
+		return 0, err
+	}
+	return ds.NumRows(), nil
+}
+
+// ConvRelationalSetup materializes the same array as a relational
+// table for the baseline.
+func ConvRelationalSetup(s *core.Session) error {
+	_, err := s.Run(`
+		CREATE TABLE imgt (x INTEGER, y INTEGER, v FLOAT);
+		INSERT INTO imgt SELECT x, y, v FROM matrix;`, nil)
+	return err
+}
+
+// ConvRelational computes the identical 4-neighbor average in pure
+// relational SQL: four shifted self-joins — the verbose, join-heavy
+// formulation the paper's introduction calls out.
+func ConvRelational(s *core.Session) (int, error) {
+	ds, err := s.Run(`
+		SELECT a.x, a.y, (a.v + n1.v + n2.v + n3.v + n4.v) / 5
+		FROM imgt a
+		JOIN (SELECT x + 1 AS xr, y AS yr, v FROM imgt) n1 ON a.x = n1.xr AND a.y = n1.yr
+		JOIN (SELECT x - 1 AS xl, y AS yl, v FROM imgt) n2 ON a.x = n2.xl AND a.y = n2.yl
+		JOIN (SELECT x AS xu, y + 1 AS yu, v FROM imgt) n3 ON a.x = n3.xu AND a.y = n3.yu
+		JOIN (SELECT x AS xd, y - 1 AS yd, v FROM imgt) n4 ON a.x = n4.xd AND a.y = n4.yd`, nil)
+	if err != nil {
+		return 0, err
+	}
+	return ds.NumRows(), nil
+}

@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func TestMakeGridDensity(t *testing.T) {
+	a, err := MakeGrid(storage.SchemeVirtual, 64, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := a.Store.Len()
+	// ~10% of 4096 cells, generous tolerance.
+	if n < 250 || n > 600 {
+		t.Fatalf("density fill = %d cells, expected ~410", n)
+	}
+	// Full density fills everything.
+	a, _ = MakeGrid(storage.SchemeTabular, 32, 1.0, 1)
+	if a.Store.Len() != 1024 {
+		t.Fatalf("full density = %d", a.Store.Len())
+	}
+}
+
+func TestWorkloadsAgreeAcrossSchemes(t *testing.T) {
+	var ref float64
+	for i, scheme := range []string{storage.SchemeVirtual, storage.SchemeTabular, storage.SchemeDOrder, storage.SchemeSlab} {
+		a, err := MakeGrid(scheme, 32, 0.5, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := ScanSum(a)
+		p := PointProbes(a, 512, 3)
+		sl := SliceSum(a)
+		sum := s + p + sl
+		if i == 0 {
+			ref = sum
+			continue
+		}
+		if sum != ref {
+			t.Errorf("%s workload checksum %v != virtual %v", scheme, sum, ref)
+		}
+	}
+}
+
+func TestMakeGridSlabMatchesVirtual(t *testing.T) {
+	v, _ := MakeGrid(storage.SchemeVirtual, 32, 1.0, 1)
+	s, err := MakeGridSlab(32, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ScanSum(v) != ScanSum(s) {
+		t.Fatal("slab grid differs from virtual grid")
+	}
+}
+
+func TestFormsAggregate(t *testing.T) {
+	for _, form := range []string{"matrix", "stripes", "diagonal", "sparse"} {
+		s, err := MakeForm(form, 16)
+		if err != nil {
+			t.Fatalf("%s: %v", form, err)
+		}
+		if _, err := FormAggregate(s); err != nil {
+			t.Fatalf("%s aggregate: %v", form, err)
+		}
+	}
+	if _, err := MakeForm("bogus", 8); err == nil {
+		t.Fatal("unknown form should error")
+	}
+}
+
+func TestTilingCounts(t *testing.T) {
+	s, err := NewMatrixSession(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := Tiling(s, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over != 64 {
+		t.Fatalf("overlapping groups = %d, want 64", over)
+	}
+	dist, err := Tiling(s, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist != 16 {
+		t.Fatalf("distinct groups = %d, want 16", dist)
+	}
+}
+
+func TestAMLPipelineSmall(t *testing.T) {
+	a, err := NewAML(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, clean, err := a.StripedLineMeans()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before <= clean {
+		t.Fatalf("striping not present: striped %v vs clean %v", before, clean)
+	}
+	if err := a.Destripe(); err != nil {
+		t.Fatal(err)
+	}
+	after, clean2, _ := a.StripedLineMeans()
+	if diff := after - clean2; diff > 3 || diff < -3 {
+		t.Errorf("destripe did not converge: %v vs %v", after, clean2)
+	}
+	if n, err := a.TVI(8); err != nil || n != 64 {
+		t.Fatalf("TVI: %d %v", n, err)
+	}
+	avg, err := a.NDVI(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg <= 0 {
+		t.Errorf("NDVI mean %v should be positive (vegetation)", avg)
+	}
+	if _, err := a.Mask(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Wavelet(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatVecChecksum(t *testing.T) {
+	// With a[x][y] = MOD(x+y,5), b[k] = MOD(k,3), the checksum is
+	// deterministic; recompute in Go.
+	n := int64(8)
+	want := 0.0
+	for x := int64(0); x < n; x++ {
+		for y := int64(0); y < n; y++ {
+			want += float64((x+y)%5) * float64(y%3)
+		}
+	}
+	got, err := MatVec(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("matvec checksum = %v, want %v", got, want)
+	}
+}
+
+func TestConvBaselineAgreement(t *testing.T) {
+	s, err := NewMatrixSession(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ConvRelationalSetup(s); err != nil {
+		t.Fatal(err)
+	}
+	nt, err := ConvTiling(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr, err := ConvRelational(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nt != 64 {
+		t.Fatalf("tiling anchors = %d, want 64", nt)
+	}
+	// The relational form drops border cells (no neighbor rows): 6x6.
+	if nr != 36 {
+		t.Fatalf("relational rows = %d, want 36", nr)
+	}
+}
+
+func TestAstroBinningConservesEvents(t *testing.T) {
+	a, err := NewAstro(5000, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := a.Binning(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 5000 {
+		t.Fatalf("binned %d, want 5000", total)
+	}
+	if err := a.PrepareImage(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Rebin(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWCSReferencePixel(t *testing.T) {
+	s, err := NewWCSSession(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WCS(s); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := s.Run(`SELECT wcs_x, wcs_y FROM img WHERE x = 8 AND y = 8`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Get(0, 0).AsFloat() != 0 || ds.Get(0, 1).AsFloat() != 0 {
+		t.Fatalf("reference pixel should map to origin: %v %v", ds.Get(0, 0), ds.Get(0, 1))
+	}
+}
+
+func TestSeisDetectors(t *testing.T) {
+	se, err := NewSeis(2000, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps, err := se.Gaps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gaps != len(se.W.GapStarts) {
+		t.Fatalf("gaps found %d, injected %d", gaps, len(se.W.GapStarts))
+	}
+	spikes, err := se.Spikes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spikes < len(se.W.SpikeTimes) {
+		t.Fatalf("spike jumps %d < injected %d", spikes, len(se.W.SpikeTimes))
+	}
+	if _, err := se.Retrieve(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := se.MovAvg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 2000 {
+		t.Fatalf("moving-average rows = %d, want 2000", rows)
+	}
+}
+
+func TestVaultFixtureCounts(t *testing.T) {
+	v, err := NewVaultFixture(32, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	lazy, err := v.LazyCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := v.FullCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lazy != 32*32 || full != lazy {
+		t.Fatalf("counts: lazy=%d full=%d", lazy, full)
+	}
+}
+
+func TestMarshalFixtureAgreement(t *testing.T) {
+	m, err := NewMarshalFixture(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.MarshalAligned()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.MarshalRecast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != r {
+		t.Fatalf("aligned and recast marshals disagree: %v vs %v", a, r)
+	}
+}

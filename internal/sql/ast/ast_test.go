@@ -1,0 +1,98 @@
+package ast
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestIdentString(t *testing.T) {
+	if (&Ident{Name: "x"}).String() != "x" {
+		t.Error("bare ident")
+	}
+	if (&Ident{Table: "t", Name: "x"}).String() != "t.x" {
+		t.Error("qualified ident")
+	}
+}
+
+func TestIsAggregate(t *testing.T) {
+	for _, name := range []string{"SUM", "sum", "Count", "AVG", "min", "MAX"} {
+		if !(&FuncCall{Name: name}).IsAggregate() {
+			t.Errorf("%s should be an aggregate", name)
+		}
+	}
+	for _, name := range []string{"ABS", "conv", "next"} {
+		if (&FuncCall{Name: name}).IsAggregate() {
+			t.Errorf("%s should not be an aggregate", name)
+		}
+	}
+}
+
+func TestWalkVisitsEverything(t *testing.T) {
+	// (a + ABS(b)) BETWEEN c AND CASE WHEN d THEN e ELSE f END
+	e := &Between{
+		X:  &Binary{Op: "+", L: &Ident{Name: "a"}, R: &FuncCall{Name: "ABS", Args: []Expr{&Ident{Name: "b"}}}},
+		Lo: &Ident{Name: "c"},
+		Hi: &Case{Whens: []WhenClause{{Cond: &Ident{Name: "d"}, Result: &Ident{Name: "e"}}}, Else: &Ident{Name: "f"}},
+	}
+	var names []string
+	Walk(e, func(n Expr) bool {
+		if id, ok := n.(*Ident); ok {
+			names = append(names, id.Name)
+		}
+		return true
+	})
+	if len(names) != 6 {
+		t.Fatalf("walk found %d idents (%v), want 6", len(names), names)
+	}
+}
+
+func TestWalkPrunes(t *testing.T) {
+	e := &Binary{Op: "+", L: &FuncCall{Name: "f", Args: []Expr{&Ident{Name: "inner"}}}, R: &Ident{Name: "outer"}}
+	var seen []string
+	Walk(e, func(n Expr) bool {
+		switch x := n.(type) {
+		case *FuncCall:
+			return false // prune the call's arguments
+		case *Ident:
+			seen = append(seen, x.Name)
+		}
+		return true
+	})
+	if len(seen) != 1 || seen[0] != "outer" {
+		t.Fatalf("pruning failed: %v", seen)
+	}
+}
+
+func TestWalkArrayRefIndexers(t *testing.T) {
+	ref := &ArrayRef{
+		Base: &Ident{Name: "m"},
+		Indexers: []Indexer{
+			{Point: &Ident{Name: "x"}},
+			{Range: true, Start: &Ident{Name: "lo"}, Stop: &Ident{Name: "hi"}},
+		},
+		Attr: "v",
+	}
+	count := 0
+	Walk(ref, func(n Expr) bool {
+		if _, ok := n.(*Ident); ok {
+			count++
+		}
+		return true
+	})
+	if count != 4 {
+		t.Fatalf("array-ref walk found %d idents, want 4 (base, x, lo, hi)", count)
+	}
+}
+
+func TestHasAggregate(t *testing.T) {
+	agg := &Binary{Op: "+", L: &Literal{Val: value.NewInt(1)},
+		R: &FuncCall{Name: "SUM", Args: []Expr{&Ident{Name: "v"}}}}
+	if !HasAggregate(agg) {
+		t.Error("nested SUM not detected")
+	}
+	plain := &FuncCall{Name: "ABS", Args: []Expr{&Ident{Name: "v"}}}
+	if HasAggregate(plain) {
+		t.Error("ABS misdetected as aggregate")
+	}
+}

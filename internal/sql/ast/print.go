@@ -1,0 +1,387 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Format renders an expression back to SciQL text. The output is
+// normalized (parenthesized infix, uppercase keywords) and re-parses
+// to an equivalent tree — the parser round-trip property tests rely on
+// this.
+func Format(e Expr) string {
+	var sb strings.Builder
+	formatExpr(&sb, e)
+	return sb.String()
+}
+
+func formatExpr(sb *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case nil:
+		return
+	case *Literal:
+		formatLiteral(sb, x.Val)
+	case *Ident:
+		sb.WriteString(x.String())
+	case *Param:
+		sb.WriteByte('?')
+		sb.WriteString(x.Name)
+	case *Unary:
+		if x.Op == "NOT" {
+			sb.WriteString("NOT ")
+		} else {
+			sb.WriteString(x.Op)
+		}
+		sb.WriteByte('(')
+		formatExpr(sb, x.X)
+		sb.WriteByte(')')
+	case *Binary:
+		sb.WriteByte('(')
+		formatExpr(sb, x.L)
+		sb.WriteByte(' ')
+		sb.WriteString(x.Op)
+		sb.WriteByte(' ')
+		formatExpr(sb, x.R)
+		sb.WriteByte(')')
+	case *FuncCall:
+		sb.WriteString(x.Name)
+		sb.WriteByte('(')
+		if x.Star {
+			sb.WriteByte('*')
+		} else {
+			if x.Distinct {
+				sb.WriteString("DISTINCT ")
+			}
+			for i, a := range x.Args {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				formatExpr(sb, a)
+			}
+		}
+		sb.WriteByte(')')
+	case *Case:
+		sb.WriteString("CASE")
+		if x.Operand != nil {
+			sb.WriteByte(' ')
+			formatExpr(sb, x.Operand)
+		}
+		for _, w := range x.Whens {
+			sb.WriteString(" WHEN ")
+			formatExpr(sb, w.Cond)
+			sb.WriteString(" THEN ")
+			formatExpr(sb, w.Result)
+		}
+		if x.Else != nil {
+			sb.WriteString(" ELSE ")
+			formatExpr(sb, x.Else)
+		}
+		sb.WriteString(" END")
+	case *Cast:
+		sb.WriteString("CAST(")
+		formatExpr(sb, x.X)
+		sb.WriteString(" AS ")
+		sb.WriteString(typeName(x.To))
+		sb.WriteByte(')')
+	case *IsNull:
+		sb.WriteByte('(')
+		formatExpr(sb, x.X)
+		if x.Neg {
+			sb.WriteString(" IS NOT NULL)")
+		} else {
+			sb.WriteString(" IS NULL)")
+		}
+	case *Between:
+		sb.WriteByte('(')
+		formatExpr(sb, x.X)
+		if x.Neg {
+			sb.WriteString(" NOT")
+		}
+		sb.WriteString(" BETWEEN ")
+		formatExpr(sb, x.Lo)
+		sb.WriteString(" AND ")
+		formatExpr(sb, x.Hi)
+		sb.WriteByte(')')
+	case *InList:
+		sb.WriteByte('(')
+		formatExpr(sb, x.X)
+		if x.Neg {
+			sb.WriteString(" NOT")
+		}
+		sb.WriteString(" IN (")
+		for i, el := range x.Elems {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			formatExpr(sb, el)
+		}
+		sb.WriteString("))")
+	case *Subquery:
+		sb.WriteByte('(')
+		sb.WriteString(FormatSelect(x.Select))
+		sb.WriteByte(')')
+	case *Star:
+		if x.Table != "" {
+			sb.WriteString(x.Table)
+			sb.WriteByte('.')
+		}
+		sb.WriteByte('*')
+	case *ArrayRef:
+		formatExpr(sb, x.Base)
+		for _, ix := range x.Indexers {
+			sb.WriteByte('[')
+			switch {
+			case ix.Star:
+				sb.WriteByte('*')
+			case ix.Point != nil:
+				formatExpr(sb, ix.Point)
+			default:
+				if ix.Start != nil {
+					formatExpr(sb, ix.Start)
+				} else {
+					sb.WriteByte('*')
+				}
+				sb.WriteByte(':')
+				if ix.Stop != nil {
+					formatExpr(sb, ix.Stop)
+				} else {
+					sb.WriteByte('*')
+				}
+				if ix.Step != nil {
+					sb.WriteByte(':')
+					formatExpr(sb, ix.Step)
+				}
+			}
+			sb.WriteByte(']')
+		}
+		if x.Attr != "" {
+			sb.WriteByte('.')
+			sb.WriteString(x.Attr)
+		}
+	case *ArrayLit:
+		sb.WriteString("ARRAY(")
+		if len(x.Rows) == 1 {
+			for i, e2 := range x.Rows[0] {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				formatExpr(sb, e2)
+			}
+		} else {
+			for r, row := range x.Rows {
+				if r > 0 {
+					sb.WriteString(", ")
+				}
+				sb.WriteByte('(')
+				for i, e2 := range row {
+					if i > 0 {
+						sb.WriteString(", ")
+					}
+					formatExpr(sb, e2)
+				}
+				sb.WriteByte(')')
+			}
+		}
+		sb.WriteByte(')')
+	case *ExprList:
+		sb.WriteByte('(')
+		for i, el := range x.Elems {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			formatExpr(sb, el)
+		}
+		sb.WriteByte(')')
+	default:
+		fmt.Fprintf(sb, "/*%T*/", e)
+	}
+}
+
+func formatLiteral(sb *strings.Builder, v value.Value) {
+	if v.Null {
+		sb.WriteString("NULL")
+		return
+	}
+	switch v.Typ {
+	case value.String:
+		sb.WriteByte('\'')
+		sb.WriteString(strings.ReplaceAll(v.S, "'", "''"))
+		sb.WriteByte('\'')
+	case value.Timestamp:
+		sb.WriteString("TIMESTAMP '")
+		sb.WriteString(v.Time().Format("2006-01-02 15:04:05"))
+		sb.WriteByte('\'')
+	case value.Bool:
+		if v.B {
+			sb.WriteString("TRUE")
+		} else {
+			sb.WriteString("FALSE")
+		}
+	case value.Int:
+		if v.I < 0 {
+			// Negative literals format as a parenthesized negation so
+			// they survive subtraction contexts (a - -1).
+			fmt.Fprintf(sb, "(-%d)", -v.I)
+			return
+		}
+		sb.WriteString(v.String())
+	case value.Float:
+		if v.F < 0 {
+			fmt.Fprintf(sb, "(-%v)", -v.F)
+			return
+		}
+		s := v.String()
+		sb.WriteString(s)
+		if !strings.ContainsAny(s, ".eE") {
+			sb.WriteString(".0")
+		}
+	default:
+		sb.WriteString(v.String())
+	}
+}
+
+func typeName(t value.Type) string {
+	switch t {
+	case value.Int:
+		return "INTEGER"
+	case value.Float:
+		return "FLOAT"
+	case value.String:
+		return "VARCHAR"
+	case value.Bool:
+		return "BOOLEAN"
+	case value.Timestamp:
+		return "TIMESTAMP"
+	default:
+		return "FLOAT"
+	}
+}
+
+// FormatSelect renders a SELECT back to SciQL text.
+func FormatSelect(s *Select) string {
+	var sb strings.Builder
+	formatSelectCore(&sb, s)
+	for cur := s; cur.SetRight != nil; cur = cur.SetRight {
+		sb.WriteByte(' ')
+		sb.WriteString(cur.SetOp)
+		sb.WriteByte(' ')
+		formatSelectCore(&sb, cur.SetRight)
+	}
+	return sb.String()
+}
+
+func formatSelectCore(sb *strings.Builder, s *Select) {
+	sb.WriteString("SELECT ")
+	if s.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		if it.DimQual {
+			sb.WriteByte('[')
+			formatExpr(sb, it.Expr)
+			sb.WriteByte(']')
+		} else {
+			formatExpr(sb, it.Expr)
+		}
+		if it.Alias != "" {
+			sb.WriteString(" AS ")
+			sb.WriteString(it.Alias)
+		}
+	}
+	if len(s.From) > 0 {
+		sb.WriteString(" FROM ")
+		for i, fi := range s.From {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			formatFromItem(sb, fi)
+		}
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE ")
+		formatExpr(sb, s.Where)
+	}
+	if s.GroupBy != nil {
+		sb.WriteString(" GROUP BY ")
+		if s.GroupBy.Distinct {
+			sb.WriteString("DISTINCT ")
+		}
+		n := 0
+		for _, e := range s.GroupBy.Exprs {
+			if n > 0 {
+				sb.WriteString(", ")
+			}
+			formatExpr(sb, e)
+			n++
+		}
+		for _, t := range s.GroupBy.Tiles {
+			if n > 0 {
+				sb.WriteString(", ")
+			}
+			formatExpr(sb, t.Ref)
+			n++
+		}
+	}
+	if s.Having != nil {
+		sb.WriteString(" HAVING ")
+		formatExpr(sb, s.Having)
+	}
+	for i, oi := range s.OrderBy {
+		if i == 0 {
+			sb.WriteString(" ORDER BY ")
+		} else {
+			sb.WriteString(", ")
+		}
+		formatExpr(sb, oi.Expr)
+		if oi.Desc {
+			sb.WriteString(" DESC")
+		}
+	}
+	if s.Limit != nil {
+		sb.WriteString(" LIMIT ")
+		formatExpr(sb, s.Limit)
+	}
+}
+
+func formatFromItem(sb *strings.Builder, fi FromItem) {
+	switch t := fi.(type) {
+	case *TableRef:
+		if t.Subquery != nil {
+			sb.WriteByte('(')
+			sb.WriteString(FormatSelect(t.Subquery))
+			sb.WriteByte(')')
+		} else {
+			sb.WriteString(t.Name)
+			for _, ix := range t.Indexers {
+				ref := &ArrayRef{Base: &Ident{Name: ""}, Indexers: []Indexer{ix}}
+				var tmp strings.Builder
+				formatExpr(&tmp, ref)
+				sb.WriteString(tmp.String())
+			}
+		}
+		if t.Alias != "" {
+			sb.WriteString(" AS ")
+			sb.WriteString(t.Alias)
+		}
+	case *Join:
+		formatFromItem(sb, t.Left)
+		switch t.Kind {
+		case "CROSS":
+			sb.WriteString(" CROSS JOIN ")
+		case "LEFT":
+			sb.WriteString(" LEFT JOIN ")
+		default:
+			sb.WriteString(" JOIN ")
+		}
+		formatFromItem(sb, t.Right)
+		if t.On != nil {
+			sb.WriteString(" ON ")
+			formatExpr(sb, t.On)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package lexer tokenizes SciQL source text. The token set is
+// SQL:2003 plus the SciQL additions: '[' ']' for dimension patterns
+// and slicing, ':' for sequence patterns, '?' named host parameters
+// and '*' in index position.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Kind classifies a token.
+type Kind uint8
+
+const (
+	// EOF marks the end of input.
+	EOF Kind = iota
+	// Ident is an identifier or non-reserved keyword.
+	Ident
+	// Keyword is a reserved word (uppercased in Text).
+	Keyword
+	// Number is an integer or decimal literal.
+	Number
+	// Str is a single-quoted string literal (Text holds the unquoted value).
+	Str
+	// Param is a named host parameter ?name (Text holds name, possibly empty).
+	Param
+	// Symbol is an operator or punctuation (Text holds the symbol).
+	Symbol
+)
+
+// Token is one lexical unit with its source position (for errors).
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  int // byte offset
+	Line int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case EOF:
+		return "end of input"
+	case Str:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+// keywords lists the reserved words of the dialect. Everything else
+// lexes as Ident.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "DISTINCT": true,
+	"AS": true, "AND": true, "OR": true, "NOT": true, "NULL": true,
+	"IS": true, "IN": true, "BETWEEN": true, "LIKE": true, "CASE": true,
+	"WHEN": true, "THEN": true, "ELSE": true, "END": true, "CAST": true,
+	"CREATE": true, "TABLE": true, "ARRAY": true, "DIMENSION": true,
+	"DEFAULT": true, "CHECK": true, "SEQUENCE": true, "FUNCTION": true,
+	"RETURNS": true, "RETURN": true, "BEGIN": true, "DECLARE": true,
+	"IF": true, "EXTERNAL": true, "START": true,
+	"WITH": true, "INCREMENT": true, "MAXVALUE": true, "INSERT": true,
+	"INTO": true, "VALUES": true, "UPDATE": true, "SET": true,
+	"DELETE": true, "ALTER": true, "ADD": true, "DROP": true,
+	"JOIN": true, "ON": true, "INNER": true, "LEFT": true, "CROSS": true,
+	"UNION": true, "ALL": true, "ASC": true, "DESC": true,
+	"PRIMARY": true, "FOREIGN": true, "KEY": true, "REFERENCES": true,
+	"TRUE": true, "FALSE": true, "TIMESTAMP": true, "DATE": true,
+	"INTEGER": true, "INT": true, "BIGINT": true, "FLOAT": true,
+	"REAL": true, "DOUBLE": true, "VARCHAR": true, "CHAR": true,
+	"BOOLEAN": true, "COUNT": false, // COUNT stays an Ident-like function name
+}
+
+// Lexer scans SciQL text into tokens with one-token lookahead handled
+// by the parser.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer { return &Lexer{src: src, line: 1} }
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpace()
+	if l.pos >= len(l.src) {
+		return Token{Kind: EOF, Pos: l.pos, Line: l.line}, nil
+	}
+	start, line := l.pos, l.line
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(rune(c)):
+		l.pos++
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		up := strings.ToUpper(word)
+		if keywords[up] {
+			return Token{Kind: Keyword, Text: up, Pos: start, Line: line}, nil
+		}
+		return Token{Kind: Ident, Text: word, Pos: start, Line: line}, nil
+	case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+		return l.number(start, line)
+	case c == '\'':
+		return l.str(start, line)
+	case c == '"':
+		// Delimited identifier.
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return Token{}, fmt.Errorf("line %d: unterminated delimited identifier", line)
+		}
+		text := l.src[start+1 : l.pos]
+		l.pos++
+		return Token{Kind: Ident, Text: text, Pos: start, Line: line}, nil
+	case c == '?':
+		l.pos++
+		nstart := l.pos
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		return Token{Kind: Param, Text: l.src[nstart:l.pos], Pos: start, Line: line}, nil
+	default:
+		return l.symbol(start, line)
+	}
+}
+
+// All tokenizes the remaining input (testing convenience).
+func (l *Lexer) All() ([]Token, error) {
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *Lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			l.pos += 2
+		default:
+			return
+		}
+	}
+}
+
+func (l *Lexer) number(start, line int) (Token, error) {
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' {
+		l.pos++
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+	}
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		save := l.pos
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+			l.pos++
+		}
+		if l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+		} else {
+			l.pos = save
+		}
+	}
+	return Token{Kind: Number, Text: l.src[start:l.pos], Pos: start, Line: line}, nil
+}
+
+func (l *Lexer) str(start, line int) (Token, error) {
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return Token{Kind: Str, Text: sb.String(), Pos: start, Line: line}, nil
+		}
+		if c == '\n' {
+			l.line++
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return Token{}, fmt.Errorf("line %d: unterminated string literal", line)
+}
+
+// twoCharSymbols lists the multi-byte operators, longest match first.
+var twoCharSymbols = []string{"<>", "<=", ">=", "!=", "||"}
+
+func (l *Lexer) symbol(start, line int) (Token, error) {
+	for _, s := range twoCharSymbols {
+		if strings.HasPrefix(l.src[l.pos:], s) {
+			l.pos += len(s)
+			text := s
+			if text == "!=" {
+				text = "<>"
+			}
+			return Token{Kind: Symbol, Text: text, Pos: start, Line: line}, nil
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '+', '-', '*', '/', '%', '=', '<', '>', '(', ')', '[', ']', ',', ';', ':', '.':
+		l.pos++
+		return Token{Kind: Symbol, Text: string(c), Pos: start, Line: line}, nil
+	}
+	return Token{}, fmt.Errorf("line %d: unexpected character %q", line, c)
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentPart(r rune) bool  { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' }
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }

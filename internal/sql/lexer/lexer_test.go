@@ -1,0 +1,108 @@
+package lexer
+
+import "testing"
+
+func kinds(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := New(src).All()
+	if err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	return toks
+}
+
+func TestBasicTokens(t *testing.T) {
+	toks := kinds(t, `SELECT x, 1.5 FROM "Weird Name" WHERE s = 'it''s'`)
+	want := []struct {
+		k Kind
+		s string
+	}{
+		{Keyword, "SELECT"}, {Ident, "x"}, {Symbol, ","}, {Number, "1.5"},
+		{Keyword, "FROM"}, {Ident, "Weird Name"}, {Keyword, "WHERE"},
+		{Ident, "s"}, {Symbol, "="}, {Str, "it's"}, {EOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("token count %d, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.k || toks[i].Text != w.s {
+			t.Errorf("token %d = (%v %q), want (%v %q)", i, toks[i].Kind, toks[i].Text, w.k, w.s)
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	toks := kinds(t, `<> <= >= != || [ ] : * ? ?abc`)
+	wantText := []string{"<>", "<=", ">=", "<>", "||", "[", "]", ":", "*"}
+	for i, w := range wantText {
+		if toks[i].Text != w {
+			t.Errorf("op %d = %q, want %q", i, toks[i].Text, w)
+		}
+	}
+	if toks[9].Kind != Param || toks[9].Text != "" {
+		t.Errorf("bare ? should be empty-named param: %v", toks[9])
+	}
+	if toks[10].Kind != Param || toks[10].Text != "abc" {
+		t.Errorf("?abc param wrong: %v", toks[10])
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks := kinds(t, "SELECT -- trailing comment\n 1 /* block\ncomment */ + 2")
+	if len(toks) != 5 { // SELECT 1 + 2 EOF
+		t.Fatalf("comments not skipped: %v", toks)
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	cases := map[string]string{
+		"42":     "42",
+		"3.25":   "3.25",
+		"1e6":    "1e6",
+		"2.5E-3": "2.5E-3",
+	}
+	for src, want := range cases {
+		toks := kinds(t, src)
+		if toks[0].Kind != Number || toks[0].Text != want {
+			t.Errorf("%q lexed as %v %q", src, toks[0].Kind, toks[0].Text)
+		}
+	}
+}
+
+func TestLineTracking(t *testing.T) {
+	toks := kinds(t, "SELECT\n\nx")
+	if toks[1].Line != 3 {
+		t.Errorf("x on line %d, want 3", toks[1].Line)
+	}
+}
+
+func TestKeywordCaseInsensitive(t *testing.T) {
+	toks := kinds(t, "select Select SELECT")
+	for i := 0; i < 3; i++ {
+		if toks[i].Kind != Keyword || toks[i].Text != "SELECT" {
+			t.Errorf("token %d: %v %q", i, toks[i].Kind, toks[i].Text)
+		}
+	}
+}
+
+func TestSoftWordsStayIdent(t *testing.T) {
+	// 'name' and 'data' must lex as identifiers so science schemas work.
+	toks := kinds(t, "name data time samples quality station")
+	for _, tok := range toks[:6] {
+		if tok.Kind != Ident {
+			t.Errorf("%q should be Ident, got %v", tok.Text, tok.Kind)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := New("'unterminated").All(); err == nil {
+		t.Error("unterminated string should error")
+	}
+	if _, err := New(`"unterminated`).All(); err == nil {
+		t.Error("unterminated delimited ident should error")
+	}
+	if _, err := New("@").All(); err == nil {
+		t.Error("stray character should error")
+	}
+}

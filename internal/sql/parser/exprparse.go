@@ -1,0 +1,629 @@
+package parser
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/sql/ast"
+	"repro/internal/sql/lexer"
+	"repro/internal/value"
+)
+
+// parseExpr parses a full boolean expression (lowest precedence: OR).
+func (p *Parser) parseExpr() (ast.Expr, error) {
+	return p.parseOr()
+}
+
+func (p *Parser) parseOr() (ast.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (ast.Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseNot() (ast.Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Unary{Op: "NOT", X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *Parser) parseComparison() (ast.Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.isSymbol("=") || p.isSymbol("<>") || p.isSymbol("<") ||
+			p.isSymbol("<=") || p.isSymbol(">") || p.isSymbol(">="):
+			op := p.advance().Text
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			l = &ast.Binary{Op: op, L: l, R: r}
+		case p.isKeyword("IS"):
+			p.advance()
+			neg := p.acceptKeyword("NOT")
+			if err := p.expectKeyword("NULL"); err != nil {
+				return nil, err
+			}
+			l = &ast.IsNull{X: l, Neg: neg}
+		case p.isKeyword("BETWEEN"):
+			p.advance()
+			lo, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("AND"); err != nil {
+				return nil, err
+			}
+			hi, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			l = &ast.Between{X: l, Lo: lo, Hi: hi}
+		case p.isKeyword("NOT") && (p.peek(1).Kind == lexer.Keyword && (p.peek(1).Text == "BETWEEN" || p.peek(1).Text == "IN")):
+			p.advance()
+			if p.acceptKeyword("BETWEEN") {
+				lo, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectKeyword("AND"); err != nil {
+					return nil, err
+				}
+				hi, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				l = &ast.Between{X: l, Lo: lo, Hi: hi, Neg: true}
+			} else {
+				if err := p.expectKeyword("IN"); err != nil {
+					return nil, err
+				}
+				in, err := p.parseInList(l, true)
+				if err != nil {
+					return nil, err
+				}
+				l = in
+			}
+		case p.isKeyword("IN"):
+			p.advance()
+			in, err := p.parseInList(l, false)
+			if err != nil {
+				return nil, err
+			}
+			l = in
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *Parser) parseInList(x ast.Expr, neg bool) (ast.Expr, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var elems []ast.Expr
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, e)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return &ast.InList{X: x, Elems: elems, Neg: neg}, nil
+}
+
+func (p *Parser) parseAdditive() (ast.Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.isSymbol("+"):
+			op = "+"
+		case p.isSymbol("-"):
+			op = "-"
+		case p.isSymbol("||"):
+			op = "||"
+		default:
+			return l, nil
+		}
+		p.advance()
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *Parser) parseMultiplicative() (ast.Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.isSymbol("*"):
+			op = "*"
+		case p.isSymbol("/"):
+			op = "/"
+		case p.isSymbol("%"):
+			op = "%"
+		default:
+			return l, nil
+		}
+		p.advance()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *Parser) parseUnary() (ast.Expr, error) {
+	if p.acceptSymbol("-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negative literals immediately so dimension bounds like
+		// [-5:*] are plain constants.
+		if lit, ok := x.(*ast.Literal); ok && !lit.Val.Null {
+			switch lit.Val.Typ {
+			case value.Int:
+				return &ast.Literal{Val: value.NewInt(-lit.Val.I)}, nil
+			case value.Float:
+				return &ast.Literal{Val: value.NewFloat(-lit.Val.F)}, nil
+			}
+		}
+		return &ast.Unary{Op: "-", X: x}, nil
+	}
+	if p.acceptSymbol("+") {
+		return p.parseUnary()
+	}
+	return p.parsePostfix()
+}
+
+// parsePostfix parses a primary followed by array indexers and an
+// optional .attr suffix: matrix[1][1].v, Stations[?a:?b][*].id,
+// samples[time].data, A.* .
+func (p *Parser) parsePostfix() (ast.Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if p.isSymbol("[") {
+			ref := &ast.ArrayRef{Base: e}
+			for p.isSymbol("[") {
+				ix, err := p.parseIndexer()
+				if err != nil {
+					return nil, err
+				}
+				ref.Indexers = append(ref.Indexers, *ix)
+			}
+			if p.isSymbol(".") && p.peek(1).Kind == lexer.Ident {
+				p.advance()
+				attr, _ := p.parseIdent()
+				ref.Attr = attr
+			}
+			e = ref
+			continue
+		}
+		// Attribute access on a computed value: next(samples[t]).data.
+		if p.isSymbol(".") && p.peek(1).Kind == lexer.Ident {
+			switch e.(type) {
+			case *ast.FuncCall, *ast.ArrayRef, *ast.Subquery:
+				p.advance()
+				attr, _ := p.parseIdent()
+				e = &ast.ArrayRef{Base: e, Attr: attr}
+				continue
+			}
+		}
+		break
+	}
+	return e, nil
+}
+
+// parseIndexer parses one bracketed index: [expr], [lo:hi], [lo:hi:step],
+// [*], [lo:*], with TIMESTAMP literals and parameters allowed.
+func (p *Parser) parseIndexer() (*ast.Indexer, error) {
+	if err := p.expectSymbol("["); err != nil {
+		return nil, err
+	}
+	ix := &ast.Indexer{}
+	parseElem := func() (ast.Expr, bool, error) {
+		if p.acceptSymbol("*") {
+			return nil, true, nil
+		}
+		e, err := p.parseExpr()
+		return e, false, err
+	}
+	first, star, err := parseElem()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptSymbol(":") {
+		ix.Range = true
+		if !star {
+			ix.Start = first
+		}
+		stop, star2, err := parseElem()
+		if err != nil {
+			return nil, err
+		}
+		if !star2 {
+			ix.Stop = stop
+		}
+		if p.acceptSymbol(":") {
+			step, star3, err := parseElem()
+			if err != nil {
+				return nil, err
+			}
+			if !star3 {
+				ix.Step = step
+			}
+		}
+	} else if star {
+		ix.Star = true
+	} else {
+		ix.Point = first
+	}
+	if err := p.expectSymbol("]"); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+func (p *Parser) parsePrimary() (ast.Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case lexer.Number:
+		p.advance()
+		if strings.ContainsAny(t.Text, ".eE") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.Text)
+			}
+			return &ast.Literal{Val: value.NewFloat(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.Text)
+		}
+		return &ast.Literal{Val: value.NewInt(i)}, nil
+	case lexer.Str:
+		p.advance()
+		return &ast.Literal{Val: value.NewString(t.Text)}, nil
+	case lexer.Param:
+		p.advance()
+		return &ast.Param{Name: t.Text}, nil
+	case lexer.Symbol:
+		if t.Text == "(" {
+			p.advance()
+			// Scalar subquery or parenthesized expression / list.
+			if p.isKeyword("SELECT") {
+				sel, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				return &ast.Subquery{Select: sel}, nil
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if p.acceptSymbol(",") {
+				list := &ast.ExprList{Elems: []ast.Expr{e}}
+				for {
+					e2, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					list.Elems = append(list.Elems, e2)
+					if !p.acceptSymbol(",") {
+						break
+					}
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				return list, nil
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		if t.Text == "*" {
+			p.advance()
+			return &ast.Star{}, nil
+		}
+	case lexer.Keyword:
+		switch t.Text {
+		case "NULL":
+			p.advance()
+			return &ast.Literal{Val: value.NewNull(value.Unknown)}, nil
+		case "TRUE":
+			p.advance()
+			return &ast.Literal{Val: value.NewBool(true)}, nil
+		case "FALSE":
+			p.advance()
+			return &ast.Literal{Val: value.NewBool(false)}, nil
+		case "TIMESTAMP", "DATE":
+			// TIMESTAMP '2010-01-01 00:00:00' literal.
+			if p.peek(1).Kind == lexer.Str {
+				p.advance()
+				s := p.advance().Text
+				v, err := value.ParseTimestamp(s)
+				if err != nil {
+					return nil, p.errf("%v", err)
+				}
+				return &ast.Literal{Val: v}, nil
+			}
+			return nil, p.errf("expected string literal after %s", t.Text)
+		case "CASE":
+			return p.parseCase()
+		case "CAST":
+			p.advance()
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("AS"); err != nil {
+				return nil, err
+			}
+			to, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return &ast.Cast{X: x, To: to}, nil
+		case "ARRAY":
+			// SELECT ARRAY (1,2,3,4) / ARRAY((1,2),(3,4)) literal
+			// constructor (§4.1).
+			if p.peek(1).Kind == lexer.Symbol && p.peek(1).Text == "(" {
+				p.advance()
+				return p.parseArrayLit()
+			}
+		case "SELECT":
+			sel, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			return &ast.Subquery{Select: sel}, nil
+		}
+	case lexer.Ident:
+		return p.parseIdentExpr()
+	}
+	return nil, p.errf("unexpected token %s in expression", t)
+}
+
+// parseIdentExpr handles identifiers: column refs (possibly
+// qualified), A.* stars, and function calls.
+func (p *Parser) parseIdentExpr() (ast.Expr, error) {
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	// Function call.
+	if p.isSymbol("(") {
+		p.advance()
+		call := &ast.FuncCall{Name: name}
+		if p.acceptSymbol("*") {
+			call.Star = true
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		if p.acceptKeyword("DISTINCT") {
+			call.Distinct = true
+		}
+		if !p.isSymbol(")") {
+			for {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if !p.acceptSymbol(",") {
+					break
+				}
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return call, nil
+	}
+	// Qualified reference or qualified star.
+	if p.isSymbol(".") {
+		if p.peek(1).Kind == lexer.Ident {
+			p.advance()
+			field, _ := p.parseIdent()
+			return &ast.Ident{Table: name, Name: field}, nil
+		}
+		if p.peek(1).Kind == lexer.Symbol && p.peek(1).Text == "*" {
+			p.advance()
+			p.advance()
+			return &ast.Star{Table: name}, nil
+		}
+	}
+	return &ast.Ident{Name: name}, nil
+}
+
+func (p *Parser) parseCase() (ast.Expr, error) {
+	p.advance() // CASE
+	c := &ast.Case{}
+	if !p.isKeyword("WHEN") {
+		op, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Operand = op
+	}
+	for p.acceptKeyword("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		res, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, ast.WhenClause{Cond: cond, Result: res})
+	}
+	if p.acceptKeyword("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (p *Parser) parseArrayLit() (ast.Expr, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	lit := &ast.ArrayLit{}
+	// Either a flat list of scalars or a list of parenthesized rows.
+	if p.isSymbol("(") {
+		for {
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			var row []ast.Expr
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, e)
+				if !p.acceptSymbol(",") {
+					break
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			lit.Rows = append(lit.Rows, row)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	} else {
+		var row []ast.Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		lit.Rows = [][]ast.Expr{row}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return lit, nil
+}
+
+// parseType parses a SQL type name, swallowing length arguments
+// (VARCHAR(60), CHAR(5)).
+func (p *Parser) parseType() (value.Type, error) {
+	t := p.cur()
+	if t.Kind != lexer.Keyword && t.Kind != lexer.Ident {
+		return value.Unknown, p.errf("expected type name, found %s", t)
+	}
+	var typ value.Type
+	switch strings.ToUpper(t.Text) {
+	case "INTEGER", "INT", "BIGINT", "SMALLINT", "TINYINT":
+		typ = value.Int
+	case "FLOAT", "REAL", "DOUBLE":
+		typ = value.Float
+	case "VARCHAR", "CHAR", "TEXT", "STRING", "CLOB":
+		typ = value.String
+	case "BOOLEAN", "BOOL":
+		typ = value.Bool
+	case "TIMESTAMP", "DATE", "TIME":
+		typ = value.Timestamp
+	default:
+		return value.Unknown, p.errf("unknown type %s", t.Text)
+	}
+	p.advance()
+	if strings.ToUpper(t.Text) == "DOUBLE" && p.isSoft("PRECISION") {
+		p.advance()
+	}
+	// Swallow (n) length arguments.
+	if p.acceptSymbol("(") {
+		for !p.isSymbol(")") && p.cur().Kind != lexer.EOF {
+			p.advance()
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return value.Unknown, err
+		}
+	}
+	return typ, nil
+}

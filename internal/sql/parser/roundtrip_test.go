@@ -1,0 +1,195 @@
+package parser
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sql/ast"
+	"repro/internal/value"
+)
+
+// TestExprRoundTrip: parse → format → parse yields an equivalent tree
+// for a corpus of paper-derived expressions.
+func TestExprRoundTrip(t *testing.T) {
+	corpus := []string{
+		`1 + 2 * 3`,
+		`(a + b) / c`,
+		`MOD(x, 2) = 1 AND y > 0`,
+		`CASE WHEN x>y THEN x + y WHEN x<y THEN x - y ELSE 0 END`,
+		`POWER(((b4 - b3) / (b4 + b3) + 0.5), 0.5)`,
+		`matrix[1][1].v`,
+		`sparse[0:2][0:2].v`,
+		`landsat[3][x-1:x+2][y-1:y+2]`,
+		`matrix[x][*]`,
+		`a[x:x+2:1][y]`,
+		`v BETWEEN 10 AND 100`,
+		`x NOT IN (1, 2, 3)`,
+		`s IS NOT NULL`,
+		`CAST(x AS FLOAT) / r`,
+		`ABS(a[1][1].v - s1) > z OR ABS(a[1][1].v - s2) > z`,
+		`?lo + ?hi`,
+		`TIMESTAMP '2010-09-03 16:30:00'`,
+		`-5 + x`,
+		`'it''s' || 'fine'`,
+		`NOT (a AND b)`,
+		`COUNT(*)`,
+		`COUNT(DISTINCT a)`,
+		`next(time) - time`,
+	}
+	for _, src := range corpus {
+		e1, err := ParseExpr(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		printed := ast.Format(e1)
+		e2, err := ParseExpr(printed)
+		if err != nil {
+			t.Fatalf("re-parse of %q -> %q: %v", src, printed, err)
+		}
+		if ast.Format(e2) != printed {
+			t.Errorf("round trip unstable:\n  src:   %s\n  print: %s\n  again: %s", src, printed, ast.Format(e2))
+		}
+	}
+}
+
+// TestSelectRoundTrip: SELECT statements survive format → parse.
+func TestSelectRoundTrip(t *testing.T) {
+	corpus := []string{
+		`SELECT x, y, v FROM matrix WHERE v > 2`,
+		`SELECT [x], [y], avg(v) FROM matrix GROUP BY DISTINCT matrix[x:x+2][y:y+2]`,
+		`SELECT x, y, AVG(v) FROM vmatrix[0:3][0:3] GROUP BY vmatrix[x][y], vmatrix[x-1][y]`,
+		`SELECT [x], [y], AVG(v) FROM landsat GROUP BY landsat[x-1:x+2][y-1:y+2] HAVING AVG(v) BETWEEN 10 AND 100`,
+		`SELECT a.x, b.y FROM t1 AS a JOIN t2 AS b ON a.k = b.k WHERE a.x < 5 ORDER BY a.x DESC LIMIT 10`,
+		`SELECT DISTINCT g, COUNT(*) FROM events GROUP BY g`,
+		`SELECT 1 UNION SELECT 2 UNION ALL SELECT 3`,
+		`SELECT [i], [j], color FROM white WHERE MOD(i + j, 2) = 0 UNION SELECT [i], [j], color FROM black WHERE MOD(i + j, 2) = 1`,
+		`SELECT * FROM mSeed WHERE next(samples.time) - samples.time BETWEEN ?gap_min AND ?gap_max`,
+	}
+	for _, src := range corpus {
+		s1, err := ParseOne(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		sel, ok := s1.(*ast.Select)
+		if !ok {
+			t.Fatalf("%q is not a SELECT", src)
+		}
+		printed := ast.FormatSelect(sel)
+		s2, err := ParseOne(printed)
+		if err != nil {
+			t.Fatalf("re-parse of %q -> %q: %v", src, printed, err)
+		}
+		again := ast.FormatSelect(s2.(*ast.Select))
+		if again != printed {
+			t.Errorf("round trip unstable:\n  src:   %s\n  print: %s\n  again: %s", src, printed, again)
+		}
+	}
+}
+
+// TestRandomExprRoundTrip generates random expression trees, formats
+// them, and checks the printed text re-parses to the same text.
+func TestRandomExprRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e1 := randomExpr(rng, 3)
+		printed := ast.Format(e1)
+		e2, err := ParseExpr(printed)
+		if err != nil {
+			t.Logf("re-parse failed: %q: %v", printed, err)
+			return false
+		}
+		if ast.Format(e2) != printed {
+			t.Logf("unstable: %q vs %q", printed, ast.Format(e2))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomExpr(rng *rand.Rand, depth int) ast.Expr {
+	if depth == 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return &ast.Literal{Val: value.NewInt(rng.Int63n(100))}
+		case 1:
+			return &ast.Literal{Val: value.NewFloat(float64(rng.Intn(1000)) / 8)}
+		case 2:
+			return &ast.Ident{Name: string(rune('a' + rng.Intn(26)))}
+		default:
+			return &ast.Param{Name: "p" + string(rune('a'+rng.Intn(26)))}
+		}
+	}
+	switch rng.Intn(6) {
+	case 0:
+		ops := []string{"+", "-", "*", "/", "=", "<", ">", "AND", "OR"}
+		return &ast.Binary{Op: ops[rng.Intn(len(ops))],
+			L: randomExpr(rng, depth-1), R: randomExpr(rng, depth-1)}
+	case 1:
+		return &ast.FuncCall{Name: "ABS", Args: []ast.Expr{randomExpr(rng, depth-1)}}
+	case 2:
+		return &ast.Case{
+			Whens: []ast.WhenClause{{Cond: randomExpr(rng, depth-1), Result: randomExpr(rng, depth-1)}},
+			Else:  randomExpr(rng, depth-1),
+		}
+	case 3:
+		return &ast.ArrayRef{
+			Base: &ast.Ident{Name: "m"},
+			Indexers: []ast.Indexer{
+				{Point: randomExpr(rng, depth-1)},
+				{Range: true, Start: randomExpr(rng, depth-1), Stop: randomExpr(rng, depth-1)},
+			},
+			Attr: "v",
+		}
+	case 4:
+		return &ast.Between{X: randomExpr(rng, depth-1),
+			Lo: randomExpr(rng, depth-1), Hi: randomExpr(rng, depth-1)}
+	default:
+		return &ast.IsNull{X: randomExpr(rng, depth-1)}
+	}
+}
+
+// TestFormatGoldens pins a few exact renderings.
+func TestFormatGoldens(t *testing.T) {
+	cases := map[string]string{
+		`1+2*3`:              `(1 + (2 * 3))`,
+		`matrix[x:x+2][y].v`: `matrix[x:(x + 2)][y].v`,
+		`a IS NULL`:          `(a IS NULL)`,
+	}
+	for src, want := range cases {
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ast.Format(e); got != want {
+			t.Errorf("Format(%q) = %q, want %q", src, got, want)
+		}
+	}
+}
+
+// TestRoundTripPreservesStructure compares tree shapes (ignoring
+// positions) for one deep statement.
+func TestRoundTripPreservesStructure(t *testing.T) {
+	src := `SELECT [x], [y], avg(v) FROM matrix GROUP BY DISTINCT matrix[x:x+2][y:y+2] HAVING avg(v) > 1`
+	s1, err := ParseOne(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := ast.FormatSelect(s1.(*ast.Select))
+	s2, err := ParseOne(printed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare the normalized second-generation forms structurally.
+	s3, err := ParseOne(ast.FormatSelect(s2.(*ast.Select)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s2, s3) {
+		t.Fatal("second and third generation trees differ")
+	}
+}

@@ -1,0 +1,287 @@
+package parser
+
+import (
+	"repro/internal/sql/ast"
+	"repro/internal/sql/lexer"
+)
+
+// parseSelect parses a full query expression including UNION chains.
+func (p *Parser) parseSelect() (*ast.Select, error) {
+	sel, err := p.parseSelectCore()
+	if err != nil {
+		return nil, err
+	}
+	tail := sel
+	for p.isKeyword("UNION") {
+		p.advance()
+		op := "UNION"
+		if p.acceptKeyword("ALL") {
+			op = "UNION ALL"
+		}
+		right, err := p.parseSelectCore()
+		if err != nil {
+			return nil, err
+		}
+		tail.SetOp, tail.SetRight = op, right
+		tail = right
+	}
+	return sel, nil
+}
+
+func (p *Parser) parseSelectCore() (*ast.Select, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	out := &ast.Select{}
+	if p.acceptKeyword("DISTINCT") {
+		out.Distinct = true
+	}
+	// Target list.
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		out.Items = append(out.Items, *item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("FROM") {
+		for {
+			fi, err := p.parseFromItem()
+			if err != nil {
+				return nil, err
+			}
+			out.From = append(out.From, fi)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		out.Where = e
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		gb, err := p.parseGroupBy()
+		if err != nil {
+			return nil, err
+		}
+		out.GroupBy = gb
+	}
+	if p.acceptKeyword("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		out.Having = e
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := ast.OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			out.OrderBy = append(out.OrderBy, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		out.Limit = e
+	}
+	return out, nil
+}
+
+// parseSelectItem handles ordinary expressions, the SciQL dimension
+// qualifier [expr], bare *, and qualified A.*.
+func (p *Parser) parseSelectItem() (*ast.SelectItem, error) {
+	item := &ast.SelectItem{}
+	// Dimension qualifier: [x], [x/16], [T.k].
+	if p.isSymbol("[") {
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("]"); err != nil {
+			return nil, err
+		}
+		item.Expr = e
+		item.DimQual = true
+		return item, p.parseAlias(item)
+	}
+	if p.acceptSymbol("*") {
+		item.Expr = &ast.Star{}
+		return item, nil
+	}
+	// Qualified star A.* is parsed in parsePostfix via Ident + ".*".
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	item.Expr = e
+	return item, p.parseAlias(item)
+}
+
+func (p *Parser) parseAlias(item *ast.SelectItem) error {
+	if p.acceptKeyword("AS") {
+		name, err := p.parseIdent()
+		if err != nil {
+			return err
+		}
+		item.Alias = name
+		return nil
+	}
+	if p.cur().Kind == lexer.Ident {
+		name, _ := p.parseIdent()
+		item.Alias = name
+	}
+	return nil
+}
+
+// parseFromItem parses one FROM entry with optional joins:
+//
+//	matrix | matrix AS A | vmatrix[0:3][0:3] | (SELECT ...) t
+//	matrix JOIN T ON matrix.x = T.i
+func (p *Parser) parseFromItem() (ast.FromItem, error) {
+	left, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	var item ast.FromItem = left
+	for {
+		kind := ""
+		switch {
+		case p.isKeyword("JOIN"):
+			p.advance()
+			kind = "INNER"
+		case p.isKeyword("INNER"):
+			p.advance()
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = "INNER"
+		case p.isKeyword("LEFT"):
+			p.advance()
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = "LEFT"
+		case p.isKeyword("CROSS"):
+			p.advance()
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = "CROSS"
+		default:
+			return item, nil
+		}
+		right, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		j := &ast.Join{Left: item, Right: right, Kind: kind}
+		if kind != "CROSS" {
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			j.On = on
+		}
+		item = j
+	}
+}
+
+func (p *Parser) parseTableRef() (*ast.TableRef, error) {
+	ref := &ast.TableRef{}
+	if p.acceptSymbol("(") {
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		ref.Subquery = sel
+	} else {
+		name, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		ref.Name = name
+		for p.isSymbol("[") {
+			ix, err := p.parseIndexer()
+			if err != nil {
+				return nil, err
+			}
+			ref.Indexers = append(ref.Indexers, *ix)
+		}
+	}
+	if p.acceptKeyword("AS") {
+		alias, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		ref.Alias = alias
+	} else if p.cur().Kind == lexer.Ident {
+		alias, _ := p.parseIdent()
+		ref.Alias = alias
+	}
+	return ref, nil
+}
+
+// parseGroupBy distinguishes value grouping (expressions) from
+// structural grouping (tile elements — ArrayRefs over the anchor
+// dimensions, §4.4). DISTINCT requests mutually exclusive tiles.
+func (p *Parser) parseGroupBy() (*ast.GroupBy, error) {
+	gb := &ast.GroupBy{}
+	if p.acceptKeyword("DISTINCT") {
+		gb.Distinct = true
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if ref, ok := e.(*ast.ArrayRef); ok {
+			gb.Tiles = append(gb.Tiles, ast.TileElement{Ref: ref})
+		} else {
+			gb.Exprs = append(gb.Exprs, e)
+		}
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if len(gb.Tiles) > 0 && len(gb.Exprs) > 0 {
+		return nil, p.errf("GROUP BY cannot mix value expressions with tile patterns")
+	}
+	if gb.Distinct && len(gb.Tiles) == 0 {
+		return nil, p.errf("GROUP BY DISTINCT requires tile patterns")
+	}
+	return gb, nil
+}

@@ -1,0 +1,93 @@
+package storage
+
+import "repro/internal/array"
+
+// Scheme names used throughout the engine and the bench harness.
+const (
+	SchemeVirtual = "virtual"
+	SchemeTabular = "tabular"
+	SchemeDOrder  = "dorder"
+	SchemeSlab    = "slab"
+)
+
+// Hints carries the intrinsic properties the adaptive layer consults
+// when choosing a representation (§2.2: "it selects the best
+// representation based on the intrinsic properties of an array
+// instance").
+type Hints struct {
+	// ExpectedDensity in (0,1]; 0 means unknown (assume dense).
+	ExpectedDensity float64
+	// ForceScheme bypasses the policy (ablation benches).
+	ForceScheme string
+	// SlabSize overrides the slab edge length when the slab scheme is
+	// chosen.
+	SlabSize int64
+}
+
+// maxDenseCells bounds eager dense allocation; above it the slab
+// scheme wins so allocation happens on demand.
+const maxDenseCells = int64(1) << 28
+
+// sparseDensityCutoff is the density below which the tabular
+// representation is cheaper than dense allocation.
+const sparseDensityCutoff = 0.05
+
+// New picks a storage scheme per the adaptive policy and instantiates
+// it:
+//
+//   - unbounded dimensions → slab when a grid step exists, else tabular
+//     (sparse index domains such as event timestamps);
+//   - expected density below the cutoff → tabular;
+//   - very large dense arrays → slab (on-demand allocation, the unit of
+//     parallelism);
+//   - otherwise → virtual (row-major dense), the prototype compiler's
+//     basis representation.
+func New(schema array.Schema, h Hints) (array.Store, error) {
+	if h.ForceScheme != "" {
+		return NewScheme(h.ForceScheme, schema, h)
+	}
+	bounded := allBounded(schema.Dims)
+	if !bounded {
+		// Timestamp dims with step 0 have no grid: tabular.
+		for _, d := range schema.Dims {
+			if d.Step == 0 && !d.Bounded() {
+				return NewTabular(schema)
+			}
+		}
+		return NewSlabSized(schema, slabSize(h))
+	}
+	if h.ExpectedDensity > 0 && h.ExpectedDensity < sparseDensityCutoff {
+		return NewTabular(schema)
+	}
+	cells := int64(1)
+	for _, d := range schema.Dims {
+		cells *= d.Size()
+	}
+	if cells > maxDenseCells {
+		return NewSlabSized(schema, slabSize(h))
+	}
+	return NewVirtual(schema)
+}
+
+func slabSize(h Hints) int64 {
+	if h.SlabSize > 0 {
+		return h.SlabSize
+	}
+	return DefaultSlabSize
+}
+
+// NewScheme instantiates a specific scheme by name.
+func NewScheme(scheme string, schema array.Schema, h Hints) (array.Store, error) {
+	switch scheme {
+	case SchemeVirtual:
+		return NewVirtual(schema)
+	case SchemeTabular:
+		return NewTabular(schema)
+	case SchemeDOrder:
+		return NewDOrder(schema)
+	case SchemeSlab:
+		return NewSlabSized(schema, slabSize(h))
+	default:
+		return New(schema, Hints{})
+	}
+}

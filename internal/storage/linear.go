@@ -1,0 +1,246 @@
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/array"
+	"repro/internal/value"
+)
+
+// linearStore is the shared implementation of the two dense schemes of
+// Figure 1: Virtual (row-major, cell location derived as |y|*x+y) and
+// D-Order (column-major, the "programming language compilation
+// technique" ordering). The index columns are never materialized —
+// the coordinate of a cell is derived from its position, exactly the
+// virtual-OID trick of MonetDB BATs (§2.2).
+type linearStore struct {
+	scheme   string
+	dims     []array.Dimension
+	attrs    []array.Attr
+	sizes    []int64
+	strides  []int64
+	total    int64
+	cols     []*column
+	liveCnt  int
+	rowMajor bool
+}
+
+// NewVirtual creates a row-major dense store. All dimensions must be
+// bounded; the adaptive layer guarantees this.
+func NewVirtual(schema array.Schema) (array.Store, error) {
+	return newLinear("virtual", schema, true)
+}
+
+// NewDOrder creates a column-major dense store (first dimension varies
+// fastest), matching Fortran/FITS serialization order.
+func NewDOrder(schema array.Schema) (array.Store, error) {
+	return newLinear("dorder", schema, false)
+}
+
+func newLinear(scheme string, schema array.Schema, rowMajor bool) (array.Store, error) {
+	s := &linearStore{
+		scheme:   scheme,
+		dims:     schema.Dims,
+		attrs:    schema.Attrs,
+		rowMajor: rowMajor,
+	}
+	s.sizes = make([]int64, len(s.dims))
+	total := int64(1)
+	for i, d := range s.dims {
+		if !d.Bounded() {
+			return nil, fmt.Errorf("%s storage requires bounded dimensions; %s is unbounded", scheme, d.Name)
+		}
+		s.sizes[i] = d.Size()
+		total *= s.sizes[i]
+	}
+	s.total = total
+	s.strides = make([]int64, len(s.dims))
+	if rowMajor {
+		stride := int64(1)
+		for i := len(s.dims) - 1; i >= 0; i-- {
+			s.strides[i] = stride
+			stride *= s.sizes[i]
+		}
+	} else {
+		stride := int64(1)
+		for i := 0; i < len(s.dims); i++ {
+			s.strides[i] = stride
+			stride *= s.sizes[i]
+		}
+	}
+	s.cols = make([]*column, len(s.attrs))
+	for ai, at := range s.attrs {
+		s.cols[ai] = newColumn(at.Typ, int(total))
+	}
+	// Initialize every valid cell to the attribute defaults; cells
+	// carved out by dimension CHECKs stay holes (Fig. 2 forms).
+	coords := make([]int64, len(s.dims))
+	s.eachPosition(func(pos int64) {
+		s.coordsOf(pos, coords)
+		if !dimChecksPass(s.dims, coords) {
+			return
+		}
+		live := false
+		for ai, at := range s.attrs {
+			dv := defaultValue(at, coords)
+			s.cols[ai].set(int(pos), dv)
+			if !dv.Null {
+				live = true
+			}
+		}
+		if live {
+			s.liveCnt++
+		}
+	})
+	return s, nil
+}
+
+func (s *linearStore) eachPosition(fn func(pos int64)) {
+	for p := int64(0); p < s.total; p++ {
+		fn(p)
+	}
+}
+
+// offset linearizes coordinates; -1 when out of range.
+func (s *linearStore) offset(coords []int64) int64 {
+	var off int64
+	for i, d := range s.dims {
+		ord := d.Ordinal(coords[i])
+		if ord < 0 || ord >= s.sizes[i] {
+			return -1
+		}
+		off += ord * s.strides[i]
+	}
+	return off
+}
+
+// coordsOf decodes a linear position into index values (into out).
+func (s *linearStore) coordsOf(pos int64, out []int64) {
+	if s.rowMajor {
+		for i := 0; i < len(s.dims); i++ {
+			ord := pos / s.strides[i]
+			pos -= ord * s.strides[i]
+			out[i] = s.dims[i].Index(ord)
+		}
+	} else {
+		for i := len(s.dims) - 1; i >= 0; i-- {
+			ord := pos / s.strides[i]
+			pos -= ord * s.strides[i]
+			out[i] = s.dims[i].Index(ord)
+		}
+	}
+}
+
+func (s *linearStore) Scheme() string { return s.scheme }
+func (s *linearStore) Len() int       { return s.liveCnt }
+
+func (s *linearStore) Get(coords []int64, attr int) value.Value {
+	off := s.offset(coords)
+	if off < 0 {
+		return value.NewNull(s.attrs[attr].Typ)
+	}
+	return s.cols[attr].get(int(off))
+}
+
+func (s *linearStore) Set(coords []int64, attr int, v value.Value) error {
+	off := s.offset(coords)
+	if off < 0 {
+		return fmt.Errorf("%s store: coordinates %v out of bounds", s.scheme, coords)
+	}
+	wasHole := s.isHole(int(off))
+	s.cols[attr].set(int(off), v)
+	nowHole := s.isHole(int(off))
+	switch {
+	case wasHole && !nowHole:
+		s.liveCnt++
+	case !wasHole && nowHole:
+		s.liveCnt--
+	}
+	return nil
+}
+
+func (s *linearStore) isHole(pos int) bool {
+	for _, c := range s.cols {
+		if c.isValid(pos) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *linearStore) Scan(visit func(coords []int64, vals []value.Value) bool) {
+	coords := make([]int64, len(s.dims))
+	vals := make([]value.Value, len(s.attrs))
+	for p := int64(0); p < s.total; p++ {
+		if s.isHole(int(p)) {
+			continue
+		}
+		s.coordsOf(p, coords)
+		for ai := range s.cols {
+			vals[ai] = s.cols[ai].get(int(p))
+		}
+		if !visit(coords, vals) {
+			return
+		}
+	}
+}
+
+func (s *linearStore) Bounds() (lo, hi []int64, ok bool) {
+	lo = make([]int64, len(s.dims))
+	hi = make([]int64, len(s.dims))
+	for i, d := range s.dims {
+		lo[i] = d.Start
+		hi[i] = d.Index(s.sizes[i] - 1)
+	}
+	return lo, hi, true
+}
+
+func (s *linearStore) Clone() array.Store {
+	out := &linearStore{
+		scheme:   s.scheme,
+		dims:     s.dims,
+		attrs:    s.attrs,
+		sizes:    s.sizes,
+		strides:  s.strides,
+		total:    s.total,
+		liveCnt:  s.liveCnt,
+		rowMajor: s.rowMajor,
+		cols:     make([]*column, len(s.cols)),
+	}
+	for i, c := range s.cols {
+		out.cols[i] = c.clone()
+	}
+	return out
+}
+
+// FloatColumn exposes the raw dense float column of attribute attr for
+// bulk kernels and black-box marshaling; ok is false when the
+// attribute is not Float-typed.
+func (s *linearStore) FloatColumn(attr int) (data []float64, valid []uint64, ok bool) {
+	c := s.cols[attr]
+	if c.typ != value.Float {
+		return nil, nil, false
+	}
+	return c.f, c.valid, true
+}
+
+// IntColumn exposes the raw dense int column of attribute attr.
+func (s *linearStore) IntColumn(attr int) (data []int64, valid []uint64, ok bool) {
+	c := s.cols[attr]
+	if c.typ != value.Int && c.typ != value.Timestamp {
+		return nil, nil, false
+	}
+	return c.i, c.valid, true
+}
+
+// RowMajor reports the linearization order (true for Virtual, false
+// for D-Order); black-box marshaling uses it to decide on a recast.
+func (s *linearStore) RowMajor() bool { return s.rowMajor }
+
+// DenseFloats is implemented by dense stores that can expose an
+// attribute as a raw float column. The UDF marshaling layer (§6.2)
+// uses it to hand arrays to external library functions.
+type DenseFloats interface {
+	FloatColumn(attr int) (data []float64, valid []uint64, ok bool)
+	RowMajor() bool
+}

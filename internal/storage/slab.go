@@ -1,0 +1,271 @@
+package storage
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"repro/internal/array"
+	"repro/internal/value"
+)
+
+// DefaultSlabSize is the per-dimension edge length of a slab block.
+// The SciDB-inspired n-ary Slabs scheme (§2.2) breaks a sizeable array
+// into rectangles; 64 keeps a 2-D float slab at 32 KiB, L1-friendly.
+const DefaultSlabSize = 64
+
+// slabStore is the n-ary Slabs scheme of Figure 1: the array is broken
+// into fixed-size rectangles allocated on demand. It supports
+// unbounded dimensions (new slabs appear as cells materialize) and is
+// the natural unit for parallel processing.
+type slabStore struct {
+	dims     []array.Dimension
+	attrs    []array.Attr
+	slabSize int64
+	// blocks maps packed slab coordinates to dense blocks.
+	blocks map[string]*slabBlock
+	live   int
+	// bounds tracking for unbounded dims.
+	haveCells bool
+	lo, hi    []int64
+}
+
+type slabBlock struct {
+	// origin is the index value of the block's low corner.
+	origin []int64
+	cols   []*column
+}
+
+// NewSlab creates a slab store with the default slab size.
+func NewSlab(schema array.Schema) (array.Store, error) {
+	return NewSlabSized(schema, DefaultSlabSize)
+}
+
+// NewSlabSized creates a slab store with a custom slab edge length,
+// used by the slab-size ablation bench.
+func NewSlabSized(schema array.Schema, slabSize int64) (array.Store, error) {
+	s := &slabStore{
+		dims:     schema.Dims,
+		attrs:    schema.Attrs,
+		slabSize: slabSize,
+		blocks:   make(map[string]*slabBlock),
+		lo:       make([]int64, len(schema.Dims)),
+		hi:       make([]int64, len(schema.Dims)),
+	}
+	// Bounded arrays with non-NULL defaults materialize eagerly so all
+	// covered cells exist, as the array semantics require.
+	if allBounded(s.dims) && anyNonNullDefault(s.attrs) {
+		coords := make([]int64, len(s.dims))
+		var fill func(d int)
+		fill = func(d int) {
+			if d == len(s.dims) {
+				if !dimChecksPass(s.dims, coords) {
+					return
+				}
+				blk, pos := s.block(coords, true)
+				live := false
+				for ai, at := range s.attrs {
+					dv := defaultValue(at, coords)
+					blk.cols[ai].set(pos, dv)
+					if !dv.Null {
+						live = true
+					}
+				}
+				if live {
+					s.live++
+					s.extendBounds(coords)
+				}
+				return
+			}
+			dim := s.dims[d]
+			for ord := int64(0); ord < dim.Size(); ord++ {
+				coords[d] = dim.Index(ord)
+				fill(d + 1)
+			}
+		}
+		fill(0)
+	}
+	return s, nil
+}
+
+func (s *slabStore) extendBounds(coords []int64) {
+	if !s.haveCells {
+		copy(s.lo, coords)
+		copy(s.hi, coords)
+		s.haveCells = true
+		return
+	}
+	for i, c := range coords {
+		if c < s.lo[i] {
+			s.lo[i] = c
+		}
+		if c > s.hi[i] {
+			s.hi[i] = c
+		}
+	}
+}
+
+// slabKey returns the packed slab coordinates for coords and the
+// in-block position.
+func (s *slabStore) slabKey(coords []int64) (key string, pos int) {
+	buf := make([]byte, 8*len(coords))
+	p := int64(0)
+	for i, c := range coords {
+		ord := s.dims[i].Ordinal(c)
+		sc := floorDiv(ord, s.slabSize)
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(sc))
+		within := ord - sc*s.slabSize
+		p = p*s.slabSize + within
+	}
+	return string(buf), int(p)
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// block returns the slab containing coords, allocating if create.
+func (s *slabStore) block(coords []int64, create bool) (*slabBlock, int) {
+	key, pos := s.slabKey(coords)
+	blk := s.blocks[key]
+	if blk == nil {
+		if !create {
+			return nil, 0
+		}
+		vol := int64(1)
+		for range s.dims {
+			vol *= s.slabSize
+		}
+		blk = &slabBlock{origin: make([]int64, len(coords)), cols: make([]*column, len(s.attrs))}
+		for i, c := range coords {
+			ord := s.dims[i].Ordinal(c)
+			blk.origin[i] = s.dims[i].Index(floorDiv(ord, s.slabSize) * s.slabSize)
+		}
+		for ai, at := range s.attrs {
+			blk.cols[ai] = newColumn(at.Typ, int(vol))
+		}
+		s.blocks[key] = blk
+	}
+	return blk, pos
+}
+
+func (s *slabStore) Scheme() string { return "slab" }
+func (s *slabStore) Len() int       { return s.live }
+
+func (s *slabStore) Get(coords []int64, attr int) value.Value {
+	blk, pos := s.block(coords, false)
+	if blk == nil {
+		return value.NewNull(s.attrs[attr].Typ)
+	}
+	return blk.cols[attr].get(pos)
+}
+
+func (s *slabStore) Set(coords []int64, attr int, v value.Value) error {
+	blk, pos := s.block(coords, !v.Null)
+	if blk == nil {
+		return nil // hole write into an unallocated slab
+	}
+	wasHole := s.posIsHole(blk, pos)
+	if wasHole && !v.Null {
+		// Materializing a fresh cell: fill sibling attrs with defaults.
+		for ai, at := range s.attrs {
+			if ai == attr {
+				continue
+			}
+			blk.cols[ai].set(pos, defaultValue(at, coords))
+		}
+	}
+	blk.cols[attr].set(pos, v)
+	nowHole := s.posIsHole(blk, pos)
+	switch {
+	case wasHole && !nowHole:
+		s.live++
+		s.extendBounds(coords)
+	case !wasHole && nowHole:
+		s.live--
+	}
+	return nil
+}
+
+func (s *slabStore) posIsHole(blk *slabBlock, pos int) bool {
+	for _, c := range blk.cols {
+		if c.isValid(pos) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *slabStore) Scan(visit func(coords []int64, vals []value.Value) bool) {
+	// Deterministic order: sort slab keys.
+	keys := make([]string, 0, len(s.blocks))
+	for k := range s.blocks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	coords := make([]int64, len(s.dims))
+	vals := make([]value.Value, len(s.attrs))
+	vol := 1
+	for range s.dims {
+		vol *= int(s.slabSize)
+	}
+	for _, k := range keys {
+		blk := s.blocks[k]
+		for pos := 0; pos < vol; pos++ {
+			if s.posIsHole(blk, pos) {
+				continue
+			}
+			// Decode in-block position to coordinates.
+			p := int64(pos)
+			for i := len(s.dims) - 1; i >= 0; i-- {
+				within := p % s.slabSize
+				p /= s.slabSize
+				step := s.dims[i].Step
+				if step <= 0 {
+					step = 1
+				}
+				coords[i] = blk.origin[i] + within*step
+			}
+			for ai := range blk.cols {
+				vals[ai] = blk.cols[ai].get(pos)
+			}
+			if !visit(coords, vals) {
+				return
+			}
+		}
+	}
+}
+
+func (s *slabStore) Bounds() (lo, hi []int64, ok bool) {
+	if !s.haveCells {
+		return nil, nil, false
+	}
+	return append([]int64(nil), s.lo...), append([]int64(nil), s.hi...), true
+}
+
+func (s *slabStore) Clone() array.Store {
+	out := &slabStore{
+		dims:      s.dims,
+		attrs:     s.attrs,
+		slabSize:  s.slabSize,
+		blocks:    make(map[string]*slabBlock, len(s.blocks)),
+		live:      s.live,
+		haveCells: s.haveCells,
+		lo:        append([]int64(nil), s.lo...),
+		hi:        append([]int64(nil), s.hi...),
+	}
+	for k, blk := range s.blocks {
+		nb := &slabBlock{origin: append([]int64(nil), blk.origin...), cols: make([]*column, len(blk.cols))}
+		for i, c := range blk.cols {
+			nb.cols[i] = c.clone()
+		}
+		out.blocks[k] = nb
+	}
+	return out
+}
+
+// NumSlabs reports the number of allocated slabs (parallelism units).
+func (s *slabStore) NumSlabs() int { return len(s.blocks) }

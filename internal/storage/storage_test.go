@@ -1,0 +1,357 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/array"
+	"repro/internal/value"
+)
+
+func schema2D(n int64, def float64, hasDefault bool) array.Schema {
+	at := array.Attr{Name: "v", Typ: value.Float, Default: value.NewNull(value.Float)}
+	if hasDefault {
+		at.Default = value.NewFloat(def)
+	}
+	return array.Schema{
+		Dims: []array.Dimension{
+			{Name: "x", Typ: value.Int, Start: 0, End: n, Step: 1},
+			{Name: "y", Typ: value.Int, Start: 0, End: n, Step: 1},
+		},
+		Attrs: []array.Attr{at},
+	}
+}
+
+func allSchemes(t *testing.T, sch array.Schema) map[string]array.Store {
+	t.Helper()
+	out := make(map[string]array.Store)
+	for _, scheme := range []string{SchemeVirtual, SchemeTabular, SchemeDOrder, SchemeSlab} {
+		st, err := NewScheme(scheme, sch, Hints{SlabSize: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		out[scheme] = st
+	}
+	return out
+}
+
+func TestSchemesInitializeDefaults(t *testing.T) {
+	sch := schema2D(8, 1.5, true)
+	for name, st := range allSchemes(t, sch) {
+		if st.Len() != 64 {
+			t.Errorf("%s: Len = %d, want 64 (defaults materialize)", name, st.Len())
+		}
+		if got := st.Get([]int64{3, 5}, 0).AsFloat(); got != 1.5 {
+			t.Errorf("%s: default cell = %v, want 1.5", name, got)
+		}
+	}
+}
+
+func TestSchemesNoDefaultAllHoles(t *testing.T) {
+	sch := schema2D(8, 0, false)
+	for name, st := range allSchemes(t, sch) {
+		if st.Len() != 0 {
+			t.Errorf("%s: Len = %d, want 0 (NULL default => holes)", name, st.Len())
+		}
+		if !st.Get([]int64{0, 0}, 0).Null {
+			t.Errorf("%s: hole should read NULL", name)
+		}
+	}
+}
+
+func TestSchemesSetGetRoundTrip(t *testing.T) {
+	sch := schema2D(8, 0, true)
+	for name, st := range allSchemes(t, sch) {
+		if err := st.Set([]int64{2, 3}, 0, value.NewFloat(7.25)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := st.Get([]int64{2, 3}, 0).AsFloat(); got != 7.25 {
+			t.Errorf("%s: round trip = %v, want 7.25", name, got)
+		}
+	}
+}
+
+func TestSchemesHolePunch(t *testing.T) {
+	sch := schema2D(4, 1, true)
+	for name, st := range allSchemes(t, sch) {
+		before := st.Len()
+		if err := st.Set([]int64{1, 1}, 0, value.NewNull(value.Float)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if st.Len() != before-1 {
+			t.Errorf("%s: Len after hole = %d, want %d", name, st.Len(), before-1)
+		}
+		if !st.Get([]int64{1, 1}, 0).Null {
+			t.Errorf("%s: punched cell should read NULL", name)
+		}
+	}
+}
+
+// TestSchemeEquivalence is the central property test: a random
+// sequence of Set operations leaves all four schemes observably
+// identical (Get on every coordinate, Len, and the multiset of Scan
+// results).
+func TestSchemeEquivalence(t *testing.T) {
+	const n = 8
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sch := schema2D(n, 0, rng.Intn(2) == 0)
+		stores := map[string]array.Store{}
+		for _, scheme := range []string{SchemeVirtual, SchemeTabular, SchemeDOrder, SchemeSlab} {
+			st, err := NewScheme(scheme, sch, Hints{SlabSize: 3})
+			if err != nil {
+				t.Logf("create %s: %v", scheme, err)
+				return false
+			}
+			stores[scheme] = st
+		}
+		ops := 40 + rng.Intn(60)
+		for i := 0; i < ops; i++ {
+			x, y := rng.Int63n(n), rng.Int63n(n)
+			var v value.Value
+			if rng.Intn(5) == 0 {
+				v = value.NewNull(value.Float)
+			} else {
+				v = value.NewFloat(float64(rng.Intn(1000)) / 8)
+			}
+			for name, st := range stores {
+				if err := st.Set([]int64{x, y}, 0, v); err != nil {
+					t.Logf("%s set: %v", name, err)
+					return false
+				}
+			}
+		}
+		ref := stores[SchemeVirtual]
+		for name, st := range stores {
+			if st.Len() != ref.Len() {
+				t.Logf("%s Len=%d virtual Len=%d", name, st.Len(), ref.Len())
+				return false
+			}
+			for x := int64(0); x < n; x++ {
+				for y := int64(0); y < n; y++ {
+					a := ref.Get([]int64{x, y}, 0)
+					b := st.Get([]int64{x, y}, 0)
+					if a.Null != b.Null || (!a.Null && a.AsFloat() != b.AsFloat()) {
+						t.Logf("%s mismatch at (%d,%d): %v vs %v", name, x, y, a, b)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScanVisitsEveryLiveCell checks Scan completeness and that the
+// reported coordinate/value pairs match Get.
+func TestScanVisitsEveryLiveCell(t *testing.T) {
+	sch := schema2D(6, 2, true)
+	for name, st := range allSchemes(t, sch) {
+		_ = st.Set([]int64{1, 1}, 0, value.NewNull(value.Float))
+		_ = st.Set([]int64{2, 2}, 0, value.NewFloat(9))
+		count := 0
+		st.Scan(func(coords []int64, vals []value.Value) bool {
+			count++
+			if got := st.Get(append([]int64(nil), coords...), 0); got.AsFloat() != vals[0].AsFloat() {
+				t.Errorf("%s: Scan value %v != Get %v at %v", name, vals[0], got, coords)
+			}
+			return true
+		})
+		if count != 35 {
+			t.Errorf("%s: Scan visited %d cells, want 35", name, count)
+		}
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	sch := schema2D(6, 1, true)
+	for name, st := range allSchemes(t, sch) {
+		count := 0
+		st.Scan(func([]int64, []value.Value) bool {
+			count++
+			return count < 5
+		})
+		if count != 5 {
+			t.Errorf("%s: early stop visited %d, want 5", name, count)
+		}
+	}
+}
+
+func TestBoundsTracking(t *testing.T) {
+	sch := array.Schema{
+		Dims: []array.Dimension{
+			{Name: "x", Typ: value.Int, Start: array.UnboundedLow, End: array.UnboundedHigh, Step: 1},
+		},
+		Attrs: []array.Attr{{Name: "v", Typ: value.Float, Default: value.NewNull(value.Float)}},
+	}
+	for _, mk := range []func(array.Schema) (array.Store, error){NewTabular, NewSlab} {
+		st, err := mk(sch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, ok := st.Bounds(); ok {
+			t.Errorf("%s: empty store should have no bounds", st.Scheme())
+		}
+		_ = st.Set([]int64{-7}, 0, value.NewFloat(1))
+		_ = st.Set([]int64{13}, 0, value.NewFloat(2))
+		lo, hi, ok := st.Bounds()
+		if !ok || lo[0] != -7 || hi[0] != 13 {
+			t.Errorf("%s: bounds = %v..%v ok=%v, want -7..13", st.Scheme(), lo, hi, ok)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	sch := schema2D(4, 0, true)
+	for name, st := range allSchemes(t, sch) {
+		cl := st.Clone()
+		_ = st.Set([]int64{1, 1}, 0, value.NewFloat(99))
+		if got := cl.Get([]int64{1, 1}, 0).AsFloat(); got == 99 {
+			t.Errorf("%s: clone shares storage with original", name)
+		}
+	}
+}
+
+func TestDimensionCheckCarving(t *testing.T) {
+	sch := schema2D(4, 1, true)
+	sch.Dims[1].Check = func(coords []int64) bool { return coords[0] == coords[1] }
+	for name, st := range allSchemes(t, sch) {
+		if st.Len() != 4 {
+			t.Errorf("%s: diagonal carve Len = %d, want 4", name, st.Len())
+		}
+		if !st.Get([]int64{0, 1}, 0).Null {
+			// Off-diagonal cells exist as holes only in dense stores;
+			// Get must still read NULL everywhere.
+			t.Errorf("%s: off-diagonal cell should be NULL", name)
+		}
+	}
+}
+
+func TestAdaptivePolicy(t *testing.T) {
+	bounded := schema2D(16, 0, true)
+	st, err := New(bounded, Hints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scheme() != SchemeVirtual {
+		t.Errorf("bounded dense array: got %s, want virtual", st.Scheme())
+	}
+	st, err = New(bounded, Hints{ExpectedDensity: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scheme() != SchemeTabular {
+		t.Errorf("sparse hint: got %s, want tabular", st.Scheme())
+	}
+	unbounded := array.Schema{
+		Dims:  []array.Dimension{{Name: "t", Typ: value.Timestamp, Start: array.UnboundedLow, End: array.UnboundedHigh, Step: 0}},
+		Attrs: []array.Attr{{Name: "v", Typ: value.Float, Default: value.NewNull(value.Float)}},
+	}
+	st, err = New(unbounded, Hints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scheme() != SchemeTabular {
+		t.Errorf("order-only timestamp dim: got %s, want tabular", st.Scheme())
+	}
+	unboundedGrid := array.Schema{
+		Dims:  []array.Dimension{{Name: "x", Typ: value.Int, Start: 0, End: array.UnboundedHigh, Step: 1}},
+		Attrs: []array.Attr{{Name: "v", Typ: value.Float, Default: value.NewNull(value.Float)}},
+	}
+	st, err = New(unboundedGrid, Hints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scheme() != SchemeSlab {
+		t.Errorf("unbounded grid dim: got %s, want slab", st.Scheme())
+	}
+	st, err = New(bounded, Hints{ForceScheme: SchemeDOrder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scheme() != SchemeDOrder {
+		t.Errorf("forced scheme: got %s, want dorder", st.Scheme())
+	}
+}
+
+func TestSlabNegativeCoordinates(t *testing.T) {
+	sch := array.Schema{
+		Dims:  []array.Dimension{{Name: "x", Typ: value.Int, Start: array.UnboundedLow, End: array.UnboundedHigh, Step: 1}},
+		Attrs: []array.Attr{{Name: "v", Typ: value.Float, Default: value.NewNull(value.Float)}},
+	}
+	st, err := NewSlabSized(sch, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []int64{-17, -8, -1, 0, 7, 8, 100} {
+		if err := st.Set([]int64{x}, 0, value.NewFloat(float64(x))); err != nil {
+			t.Fatalf("set %d: %v", x, err)
+		}
+	}
+	for _, x := range []int64{-17, -8, -1, 0, 7, 8, 100} {
+		if got := st.Get([]int64{x}, 0).AsFloat(); got != float64(x) {
+			t.Errorf("slab get(%d) = %v", x, got)
+		}
+	}
+	if st.Len() != 7 {
+		t.Errorf("slab Len = %d, want 7", st.Len())
+	}
+}
+
+func TestVirtualRejectsUnbounded(t *testing.T) {
+	sch := array.Schema{
+		Dims:  []array.Dimension{{Name: "x", Typ: value.Int, Start: 0, End: array.UnboundedHigh, Step: 1}},
+		Attrs: []array.Attr{{Name: "v", Typ: value.Float}},
+	}
+	if _, err := NewVirtual(sch); err == nil {
+		t.Fatal("virtual store must reject unbounded dimensions")
+	}
+}
+
+func TestDOrderIsColumnMajor(t *testing.T) {
+	sch := schema2D(4, 0, true)
+	st, err := NewDOrder(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := st.(*linearStore)
+	// Column-major: stride of dim 0 is 1.
+	if ls.strides[0] != 1 || ls.strides[1] != 4 {
+		t.Errorf("dorder strides = %v, want [1 4]", ls.strides)
+	}
+	vs, err := NewVirtual(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := vs.(*linearStore)
+	if lv.strides[0] != 4 || lv.strides[1] != 1 {
+		t.Errorf("virtual strides = %v, want [4 1]", lv.strides)
+	}
+}
+
+func TestStepDimensions(t *testing.T) {
+	sch := array.Schema{
+		Dims:  []array.Dimension{{Name: "x", Typ: value.Int, Start: 0, End: 10, Step: 2}},
+		Attrs: []array.Attr{{Name: "v", Typ: value.Float, Default: value.NewFloat(1)}},
+	}
+	for name, st := range allSchemes(t, sch) {
+		if st.Len() != 5 {
+			t.Errorf("%s: stepped dim Len = %d, want 5", name, st.Len())
+		}
+		count := 0
+		st.Scan(func(coords []int64, _ []value.Value) bool {
+			if coords[0]%2 != 0 {
+				t.Errorf("%s: off-step coordinate %d", name, coords[0])
+			}
+			count++
+			return true
+		})
+		if count != 5 {
+			t.Errorf("%s: stepped scan visited %d, want 5", name, count)
+		}
+	}
+}

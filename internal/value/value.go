@@ -1,0 +1,323 @@
+// Package value defines the scalar value model shared by the SciQL
+// engine: the dynamic types that can appear in table columns, array
+// cells and dimension indexes, together with NULL semantics and the
+// coercion rules used throughout expression evaluation.
+package value
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+)
+
+// Type enumerates the scalar types supported by the engine. SciQL
+// permits any basic scalar type as a dimension index; this engine
+// supports Int and Timestamp dimensions and all listed types as
+// attribute (cell) types.
+type Type uint8
+
+const (
+	// Unknown is the zero Type; it is only valid on the NULL literal
+	// before type inference assigns a concrete type.
+	Unknown Type = iota
+	// Bool is a boolean.
+	Bool
+	// Int is a 64-bit signed integer (SQL INTEGER/BIGINT).
+	Int
+	// Float is a 64-bit IEEE float (SQL FLOAT/REAL/DOUBLE).
+	Float
+	// String is a variable-length character string (SQL VARCHAR/CHAR).
+	String
+	// Timestamp is a point in time with microsecond resolution
+	// (SQL TIMESTAMP/DATE). Stored as Unix microseconds.
+	Timestamp
+	// Array is a nested array handle (SciQL array-valued attributes,
+	// e.g. the per-record waveform in the seismology schema).
+	Array
+)
+
+// String returns the SQL spelling of the type.
+func (t Type) String() string {
+	switch t {
+	case Bool:
+		return "BOOLEAN"
+	case Int:
+		return "INTEGER"
+	case Float:
+		return "FLOAT"
+	case String:
+		return "VARCHAR"
+	case Timestamp:
+		return "TIMESTAMP"
+	case Array:
+		return "ARRAY"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Numeric reports whether the type participates in arithmetic.
+func (t Type) Numeric() bool { return t == Int || t == Float || t == Timestamp }
+
+// Value is a dynamically typed scalar. The zero Value is a typed NULL
+// of Unknown type. Exactly one of the payload fields is meaningful,
+// selected by Typ.
+type Value struct {
+	Typ  Type
+	Null bool
+	I    int64   // Int, Timestamp (unix micros)
+	F    float64 // Float
+	S    string  // String
+	B    bool    // Bool
+	A    any     // Array handle (*array.Array); kept as any to avoid an import cycle
+}
+
+// NewNull returns a NULL of the given type.
+func NewNull(t Type) Value { return Value{Typ: t, Null: true} }
+
+// NewInt returns an Int value.
+func NewInt(i int64) Value { return Value{Typ: Int, I: i} }
+
+// NewFloat returns a Float value.
+func NewFloat(f float64) Value { return Value{Typ: Float, F: f} }
+
+// NewString returns a String value.
+func NewString(s string) Value { return Value{Typ: String, S: s} }
+
+// NewBool returns a Bool value.
+func NewBool(b bool) Value { return Value{Typ: Bool, B: b} }
+
+// NewTimestamp returns a Timestamp value from Unix microseconds.
+func NewTimestamp(usec int64) Value { return Value{Typ: Timestamp, I: usec} }
+
+// NewTime returns a Timestamp value from a time.Time.
+func NewTime(t time.Time) Value { return Value{Typ: Timestamp, I: t.UnixMicro()} }
+
+// NewArray wraps a nested array handle.
+func NewArray(a any) Value { return Value{Typ: Array, A: a} }
+
+// Time converts a Timestamp value to time.Time (UTC).
+func (v Value) Time() time.Time { return time.UnixMicro(v.I).UTC() }
+
+// AsFloat coerces numeric values to float64. NULL coerces to NaN.
+func (v Value) AsFloat() float64 {
+	if v.Null {
+		return math.NaN()
+	}
+	switch v.Typ {
+	case Int, Timestamp:
+		return float64(v.I)
+	case Float:
+		return v.F
+	case Bool:
+		if v.B {
+			return 1
+		}
+		return 0
+	case String:
+		f, err := strconv.ParseFloat(v.S, 64)
+		if err != nil {
+			return math.NaN()
+		}
+		return f
+	default:
+		return math.NaN()
+	}
+}
+
+// AsInt coerces numeric values to int64 (floats truncate toward zero).
+func (v Value) AsInt() int64 {
+	if v.Null {
+		return 0
+	}
+	switch v.Typ {
+	case Int, Timestamp:
+		return v.I
+	case Float:
+		return int64(v.F)
+	case Bool:
+		if v.B {
+			return 1
+		}
+		return 0
+	case String:
+		i, _ := strconv.ParseInt(v.S, 10, 64)
+		return i
+	default:
+		return 0
+	}
+}
+
+// AsBool coerces a value to boolean truth (SQL three-valued logic:
+// NULL is not true).
+func (v Value) AsBool() bool {
+	if v.Null {
+		return false
+	}
+	switch v.Typ {
+	case Bool:
+		return v.B
+	case Int, Timestamp:
+		return v.I != 0
+	case Float:
+		return v.F != 0
+	case String:
+		return v.S != ""
+	default:
+		return false
+	}
+}
+
+// Compare orders two values. NULLs sort first and compare equal to
+// each other. Values of different numeric types compare numerically.
+// Comparing incomparable types orders by type tag, which gives a
+// stable total order for sorting.
+func Compare(a, b Value) int {
+	switch {
+	case a.Null && b.Null:
+		return 0
+	case a.Null:
+		return -1
+	case b.Null:
+		return 1
+	}
+	if a.Typ.Numeric() && b.Typ.Numeric() {
+		if a.Typ == Int && b.Typ == Int || a.Typ == Timestamp && b.Typ == Timestamp {
+			switch {
+			case a.I < b.I:
+				return -1
+			case a.I > b.I:
+				return 1
+			}
+			return 0
+		}
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		}
+		return 0
+	}
+	if a.Typ != b.Typ {
+		if a.Typ < b.Typ {
+			return -1
+		}
+		return 1
+	}
+	switch a.Typ {
+	case String:
+		switch {
+		case a.S < b.S:
+			return -1
+		case a.S > b.S:
+			return 1
+		}
+		return 0
+	case Bool:
+		switch {
+		case !a.B && b.B:
+			return -1
+		case a.B && !b.B:
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// Equal reports SQL equality; NULL never equals anything (use Compare
+// for the sorting order where NULLs group together).
+func Equal(a, b Value) bool {
+	if a.Null || b.Null {
+		return false
+	}
+	return Compare(a, b) == 0
+}
+
+// String renders the value the way the result printer displays it.
+func (v Value) String() string {
+	if v.Null {
+		return "NULL"
+	}
+	switch v.Typ {
+	case Bool:
+		if v.B {
+			return "true"
+		}
+		return "false"
+	case Int:
+		return strconv.FormatInt(v.I, 10)
+	case Float:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case String:
+		return v.S
+	case Timestamp:
+		return v.Time().Format("2006-01-02 15:04:05.000000")
+	case Array:
+		return fmt.Sprintf("ARRAY@%p", v.A)
+	default:
+		return "?"
+	}
+}
+
+// Coerce converts v to the target type, returning an error if the
+// conversion is not meaningful. NULL coerces to NULL of any type.
+func Coerce(v Value, t Type) (Value, error) {
+	if v.Null {
+		return NewNull(t), nil
+	}
+	if v.Typ == t || t == Unknown {
+		return v, nil
+	}
+	switch t {
+	case Int:
+		if v.Typ.Numeric() || v.Typ == Bool || v.Typ == String {
+			return NewInt(v.AsInt()), nil
+		}
+	case Float:
+		if v.Typ.Numeric() || v.Typ == Bool || v.Typ == String {
+			f := v.AsFloat()
+			if math.IsNaN(f) && v.Typ == String {
+				return Value{}, fmt.Errorf("cannot coerce %q to FLOAT", v.S)
+			}
+			return NewFloat(f), nil
+		}
+	case Timestamp:
+		switch v.Typ {
+		case Int:
+			return NewTimestamp(v.I), nil
+		case String:
+			ts, err := ParseTimestamp(v.S)
+			if err != nil {
+				return Value{}, err
+			}
+			return ts, nil
+		}
+	case String:
+		return NewString(v.String()), nil
+	case Bool:
+		return NewBool(v.AsBool()), nil
+	}
+	return Value{}, fmt.Errorf("cannot coerce %s to %s", v.Typ, t)
+}
+
+// timestampLayouts lists the literal formats accepted for TIMESTAMP
+// and DATE literals, most specific first.
+var timestampLayouts = []string{
+	"2006-01-02 15:04:05.000000",
+	"2006-01-02 15:04:05",
+	"2006-01-02",
+}
+
+// ParseTimestamp parses a SQL timestamp or date literal.
+func ParseTimestamp(s string) (Value, error) {
+	for _, layout := range timestampLayouts {
+		if t, err := time.ParseInLocation(layout, s, time.UTC); err == nil {
+			return NewTime(t), nil
+		}
+	}
+	return Value{}, fmt.Errorf("invalid timestamp literal %q", s)
+}

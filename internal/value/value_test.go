@@ -1,0 +1,139 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestConstructorsAndString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{NewInt(42), "42"},
+		{NewInt(-7), "-7"},
+		{NewFloat(2.5), "2.5"},
+		{NewString("hi"), "hi"},
+		{NewBool(true), "true"},
+		{NewBool(false), "false"},
+		{NewNull(Float), "NULL"},
+		{NewTimestamp(0), "1970-01-01 00:00:00.000000"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCoercions(t *testing.T) {
+	if v, err := Coerce(NewInt(3), Float); err != nil || v.F != 3 {
+		t.Errorf("int->float: %v %v", v, err)
+	}
+	if v, err := Coerce(NewFloat(3.9), Int); err != nil || v.I != 3 {
+		t.Errorf("float->int truncation: %v %v", v, err)
+	}
+	if v, err := Coerce(NewString("2010-09-03"), Timestamp); err != nil || v.Time().Year() != 2010 {
+		t.Errorf("string->timestamp: %v %v", v, err)
+	}
+	if _, err := Coerce(NewString("xyz"), Float); err == nil {
+		t.Error("bad string->float should error")
+	}
+	if v, err := Coerce(NewNull(Int), Float); err != nil || !v.Null || v.Typ != Float {
+		t.Errorf("NULL coerces to typed NULL: %v %v", v, err)
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	if Compare(NewInt(1), NewInt(2)) >= 0 {
+		t.Error("1 < 2")
+	}
+	if Compare(NewInt(2), NewFloat(1.5)) <= 0 {
+		t.Error("2 > 1.5 across numeric types")
+	}
+	if Compare(NewNull(Int), NewInt(-100)) >= 0 {
+		t.Error("NULL sorts first")
+	}
+	if Compare(NewString("a"), NewString("b")) >= 0 {
+		t.Error("string order")
+	}
+	if Compare(NewBool(false), NewBool(true)) >= 0 {
+		t.Error("bool order")
+	}
+}
+
+func TestCompareIsAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Compare(NewInt(a), NewInt(b)) == -Compare(NewInt(b), NewInt(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualNullSemantics(t *testing.T) {
+	if Equal(NewNull(Int), NewNull(Int)) {
+		t.Error("NULL = NULL must be false (SQL)")
+	}
+	if Equal(NewNull(Int), NewInt(0)) {
+		t.Error("NULL = 0 must be false")
+	}
+	if !Equal(NewInt(5), NewFloat(5)) {
+		t.Error("5 = 5.0 across types")
+	}
+}
+
+func TestAsFloatNullIsNaN(t *testing.T) {
+	if !math.IsNaN(NewNull(Float).AsFloat()) {
+		t.Error("NULL.AsFloat() should be NaN")
+	}
+}
+
+func TestTimestampRoundTrip(t *testing.T) {
+	now := time.Date(2011, 3, 22, 14, 30, 5, 123456000, time.UTC)
+	v := NewTime(now)
+	if !v.Time().Equal(now) {
+		t.Errorf("round trip: %v != %v", v.Time(), now)
+	}
+	parsed, err := ParseTimestamp("2010-09-03 16:30:00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Time().Hour() != 16 {
+		t.Errorf("parsed hour = %d", parsed.Time().Hour())
+	}
+	if _, err := ParseTimestamp("not a time"); err == nil {
+		t.Error("bad timestamp should error")
+	}
+}
+
+func TestAsBoolTruthiness(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want bool
+	}{
+		{NewBool(true), true},
+		{NewInt(0), false},
+		{NewInt(-1), true},
+		{NewFloat(0.0), false},
+		{NewString(""), false},
+		{NewString("x"), true},
+		{NewNull(Bool), false},
+	}
+	for _, c := range cases {
+		if got := c.v.AsBool(); got != c.want {
+			t.Errorf("%v.AsBool() = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	if Int.String() != "INTEGER" || Float.String() != "FLOAT" || Timestamp.String() != "TIMESTAMP" {
+		t.Error("type names changed")
+	}
+	if !Int.Numeric() || !Timestamp.Numeric() || String.Numeric() {
+		t.Error("Numeric classification wrong")
+	}
+}

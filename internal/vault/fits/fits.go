@@ -1,0 +1,386 @@
+// Package fits implements FITS-lite, a faithful structural subset of
+// the Flexible Image Transport System (§7.2): 80-byte header cards
+// terminated by an END card, an image HDU serialized Fortran-order
+// (first axis varies fastest, per the standard), and a binary-table
+// HDU. The header is self-describing, so metadata queries (COUNT,
+// shape) never touch the payload — the property the data-vault
+// architecture exploits (§2.1).
+package fits
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// CardSize is the fixed header-card length of the FITS standard.
+const CardSize = 80
+
+// Header is an ordered list of KEY = VALUE cards.
+type Header struct {
+	keys []string
+	vals map[string]string
+}
+
+// NewHeader returns an empty header.
+func NewHeader() *Header { return &Header{vals: make(map[string]string)} }
+
+// Set adds or replaces a card.
+func (h *Header) Set(key, val string) {
+	key = strings.ToUpper(key)
+	if _, ok := h.vals[key]; !ok {
+		h.keys = append(h.keys, key)
+	}
+	h.vals[key] = val
+}
+
+// SetInt adds an integer card.
+func (h *Header) SetInt(key string, v int64) { h.Set(key, strconv.FormatInt(v, 10)) }
+
+// Get fetches a card value.
+func (h *Header) Get(key string) (string, bool) {
+	v, ok := h.vals[strings.ToUpper(key)]
+	return v, ok
+}
+
+// Int fetches an integer card.
+func (h *Header) Int(key string) (int64, bool) {
+	s, ok := h.Get(key)
+	if !ok {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Float fetches a float card.
+func (h *Header) Float(key string) (float64, bool) {
+	s, ok := h.Get(key)
+	if !ok {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+func (h *Header) write(w io.Writer) error {
+	for _, k := range h.keys {
+		card := fmt.Sprintf("%-8s= %s", k, h.vals[k])
+		if len(card) > CardSize {
+			return fmt.Errorf("fits: card %s too long", k)
+		}
+		card += strings.Repeat(" ", CardSize-len(card))
+		if _, err := io.WriteString(w, card); err != nil {
+			return err
+		}
+	}
+	end := "END" + strings.Repeat(" ", CardSize-3)
+	_, err := io.WriteString(w, end)
+	return err
+}
+
+func readHeader(r io.Reader) (*Header, error) {
+	h := NewHeader()
+	buf := make([]byte, CardSize)
+	for {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("fits: truncated header: %w", err)
+		}
+		card := string(buf)
+		key := strings.TrimSpace(card[:8])
+		if key == "END" {
+			return h, nil
+		}
+		eq := strings.Index(card, "=")
+		if eq < 0 {
+			continue // comment card
+		}
+		h.Set(key, strings.TrimSpace(card[eq+1:]))
+	}
+}
+
+// Image is an n-dimensional numeric payload. BITPIX 32 stores int32;
+// BITPIX -64 stores float64. Data is Fortran-ordered (axis 1 fastest).
+type Image struct {
+	Header *Header
+	// Naxis lists the axis sizes (NAXIS1, NAXIS2, ...).
+	Naxis []int64
+	// Bitpix is 32 (int32) or -64 (float64).
+	Bitpix int
+	// Ints holds the payload when Bitpix == 32.
+	Ints []int32
+	// Floats holds the payload when Bitpix == -64.
+	Floats []float64
+}
+
+// NumPixels returns the payload length.
+func (im *Image) NumPixels() int64 {
+	n := int64(1)
+	for _, a := range im.Naxis {
+		n *= a
+	}
+	return n
+}
+
+// At reads the pixel at Fortran-order coordinates (zero-based).
+func (im *Image) At(coords ...int64) float64 {
+	idx := int64(0)
+	stride := int64(1)
+	for i, c := range coords {
+		idx += c * stride
+		stride *= im.Naxis[i]
+	}
+	if im.Bitpix == 32 {
+		return float64(im.Ints[idx])
+	}
+	return im.Floats[idx]
+}
+
+// BinTable is a simple binary-table HDU: named columns of int64 (J)
+// or float64 (D).
+type BinTable struct {
+	Header *Header
+	Names  []string
+	Forms  []byte // 'J' or 'D'
+	// Cols holds per-column data as int64 or float64 slices.
+	IntCols   map[string][]int64
+	FloatCols map[string][]float64
+	NumRows   int64
+}
+
+// File is a parsed FITS-lite file: a primary image HDU and optional
+// binary-table extensions.
+type File struct {
+	Primary *Image
+	Tables  []*BinTable
+}
+
+// WriteImage writes an image HDU to w.
+func WriteImage(w io.Writer, im *Image) error {
+	h := im.Header
+	if h == nil {
+		h = NewHeader()
+	}
+	h.Set("SIMPLE", "T")
+	h.SetInt("BITPIX", int64(im.Bitpix))
+	h.SetInt("NAXIS", int64(len(im.Naxis)))
+	for i, a := range im.Naxis {
+		h.SetInt(fmt.Sprintf("NAXIS%d", i+1), a)
+	}
+	h.Set("XTENSION", "'IMAGE'")
+	if err := h.write(w); err != nil {
+		return err
+	}
+	switch im.Bitpix {
+	case 32:
+		return binary.Write(w, binary.BigEndian, im.Ints)
+	case -64:
+		return binary.Write(w, binary.BigEndian, im.Floats)
+	default:
+		return fmt.Errorf("fits: unsupported BITPIX %d", im.Bitpix)
+	}
+}
+
+// WriteBinTable writes a binary-table HDU to w.
+func WriteBinTable(w io.Writer, t *BinTable) error {
+	h := t.Header
+	if h == nil {
+		h = NewHeader()
+	}
+	h.Set("XTENSION", "'BINTABLE'")
+	h.SetInt("TFIELDS", int64(len(t.Names)))
+	h.SetInt("NAXIS2", t.NumRows)
+	for i, n := range t.Names {
+		h.Set(fmt.Sprintf("TTYPE%d", i+1), "'"+n+"'")
+		h.Set(fmt.Sprintf("TFORM%d", i+1), "'"+string(t.Forms[i])+"'")
+	}
+	if err := h.write(w); err != nil {
+		return err
+	}
+	// Row-major serialization of the columns.
+	for r := int64(0); r < t.NumRows; r++ {
+		for i, n := range t.Names {
+			switch t.Forms[i] {
+			case 'J':
+				if err := binary.Write(w, binary.BigEndian, t.IntCols[n][r]); err != nil {
+					return err
+				}
+			case 'D':
+				if err := binary.Write(w, binary.BigEndian, t.FloatCols[n][r]); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("fits: unsupported TFORM %c", t.Forms[i])
+			}
+		}
+	}
+	return nil
+}
+
+// WriteFile writes a full FITS-lite file.
+func WriteFile(path string, f *File) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if f.Primary != nil {
+		if err := WriteImage(out, f.Primary); err != nil {
+			return err
+		}
+	}
+	for _, t := range f.Tables {
+		if err := WriteBinTable(out, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PeekImage reads only the primary header of path — the lazy-access
+// path of the data vault: shape and pixel count come from cards, not
+// from the payload.
+func PeekImage(path string) (*Header, []int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	h, err := readHeader(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	n, _ := h.Int("NAXIS")
+	axes := make([]int64, n)
+	for i := int64(0); i < n; i++ {
+		axes[i], _ = h.Int(fmt.Sprintf("NAXIS%d", i+1))
+	}
+	return h, axes, nil
+}
+
+// ReadFile parses a full FITS-lite file.
+func ReadFile(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := &File{}
+	first := true
+	for {
+		h, err := readHeader(f)
+		if err != nil {
+			if first {
+				return nil, err
+			}
+			break // no more HDUs
+		}
+		xt, _ := h.Get("XTENSION")
+		xt = strings.Trim(xt, "' ")
+		if first || xt == "IMAGE" {
+			im, err := readImagePayload(f, h)
+			if err != nil {
+				return nil, err
+			}
+			if first {
+				out.Primary = im
+			}
+			first = false
+			continue
+		}
+		if xt == "BINTABLE" {
+			t, err := readBinTablePayload(f, h)
+			if err != nil {
+				return nil, err
+			}
+			out.Tables = append(out.Tables, t)
+			first = false
+			continue
+		}
+		return nil, fmt.Errorf("fits: unknown extension %q", xt)
+	}
+	return out, nil
+}
+
+func readImagePayload(r io.Reader, h *Header) (*Image, error) {
+	bp, _ := h.Int("BITPIX")
+	n, _ := h.Int("NAXIS")
+	im := &Image{Header: h, Bitpix: int(bp), Naxis: make([]int64, n)}
+	total := int64(1)
+	for i := int64(0); i < n; i++ {
+		im.Naxis[i], _ = h.Int(fmt.Sprintf("NAXIS%d", i+1))
+		total *= im.Naxis[i]
+	}
+	switch im.Bitpix {
+	case 32:
+		im.Ints = make([]int32, total)
+		if err := binary.Read(r, binary.BigEndian, im.Ints); err != nil {
+			return nil, fmt.Errorf("fits: truncated image payload: %w", err)
+		}
+	case -64:
+		im.Floats = make([]float64, total)
+		if err := binary.Read(r, binary.BigEndian, im.Floats); err != nil {
+			return nil, fmt.Errorf("fits: truncated image payload: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("fits: unsupported BITPIX %d", im.Bitpix)
+	}
+	return im, nil
+}
+
+func readBinTablePayload(r io.Reader, h *Header) (*BinTable, error) {
+	nf, _ := h.Int("TFIELDS")
+	rows, _ := h.Int("NAXIS2")
+	t := &BinTable{Header: h, NumRows: rows,
+		IntCols: make(map[string][]int64), FloatCols: make(map[string][]float64)}
+	for i := int64(1); i <= nf; i++ {
+		name, _ := h.Get(fmt.Sprintf("TTYPE%d", i))
+		form, _ := h.Get(fmt.Sprintf("TFORM%d", i))
+		name = strings.Trim(name, "' ")
+		form = strings.Trim(form, "' ")
+		if form == "" {
+			return nil, fmt.Errorf("fits: missing TFORM%d", i)
+		}
+		t.Names = append(t.Names, name)
+		t.Forms = append(t.Forms, form[0])
+		switch form[0] {
+		case 'J':
+			t.IntCols[name] = make([]int64, rows)
+		case 'D':
+			t.FloatCols[name] = make([]float64, rows)
+		}
+	}
+	for r2 := int64(0); r2 < rows; r2++ {
+		for i, n := range t.Names {
+			switch t.Forms[i] {
+			case 'J':
+				if err := binary.Read(r, binary.BigEndian, &t.IntCols[n][r2]); err != nil {
+					return nil, err
+				}
+			case 'D':
+				if err := binary.Read(r, binary.BigEndian, &t.FloatCols[n][r2]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// NaNSafe converts a payload value, mapping NaN floats to (v, false).
+func NaNSafe(f float64) (float64, bool) {
+	if math.IsNaN(f) {
+		return 0, false
+	}
+	return f, true
+}

@@ -1,0 +1,149 @@
+package fits
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := NewHeader()
+	h.Set("SIMPLE", "T")
+	h.SetInt("BITPIX", 32)
+	h.Set("OBJECT", "'M31'")
+	if v, ok := h.Int("BITPIX"); !ok || v != 32 {
+		t.Fatalf("Int(BITPIX) = %d %v", v, ok)
+	}
+	if v, ok := h.Get("object"); !ok || v != "'M31'" {
+		t.Fatalf("case-insensitive Get: %q %v", v, ok)
+	}
+	if _, ok := h.Float("NOPE"); ok {
+		t.Fatal("missing key should not resolve")
+	}
+}
+
+func TestImageRoundTripInt(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.fits")
+	im := &Image{Header: NewHeader(), Naxis: []int64{3, 2}, Bitpix: 32, Ints: []int32{1, 2, 3, 4, 5, 6}}
+	if err := WriteFile(path, &File{Primary: im}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f.Primary
+	if got.Bitpix != 32 || len(got.Ints) != 6 {
+		t.Fatalf("shape: %+v", got)
+	}
+	// Fortran order: At(x1, x2) with x1 fastest.
+	if got.At(2, 1) != 6 {
+		t.Errorf("At(2,1) = %v, want 6", got.At(2, 1))
+	}
+}
+
+func TestImageRoundTripFloatProperty(t *testing.T) {
+	dir := t.TempDir()
+	i := 0
+	f := func(seed int64) bool {
+		i++
+		rng := rand.New(rand.NewSource(seed))
+		nx := int64(1 + rng.Intn(8))
+		ny := int64(1 + rng.Intn(8))
+		im := &Image{Header: NewHeader(), Naxis: []int64{nx, ny}, Bitpix: -64,
+			Floats: make([]float64, nx*ny)}
+		for k := range im.Floats {
+			im.Floats[k] = rng.NormFloat64()
+		}
+		path := filepath.Join(dir, "p.fits")
+		if err := WriteFile(path, &File{Primary: im}); err != nil {
+			return false
+		}
+		rt, err := ReadFile(path)
+		if err != nil {
+			return false
+		}
+		for k := range im.Floats {
+			if rt.Primary.Floats[k] != im.Floats[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinTableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.fits")
+	im := &Image{Header: NewHeader(), Naxis: []int64{1}, Bitpix: 32, Ints: []int32{0}}
+	tbl := &BinTable{
+		Header:    NewHeader(),
+		Names:     []string{"X", "FLUX"},
+		Forms:     []byte{'J', 'D'},
+		IntCols:   map[string][]int64{"X": {10, 20, 30}},
+		FloatCols: map[string][]float64{"FLUX": {1.5, 2.5, 3.5}},
+		NumRows:   3,
+	}
+	if err := WriteFile(path, &File{Primary: im, Tables: []*BinTable{tbl}}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Tables) != 1 {
+		t.Fatalf("tables = %d", len(f.Tables))
+	}
+	got := f.Tables[0]
+	if got.NumRows != 3 || got.IntCols["X"][2] != 30 || got.FloatCols["FLUX"][1] != 2.5 {
+		t.Fatalf("table contents: %+v", got)
+	}
+}
+
+func TestPeekReadsOnlyHeader(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "big.fits")
+	im := &Image{Header: NewHeader(), Naxis: []int64{64, 64}, Bitpix: -64, Floats: make([]float64, 64*64)}
+	if err := WriteFile(path, &File{Primary: im}); err != nil {
+		t.Fatal(err)
+	}
+	h, axes, err := PeekImage(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(axes) != 2 || axes[0] != 64 || axes[1] != 64 {
+		t.Fatalf("axes = %v", axes)
+	}
+	if bp, _ := h.Int("BITPIX"); bp != -64 {
+		t.Fatalf("BITPIX = %d", bp)
+	}
+}
+
+func TestTruncatedFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trunc.fits")
+	im := &Image{Header: NewHeader(), Naxis: []int64{8, 8}, Bitpix: 32, Ints: make([]int32, 64)}
+	if err := WriteFile(path, &File{Primary: im}); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the payload.
+	data, err := readAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeAll(path, data[:len(data)-100]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("truncated payload should error")
+	}
+}
+
+func readAll(path string) ([]byte, error)  { return os.ReadFile(path) }
+func writeAll(path string, b []byte) error { return os.WriteFile(path, b, 0o644) }

@@ -1,0 +1,190 @@
+// Package mseed implements mSEED-lite, a structural subset of the
+// SEED data-record format (§7.3): a stream of records, each carrying a
+// 48-byte fixed header (sequence number, station code, data quality,
+// sample interval, sample count, start time) followed by a payload of
+// (timestamp, sample) pairs. Like real miniSEED, the fixed header is
+// enough to answer station/time-range questions without decoding the
+// payload.
+package mseed
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// HeaderSize is the fixed record-header length in bytes.
+const HeaderSize = 48
+
+// Record is one data record: a station's contiguous waveform segment.
+type Record struct {
+	// Seqnr identifies the record within the volume.
+	Seqnr uint32
+	// Station is the (up to 5 byte) station identifier code.
+	Station string
+	// Quality is the SEED data-quality indicator (D, R, Q, M).
+	Quality byte
+	// SampleInterval is the nominal spacing between samples in
+	// microseconds (the inverse of the sample rate).
+	SampleInterval int64
+	// StartTime is the first sample's timestamp (Unix microseconds).
+	StartTime int64
+	// Times holds per-sample timestamps (gaps make them non-uniform).
+	Times []int64
+	// Samples holds the measured values.
+	Samples []float64
+}
+
+// NumSamples returns the payload length.
+func (r *Record) NumSamples() int { return len(r.Samples) }
+
+// FixedHeader is the decoded 48-byte record header.
+type FixedHeader struct {
+	Seqnr          uint32
+	Station        string
+	Quality        byte
+	SampleInterval int64
+	NumSamples     uint32
+	StartTime      int64
+}
+
+func writeHeader(w io.Writer, r *Record) error {
+	var buf [HeaderSize]byte
+	binary.BigEndian.PutUint32(buf[0:], r.Seqnr)
+	copy(buf[4:9], r.Station)
+	buf[9] = r.Quality
+	binary.BigEndian.PutUint64(buf[10:], uint64(r.SampleInterval))
+	binary.BigEndian.PutUint32(buf[18:], uint32(len(r.Samples)))
+	binary.BigEndian.PutUint64(buf[22:], uint64(r.StartTime))
+	// bytes 30..47 reserved
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readHeader(rd io.Reader) (*FixedHeader, error) {
+	var buf [HeaderSize]byte
+	if _, err := io.ReadFull(rd, buf[:]); err != nil {
+		return nil, err
+	}
+	h := &FixedHeader{
+		Seqnr:          binary.BigEndian.Uint32(buf[0:]),
+		Quality:        buf[9],
+		SampleInterval: int64(binary.BigEndian.Uint64(buf[10:])),
+		NumSamples:     binary.BigEndian.Uint32(buf[18:]),
+		StartTime:      int64(binary.BigEndian.Uint64(buf[22:])),
+	}
+	st := buf[4:9]
+	for len(st) > 0 && st[len(st)-1] == 0 {
+		st = st[:len(st)-1]
+	}
+	h.Station = string(st)
+	return h, nil
+}
+
+// WriteRecord serializes one record.
+func WriteRecord(w io.Writer, r *Record) error {
+	if len(r.Times) != len(r.Samples) {
+		return fmt.Errorf("mseed: record %d has %d times for %d samples", r.Seqnr, len(r.Times), len(r.Samples))
+	}
+	if len(r.Station) > 5 {
+		return fmt.Errorf("mseed: station code %q exceeds 5 bytes", r.Station)
+	}
+	if err := writeHeader(w, r); err != nil {
+		return err
+	}
+	for i := range r.Samples {
+		if err := binary.Write(w, binary.BigEndian, r.Times[i]); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.BigEndian, r.Samples[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteVolume writes a full mSEED-lite volume.
+func WriteVolume(path string, records []*Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, r := range records {
+		if err := WriteRecord(f, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadRecord parses one record (header + payload).
+func ReadRecord(rd io.Reader) (*Record, error) {
+	h, err := readHeader(rd)
+	if err != nil {
+		return nil, err
+	}
+	r := &Record{
+		Seqnr:          h.Seqnr,
+		Station:        h.Station,
+		Quality:        h.Quality,
+		SampleInterval: h.SampleInterval,
+		StartTime:      h.StartTime,
+		Times:          make([]int64, h.NumSamples),
+		Samples:        make([]float64, h.NumSamples),
+	}
+	for i := uint32(0); i < h.NumSamples; i++ {
+		if err := binary.Read(rd, binary.BigEndian, &r.Times[i]); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(rd, binary.BigEndian, &r.Samples[i]); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// ReadVolume parses all records of a volume.
+func ReadVolume(path string) ([]*Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []*Record
+	for {
+		r, err := ReadRecord(f)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+}
+
+// PeekHeaders reads only the fixed headers of a volume, seeking past
+// the payloads — the metadata-only path of the data vault.
+func PeekHeaders(path string) ([]*FixedHeader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []*FixedHeader
+	for {
+		h, err := readHeader(f)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, h)
+		if _, err := f.Seek(int64(h.NumSamples)*16, io.SeekCurrent); err != nil {
+			return nil, err
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package mseed
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func sample(seed int64, n int) *Record {
+	rng := rand.New(rand.NewSource(seed))
+	r := &Record{
+		Seqnr:          uint32(rng.Intn(1000)),
+		Station:        "AASN",
+		Quality:        'D',
+		SampleInterval: 1_000_000,
+		StartTime:      rng.Int63n(1 << 40),
+	}
+	t := r.StartTime
+	for i := 0; i < n; i++ {
+		r.Times = append(r.Times, t)
+		r.Samples = append(r.Samples, rng.NormFloat64())
+		t += r.SampleInterval
+	}
+	return r
+}
+
+func TestVolumeRoundTripProperty(t *testing.T) {
+	dir := t.TempDir()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var recs []*Record
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			recs = append(recs, sample(seed+int64(i), 1+rng.Intn(50)))
+		}
+		path := filepath.Join(dir, "v.mseed")
+		if err := WriteVolume(path, recs); err != nil {
+			return false
+		}
+		got, err := ReadVolume(path)
+		if err != nil || len(got) != len(recs) {
+			return false
+		}
+		for i, r := range recs {
+			g := got[i]
+			if g.Seqnr != r.Seqnr || g.Station != r.Station || g.Quality != r.Quality ||
+				g.SampleInterval != r.SampleInterval || g.StartTime != r.StartTime {
+				return false
+			}
+			for k := range r.Samples {
+				if g.Samples[k] != r.Samples[k] || g.Times[k] != r.Times[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeekMatchesFull(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v.mseed")
+	recs := []*Record{sample(1, 10), sample(2, 20), sample(3, 30)}
+	if err := WriteVolume(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	hs, err := PeekHeaders(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) != 3 {
+		t.Fatalf("headers = %d", len(hs))
+	}
+	for i, h := range hs {
+		if int(h.NumSamples) != len(recs[i].Samples) || h.Station != recs[i].Station {
+			t.Errorf("header %d mismatch: %+v", i, h)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	dir := t.TempDir()
+	bad := &Record{Seqnr: 1, Station: "TOOLONGNAME", Times: []int64{0}, Samples: []float64{1}}
+	if err := WriteVolume(filepath.Join(dir, "b.mseed"), []*Record{bad}); err == nil {
+		t.Error("oversized station code should error")
+	}
+	mismatched := &Record{Seqnr: 1, Station: "OK", Times: []int64{0, 1}, Samples: []float64{1}}
+	if err := WriteVolume(filepath.Join(dir, "m.mseed"), []*Record{mismatched}); err == nil {
+		t.Error("times/samples length mismatch should error")
+	}
+}

@@ -1,0 +1,315 @@
+// Package vault implements the data-vault architecture of §2.1: a
+// catalog of externally managed science files (FITS-lite, mSEED-lite)
+// that are integrated with the query processing cycle on demand. A
+// registered file costs nothing until touched; metadata queries
+// (Count, Shape, Stations) are answered from file headers without
+// loading payloads; Attach materializes the payload into engine
+// arrays/tables only when a query actually needs the cells.
+package vault
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/array"
+	"repro/internal/bat"
+	"repro/internal/catalog"
+	"repro/internal/storage"
+	"repro/internal/value"
+	"repro/internal/vault/fits"
+	"repro/internal/vault/mseed"
+)
+
+// Status tracks a vault entry's lifecycle.
+type Status string
+
+const (
+	// Registered: the file is known; nothing has been read.
+	Registered Status = "registered"
+	// Peeked: headers have been read for metadata queries.
+	Peeked Status = "peeked"
+	// Attached: the payload has been materialized into the catalog.
+	Attached Status = "attached"
+)
+
+// Entry is one vault-catalog row.
+type Entry struct {
+	Path   string
+	Format string // "fits" | "mseed"
+	Status Status
+	// Object is the catalog object name the payload materializes as.
+	Object string
+}
+
+// Vault is the per-database vault catalog.
+type Vault struct {
+	mu      sync.Mutex
+	entries map[string]*Entry
+}
+
+// New returns an empty vault.
+func New() *Vault { return &Vault{entries: make(map[string]*Entry)} }
+
+// Register adds a file to the vault catalog. The format is derived
+// from the extension (.fits, .mseed) unless given explicitly. The
+// object name defaults to the file's base name without extension.
+func (v *Vault) Register(path, format, object string) (*Entry, error) {
+	if format == "" {
+		switch strings.ToLower(filepath.Ext(path)) {
+		case ".fits":
+			format = "fits"
+		case ".mseed", ".seed":
+			format = "mseed"
+		default:
+			return nil, fmt.Errorf("vault: cannot infer format of %s", path)
+		}
+	}
+	if object == "" {
+		base := filepath.Base(path)
+		object = strings.TrimSuffix(base, filepath.Ext(base))
+	}
+	e := &Entry{Path: path, Format: format, Status: Registered, Object: object}
+	v.mu.Lock()
+	v.entries[path] = e
+	v.mu.Unlock()
+	return e, nil
+}
+
+// Entries lists the catalog in path order.
+func (v *Vault) Entries() []*Entry {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]*Entry, 0, len(v.entries))
+	for _, e := range v.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Lookup fetches an entry.
+func (v *Vault) Lookup(path string) (*Entry, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	e, ok := v.entries[path]
+	return e, ok
+}
+
+// Count answers aggr.count from metadata only (§2.1: "execution of the
+// operation aggr.count need not necessarily require a complete load of
+// the array ... encoded in the file header").
+func (v *Vault) Count(path string) (int64, error) {
+	e, ok := v.Lookup(path)
+	if !ok {
+		return 0, fmt.Errorf("vault: %s is not registered", path)
+	}
+	switch e.Format {
+	case "fits":
+		_, axes, err := fits.PeekImage(path)
+		if err != nil {
+			return 0, err
+		}
+		n := int64(1)
+		for _, a := range axes {
+			n *= a
+		}
+		e.Status = Peeked
+		return n, nil
+	case "mseed":
+		hs, err := mseed.PeekHeaders(path)
+		if err != nil {
+			return 0, err
+		}
+		n := int64(0)
+		for _, h := range hs {
+			n += int64(h.NumSamples)
+		}
+		e.Status = Peeked
+		return n, nil
+	}
+	return 0, fmt.Errorf("vault: unknown format %s", e.Format)
+}
+
+// Shape answers the image axes from the header only.
+func (v *Vault) Shape(path string) ([]int64, error) {
+	e, ok := v.Lookup(path)
+	if !ok || e.Format != "fits" {
+		return nil, fmt.Errorf("vault: %s is not a registered FITS file", path)
+	}
+	_, axes, err := fits.PeekImage(path)
+	if err != nil {
+		return nil, err
+	}
+	e.Status = Peeked
+	return axes, nil
+}
+
+// AttachFITS materializes a FITS-lite file: the primary image becomes
+// an array <object> (dims x1..xn, attr v) and each binary table a
+// relational table <object>_t<i>.
+func (v *Vault) AttachFITS(path string, cat *catalog.Catalog) error {
+	e, ok := v.Lookup(path)
+	if !ok {
+		return fmt.Errorf("vault: %s is not registered", path)
+	}
+	f, err := fits.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if f.Primary != nil {
+		a, err := imageToArray(e.Object, f.Primary)
+		if err != nil {
+			return err
+		}
+		if err := cat.PutArray(a); err != nil {
+			return err
+		}
+	}
+	for i, t := range f.Tables {
+		name := fmt.Sprintf("%s_t%d", e.Object, i+1)
+		tbl := binTableToTable(name, t)
+		if err := cat.PutTable(tbl); err != nil {
+			return err
+		}
+	}
+	e.Status = Attached
+	return nil
+}
+
+// imageToArray converts a FITS image into a dense array. FITS axes are
+// Fortran-ordered; the array dimensions keep the axis order (x1 is the
+// fastest-varying axis), with index origin 0 (the 1-based FITS origin
+// maps to the SciQL integer default).
+func imageToArray(name string, im *fits.Image) (*array.Array, error) {
+	sch := array.Schema{}
+	for i, n := range im.Naxis {
+		sch.Dims = append(sch.Dims, array.Dimension{
+			Name: fmt.Sprintf("x%d", i+1), Typ: value.Int, Start: 0, End: n, Step: 1,
+		})
+	}
+	attrT := value.Float
+	if im.Bitpix == 32 {
+		attrT = value.Int
+	}
+	sch.Attrs = []array.Attr{{Name: "v", Typ: attrT, Default: value.NewNull(attrT)}}
+	st, err := storage.New(sch, storage.Hints{})
+	if err != nil {
+		return nil, err
+	}
+	a := &array.Array{Name: name, Schema: sch, Store: st}
+	coords := make([]int64, len(im.Naxis))
+	total := im.NumPixels()
+	for idx := int64(0); idx < total; idx++ {
+		// Decode Fortran order: first axis fastest.
+		rem := idx
+		for i := range im.Naxis {
+			coords[i] = rem % im.Naxis[i]
+			rem /= im.Naxis[i]
+		}
+		var cv value.Value
+		if im.Bitpix == 32 {
+			cv = value.NewInt(int64(im.Ints[idx]))
+		} else {
+			f, ok := fits.NaNSafe(im.Floats[idx])
+			if !ok {
+				continue
+			}
+			cv = value.NewFloat(f)
+		}
+		if err := st.Set(coords, 0, cv); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+func binTableToTable(name string, t *fits.BinTable) *catalog.Table {
+	cols := make([]catalog.TableColumn, len(t.Names))
+	for i, n := range t.Names {
+		typ := value.Float
+		if t.Forms[i] == 'J' {
+			typ = value.Int
+		}
+		cols[i] = catalog.TableColumn{Name: n, Typ: typ}
+	}
+	tbl := catalog.NewTable(name, cols)
+	for i, n := range t.Names {
+		switch t.Forms[i] {
+		case 'J':
+			tbl.Vecs[i] = bat.NewIntVector(append([]int64(nil), t.IntCols[n]...))
+		case 'D':
+			tbl.Vecs[i] = bat.NewFloatVector(append([]float64(nil), t.FloatCols[n]...))
+		}
+	}
+	return tbl
+}
+
+// AttachMSEED materializes an mSEED-lite volume as a relational table
+// <object>(seqnr, station, quality) with a nested time-series array
+// column samples(time TIMESTAMP DIMENSION, data DOUBLE) — the §7.3
+// schema.
+func (v *Vault) AttachMSEED(path string, cat *catalog.Catalog) error {
+	e, ok := v.Lookup(path)
+	if !ok {
+		return fmt.Errorf("vault: %s is not registered", path)
+	}
+	recs, err := mseed.ReadVolume(path)
+	if err != nil {
+		return err
+	}
+	nested := &array.Schema{
+		Dims:  []array.Dimension{{Name: "time", Typ: value.Timestamp, Start: array.UnboundedLow, End: array.UnboundedHigh, Step: 0}},
+		Attrs: []array.Attr{{Name: "data", Typ: value.Float, Default: value.NewNull(value.Float)}},
+	}
+	tbl := catalog.NewTable(e.Object, []catalog.TableColumn{
+		{Name: "seqnr", Typ: value.Int, PrimaryKey: true},
+		{Name: "station", Typ: value.String},
+		{Name: "quality", Typ: value.String},
+		{Name: "samples", Typ: value.Array, Nested: nested},
+	})
+	for _, r := range recs {
+		a, err := RecordToArray(r)
+		if err != nil {
+			return err
+		}
+		err = tbl.Append([]value.Value{
+			value.NewInt(int64(r.Seqnr)),
+			value.NewString(r.Station),
+			value.NewString(string(r.Quality)),
+			value.NewArray(a),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if err := cat.PutTable(tbl); err != nil {
+		return err
+	}
+	e.Status = Attached
+	return nil
+}
+
+// RecordToArray converts one mSEED record into a 1-D time-series
+// array (time TIMESTAMP DIMENSION, data DOUBLE).
+func RecordToArray(r *mseed.Record) (*array.Array, error) {
+	sch := array.Schema{
+		Dims:  []array.Dimension{{Name: "time", Typ: value.Timestamp, Start: array.UnboundedLow, End: array.UnboundedHigh, Step: 0}},
+		Attrs: []array.Attr{{Name: "data", Typ: value.Float, Default: value.NewNull(value.Float)}},
+	}
+	st, err := storage.NewTabular(sch)
+	if err != nil {
+		return nil, err
+	}
+	a := &array.Array{Name: fmt.Sprintf("rec%d", r.Seqnr), Schema: sch, Store: st}
+	coords := make([]int64, 1)
+	for i := range r.Samples {
+		coords[0] = r.Times[i]
+		if err := st.Set(coords, 0, value.NewFloat(r.Samples[i])); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,224 @@
+package vault
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/value"
+	"repro/internal/vault/fits"
+	"repro/internal/vault/mseed"
+	"repro/internal/workload"
+)
+
+func writeTestFITS(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "img.fits")
+	im := &fits.Image{
+		Header: fits.NewHeader(),
+		Naxis:  []int64{4, 3},
+		Bitpix: 32,
+		Ints:   make([]int32, 12),
+	}
+	for i := range im.Ints {
+		im.Ints[i] = int32(i)
+	}
+	ev := workload.NewXRayEvents(100, 64, 3, 7)
+	f := &fits.File{Primary: im, Tables: []*fits.BinTable{ev.ToFITSTable()}}
+	if err := fits.WriteFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func writeTestMSEED(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "vol.mseed")
+	w1 := workload.NewWaveform("AASN", 200, 1_000_000, 1_000_000, 2, 3, 1)
+	w2 := workload.NewWaveform("ABSN", 150, 2_000_000, 1_000_000, 1, 1, 2)
+	err := mseed.WriteVolume(path, []*mseed.Record{w1.ToRecord(1), w2.ToRecord(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRegisterFormatInference(t *testing.T) {
+	v := New()
+	e, err := v.Register("/data/x.fits", "", "")
+	if err != nil || e.Format != "fits" || e.Object != "x" {
+		t.Fatalf("fits inference: %+v %v", e, err)
+	}
+	e, err = v.Register("/data/y.mseed", "", "wave")
+	if err != nil || e.Format != "mseed" || e.Object != "wave" {
+		t.Fatalf("mseed inference: %+v %v", e, err)
+	}
+	if _, err := v.Register("/data/z.bin", "", ""); err == nil {
+		t.Fatal("unknown extension should error")
+	}
+	if got := len(v.Entries()); got != 2 {
+		t.Fatalf("entries = %d", got)
+	}
+}
+
+func TestFITSPeekCountWithoutLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestFITS(t, dir)
+	v := New()
+	if _, err := v.Register(path, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	n, err := v.Count(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 12 {
+		t.Fatalf("header count = %d, want 12", n)
+	}
+	e, _ := v.Lookup(path)
+	if e.Status != Peeked {
+		t.Fatalf("status = %s, want peeked", e.Status)
+	}
+	shape, err := v.Shape(path)
+	if err != nil || len(shape) != 2 || shape[0] != 4 || shape[1] != 3 {
+		t.Fatalf("shape = %v %v", shape, err)
+	}
+}
+
+func TestFITSAttach(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestFITS(t, dir)
+	v := New()
+	if _, err := v.Register(path, "", "img"); err != nil {
+		t.Fatal(err)
+	}
+	cat := catalog.New()
+	if err := v.AttachFITS(path, cat); err != nil {
+		t.Fatal(err)
+	}
+	a, ok := cat.Array("img")
+	if !ok {
+		t.Fatal("image array missing")
+	}
+	if a.Store.Len() != 12 {
+		t.Fatalf("image cells = %d, want 12", a.Store.Len())
+	}
+	// Fortran order: payload index i maps to (x1=i%4, x2=i/4).
+	if got := a.Get([]int64{1, 2}, 0).AsInt(); got != 9 {
+		t.Errorf("pixel (1,2) = %d, want 9", got)
+	}
+	tbl, ok := cat.Table("img_t1")
+	if !ok {
+		t.Fatal("event table missing")
+	}
+	if tbl.NumRows() != 100 {
+		t.Fatalf("event rows = %d, want 100", tbl.NumRows())
+	}
+	e, _ := v.Lookup(path)
+	if e.Status != Attached {
+		t.Fatalf("status = %s, want attached", e.Status)
+	}
+}
+
+func TestMSEEDRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestMSEED(t, dir)
+	recs, err := mseed.ReadVolume(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0].Station != "AASN" || recs[0].Seqnr != 1 {
+		t.Fatalf("record 0: %+v", recs[0])
+	}
+	if len(recs[0].Samples) != 200 || len(recs[0].Times) != 200 {
+		t.Fatalf("record 0 payload: %d samples", len(recs[0].Samples))
+	}
+}
+
+func TestMSEEDPeekHeadersOnly(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestMSEED(t, dir)
+	hs, err := mseed.PeekHeaders(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) != 2 || hs[0].NumSamples != 200 || hs[1].Station != "ABSN" {
+		t.Fatalf("headers: %+v", hs)
+	}
+	v := New()
+	if _, err := v.Register(path, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	n, err := v.Count(path)
+	if err != nil || n != 350 {
+		t.Fatalf("count = %d %v, want 350", n, err)
+	}
+}
+
+func TestMSEEDAttach(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestMSEED(t, dir)
+	v := New()
+	if _, err := v.Register(path, "", "mseedtbl"); err != nil {
+		t.Fatal(err)
+	}
+	cat := catalog.New()
+	if err := v.AttachMSEED(path, cat); err != nil {
+		t.Fatal(err)
+	}
+	tbl, ok := cat.Table("mseedtbl")
+	if !ok {
+		t.Fatal("mseed table missing")
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	sv := tbl.Vecs[3].Get(0)
+	if sv.Typ != value.Array || sv.Null {
+		t.Fatalf("samples column is not an array: %+v", sv)
+	}
+}
+
+func TestFITSFloatImageNaNHoles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.fits")
+	im := &fits.Image{
+		Header: fits.NewHeader(),
+		Naxis:  []int64{2, 2},
+		Bitpix: -64,
+		Floats: []float64{1.5, nan(), 2.5, 3.5},
+	}
+	if err := fits.WriteFile(path, &fits.File{Primary: im}); err != nil {
+		t.Fatal(err)
+	}
+	v := New()
+	if _, err := v.Register(path, "", "fimg"); err != nil {
+		t.Fatal(err)
+	}
+	cat := catalog.New()
+	if err := v.AttachFITS(path, cat); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := cat.Array("fimg")
+	if a.Store.Len() != 3 {
+		t.Fatalf("NaN pixel should be a hole: len = %d", a.Store.Len())
+	}
+}
+
+func nan() float64 {
+	var z float64
+	return z / z
+}
+
+func TestUnregisteredPathsError(t *testing.T) {
+	v := New()
+	if _, err := v.Count("/nope.fits"); err == nil {
+		t.Error("count on unregistered path should error")
+	}
+	if err := v.AttachFITS("/nope.fits", catalog.New()); err == nil {
+		t.Error("attach on unregistered path should error")
+	}
+}

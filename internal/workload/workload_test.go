@@ -1,0 +1,175 @@
+package workload
+
+import "testing"
+
+func TestLandsatDeterministic(t *testing.T) {
+	a := NewLandsat(7, 32, 42)
+	b := NewLandsat(7, 32, 42)
+	for c := 0; c < 7; c++ {
+		for i := range a.Pix[c] {
+			if a.Pix[c][i] != b.Pix[c][i] {
+				t.Fatalf("same seed differs at channel %d idx %d", c, i)
+			}
+		}
+	}
+	c := NewLandsat(7, 32, 43)
+	same := true
+	for i := range a.Pix[0] {
+		if a.Pix[0][i] != c.Pix[0][i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produce identical scenes")
+	}
+}
+
+func TestLandsatStriping(t *testing.T) {
+	ls := NewLandsat(7, 60, 1)
+	// Striped lines (x%6==1) in channel 6 should be brighter on
+	// average than their neighbors.
+	var striped, clean float64
+	var ns, nc int
+	for x := 0; x < ls.N; x++ {
+		for y := 0; y < ls.N; y++ {
+			v := float64(ls.At(6, x, y))
+			if x%6 == 1 {
+				striped += v
+				ns++
+			} else {
+				clean += v
+				nc++
+			}
+		}
+	}
+	if striped/float64(ns) <= clean/float64(nc)+10 {
+		t.Errorf("striping not visible: striped avg %.1f, clean avg %.1f",
+			striped/float64(ns), clean/float64(nc))
+	}
+}
+
+func TestLandsatRange(t *testing.T) {
+	ls := NewLandsat(7, 32, 5)
+	for c := 0; c < 7; c++ {
+		for _, p := range ls.Pix[c] {
+			if p < 0 || p > 255 {
+				t.Fatalf("pixel out of range: %d", p)
+			}
+		}
+	}
+}
+
+func TestLandsatVegetationSignal(t *testing.T) {
+	ls := NewLandsat(7, 64, 9)
+	// NDVI numerator (b4 - b3) should be positive on average: the
+	// generator pushes near-infrared above red.
+	var diff float64
+	for i := range ls.Pix[3] {
+		diff += float64(ls.Pix[4][i] - ls.Pix[3][i])
+	}
+	if diff <= 0 {
+		t.Error("channel 4 should exceed channel 3 on average (vegetation)")
+	}
+}
+
+func TestXRayEventsBoundsAndClustering(t *testing.T) {
+	ev := NewXRayEvents(5000, 128, 4, 11)
+	if len(ev.X) != 5000 {
+		t.Fatal("event count wrong")
+	}
+	counts := make(map[[2]int64]int)
+	for i := range ev.X {
+		if ev.X[i] < 0 || ev.X[i] >= 128 || ev.Y[i] < 0 || ev.Y[i] >= 128 {
+			t.Fatalf("event out of detector: (%d,%d)", ev.X[i], ev.Y[i])
+		}
+		counts[[2]int64{ev.X[i] / 16, ev.Y[i] / 16}]++
+	}
+	// Clustering: the densest 16x16 super-bin should hold far more
+	// than the uniform share (5000/64 ≈ 78).
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 200 {
+		t.Errorf("no source clustering visible: max super-bin = %d", max)
+	}
+}
+
+func TestWaveformGapsAndSpikes(t *testing.T) {
+	w := NewWaveform("XXSN", 1000, 0, 1000, 5, 7, 3)
+	if len(w.GapStarts) != 5 {
+		t.Fatalf("gap count = %d, want 5", len(w.GapStarts))
+	}
+	if len(w.SpikeTimes) != 7 {
+		t.Fatalf("spike count = %d, want 7", len(w.SpikeTimes))
+	}
+	// Timestamps strictly increase.
+	for i := 1; i < len(w.Times); i++ {
+		if w.Times[i] <= w.Times[i-1] {
+			t.Fatalf("non-monotonic timestamps at %d", i)
+		}
+	}
+	// Every declared gap is observable: consecutive interval > nominal.
+	gapSet := make(map[int64]bool)
+	for i := 1; i < len(w.Times); i++ {
+		if w.Times[i]-w.Times[i-1] > w.Interval {
+			gapSet[w.Times[i-1]] = true
+		}
+	}
+	for _, g := range w.GapStarts {
+		if !gapSet[g] {
+			t.Errorf("declared gap at %d not observable", g)
+		}
+	}
+}
+
+func TestWaveformSpikesStandOut(t *testing.T) {
+	w := NewWaveform("XXSN", 2000, 0, 1000, 0, 10, 4)
+	spike := make(map[int64]bool)
+	for _, s := range w.SpikeTimes {
+		spike[s] = true
+	}
+	// Spike samples should exceed their successors by a clear margin.
+	for i := 0; i < len(w.Times)-1; i++ {
+		if spike[w.Times[i]] {
+			if w.Samples[i]-w.Samples[i+1] < 4 {
+				t.Errorf("spike at %d not prominent: %f vs %f", w.Times[i], w.Samples[i], w.Samples[i+1])
+			}
+		}
+	}
+}
+
+func TestStationsShape(t *testing.T) {
+	ids, names, lat, lon, alt := Stations(10, 1)
+	if len(ids) != 10 || len(names) != 10 || len(lat) != 10 || len(lon) != 10 || len(alt) != 10 {
+		t.Fatal("station metadata length mismatch")
+	}
+	seen := map[string]bool{}
+	for i, id := range ids {
+		if len(id) != 4 {
+			t.Errorf("station id %q not 4 chars", id)
+		}
+		if seen[id] {
+			t.Errorf("duplicate station id %q", id)
+		}
+		seen[id] = true
+		if lat[i] < -90 || lat[i] > 90 || lon[i] < -180 || lon[i] > 180 {
+			t.Errorf("station %s coordinates out of range", id)
+		}
+	}
+}
+
+func TestToFITSChannelLayout(t *testing.T) {
+	ls := NewLandsat(7, 16, 2)
+	im := ls.ToFITS(3)
+	if im.Naxis[0] != 16 || im.Naxis[1] != 16 || im.Bitpix != 32 {
+		t.Fatalf("image shape wrong: %+v", im.Naxis)
+	}
+	// Fortran order: At(y, x) = generator At(3, x, y).
+	if got := im.At(5, 2); got != float64(ls.At(3, 2, 5)) {
+		t.Errorf("layout mismatch: fits %v, gen %d", got, ls.At(3, 2, 5))
+	}
+}

@@ -1,0 +1,164 @@
+package sciql
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPaperWalkthrough runs the paper's §3–§5 narrative end to end in
+// one session: array definitions, guarded updates, coercions,
+// slicing, transposed embedding, tiling, dimension reduction,
+// coordinate systems and array composition.
+func TestPaperWalkthrough(t *testing.T) {
+	db := Open()
+
+	// §3.1 — three equivalent declarations of float a[4].
+	db.MustExec(`
+		CREATE ARRAY A1 (x INTEGER DIMENSION[4], v FLOAT DEFAULT 0.0);
+		CREATE ARRAY A2 (x INTEGER DIMENSION[0:4:1], v FLOAT DEFAULT 0.0);
+		CREATE SEQUENCE range1 AS INTEGER START WITH 0 INCREMENT BY 1 MAXVALUE 3;
+		CREATE ARRAY A3 (x INTEGER DIMENSION range1, v FLOAT DEFAULT 0.0);
+	`)
+	for _, name := range []string{"A1", "A2", "A3"} {
+		rs := db.MustQuery(`SELECT count(*) FROM ` + name)
+		if rs.Get(0, 0).I != 4 {
+			t.Fatalf("%s has %d cells, want 4", name, rs.Get(0, 0).I)
+		}
+	}
+
+	// §3.1 — the four forms, §3.2 — guarded updates.
+	db.MustExec(`
+		CREATE ARRAY matrix (x INTEGER DIMENSION[4], y INTEGER DIMENSION[4], v FLOAT DEFAULT 0.0);
+		CREATE ARRAY stripes (x INTEGER DIMENSION[4] CHECK(MOD(x,2) = 1), y INTEGER DIMENSION[4], v FLOAT DEFAULT 0.0);
+		CREATE ARRAY diagonal (x INTEGER DIMENSION[4], y INTEGER DIMENSION[4] CHECK(x = y), v FLOAT DEFAULT 0.0);
+		CREATE ARRAY sparse (x INTEGER DIMENSION[4], y INTEGER DIMENSION[4], v FLOAT DEFAULT 0.0 CHECK(v>0));
+		UPDATE stripes SET v = CASE WHEN x>y THEN x + y WHEN x<y THEN x - y ELSE 0 END;
+		UPDATE diagonal SET v = x + y;
+		UPDATE matrix SET v = x * 4 + y;
+	`)
+	if got := db.MustQuery(`SELECT count(*) FROM stripes`).Get(0, 0).I; got != 8 {
+		t.Fatalf("stripes cells = %d, want 8", got)
+	}
+	if got := db.MustQuery(`SELECT count(*) FROM diagonal`).Get(0, 0).I; got != 4 {
+		t.Fatalf("diagonal cells = %d, want 4", got)
+	}
+
+	// §3.3 — coercions both ways.
+	db.MustExec(`
+		CREATE TABLE mtable (x INTEGER, y INTEGER, v FLOAT);
+		INSERT INTO mtable SELECT x, y, v FROM matrix;
+	`)
+	if got := db.MustQuery(`SELECT count(*) FROM mtable`).Get(0, 0).I; got != 16 {
+		t.Fatalf("coerced table rows = %d", got)
+	}
+	arr, err := db.QueryArray(`SELECT [x], [y], v FROM mtable`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr.Len() != 16 {
+		t.Fatalf("coerced array cells = %d", arr.Len())
+	}
+
+	// §4.1/§4.2 — cell selection and slicing.
+	if got := db.MustQuery(`SELECT matrix[1][1].v`).Get(0, 0).AsFloat(); got != 5 {
+		t.Fatalf("matrix[1][1].v = %v", got)
+	}
+	if got := db.MustQuery(`SELECT matrix[0:2][0:2].v`).NumRows(); got != 4 {
+		t.Fatalf("2x2 slab = %d cells", got)
+	}
+
+	// §4.3 — transposed embedding into a bordered array.
+	db.MustExec(`
+		CREATE ARRAY vmatrix (x INTEGER DIMENSION[-1:5], y INTEGER DIMENSION[-1:5], w FLOAT DEFAULT 0);
+		INSERT INTO vmatrix SELECT [y], [x], v FROM matrix;
+	`)
+	if got := db.MustQuery(`SELECT vmatrix[2][1].w`).Get(0, 0).AsFloat(); got != 6 {
+		t.Fatalf("transposed cell = %v, want matrix[1][2] = 6", got)
+	}
+	if got := db.MustQuery(`SELECT vmatrix[-1][-1].w`).Get(0, 0).AsFloat(); got != 0 {
+		t.Fatalf("border cell = %v, want 0", got)
+	}
+
+	// §4.4 — tiling with the zero-initialized enclosure.
+	rs := db.MustQuery(`
+		SELECT x, y, AVG(w) FROM vmatrix[0:4][0:4]
+		GROUP BY vmatrix[x][y], vmatrix[x-1][y], vmatrix[x+1][y],
+		         vmatrix[x][y-1], vmatrix[x][y+1]`)
+	if rs.NumRows() != 16 {
+		t.Fatalf("convolution anchors = %d", rs.NumRows())
+	}
+
+	// §5.2 — dimension reduction: 4x4 -> 2x2 by tile averaging.
+	db.MustExec(`
+		CREATE ARRAY tmp (x INTEGER DIMENSION, y INTEGER DIMENSION, v FLOAT);
+		INSERT INTO tmp SELECT x, y, AVG(v) FROM matrix GROUP BY DISTINCT matrix[x:x+2][y:y+2];
+	`)
+	if got := db.MustQuery(`SELECT count(*) FROM tmp`).Get(0, 0).I; got != 4 {
+		t.Fatalf("reduced array cells = %d, want 4", got)
+	}
+	// Top-left tile of v = x*4+y: cells 0,1,4,5 -> avg 2.5.
+	if got := db.MustQuery(`SELECT v FROM tmp WHERE x = 0 AND y = 0`).Get(0, 0).AsFloat(); got != 2.5 {
+		t.Fatalf("reduced (0,0) = %v, want 2.5", got)
+	}
+
+	// §5.1 — coordinate systems: derived polar attributes. theta's
+	// DEFAULT references r, so evaluation is ordered.
+	db.MustExec(`ALTER ARRAY matrix ADD r FLOAT DEFAULT SQRT(POWER(x,2) + POWER(y,2))`)
+	db.MustExec(`ALTER ARRAY matrix ADD theta FLOAT DEFAULT (CASE
+		WHEN x > 0 AND y > 0 THEN 0
+		WHEN x > 0 THEN ARCSIN(CAST(x AS FLOAT) / r)
+		WHEN x < 0 THEN -ARCSIN(CAST(x AS FLOAT) / r) + PI()
+		END)`)
+	rv := db.MustQuery(`SELECT r FROM matrix WHERE x = 3 AND y = 0`).Get(0, 0).AsFloat()
+	if rv != 3 {
+		t.Fatalf("r(3,0) = %v", rv)
+	}
+	th := db.MustQuery(`SELECT theta FROM matrix WHERE x = 3 AND y = 0`).Get(0, 0).AsFloat()
+	if math.Abs(th-math.Pi/2) > 1e-9 {
+		t.Fatalf("theta(3,0) = %v, want pi/2", th)
+	}
+
+	// §5.3 — array composition: the chessboard.
+	db.MustExec(`
+		CREATE SEQUENCE rng AS INTEGER START WITH 0 INCREMENT BY 1 MAXVALUE 7;
+		CREATE ARRAY white (i INTEGER DIMENSION rng, j INTEGER DIMENSION rng, color CHAR(5) DEFAULT 'white');
+		CREATE ARRAY black (LIKE white);
+		UPDATE black SET color = 'black';
+		CREATE ARRAY chessboard (i INTEGER DIMENSION rng, j INTEGER DIMENSION rng, sq CHAR(5));
+		INSERT INTO chessboard
+			SELECT [i], [j], color FROM white WHERE MOD(i + j, 2) = 0
+			UNION
+			SELECT [i], [j], color FROM black WHERE MOD(i + j, 2) = 1;
+	`)
+	if got := db.MustQuery(`SELECT count(*) FROM chessboard`).Get(0, 0).I; got != 64 {
+		t.Fatalf("chessboard cells = %d", got)
+	}
+	w := db.MustQuery(`SELECT count(*) FROM chessboard WHERE sq = 'white'`).Get(0, 0).I
+	if w != 32 {
+		t.Fatalf("white squares = %d, want 32", w)
+	}
+}
+
+// TestPaperSection32Deletion reproduces §3.2's worked deletion example
+// exactly: DELETE FROM matrix WHERE MOD(x,2)=0 OR MOD(y,2)=0 on the
+// 4x4 matrix removes half the rows and columns, shifting survivors to
+// x[0:1]y[0:1] and resetting the rest to the default.
+func TestPaperSection32Deletion(t *testing.T) {
+	db := Open()
+	db.MustExec(`
+		CREATE ARRAY matrix (x INTEGER DIMENSION[4], y INTEGER DIMENSION[4], v FLOAT DEFAULT 0.0);
+		UPDATE matrix SET v = x * 4 + y;
+		DELETE FROM matrix WHERE MOD(x, 2) = 0 OR MOD(y, 2) = 0;
+	`)
+	want := map[[2]int64]float64{
+		{0, 0}: 5, {0, 1}: 7, {1, 0}: 13, {1, 1}: 15,
+		{2, 2}: 0, {3, 3}: 0, {0, 3}: 0,
+	}
+	for coords, w := range want {
+		rs := db.MustQuery(`SELECT v FROM matrix WHERE x = ?x AND y = ?y`,
+			Int("x", coords[0]), Int("y", coords[1]))
+		if got := rs.Get(0, 0).AsFloat(); got != w {
+			t.Errorf("matrix[%d][%d] = %v, want %v", coords[0], coords[1], got, w)
+		}
+	}
+}

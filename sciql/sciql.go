@@ -1,0 +1,234 @@
+// Package sciql is the public API of the SciQL engine: an embedded,
+// in-memory science database where arrays are first-class citizens
+// alongside tables, per "SciQL, A Query Language for Science
+// Applications" (Kersten, Nes, Zhang, Ivanova — EDBT 2011).
+//
+// Quick start:
+//
+//	db := sciql.Open()
+//	db.MustExec(`CREATE ARRAY matrix (
+//	    x INTEGER DIMENSION[4],
+//	    y INTEGER DIMENSION[4],
+//	    v FLOAT DEFAULT 0.0)`)
+//	db.MustExec(`UPDATE matrix SET v = x + y`)
+//	rs, _ := db.Query(`SELECT [x], [y], AVG(v) FROM matrix
+//	                   GROUP BY DISTINCT matrix[x:x+2][y:y+2]`)
+//	fmt.Print(rs)
+package sciql
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/array"
+	"repro/internal/exec"
+	"repro/internal/sql/ast"
+	"repro/internal/sql/parser"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// DB is an embedded SciQL database. It is not safe for concurrent
+// writers; wrap with your own synchronization if needed.
+type DB struct {
+	engine *exec.Engine
+}
+
+// Result is a materialized query result.
+type Result = exec.Dataset
+
+// Value is the dynamic scalar type of result cells.
+type Value = value.Value
+
+// Open creates an empty database.
+func Open() *DB { return &DB{engine: exec.New()} }
+
+// Exec runs one or more semicolon-separated statements, returning the
+// result of the last one (nil for DDL/DML).
+func (db *DB) Exec(sql string, args ...Arg) (*Result, error) {
+	stmts, err := parser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	params := collectArgs(args)
+	var last *Result
+	for _, s := range stmts {
+		ds, err := db.engine.Exec(s, params)
+		if err != nil {
+			return nil, err
+		}
+		last = ds
+	}
+	return last, nil
+}
+
+// MustExec is Exec that panics on error; for setup code and examples.
+func (db *DB) MustExec(sql string, args ...Arg) *Result {
+	rs, err := db.Exec(sql, args...)
+	if err != nil {
+		panic(fmt.Sprintf("sciql: %v\nSQL: %s", err, sql))
+	}
+	return rs
+}
+
+// Query runs a single SELECT and returns its rows.
+func (db *DB) Query(sql string, args ...Arg) (*Result, error) {
+	stmt, err := parser.ParseOne(sql)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := stmt.(*ast.Select); !ok {
+		return nil, fmt.Errorf("Query requires a SELECT; use Exec for %T", stmt)
+	}
+	return db.engine.Exec(stmt, collectArgs(args))
+}
+
+// MustQuery is Query that panics on error.
+func (db *DB) MustQuery(sql string, args ...Arg) *Result {
+	rs, err := db.Query(sql, args...)
+	if err != nil {
+		panic(fmt.Sprintf("sciql: %v\nSQL: %s", err, sql))
+	}
+	return rs
+}
+
+// QueryArray runs a SELECT whose target list carries dimension
+// qualifiers ([x], [y], v) and coerces the result into an array
+// (§3.3): the dimension columns become dimensions with bounds from the
+// minimal bounding box of the rows.
+func (db *DB) QueryArray(sql string, args ...Arg) (*Array, error) {
+	rs, err := db.Query(sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	arr, err := db.engine.DatasetToArray(rs, "result")
+	if err != nil {
+		return nil, err
+	}
+	return &Array{a: arr}, nil
+}
+
+// Arg is a named host-parameter binding for ?name placeholders.
+type Arg struct {
+	Name  string
+	Value Value
+}
+
+// Int binds an integer parameter.
+func Int(name string, v int64) Arg { return Arg{name, value.NewInt(v)} }
+
+// Float binds a float parameter.
+func Float(name string, v float64) Arg { return Arg{name, value.NewFloat(v)} }
+
+// String binds a string parameter.
+func String(name string, v string) Arg { return Arg{name, value.NewString(v)} }
+
+// Time binds a timestamp parameter.
+func Time(name string, t time.Time) Arg { return Arg{name, value.NewTime(t)} }
+
+func collectArgs(args []Arg) map[string]Value {
+	if len(args) == 0 {
+		return nil
+	}
+	m := make(map[string]Value, len(args))
+	for _, a := range args {
+		m[a.Name] = a.Value
+	}
+	return m
+}
+
+// RegisterExternal registers a Go function under an EXTERNAL NAME so
+// that CREATE FUNCTION ... EXTERNAL NAME 'x' can bind to it (§6.2
+// black-box functions). Array arguments arrive as *sciql.Array values
+// via AsArray.
+func (db *DB) RegisterExternal(externalName string, fn func(args []Value) (Value, error)) {
+	db.engine.RegisterExternal(externalName, fn)
+}
+
+// SetStorageHint forces or tunes the storage scheme chosen for the
+// named array at creation time: one of "virtual", "tabular", "dorder",
+// "slab" ("" restores the adaptive policy). SlabSize tunes the slab
+// edge length when the slab scheme is used.
+func (db *DB) SetStorageHint(arrayName, scheme string, slabSize int64) {
+	db.engine.SetStorageHint(arrayName, storage.Hints{ForceScheme: scheme, SlabSize: slabSize})
+}
+
+// Array wraps an engine array for Go-side access (workload loaders and
+// black-box functions use it to avoid SQL round-trips).
+type Array struct{ a *array.Array }
+
+// AsArray extracts an array handle from an Array-typed Value (black-
+// box function arguments).
+func AsArray(v Value) (*Array, bool) {
+	if v.Typ != value.Array || v.Null {
+		return nil, false
+	}
+	a, ok := v.A.(*array.Array)
+	if !ok {
+		return nil, false
+	}
+	return &Array{a: a}, true
+}
+
+// Wrap boxes the array back into a Value (black-box return values).
+func (a *Array) Wrap() Value { return value.NewArray(a.a) }
+
+// LookupArray fetches a catalog array by name for bulk Go-side access.
+func (db *DB) LookupArray(name string) (*Array, bool) {
+	arr, ok := db.engine.Cat.Array(name)
+	if !ok {
+		return nil, false
+	}
+	return &Array{a: arr}, true
+}
+
+// NumDims returns the array's dimensionality.
+func (a *Array) NumDims() int { return a.a.NumDims() }
+
+// Scheme reports the physical storage scheme currently backing the
+// array (Fig. 1: virtual, tabular, dorder, slab).
+func (a *Array) Scheme() string { return a.a.Store.Scheme() }
+
+// Len returns the number of materialized (non-hole) cells.
+func (a *Array) Len() int { return a.a.Store.Len() }
+
+// Get reads one attribute at the given coordinates; out-of-bounds and
+// holes read as NULL.
+func (a *Array) Get(coords []int64, attr int) Value { return a.a.Get(coords, attr) }
+
+// Set writes one attribute at the given coordinates.
+func (a *Array) Set(coords []int64, attr int, v Value) error { return a.a.Set(coords, attr, v) }
+
+// SetFloat is a convenience bulk setter.
+func (a *Array) SetFloat(coords []int64, attr int, f float64) error {
+	return a.a.Set(coords, attr, value.NewFloat(f))
+}
+
+// SetInt is a convenience bulk setter.
+func (a *Array) SetInt(coords []int64, attr int, i int64) error {
+	return a.a.Set(coords, attr, value.NewInt(i))
+}
+
+// Scan visits every non-hole cell; coords and vals are reused between
+// calls. Returning false stops the scan.
+func (a *Array) Scan(visit func(coords []int64, vals []Value) bool) {
+	a.a.Store.Scan(visit)
+}
+
+// Bounds returns the array's current bounding box (inclusive).
+func (a *Array) Bounds() (lo, hi []int64, err error) { return a.a.BoundingBox() }
+
+// NewInt builds an integer value (black-box helper).
+func NewInt(i int64) Value { return value.NewInt(i) }
+
+// NewFloat builds a float value.
+func NewFloat(f float64) Value { return value.NewFloat(f) }
+
+// NewString builds a string value.
+func NewString(s string) Value { return value.NewString(s) }
+
+// NewTime builds a timestamp value.
+func NewTime(t time.Time) Value { return value.NewTime(t) }
+
+// NewNullFloat builds a NULL float value.
+func NewNullFloat() Value { return value.NewNull(value.Float) }

@@ -1,0 +1,165 @@
+package sciql
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	db := Open()
+	db.MustExec(`
+		CREATE ARRAY matrix (
+			x INTEGER DIMENSION[4],
+			y INTEGER DIMENSION[4],
+			v FLOAT DEFAULT 0.0);
+		UPDATE matrix SET v = x * 4 + y;
+	`)
+	rs := db.MustQuery(`SELECT [x], [y], AVG(v) FROM matrix GROUP BY DISTINCT matrix[x:x+2][y:y+2]`)
+	if rs.NumRows() != 4 {
+		t.Fatalf("distinct tiles = %d, want 4", rs.NumRows())
+	}
+}
+
+func TestQueryRejectsNonSelect(t *testing.T) {
+	db := Open()
+	if _, err := db.Query(`CREATE TABLE t (a INTEGER)`); err == nil {
+		t.Fatal("Query should reject DDL")
+	}
+}
+
+func TestParams(t *testing.T) {
+	db := Open()
+	db.MustExec(`CREATE TABLE t (a INTEGER, s VARCHAR(10), w TIMESTAMP)`)
+	db.MustExec(`INSERT INTO t VALUES (1, 'x', TIMESTAMP '2010-01-01'), (2, 'y', TIMESTAMP '2011-01-01')`)
+	rs := db.MustQuery(`SELECT a FROM t WHERE a > ?lo AND s = ?name`,
+		Int("lo", 0), String("name", "y"))
+	if rs.NumRows() != 1 || rs.Get(0, 0).I != 2 {
+		t.Fatalf("param query wrong: %v", rs)
+	}
+	rs = db.MustQuery(`SELECT a FROM t WHERE w >= ?cut`,
+		Time("cut", time.Date(2010, 6, 1, 0, 0, 0, 0, time.UTC)))
+	if rs.NumRows() != 1 {
+		t.Fatalf("time param query rows = %d", rs.NumRows())
+	}
+	rs = db.MustQuery(`SELECT ?f * 2`, Float("f", 2.25))
+	if rs.Get(0, 0).AsFloat() != 4.5 {
+		t.Fatal("float param wrong")
+	}
+}
+
+func TestQueryArrayCoercion(t *testing.T) {
+	db := Open()
+	db.MustExec(`
+		CREATE TABLE mtable (x INTEGER, y INTEGER, v FLOAT);
+		INSERT INTO mtable VALUES (0, 0, 1.0), (0, 1, 2.0), (5, 5, 9.0);
+	`)
+	arr, err := db.QueryArray(`SELECT [x], [y], v FROM mtable`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr.NumDims() != 2 || arr.Len() != 3 {
+		t.Fatalf("coerced array: dims=%d len=%d", arr.NumDims(), arr.Len())
+	}
+	if got := arr.Get([]int64{5, 5}, 0).AsFloat(); got != 9 {
+		t.Errorf("cell (5,5) = %v", got)
+	}
+	if got := arr.Get([]int64{3, 3}, 0); !got.Null {
+		t.Errorf("unfilled cell should be NULL, got %v", got)
+	}
+}
+
+func TestRegisterExternalRoundTrip(t *testing.T) {
+	db := Open()
+	db.RegisterExternal("twice", func(args []Value) (Value, error) {
+		return NewFloat(args[0].AsFloat() * 2), nil
+	})
+	db.MustExec(`CREATE FUNCTION twice (v FLOAT) RETURNS FLOAT EXTERNAL NAME 'twice'`)
+	rs := db.MustQuery(`SELECT twice(21.0)`)
+	if rs.Get(0, 0).AsFloat() != 42 {
+		t.Fatal("external round trip failed")
+	}
+}
+
+func TestExternalArrayArg(t *testing.T) {
+	db := Open()
+	db.RegisterExternal("cellsum", func(args []Value) (Value, error) {
+		a, ok := AsArray(args[0])
+		if !ok {
+			return NewNullFloat(), nil
+		}
+		sum := 0.0
+		a.Scan(func(_ []int64, vals []Value) bool {
+			sum += vals[0].AsFloat()
+			return true
+		})
+		return NewFloat(sum), nil
+	})
+	db.MustExec(`
+		CREATE ARRAY v1 (i INTEGER DIMENSION[3], v FLOAT DEFAULT 0.0);
+		UPDATE v1 SET v = i;
+		CREATE FUNCTION cellsum (a ARRAY (i INTEGER DIMENSION, v FLOAT)) RETURNS FLOAT EXTERNAL NAME 'cellsum';
+	`)
+	rs := db.MustQuery(`SELECT cellsum(v1[*])`)
+	if rs.Get(0, 0).AsFloat() != 3 {
+		t.Fatalf("cellsum = %v, want 3", rs.Get(0, 0))
+	}
+}
+
+func TestStorageHint(t *testing.T) {
+	db := Open()
+	db.SetStorageHint("forced", "tabular", 0)
+	db.MustExec(`CREATE ARRAY forced (x INTEGER DIMENSION[8], v FLOAT DEFAULT 1.0)`)
+	a, ok := db.LookupArray("forced")
+	if !ok {
+		t.Fatal("array missing")
+	}
+	if a.Scheme() != "tabular" {
+		t.Fatalf("scheme = %s, want tabular", a.Scheme())
+	}
+}
+
+func TestArrayGoAccess(t *testing.T) {
+	db := Open()
+	db.MustExec(`CREATE ARRAY g (x INTEGER DIMENSION[4], v FLOAT DEFAULT 0.0)`)
+	a, _ := db.LookupArray("g")
+	if err := a.SetFloat([]int64{2}, 0, 7.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetInt([]int64{3}, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, err := a.Bounds()
+	if err != nil || lo[0] != 0 || hi[0] != 3 {
+		t.Fatalf("bounds: %v %v %v", lo, hi, err)
+	}
+	rs := db.MustQuery(`SELECT v FROM g WHERE x = 2`)
+	if rs.Get(0, 0).AsFloat() != 7.5 {
+		t.Fatal("Go-side write not visible to SQL")
+	}
+}
+
+func TestResultRendering(t *testing.T) {
+	db := Open()
+	db.MustExec(`CREATE TABLE t (a INTEGER, b VARCHAR(5)); INSERT INTO t VALUES (1, 'x')`)
+	s := db.MustQuery(`SELECT a, b FROM t`).String()
+	if !strings.Contains(s, "a") || !strings.Contains(s, "x") {
+		t.Fatalf("rendering missing content:\n%s", s)
+	}
+}
+
+func TestErrorsSurface(t *testing.T) {
+	db := Open()
+	if _, err := db.Exec(`SELECT FROM`); err == nil {
+		t.Fatal("parse error should surface")
+	}
+	if _, err := db.Exec(`SELECT * FROM nosuch`); err == nil {
+		t.Fatal("missing table should surface")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustExec should panic on error")
+		}
+	}()
+	db.MustExec(`SELECT * FROM nosuch`)
+}
