@@ -1,0 +1,20 @@
+# Tier-1 verification in one command: vet, build, race-enabled tests.
+GO ?= go
+
+.PHONY: all check build test bench
+
+all: check
+
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench 'BenchmarkParallel' -benchtime 2x -run '^$$' .

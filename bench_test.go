@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/storage"
+	"repro/sciql"
 )
 
 // --- F1: Figure 1 — alternative array storage schemes ----------------------
@@ -354,6 +355,61 @@ func BenchmarkBaselineConvolution(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- P1/P2: morsel-driven parallel execution ----------------------------------
+
+// newParBenchDB builds the n×n matrix the parallel benches query.
+func newParBenchDB(b *testing.B, n int) *sciql.DB {
+	b.Helper()
+	db := sciql.Open()
+	db.MustExec(fmt.Sprintf(
+		`CREATE ARRAY pmatrix (x INTEGER DIMENSION[%d], y INTEGER DIMENSION[%d], v FLOAT DEFAULT 0.0)`, n, n))
+	db.MustExec(`UPDATE pmatrix SET v = x * 31 + y`)
+	return db
+}
+
+// BenchmarkParallelTiling is P1: the §4.4 tiled aggregation executed
+// serially and morsel-parallel. Anchors are the morsels; per-worker
+// partial aggregates merge at the end. Expected shape on a multi-core
+// host: near-linear scaling (>= 1.8x at 4 workers); identical result
+// datasets at every width.
+func BenchmarkParallelTiling(b *testing.B) {
+	const n = 96
+	db := newParBenchDB(b, n)
+	const q = `SELECT [x], [y], AVG(v) FROM pmatrix GROUP BY DISTINCT pmatrix[x:x+4][y:y+4]`
+	want := db.MustQuery(q).String()
+	for _, par := range []int{1, 2, 4} {
+		db.Parallelism(par)
+		if got := db.MustQuery(q).String(); got != want {
+			b.Fatalf("parallelism %d changed the result", par)
+		}
+		b.Run(fmt.Sprintf("workers=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				db.MustQuery(q)
+			}
+		})
+	}
+}
+
+// BenchmarkParallelFilterAgg is P2: scan → filter → grouped aggregate
+// over row morsels with per-worker hash tables.
+func BenchmarkParallelFilterAgg(b *testing.B) {
+	const n = 256
+	db := newParBenchDB(b, n)
+	const q = `SELECT MOD(x, 7) AS k, AVG(v), COUNT(*) FROM pmatrix WHERE MOD(x + y, 3) < 2 GROUP BY MOD(x, 7) ORDER BY k`
+	want := db.MustQuery(q).String()
+	for _, par := range []int{1, 2, 4} {
+		db.Parallelism(par)
+		if got := db.MustQuery(q).String(); got != want {
+			b.Fatalf("parallelism %d changed the result", par)
+		}
+		b.Run(fmt.Sprintf("workers=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				db.MustQuery(q)
+			}
+		})
+	}
 }
 
 // --- X2: data-vault lazy metadata access -------------------------------------

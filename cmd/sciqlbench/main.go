@@ -16,16 +16,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/storage"
+	"repro/sciql"
 )
 
 var (
 	quick = flag.Bool("quick", false, "use smaller sizes")
 	only  = flag.String("only", "", "run only experiments whose id has this prefix")
+	par   = flag.Int("par", 4, "worker count for the parallel-execution experiment (P1)")
 )
 
 func main() {
@@ -43,6 +46,7 @@ func main() {
 	runX1()
 	runX2()
 	runX3()
+	runP1()
 }
 
 func want(id string) bool {
@@ -384,4 +388,59 @@ func runX3() {
 	fmt.Printf("recast (col-major source):   %8.2f ms\n", float64(dR.Microseconds())/1000)
 	fmt.Printf("recast overhead: %.1fx (paper §6.2: 'potentially expensive')\n\n",
 		float64(dR.Nanoseconds())/float64(dA.Nanoseconds()))
+}
+
+func runP1() {
+	if !want("P1") {
+		return
+	}
+	n := 128
+	tile := 4
+	if *quick {
+		n = 64
+	}
+	workers := *par
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	header("P1", fmt.Sprintf("morsel-driven parallel tiled aggregation (%dx%d, %dx%d tiles, %d workers, GOMAXPROCS=%d)",
+		n, n, tile, tile, workers, runtime.GOMAXPROCS(0)))
+	db := sciql.Open()
+	db.MustExec(fmt.Sprintf(
+		`CREATE ARRAY pmatrix (x INTEGER DIMENSION[%d], y INTEGER DIMENSION[%d], v FLOAT DEFAULT 0.0)`, n, n))
+	db.MustExec(`UPDATE pmatrix SET v = x * 31 + y`)
+	q := fmt.Sprintf(`SELECT [x], [y], AVG(v) FROM pmatrix GROUP BY DISTINCT pmatrix[x:x+%d][y:y+%d]`, tile, tile)
+	if plan, err := db.Explain(q); err == nil {
+		fmt.Print(plan)
+	}
+	var serial, parallel string
+	dS, err := timeIt(func() error {
+		db.Parallelism(1)
+		rs, e := db.Query(q)
+		if e == nil {
+			serial = rs.String()
+		}
+		return e
+	})
+	if err != nil {
+		fail("P1", err)
+	}
+	dP, err := timeIt(func() error {
+		db.Parallelism(workers)
+		rs, e := db.Query(q)
+		if e == nil {
+			parallel = rs.String()
+		}
+		return e
+	})
+	if err != nil {
+		fail("P1", err)
+	}
+	if serial != parallel {
+		fail("P1", fmt.Errorf("parallel result differs from serial"))
+	}
+	fmt.Printf("serial (1 worker):    %8.1f ms\n", float64(dS.Microseconds())/1000)
+	fmt.Printf("parallel (%d workers):%8.1f ms\n", workers, float64(dP.Microseconds())/1000)
+	fmt.Printf("speedup: %.2fx (identical results; scaling requires >= %d cores)\n\n",
+		float64(dS.Nanoseconds())/float64(dP.Nanoseconds()), workers)
 }

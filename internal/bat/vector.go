@@ -585,6 +585,30 @@ func (a *AggState) Add(v value.Value) {
 	a.anyV = true
 }
 
+// Merge folds another accumulator's partial state into a; the
+// morsel-driven executor merges per-worker partials with it. Merging
+// is only valid for non-DISTINCT aggregates (partials may have seen
+// overlapping DISTINCT values).
+func (a *AggState) Merge(o *AggState) {
+	if o.count == 0 && !o.anyV {
+		return
+	}
+	if !o.isInt {
+		a.isInt = false
+	}
+	a.count += o.count
+	a.sum += o.sum
+	if o.anyV {
+		if !a.anyV || value.Compare(o.min, a.min) < 0 {
+			a.min = o.min
+		}
+		if !a.anyV || value.Compare(o.max, a.max) > 0 {
+			a.max = o.max
+		}
+		a.anyV = true
+	}
+}
+
 // Result finalizes the aggregate. Empty input yields NULL (except
 // COUNT, which yields 0), matching SQL semantics.
 func (a *AggState) Result() value.Value {

@@ -180,7 +180,9 @@ func (s *Session) LoadChannel(name string, ls *workload.Landsat, channel int) (*
 		},
 		Attrs: []array.Attr{{Name: "v", Typ: value.Float, Default: value.NewNull(value.Float)}},
 	}
-	h := s.Engine.StorageHints[name]
+	// Read through the accessor: hints are keyed lowercased, matching
+	// the catalog's case-insensitive array names.
+	h := s.Engine.StorageHint(name)
 	st, err := storage.New(sch, h)
 	if err != nil {
 		return nil, err

@@ -3,10 +3,12 @@ package exec
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/array"
 	"repro/internal/catalog"
 	"repro/internal/expr"
+	"repro/internal/parallel"
 	"repro/internal/sql/ast"
 	"repro/internal/storage"
 	"repro/internal/value"
@@ -22,8 +24,29 @@ type Engine struct {
 	// (§6.2 black-box functions).
 	externals map[string]func(args []value.Value) (value.Value, error)
 	// StorageHints overrides the adaptive storage policy per array
-	// name (ablation benches force schemes through this).
+	// name (ablation benches force schemes through this). Keys are
+	// lowercased; read through StorageHint so lookups stay
+	// case-insensitive like the catalog's.
 	StorageHints map[string]storage.Hints
+	// parallelism is the worker count for morsel-driven SELECT
+	// execution; <= 1 runs the serial interpreter.
+	parallelism int
+	// pool is the shared worker pool, sized to parallelism.
+	pool *parallel.Pool
+	// planCache memoizes the parallel-eligibility decision (and the
+	// array names to prewarm) per SELECT AST node, so re-executed
+	// statements (and per-row correlated subqueries, which reuse one
+	// AST) plan once, not once per row.
+	planMu    sync.Mutex
+	planCache map[*ast.Select]planDecision
+}
+
+// planDecision is one memoized routing decision: the worker count and
+// the catalog arrays whose lazy indexes need prewarming before each
+// parallel execution.
+type planDecision struct {
+	par  int
+	warm []string
 }
 
 // New creates an engine with an empty catalog.
@@ -53,6 +76,37 @@ func (e *Engine) SetStorageHint(arrayName string, h storage.Hints) {
 	e.StorageHints[strings.ToLower(arrayName)] = h
 }
 
+// StorageHint returns the hint recorded for arrayName, matching the
+// catalog's case-insensitive name resolution.
+func (e *Engine) StorageHint(arrayName string) storage.Hints {
+	return e.StorageHints[strings.ToLower(arrayName)]
+}
+
+// SetParallelism sets the worker count for morsel-driven SELECT
+// execution. n <= 0 selects GOMAXPROCS; 1 forces the serial
+// interpreter.
+func (e *Engine) SetParallelism(n int) {
+	p := parallel.NewPool(n)
+	e.parallelism = p.Workers()
+	if e.parallelism > 1 {
+		e.pool = p
+	} else {
+		e.pool = nil
+	}
+	// Cached eligibility decisions embed the old worker count.
+	e.planMu.Lock()
+	e.planCache = nil
+	e.planMu.Unlock()
+}
+
+// Parallelism reports the configured worker count (1 = serial).
+func (e *Engine) Parallelism() int {
+	if e.parallelism <= 1 {
+		return 1
+	}
+	return e.parallelism
+}
+
 // DatasetToArray exposes the dataset→array coercion (§3.3) to the
 // public API.
 func (e *Engine) DatasetToArray(ds *Dataset, name string) (*array.Array, error) {
@@ -79,6 +133,8 @@ func (e *Engine) Exec(stmt ast.Statement, params map[string]value.Value) (*Datas
 	switch s := stmt.(type) {
 	case *ast.Select:
 		return e.execSelect(s, env)
+	case *ast.Explain:
+		return e.execExplain(s)
 	case *ast.CreateTable:
 		return nil, e.execCreateTable(s)
 	case *ast.CreateArray:
@@ -396,8 +452,7 @@ func (e *Engine) execCreateArray(s *ast.CreateArray, env expr.Env) error {
 // newStore instantiates storage under the adaptive policy, honoring
 // per-array hints.
 func (e *Engine) newStore(name string, sch array.Schema) (array.Store, error) {
-	h := e.StorageHints[strings.ToLower(name)]
-	return storage.New(sch, h)
+	return storage.New(sch, e.StorageHint(name))
 }
 
 func (e *Engine) execCreateSequence(s *ast.CreateSequence, env expr.Env) error {

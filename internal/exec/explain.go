@@ -1,0 +1,58 @@
+package exec
+
+import (
+	"strings"
+
+	"repro/internal/plan"
+	"repro/internal/sql/ast"
+	"repro/internal/value"
+)
+
+// planCatalog adapts the engine catalog to the planner's schema view.
+type planCatalog struct{ e *Engine }
+
+func (pc planCatalog) ArrayInfo(name string) (dims, attrs []string, ok bool) {
+	a, found := pc.e.Cat.Array(name)
+	if !found {
+		return nil, nil, false
+	}
+	for _, d := range a.Schema.Dims {
+		dims = append(dims, d.Name)
+	}
+	for _, at := range a.Schema.Attrs {
+		attrs = append(attrs, at.Name)
+	}
+	return dims, attrs, true
+}
+
+func (pc planCatalog) IsTable(name string) bool {
+	_, ok := pc.e.Cat.Table(name)
+	return ok
+}
+
+// planSelect compiles and optimizes the logical plan for a SELECT.
+func (e *Engine) planSelect(sel *ast.Select) *plan.Plan {
+	return plan.PlanSelect(sel, planCatalog{e})
+}
+
+// execExplain renders the optimized plan of the wrapped SELECT as a
+// one-column dataset, one row per tree line, followed by an execution-
+// mode line stating whether the morsel-driven parallel path applies.
+func (e *Engine) execExplain(s *ast.Explain) (*Dataset, error) {
+	pl := e.planSelect(s.Select)
+	out := NewDataset([]Col{{Name: "plan", Typ: value.String}})
+	for _, line := range strings.Split(strings.TrimRight(pl.String(), "\n"), "\n") {
+		out.Append([]value.Value{value.NewString(line)})
+	}
+	mode := "execution: serial interpreter"
+	switch {
+	case !pl.Parallel:
+		mode += " (" + pl.Reason + ")"
+	case !parSafeSelect(s.Select):
+		mode += " (expression needs engine state)"
+	default:
+		mode = "execution: parallelizable (morsel-driven)"
+	}
+	out.Append([]value.Value{value.NewString(mode)})
+	return out, nil
+}

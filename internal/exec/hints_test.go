@@ -1,0 +1,41 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/sql/parser"
+	"repro/internal/storage"
+)
+
+// TestStorageHintCaseInsensitive is the regression test for hint-name
+// case handling: hints are stored lowercased, so every lookup — the
+// engine's CREATE path and the exported accessor — must match the
+// catalog's case-insensitive array naming no matter how the caller
+// spelled the name.
+func TestStorageHintCaseInsensitive(t *testing.T) {
+	e := New()
+	e.SetStorageHint("CamelCase", storage.Hints{ForceScheme: storage.SchemeSlab, SlabSize: 4})
+
+	for _, name := range []string{"CamelCase", "camelcase", "CAMELCASE"} {
+		h := e.StorageHint(name)
+		if h.ForceScheme != storage.SchemeSlab {
+			t.Fatalf("StorageHint(%q).ForceScheme = %q, want %q", name, h.ForceScheme, storage.SchemeSlab)
+		}
+	}
+
+	// CREATE under a different spelling must still honor the hint.
+	stmt, err := parser.ParseOne(`CREATE ARRAY CAMELCASE (x INTEGER DIMENSION[4], v FLOAT DEFAULT 0.0)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Exec(stmt, nil); err != nil {
+		t.Fatal(err)
+	}
+	a, ok := e.Cat.Array("camelcase")
+	if !ok {
+		t.Fatal("array not in catalog")
+	}
+	if got := a.Store.Scheme(); got != storage.SchemeSlab {
+		t.Fatalf("created array scheme = %q, want %q (hint ignored)", got, storage.SchemeSlab)
+	}
+}

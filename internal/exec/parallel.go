@@ -1,0 +1,259 @@
+package exec
+
+import (
+	"strings"
+
+	"repro/internal/array"
+	"repro/internal/expr"
+	"repro/internal/parallel"
+	"repro/internal/sql/ast"
+	"repro/internal/value"
+)
+
+// parallelMorsel aliases the pool's chunk descriptor.
+type parallelMorsel = parallel.Morsel
+
+// This file is the bridge between the logical planner and the
+// morsel-driven executor in internal/parallel. A SELECT takes the
+// parallel path only when (a) the engine's parallelism knob is above
+// one, (b) the optimized plan has a parallelizable shape (single
+// array/table pipeline — plan.Plan.Parallel), and (c) every scalar
+// expression is engine-state free, so concurrent evaluation on the
+// shared Evaluator is race-free. Everything else falls back to the
+// serial interpreter, transparently.
+
+// planCacheMax bounds the eligibility cache; ad-hoc statements parse
+// into fresh AST nodes, so a long-lived engine would otherwise grow
+// the cache without limit.
+const planCacheMax = 4096
+
+// selectParallelism decides the worker count for one SELECT: the
+// configured parallelism when the plan and expressions qualify,
+// otherwise 1. The decision is memoized per AST node (re-executed
+// prepared statements and per-row correlated subqueries reuse one
+// node). On the parallel path it also pre-warms lazily built store
+// indexes (sorted dimension values, bounding boxes) — on every
+// execution, since DML invalidates them — so workers only ever read
+// shared state.
+func (e *Engine) selectParallelism(sel *ast.Select) int {
+	if e.parallelism <= 1 || e.pool == nil {
+		return 1
+	}
+	e.planMu.Lock()
+	dec, cached := e.planCache[sel]
+	e.planMu.Unlock()
+	if !cached {
+		dec = planDecision{par: 1}
+		if pl := e.planSelect(sel); pl.Parallel && parSafeSelect(sel) {
+			dec = planDecision{par: e.parallelism, warm: warmNames(sel)}
+		}
+		e.planMu.Lock()
+		if len(e.planCache) >= planCacheMax || e.planCache == nil {
+			e.planCache = make(map[*ast.Select]planDecision)
+		}
+		e.planCache[sel] = dec
+		e.planMu.Unlock()
+	}
+	// Prewarm on every execution (not just the first): DML between
+	// executions invalidates the lazy store indexes. The name list is
+	// cached; re-touching a built index is a cheap early return.
+	for _, name := range dec.warm {
+		if a, ok := e.Cat.Array(name); ok {
+			e.prewarmArray(a)
+		}
+	}
+	return dec.par
+}
+
+// parSafeSelect reports whether every scalar expression of the select
+// (and its UNION continuations) can be evaluated concurrently.
+func parSafeSelect(sel *ast.Select) bool {
+	for cur := sel; cur != nil; cur = cur.SetRight {
+		exprs := make([]ast.Expr, 0, 8)
+		for _, it := range cur.Items {
+			exprs = append(exprs, it.Expr)
+		}
+		for _, fi := range cur.From {
+			tr, ok := fi.(*ast.TableRef)
+			if !ok {
+				return false
+			}
+			for _, ix := range tr.Indexers {
+				exprs = append(exprs, ix.Point, ix.Start, ix.Stop, ix.Step)
+			}
+		}
+		exprs = append(exprs, cur.Where, cur.Having, cur.Limit)
+		if cur.GroupBy != nil {
+			exprs = append(exprs, cur.GroupBy.Exprs...)
+			for _, t := range cur.GroupBy.Tiles {
+				exprs = append(exprs, t.Ref)
+			}
+		}
+		for _, oi := range cur.OrderBy {
+			exprs = append(exprs, oi.Expr)
+		}
+		for _, x := range exprs {
+			if !parSafeExpr(x) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// parSafeExpr vets one expression for concurrent evaluation: no
+// subqueries (recursive engine execution), no UDF calls (white-box PSM
+// bodies may contain DML; black-box Go functions have unknown thread
+// safety), no RAND (the evaluator's generator is shared and lazily
+// initialized), no NEXT (rewritten via dataset mutation).
+func parSafeExpr(x ast.Expr) bool {
+	ok := true
+	ast.Walk(x, func(n ast.Expr) bool {
+		switch t := n.(type) {
+		case *ast.Subquery:
+			ok = false
+			return false
+		case *ast.FuncCall:
+			if t.IsAggregate() {
+				return true
+			}
+			if strings.EqualFold(t.Name, "RAND") || strings.EqualFold(t.Name, "NEXT") || !expr.IsBuiltin(t.Name) {
+				ok = false
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// warmNames collects the names of every array the query mentions
+// (FROM sources and ArrayRef bases); their lazily built read-side
+// indexes are touched before each parallel execution so worker
+// goroutines only ever read shared state.
+func warmNames(sel *ast.Select) []string {
+	names := make(map[string]bool)
+	var visit func(x ast.Expr)
+	visit = func(x ast.Expr) {
+		ast.Walk(x, func(n ast.Expr) bool {
+			if ref, ok := n.(*ast.ArrayRef); ok {
+				if id, ok2 := ref.Base.(*ast.Ident); ok2 {
+					names[strings.ToLower(id.Name)] = true
+				}
+			}
+			return true
+		})
+	}
+	for cur := sel; cur != nil; cur = cur.SetRight {
+		for _, fi := range cur.From {
+			if tr, ok := fi.(*ast.TableRef); ok {
+				names[strings.ToLower(tr.Name)] = true
+			}
+		}
+		for _, it := range cur.Items {
+			visit(it.Expr)
+		}
+		visit(cur.Where)
+		visit(cur.Having)
+		if cur.GroupBy != nil {
+			for _, t := range cur.GroupBy.Tiles {
+				visit(t.Ref)
+			}
+			for _, k := range cur.GroupBy.Exprs {
+				visit(k)
+			}
+		}
+	}
+	out := make([]string, 0, len(names))
+	for name := range names {
+		out = append(out, name)
+	}
+	return out
+}
+
+func (e *Engine) prewarmArray(a *array.Array) {
+	if p, ok := a.Store.(dimValuesProvider); ok {
+		for di := range a.Schema.Dims {
+			_ = p.DimValues(di)
+		}
+	}
+	_, _, _ = a.BoundingBox()
+}
+
+// filterKeep evaluates where over every row of ds and returns the
+// indexes of passing rows in order; par > 1 splits the rows into
+// morsels across the worker pool.
+func (e *Engine) filterKeep(where ast.Expr, ds *Dataset, outer expr.Env, par int) ([]int, error) {
+	n := ds.NumRows()
+	if par <= 1 || e.pool == nil || n < 2*e.pool.Workers() {
+		var keep []int
+		env := &rowEnv{d: ds, outer: outer}
+		for r := 0; r < n; r++ {
+			env.row = r
+			ok, err := e.Ev.EvalBool(where, env)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				keep = append(keep, r)
+			}
+		}
+		return keep, nil
+	}
+	mask := make([]bool, n)
+	err := e.pool.ForEach(n, e.pool.MorselFor(n), func(m parallelMorsel) error {
+		env := &rowEnv{d: ds, outer: outer}
+		for r := m.Lo; r < m.Hi; r++ {
+			env.row = r
+			ok, err := e.Ev.EvalBool(where, env)
+			if err != nil {
+				return err
+			}
+			mask[r] = ok
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var keep []int
+	for r, ok := range mask {
+		if ok {
+			keep = append(keep, r)
+		}
+	}
+	return keep, nil
+}
+
+// projectWith evaluates the target list for every row of ds, fanning
+// the rows out over the pool when par > 1. Output is identical to the
+// serial project for any par.
+func (e *Engine) projectWith(items []ast.SelectItem, ds *Dataset, outer expr.Env, par int) (*Dataset, error) {
+	items = expandStars(items, ds)
+	n := ds.NumRows()
+	if par <= 1 || e.pool == nil || n < 2*e.pool.Workers() {
+		return e.project(items, ds, outer)
+	}
+	colVals := make([][]value.Value, len(items))
+	for i := range colVals {
+		colVals[i] = make([]value.Value, n)
+	}
+	err := e.pool.ForEach(n, e.pool.MorselFor(n), func(m parallelMorsel) error {
+		env := &rowEnv{d: ds, outer: outer}
+		for r := m.Lo; r < m.Hi; r++ {
+			env.row = r
+			for i, it := range items {
+				v, err := e.Ev.Eval(it.Expr, env)
+				if err != nil {
+					return err
+				}
+				colVals[i][r] = v
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buildProjected(items, colVals), nil
+}

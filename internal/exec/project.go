@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/array"
@@ -223,9 +224,59 @@ func andAll(conjs []ast.Expr) ast.Expr {
 
 // --- value-based GROUP BY ----------------------------------------------------
 
+// group is the per-key accumulator of execValueGroupBy; the parallel
+// path builds one map per worker and merges the partials.
+type group struct {
+	firstRow int
+	aggs     []*bat.AggState
+	distinct []map[string]bool
+	counts   []int64
+}
+
+func newGroup(r int, calls []*ast.FuncCall) *group {
+	g := &group{firstRow: r,
+		aggs:     make([]*bat.AggState, len(calls)),
+		distinct: make([]map[string]bool, len(calls)),
+		counts:   make([]int64, len(calls)),
+	}
+	for i, c := range calls {
+		g.aggs[i] = bat.NewAggState(c.Name)
+		if c.Distinct {
+			g.distinct[i] = make(map[string]bool)
+		}
+	}
+	return g
+}
+
+// accumulate folds row r (bound in env) into the group.
+func (e *Engine) accumulate(g *group, calls []*ast.FuncCall, env expr.Env) error {
+	for i, c := range calls {
+		if c.Star {
+			g.counts[i]++
+			continue
+		}
+		v, err := e.Ev.Eval(c.Args[0], env)
+		if err != nil {
+			return err
+		}
+		if c.Distinct {
+			k := v.String()
+			if g.distinct[i][k] {
+				continue
+			}
+			g.distinct[i][k] = true
+		}
+		g.aggs[i].Add(v)
+	}
+	return nil
+}
+
 // execValueGroupBy evaluates GROUP BY <exprs> (or a single implicit
-// group when aggregates appear without GROUP BY).
-func (e *Engine) execValueGroupBy(sel *ast.Select, items []ast.SelectItem, having ast.Expr, ds *Dataset, outer expr.Env) (*Dataset, error) {
+// group when aggregates appear without GROUP BY). With par > 1 the
+// rows are split into morsels: each worker builds partial aggregates
+// in its own hash table and the partials merge at the end, preserving
+// the serial first-encounter group order.
+func (e *Engine) execValueGroupBy(sel *ast.Select, items []ast.SelectItem, having ast.Expr, ds *Dataset, outer expr.Env, par int) (*Dataset, error) {
 	items = expandStars(items, ds)
 	ac := &aggCollector{}
 	rewritten := make([]ast.SelectItem, len(items))
@@ -241,60 +292,104 @@ func (e *Engine) execValueGroupBy(sel *ast.Select, items []ast.SelectItem, havin
 	if sel.GroupBy != nil {
 		keyExprs = sel.GroupBy.Exprs
 	}
-	type group struct {
-		firstRow int
-		aggs     []*bat.AggState
-		distinct []map[string]bool
-		counts   []int64
+	// DISTINCT aggregates cannot merge partial states: overlapping
+	// values may have been counted by two workers. Run them serially.
+	for _, c := range ac.calls {
+		if c.Distinct {
+			par = 1
+			break
+		}
 	}
 	groups := make(map[string]*group)
 	var order []string
 	n := ds.NumRows()
-	for r := 0; r < n; r++ {
-		env := &rowEnv{d: ds, row: r, outer: outer}
+	rowKey := func(env *rowEnv) (string, error) {
 		var sb strings.Builder
 		for _, k := range keyExprs {
 			v, err := e.Ev.Eval(k, env)
 			if err != nil {
-				return nil, err
+				return "", err
 			}
 			sb.WriteString(v.String())
 			sb.WriteByte('\x00')
 		}
-		key := sb.String()
-		g, ok := groups[key]
-		if !ok {
-			g = &group{firstRow: r,
-				aggs:     make([]*bat.AggState, len(ac.calls)),
-				distinct: make([]map[string]bool, len(ac.calls)),
-				counts:   make([]int64, len(ac.calls)),
-			}
-			for i, c := range ac.calls {
-				g.aggs[i] = bat.NewAggState(c.Name)
-				if c.Distinct {
-					g.distinct[i] = make(map[string]bool)
+		return sb.String(), nil
+	}
+	if par > 1 && e.pool != nil && n >= 2*e.pool.Workers() {
+		// Partials are indexed by morsel (not worker) and merged in
+		// morsel order, so the grouping of float additions is a pure
+		// function of (row count, morsel size): results are
+		// deterministic run-to-run even though morsel→worker
+		// assignment races. Float SUM/AVG may still differ from the
+		// serial fold in last-bit summation order on non-integer data.
+		morsel := e.pool.MorselFor(n)
+		partials := make([]map[string]*group, (n+morsel-1)/morsel)
+		err := e.pool.ForEach(n, morsel, func(m parallelMorsel) error {
+			wm := make(map[string]*group)
+			partials[m.Lo/morsel] = wm
+			env := &rowEnv{d: ds, outer: outer}
+			for r := m.Lo; r < m.Hi; r++ {
+				env.row = r
+				key, err := rowKey(env)
+				if err != nil {
+					return err
+				}
+				g, ok := wm[key]
+				if !ok {
+					g = newGroup(r, ac.calls)
+					wm[key] = g
+				}
+				if err := e.accumulate(g, ac.calls, env); err != nil {
+					return err
 				}
 			}
-			groups[key] = g
-			order = append(order, key)
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		for i, c := range ac.calls {
-			if c.Star {
-				g.counts[i]++
-				continue
+		for _, wm := range partials {
+			for k, pg := range wm {
+				g, ok := groups[k]
+				if !ok {
+					groups[k] = pg
+					continue
+				}
+				if pg.firstRow < g.firstRow {
+					g.firstRow = pg.firstRow
+				}
+				for i := range g.aggs {
+					g.aggs[i].Merge(pg.aggs[i])
+					g.counts[i] += pg.counts[i]
+				}
 			}
-			v, err := e.Ev.Eval(c.Args[0], env)
+		}
+		// Serial group order is first encounter scanning rows upward,
+		// i.e. ascending minimum row index.
+		order = make([]string, 0, len(groups))
+		for k := range groups {
+			order = append(order, k)
+		}
+		sort.Slice(order, func(i, j int) bool {
+			return groups[order[i]].firstRow < groups[order[j]].firstRow
+		})
+	} else {
+		env := &rowEnv{d: ds, outer: outer}
+		for r := 0; r < n; r++ {
+			env.row = r
+			key, err := rowKey(env)
 			if err != nil {
 				return nil, err
 			}
-			if c.Distinct {
-				k := v.String()
-				if g.distinct[i][k] {
-					continue
-				}
-				g.distinct[i][k] = true
+			g, ok := groups[key]
+			if !ok {
+				g = newGroup(r, ac.calls)
+				groups[key] = g
+				order = append(order, key)
 			}
-			g.aggs[i].Add(v)
+			if err := e.accumulate(g, ac.calls, env); err != nil {
+				return nil, err
+			}
 		}
 	}
 	// Aggregates over zero rows with no GROUP BY still yield one row.

@@ -60,6 +60,10 @@ func (e *Engine) execSelectCore(sel *ast.Select, outer expr.Env) (*Dataset, erro
 	if len(sel.From) == 0 || e.fromIsVacuous(sel, outer) {
 		return e.projectRowless(sel, outer)
 	}
+	// The planner gates the morsel-driven path: par is the worker
+	// count when the optimized plan shape and the expressions qualify,
+	// 1 (serial interpreter) otherwise.
+	par := e.selectParallelism(sel)
 	conjs := splitConjuncts(sel.Where)
 	ds, sources, remaining, err := e.buildFrom(sel.From, conjs, outer)
 	if err != nil {
@@ -67,7 +71,7 @@ func (e *Engine) execSelectCore(sel *ast.Select, outer expr.Env) (*Dataset, erro
 	}
 	// Structural (tiling) grouping takes its own path.
 	if sel.GroupBy != nil && len(sel.GroupBy.Tiles) > 0 {
-		return e.execTiling(sel, ds, sources, remaining, outer)
+		return e.execTiling(sel, ds, sources, remaining, outer, par)
 	}
 	// NEXT(col) rewriting requires an ordered view of the source.
 	items, where, having, rewrote, err := e.rewriteNextCalls(sel, ds, remaining)
@@ -77,17 +81,9 @@ func (e *Engine) execSelectCore(sel *ast.Select, outer expr.Env) (*Dataset, erro
 	_ = rewrote
 	// Row filter.
 	if where != nil {
-		var keep []int
-		n := ds.NumRows()
-		for r := 0; r < n; r++ {
-			env := &rowEnv{d: ds, row: r, outer: outer}
-			ok, err := e.Ev.EvalBool(where, env)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				keep = append(keep, r)
-			}
+		keep, err := e.filterKeep(where, ds, outer, par)
+		if err != nil {
+			return nil, err
 		}
 		ds = ds.Gather(keep)
 	}
@@ -105,7 +101,7 @@ func (e *Engine) execSelectCore(sel *ast.Select, outer expr.Env) (*Dataset, erro
 	var out *Dataset
 	sorted := false
 	if (sel.GroupBy != nil && len(sel.GroupBy.Exprs) > 0) || hasAgg {
-		out, err = e.execValueGroupBy(sel, items, having, ds, outer)
+		out, err = e.execValueGroupBy(sel, items, having, ds, outer, par)
 		if err != nil {
 			return nil, err
 		}
@@ -118,22 +114,15 @@ func (e *Engine) execSelectCore(sel *ast.Select, outer expr.Env) (*Dataset, erro
 				sorted = true
 			}
 		}
-		out, err = e.project(items, ds, outer)
+		out, err = e.projectWith(items, ds, outer, par)
 		if err != nil {
 			return nil, err
 		}
 		// HAVING without grouping post-filters (the paper's gap query).
 		if having != nil {
-			var keep []int
-			for r := 0; r < ds.NumRows(); r++ {
-				env := &rowEnv{d: ds, row: r, outer: outer}
-				ok, err := e.Ev.EvalBool(having, env)
-				if err != nil {
-					return nil, err
-				}
-				if ok {
-					keep = append(keep, r)
-				}
+			keep, err := e.filterKeep(having, ds, outer, par)
+			if err != nil {
+				return nil, err
 			}
 			out = out.Gather(keep)
 		}

@@ -18,7 +18,7 @@ import (
 // denoted outside the index domain read as outer NULLs and are ignored
 // by the aggregates. DISTINCT restricts anchors so tile boundaries are
 // mutually exclusive.
-func (e *Engine) execTiling(sel *ast.Select, ds *Dataset, sources []*source, remaining []ast.Expr, outer expr.Env) (*Dataset, error) {
+func (e *Engine) execTiling(sel *ast.Select, ds *Dataset, sources []*source, remaining []ast.Expr, outer expr.Env, par int) (*Dataset, error) {
 	gb := sel.GroupBy
 	// Locate the tiled array from the first tile's base name.
 	firstRef := gb.Tiles[0].Ref
@@ -83,11 +83,7 @@ func (e *Engine) execTiling(sel *ast.Select, ds *Dataset, sources []*source, rem
 	}
 	// Deduplicate anchors (a 2-D scan grouped by matrix[x][*] anchors
 	// on distinct x values only).
-	type anchor struct {
-		row  int
-		vals []int64
-	}
-	var anchors []anchor
+	var anchors []tileAnchor
 	seen := make(map[string]bool)
 	for _, r := range anchorRows {
 		vals := make([]int64, len(anchorCols))
@@ -102,7 +98,7 @@ func (e *Engine) execTiling(sel *ast.Select, ds *Dataset, sources []*source, rem
 			continue
 		}
 		seen[k] = true
-		anchors = append(anchors, anchor{row: r, vals: vals})
+		anchors = append(anchors, tileAnchor{row: r, vals: vals})
 	}
 	// DISTINCT tiles: keep only anchors aligned to the tile extent.
 	if gb.Distinct && len(anchors) > 0 {
@@ -110,7 +106,7 @@ func (e *Engine) execTiling(sel *ast.Select, ds *Dataset, sources []*source, rem
 		if err != nil {
 			return nil, err
 		}
-		var kept []anchor
+		var kept []tileAnchor
 		for _, a := range anchors {
 			aligned := true
 			for i := range anchorVars {
@@ -143,7 +139,6 @@ func (e *Engine) execTiling(sel *ast.Select, ds *Dataset, sources []*source, rem
 		interCols = append(interCols, Col{Name: nme, Typ: aggType(ac.calls[i])})
 	}
 	inter := NewDataset(interCols)
-	rowBuf := make([]value.Value, len(interCols))
 	dimNames := make([]string, len(arr.Schema.Dims))
 	for i, d := range arr.Schema.Dims {
 		dimNames[i] = strings.ToLower(d.Name)
@@ -152,15 +147,6 @@ func (e *Engine) execTiling(sel *ast.Select, ds *Dataset, sources []*source, rem
 	for i, at := range arr.Schema.Attrs {
 		attrNames[i] = strings.ToLower(at.Name)
 	}
-	cache := newDimValuesCache()
-	// Hoisted per-anchor state: environments and accumulators are
-	// reused across anchors (the tiling loop is the engine's hottest
-	// path).
-	anchorEnv := &expr.MapEnv{Vars: make(map[string]value.Value, len(anchorVars)), Parent: outer}
-	cellEnv := &expr.MapEnv{Vars: make(map[string]value.Value, len(dimNames)+len(attrNames)), Parent: anchorEnv}
-	aggs := make([]*bat.AggState, len(ac.calls))
-	counts := make([]int64, len(ac.calls))
-	preFolded := make([]bool, len(ac.calls))
 	// Static analysis per aggregate: a bare-identifier argument naming
 	// one of the tiled array's attributes feeds directly from the cell
 	// values; an argument containing a range ArrayRef may fold a slice
@@ -168,7 +154,6 @@ func (e *Engine) execTiling(sel *ast.Select, ds *Dataset, sources []*source, rem
 	directAttr := make([]int, len(ac.calls))
 	mayPreFold := make([]bool, len(ac.calls))
 	for i, c := range ac.calls {
-		aggs[i] = bat.NewAggState(c.Name)
 		directAttr[i] = -1
 		if c.Star || len(c.Args) != 1 {
 			continue
@@ -192,96 +177,189 @@ func (e *Engine) execTiling(sel *ast.Select, ds *Dataset, sources []*source, rem
 	for i, v := range anchorVars {
 		lowerAnchorVars[i] = strings.ToLower(v)
 	}
-	for _, a := range anchors {
-		for i, v := range lowerAnchorVars {
-			anchorEnv.Vars[v] = value.NewInt(a.vals[i])
-		}
-		for i, c := range ac.calls {
-			aggs[i].Reset()
-			counts[i] = 0
-			preFolded[i] = false
-			if !mayPreFold[i] {
-				continue
+	job := &tileJob{
+		e: e, tiles: gb.Tiles, arr: arr, outer: outer, ds: ds,
+		calls: ac.calls, directAttr: directAttr, mayPreFold: mayPreFold,
+		dimNames: dimNames, attrNames: attrNames, anchorVars: lowerAnchorVars,
+	}
+	if par > 1 && e.pool != nil && len(anchors) >= 2 {
+		// Morsel-driven: anchors are the work domain; each worker owns
+		// scratch environments and accumulators, rows land in a
+		// preallocated slice so output order matches the serial path.
+		rows := make([][]value.Value, len(anchors))
+		states := make([]*tileWorker, e.pool.Workers())
+		err := e.pool.ForEach(len(anchors), e.pool.MorselFor(len(anchors)), func(m parallelMorsel) error {
+			ws := states[m.Worker]
+			if ws == nil {
+				ws = job.newWorker()
+				states[m.Worker] = ws
 			}
-			// An argument that evaluates to an array under the anchor
-			// bindings (AVG(samples[time-2:time+1].data), §7.3.4) is
-			// folded once per anchor over its cells.
-			if v, err := e.Ev.Eval(c.Args[0], anchorEnv); err == nil && v.Typ == value.Array && !v.Null {
-				if sub, ok := v.A.(*array.Array); ok && len(sub.Schema.Attrs) > 0 {
-					sub.Store.Scan(func(_ []int64, vals []value.Value) bool {
-						aggs[i].Add(vals[0])
-						return true
-					})
-					preFolded[i] = true
-				}
-			}
-		}
-		// Expand the tile cells and feed the aggregates.
-		err := e.forEachTileCell(gb.Tiles, arr, anchorEnv, cache, func(coords []int64, vals []value.Value) error {
-			envReady := false
-			for i, c := range ac.calls {
-				if c.Star {
-					counts[i]++
-					continue
-				}
-				if preFolded[i] {
-					continue
-				}
-				if ai := directAttr[i]; ai >= 0 {
-					aggs[i].Add(vals[ai])
-					continue
-				}
-				if !envReady {
-					for di, nme := range dimNames {
-						cellEnv.Vars[nme] = value.Value{Typ: arr.Schema.Dims[di].Typ, I: coords[di]}
-					}
-					for vi, nme := range attrNames {
-						cellEnv.Vars[nme] = vals[vi]
-					}
-					envReady = true
-				}
-				v, err := e.Ev.Eval(c.Args[0], cellEnv)
-				if err != nil {
+			for i := m.Lo; i < m.Hi; i++ {
+				row := make([]value.Value, len(interCols))
+				if err := job.evalAnchor(ws, anchors[i], row); err != nil {
 					return err
 				}
-				aggs[i].Add(v)
+				rows[i] = row
 			}
 			return nil
 		})
 		if err != nil {
 			return nil, err
 		}
-		for c := range ds.Cols {
-			rowBuf[c] = ds.Vecs[c].Get(a.row)
+		for _, row := range rows {
+			inter.Append(row)
 		}
-		for i, c := range ac.calls {
-			if c.Star {
-				rowBuf[len(ds.Cols)+i] = value.NewInt(counts[i])
-			} else {
-				rowBuf[len(ds.Cols)+i] = aggs[i].Result()
-			}
-		}
-		inter.Append(rowBuf)
-	}
-	if havingRw != nil {
-		var keep []int
-		for r := 0; r < inter.NumRows(); r++ {
-			env := &rowEnv{d: inter, row: r, outer: outer}
-			ok, err := e.Ev.EvalBool(havingRw, env)
-			if err != nil {
+	} else {
+		// Serial: one worker state, row buffer reused across anchors
+		// (the tiling loop is the engine's hottest path).
+		ws := job.newWorker()
+		rowBuf := make([]value.Value, len(interCols))
+		for _, a := range anchors {
+			if err := job.evalAnchor(ws, a, rowBuf); err != nil {
 				return nil, err
 			}
-			if ok {
-				keep = append(keep, r)
-			}
+			inter.Append(rowBuf)
+		}
+	}
+	if havingRw != nil {
+		keep, err := e.filterKeep(havingRw, inter, outer, par)
+		if err != nil {
+			return nil, err
 		}
 		inter = inter.Gather(keep)
 	}
-	out, err := e.project(rewritten, inter, outer)
+	out, err := e.projectWith(rewritten, inter, outer, par)
 	if err != nil {
 		return nil, err
 	}
 	return e.finishSelect(sel, out, outer)
+}
+
+// tileAnchor is one anchor point of a structural grouping: the source
+// row it came from and its anchor-variable values.
+type tileAnchor struct {
+	row  int
+	vals []int64
+}
+
+// tileJob bundles the immutable inputs of the per-anchor evaluation so
+// serial and morsel-parallel execution share one code path.
+type tileJob struct {
+	e          *Engine
+	tiles      []ast.TileElement
+	arr        *array.Array
+	outer      expr.Env
+	ds         *Dataset
+	calls      []*ast.FuncCall
+	directAttr []int
+	mayPreFold []bool
+	dimNames   []string
+	attrNames  []string
+	anchorVars []string // lowercased
+}
+
+// tileWorker is the mutable per-worker scratch state: environments,
+// accumulators and the sparse-dimension value cache.
+type tileWorker struct {
+	anchorEnv *expr.MapEnv
+	cellEnv   *expr.MapEnv
+	aggs      []*bat.AggState
+	counts    []int64
+	preFolded []bool
+	cache     *dimValuesCache
+}
+
+func (j *tileJob) newWorker() *tileWorker {
+	anchorEnv := &expr.MapEnv{Vars: make(map[string]value.Value, len(j.anchorVars)), Parent: j.outer}
+	cellEnv := &expr.MapEnv{Vars: make(map[string]value.Value, len(j.dimNames)+len(j.attrNames)), Parent: anchorEnv}
+	ws := &tileWorker{
+		anchorEnv: anchorEnv,
+		cellEnv:   cellEnv,
+		aggs:      make([]*bat.AggState, len(j.calls)),
+		counts:    make([]int64, len(j.calls)),
+		preFolded: make([]bool, len(j.calls)),
+		cache:     newDimValuesCache(),
+	}
+	for i, c := range j.calls {
+		ws.aggs[i] = bat.NewAggState(c.Name)
+	}
+	return ws
+}
+
+// evalAnchor expands one anchor's tile, folds the aggregates and
+// writes the intermediate row (source-row prefix + aggregate results)
+// into row.
+func (j *tileJob) evalAnchor(ws *tileWorker, a tileAnchor, row []value.Value) error {
+	for i, v := range j.anchorVars {
+		ws.anchorEnv.Vars[v] = value.NewInt(a.vals[i])
+	}
+	for i, c := range j.calls {
+		ws.aggs[i].Reset()
+		ws.counts[i] = 0
+		ws.preFolded[i] = false
+		if !j.mayPreFold[i] {
+			continue
+		}
+		// An argument that evaluates to an array under the anchor
+		// bindings (AVG(samples[time-2:time+1].data), §7.3.4) is
+		// folded once per anchor over its cells.
+		if v, err := j.e.Ev.Eval(c.Args[0], ws.anchorEnv); err == nil && v.Typ == value.Array && !v.Null {
+			if sub, ok := v.A.(*array.Array); ok && len(sub.Schema.Attrs) > 0 {
+				sub.Store.Scan(func(_ []int64, vals []value.Value) bool {
+					ws.aggs[i].Add(vals[0])
+					return true
+				})
+				ws.preFolded[i] = true
+			}
+		}
+	}
+	// Expand the tile cells and feed the aggregates.
+	err := j.e.forEachTileCell(j.tiles, j.arr, ws.anchorEnv, ws.cache, func(coords []int64, vals []value.Value) error {
+		envReady := false
+		for i, c := range j.calls {
+			if c.Star {
+				ws.counts[i]++
+				continue
+			}
+			if ws.preFolded[i] {
+				continue
+			}
+			if ai := j.directAttr[i]; ai >= 0 {
+				ws.aggs[i].Add(vals[ai])
+				continue
+			}
+			if !envReady {
+				for di, nme := range j.dimNames {
+					ws.cellEnv.Vars[nme] = value.Value{Typ: j.arr.Schema.Dims[di].Typ, I: coords[di]}
+				}
+				for vi, nme := range j.attrNames {
+					ws.cellEnv.Vars[nme] = vals[vi]
+				}
+				envReady = true
+			}
+			v, err := j.e.Ev.Eval(c.Args[0], ws.cellEnv)
+			if err != nil {
+				return err
+			}
+			ws.aggs[i].Add(v)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	nds := len(j.ds.Cols)
+	for c := range j.ds.Cols {
+		row[c] = j.ds.Vecs[c].Get(a.row)
+	}
+	for i, c := range j.calls {
+		if c.Star {
+			row[nds+i] = value.NewInt(ws.counts[i])
+		} else {
+			row[nds+i] = ws.aggs[i].Result()
+		}
+	}
+	return nil
 }
 
 // collectAnchorVars finds the tiled array's dimension names used free

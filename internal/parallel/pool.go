@@ -1,0 +1,117 @@
+// Package parallel implements the morsel-driven execution substrate:
+// a fixed worker pool that splits an index domain (rows of a scan,
+// anchors of a tiling) into fixed-size morsels and lets workers pull
+// morsels off a shared atomic cursor until the domain is exhausted.
+// Work distribution is dynamic — fast workers take more morsels — so
+// skewed per-morsel costs (sparse tiles, selective filters) still
+// balance across cores, in the spirit of the morsel-driven parallelism
+// literature the SciQL successor systems adopted.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultMorsel is the default morsel size in rows. Large enough to
+// amortize scheduling, small enough to balance skew.
+const DefaultMorsel = 1024
+
+// Morsel is one half-open chunk [Lo, Hi) of the work domain, tagged
+// with the index of the worker executing it so callers can maintain
+// per-worker state (partial aggregates, scratch environments) without
+// locks.
+type Morsel struct {
+	Lo, Hi int
+	Worker int
+}
+
+// Pool is a reusable worker pool of fixed width.
+type Pool struct{ workers int }
+
+// NewPool returns a pool of n workers; n <= 0 selects GOMAXPROCS.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: n}
+}
+
+// Workers returns the pool width.
+func (p *Pool) Workers() int { return p.workers }
+
+// ForEach splits [0, n) into morsels of the given size and runs fn
+// over them on the pool's workers. fn is called concurrently from up
+// to Workers() goroutines; calls tagged with the same Morsel.Worker
+// are serialized. The first error stops scheduling of further morsels
+// and is returned after all in-flight morsels finish.
+func (p *Pool) ForEach(n, morsel int, fn func(m Morsel) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if morsel <= 0 {
+		morsel = DefaultMorsel
+	}
+	nw := p.workers
+	if nw > (n+morsel-1)/morsel {
+		nw = (n + morsel - 1) / morsel
+	}
+	if nw <= 1 {
+		// Degenerate single-worker domain: run inline, no goroutines.
+		for lo := 0; lo < n; lo += morsel {
+			hi := lo + morsel
+			if hi > n {
+				hi = n
+			}
+			if err := fn(Morsel{Lo: lo, Hi: hi, Worker: 0}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		cursor atomic.Int64
+		failed atomic.Bool
+		once   sync.Once
+		first  error
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for !failed.Load() {
+				lo := int(cursor.Add(int64(morsel))) - morsel
+				if lo >= n {
+					return
+				}
+				hi := lo + morsel
+				if hi > n {
+					hi = n
+				}
+				if err := fn(Morsel{Lo: lo, Hi: hi, Worker: worker}); err != nil {
+					once.Do(func() { first = err })
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return first
+}
+
+// MorselFor picks a morsel size that yields a few morsels per worker
+// for an n-element domain, clamped to [1, DefaultMorsel]. Small
+// domains get small morsels so every worker sees work.
+func (p *Pool) MorselFor(n int) int {
+	m := n / (p.workers * 4)
+	if m < 1 {
+		m = 1
+	}
+	if m > DefaultMorsel {
+		m = DefaultMorsel
+	}
+	return m
+}

@@ -1,0 +1,101 @@
+package parallel
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestForEachCoversDomain checks every index is visited exactly once
+// regardless of pool width and morsel size.
+func TestForEachCoversDomain(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7} {
+		for _, morsel := range []int{1, 3, 64, 1024} {
+			for _, n := range []int{0, 1, 5, 100, 1000} {
+				p := NewPool(workers)
+				var mu sync.Mutex
+				counts := make([]int, n)
+				err := p.ForEach(n, morsel, func(m Morsel) error {
+					if m.Worker < 0 || m.Worker >= workers {
+						t.Errorf("worker %d out of range [0,%d)", m.Worker, workers)
+					}
+					mu.Lock()
+					for i := m.Lo; i < m.Hi; i++ {
+						counts[i]++
+					}
+					mu.Unlock()
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, c := range counts {
+					if c != 1 {
+						t.Fatalf("workers=%d morsel=%d n=%d: index %d visited %d times", workers, morsel, n, i, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForEachSameWorkerSerialized checks that morsels tagged with the
+// same worker never run concurrently (per-worker state needs no
+// locks).
+func TestForEachSameWorkerSerialized(t *testing.T) {
+	p := NewPool(4)
+	busy := make([]sync.Mutex, p.Workers())
+	err := p.ForEach(1000, 7, func(m Morsel) error {
+		if !busy[m.Worker].TryLock() {
+			t.Error("two morsels ran concurrently on one worker")
+			return nil
+		}
+		defer busy[m.Worker].Unlock()
+		s := 0
+		for i := m.Lo; i < m.Hi; i++ {
+			s += i
+		}
+		_ = s
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForEachError checks the first error is returned and scheduling
+// stops.
+func TestForEachError(t *testing.T) {
+	p := NewPool(4)
+	boom := errors.New("boom")
+	err := p.ForEach(10000, 8, func(m Morsel) error {
+		if m.Lo >= 64 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+}
+
+// TestNewPoolDefaults checks n <= 0 resolves to at least one worker.
+func TestNewPoolDefaults(t *testing.T) {
+	if NewPool(0).Workers() < 1 {
+		t.Fatal("pool has no workers")
+	}
+	if got := NewPool(3).Workers(); got != 3 {
+		t.Fatalf("Workers() = %d, want 3", got)
+	}
+}
+
+// TestMorselFor checks the sizing heuristic stays within bounds.
+func TestMorselFor(t *testing.T) {
+	p := NewPool(4)
+	if m := p.MorselFor(3); m != 1 {
+		t.Fatalf("tiny domain morsel = %d, want 1", m)
+	}
+	if m := p.MorselFor(10_000_000); m != DefaultMorsel {
+		t.Fatalf("huge domain morsel = %d, want %d", m, DefaultMorsel)
+	}
+}

@@ -1,0 +1,196 @@
+package plan
+
+import (
+	"strings"
+
+	"repro/internal/sql/ast"
+)
+
+// Compile lowers a parsed SELECT into an unoptimized logical plan.
+// The tree mirrors the interpreter's evaluation order bottom-up:
+// Scan → Filter → [Tiled]Aggregate → Having → Project → Distinct →
+// Sort → Limit, with Union chaining set operands.
+func Compile(sel *ast.Select, cat Catalog) *Plan {
+	p := &Plan{Parallel: true, sel: sel}
+	p.Root = p.compileSelect(sel, cat)
+	return p
+}
+
+func (p *Plan) compileSelect(sel *ast.Select, cat Catalog) Node {
+	left := p.compileCore(sel, cat)
+	if sel.SetRight == nil {
+		return left
+	}
+	p.disqualify("set operation (UNION)")
+	right := p.compileSelect(sel.SetRight, cat)
+	return &Union{All: sel.SetOp == "UNION ALL", L: left, R: right}
+}
+
+func (p *Plan) compileCore(sel *ast.Select, cat Catalog) Node {
+	n := p.compileFrom(sel.From, cat)
+	if sel.Where != nil {
+		n = &Filter{Cond: sel.Where, Child: n}
+	}
+	aggs := collectAggs(sel)
+	structural := sel.GroupBy != nil && len(sel.GroupBy.Tiles) > 0
+	switch {
+	case structural:
+		t := &TiledAggregate{
+			Distinct: sel.GroupBy.Distinct,
+			Aggs:     aggs,
+			Child:    n,
+		}
+		for _, tile := range sel.GroupBy.Tiles {
+			t.Tiles = append(t.Tiles, ast.Format(tile.Ref))
+			if t.Array == "" {
+				if id, ok := tile.Ref.Base.(*ast.Ident); ok {
+					t.Array = id.Name
+				}
+			}
+		}
+		n = t
+	case (sel.GroupBy != nil && len(sel.GroupBy.Exprs) > 0) || len(aggs) > 0:
+		a := &Aggregate{Aggs: aggs, Child: n}
+		if sel.GroupBy != nil {
+			for _, k := range sel.GroupBy.Exprs {
+				a.Keys = append(a.Keys, ast.Format(k))
+			}
+		}
+		n = a
+	}
+	if sel.Having != nil {
+		n = &Filter{Cond: sel.Having, Having: true, Child: n}
+	}
+	items := make([]string, len(sel.Items))
+	for i, it := range sel.Items {
+		items[i] = formatItem(it)
+	}
+	n = &Project{Items: items, Child: n}
+	if sel.Distinct {
+		n = &Distinct{Child: n}
+	}
+	if len(sel.OrderBy) > 0 {
+		s := &Sort{Child: n}
+		for _, oi := range sel.OrderBy {
+			k := ast.Format(oi.Expr)
+			if oi.Desc {
+				k += " DESC"
+			}
+			s.Keys = append(s.Keys, k)
+		}
+		n = s
+	}
+	if sel.Limit != nil {
+		n = &Limit{Count: sel.Limit, Child: n}
+	}
+	return n
+}
+
+func (p *Plan) compileFrom(items []ast.FromItem, cat Catalog) Node {
+	if len(items) == 0 {
+		p.disqualify("rowless select")
+		return &Opaque{What: "rowless"}
+	}
+	n := p.compileFromItem(items[0], cat)
+	for _, fi := range items[1:] {
+		p.disqualify("cross join")
+		n = &Join{Kind: "CROSS", L: n, R: p.compileFromItem(fi, cat)}
+	}
+	return n
+}
+
+func (p *Plan) compileFromItem(fi ast.FromItem, cat Catalog) Node {
+	switch t := fi.(type) {
+	case *ast.TableRef:
+		return p.compileTableRef(t, cat)
+	case *ast.Join:
+		p.disqualify("join")
+		return &Join{Kind: t.Kind, On: t.On, L: p.compileFromItem(t.Left, cat), R: p.compileFromItem(t.Right, cat)}
+	}
+	p.disqualify("unsupported FROM item")
+	return &Opaque{What: "from-item"}
+}
+
+func (p *Plan) compileTableRef(t *ast.TableRef, cat Catalog) Node {
+	if t.Subquery != nil {
+		p.disqualify("derived table")
+		return &Opaque{What: "subquery AS " + t.Alias}
+	}
+	if dims, attrs, ok := cat.ArrayInfo(t.Name); ok {
+		s := &Scan{Name: t.Name, Qual: t.Alias, AllAttrs: true, Attrs: attrs}
+		s.Dims = make([]DimSel, len(dims))
+		for i, d := range dims {
+			s.Dims[i] = DimSel{Name: d}
+			if i < len(t.Indexers) {
+				applyIndexer(&s.Dims[i], t.Indexers[i])
+			}
+		}
+		return s
+	}
+	if cat.IsTable(t.Name) {
+		return &Scan{Name: t.Name, Qual: t.Alias, Table: true, AllAttrs: true}
+	}
+	// Environment-bound arrays (PSM parameters) resolve at runtime.
+	p.disqualify("unresolved source " + t.Name)
+	return &Opaque{What: "source " + t.Name}
+}
+
+// applyIndexer records a FROM-clause slice ([0:4], [3], [*]) on the
+// planned dimension selection.
+func applyIndexer(d *DimSel, ix ast.Indexer) {
+	switch {
+	case ix.Star:
+		// [*] selects everything: no restriction.
+	case ix.Point != nil:
+		d.Point = ast.Format(ix.Point)
+		d.Sliced = true
+	case ix.Range:
+		if ix.Start != nil {
+			d.Lo = ast.Format(ix.Start)
+		}
+		if ix.Stop != nil {
+			d.Hi = ast.Format(ix.Stop)
+		}
+		d.Sliced = d.Lo != "" || d.Hi != ""
+	}
+}
+
+// collectAggs lists the aggregate calls of the target list and HAVING
+// clause in rendered form.
+func collectAggs(sel *ast.Select) []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(x ast.Expr) {
+		ast.Walk(x, func(n ast.Expr) bool {
+			if f, ok := n.(*ast.FuncCall); ok && f.IsAggregate() {
+				s := ast.Format(f)
+				if !seen[s] {
+					seen[s] = true
+					out = append(out, s)
+				}
+			}
+			return true
+		})
+	}
+	for _, it := range sel.Items {
+		add(it.Expr)
+	}
+	add(sel.Having)
+	return out
+}
+
+func formatItem(it ast.SelectItem) string {
+	var sb strings.Builder
+	if it.DimQual {
+		sb.WriteByte('[')
+		sb.WriteString(ast.Format(it.Expr))
+		sb.WriteByte(']')
+	} else {
+		sb.WriteString(ast.Format(it.Expr))
+	}
+	if it.Alias != "" {
+		sb.WriteString(" AS ")
+		sb.WriteString(it.Alias)
+	}
+	return sb.String()
+}

@@ -1,0 +1,312 @@
+// Package plan defines the logical query plan IR that sits between
+// the SciQL parser and the executor. A SELECT compiles into a tree of
+// relational/array operators (Scan, TiledAggregate, Filter, Project,
+// Aggregate, Sort, Limit, ...), a rule-based optimizer folds
+// constants, pushes dimension predicates into array scans as bounded
+// slices, and prunes unused attributes from scans. The optimized tree
+// powers EXPLAIN and tells the executor whether the morsel-driven
+// parallel path applies.
+package plan
+
+import (
+	"strings"
+
+	"repro/internal/sql/ast"
+)
+
+// Catalog supplies the schema information the planner needs without
+// depending on the executor's catalog types.
+type Catalog interface {
+	// ArrayInfo returns the dimension and attribute names of a stored
+	// array, in declaration order; ok is false for unknown names.
+	ArrayInfo(name string) (dims, attrs []string, ok bool)
+	// IsTable reports whether name resolves to a relational table.
+	IsTable(name string) bool
+}
+
+// Node is one operator of the logical plan tree.
+type Node interface {
+	// Label renders the operator and its arguments on one line.
+	Label() string
+	// Children returns the operator's inputs.
+	Children() []Node
+}
+
+// Plan is a compiled (and possibly optimized) query plan.
+type Plan struct {
+	Root Node
+	// Parallel reports whether the plan's shape fits the morsel-driven
+	// executor (single array/table pipeline, no joins, unions or
+	// derived tables). The executor additionally vets the expressions.
+	Parallel bool
+	// Reason explains Parallel == false.
+	Reason string
+	// sel is the source statement, kept so Optimize can rewrite
+	// expressions and recompile.
+	sel *ast.Select
+}
+
+// String renders the plan as an indented operator tree.
+func (p *Plan) String() string {
+	var sb strings.Builder
+	var walk func(n Node, depth int)
+	walk = func(n Node, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(n.Label())
+		sb.WriteByte('\n')
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(p.Root, 0)
+	return sb.String()
+}
+
+// disqualify records the first reason the plan cannot take the
+// parallel path.
+func (p *Plan) disqualify(reason string) {
+	if p.Parallel {
+		p.Parallel = false
+		p.Reason = reason
+	}
+}
+
+// --- operators -------------------------------------------------------------
+
+// DimSel is the planned restriction of one scan dimension: a point, a
+// half-open [Lo,Hi) range, or unrestricted. Bounds are rendered
+// expression text (the executor re-derives runtime values itself).
+type DimSel struct {
+	Name  string
+	Point string // "3"; empty when not a point
+	Lo    string // ""  = open low end
+	Hi    string // ""  = open high end
+	// Pushed marks bounds inferred from WHERE dimension predicates;
+	// Sliced marks bounds from FROM-clause slicing (m[0:4][0:4]).
+	Pushed bool
+	Sliced bool
+}
+
+func (d *DimSel) render(sb *strings.Builder) {
+	sb.WriteString(d.Name)
+	tag := ""
+	if d.Pushed {
+		tag = " (pushed)"
+	} else if d.Sliced {
+		tag = " (sliced)"
+	}
+	if d.Point != "" {
+		sb.WriteString("=")
+		sb.WriteString(d.Point)
+		sb.WriteString(tag)
+		return
+	}
+	sb.WriteString("=[")
+	if d.Lo == "" {
+		sb.WriteByte('*')
+	} else {
+		sb.WriteString(d.Lo)
+	}
+	sb.WriteByte(':')
+	if d.Hi == "" {
+		sb.WriteByte('*')
+	} else {
+		sb.WriteString(d.Hi)
+	}
+	sb.WriteByte(')')
+	sb.WriteString(tag)
+}
+
+// Scan reads an array (or relational table) as a dataset of dimension
+// and attribute columns.
+type Scan struct {
+	Name  string
+	Qual  string // alias, when distinct from Name
+	Table bool
+	Dims  []DimSel
+	// Attrs is the pruned attribute projection; AllAttrs marks that
+	// pruning kept everything (or the source is a table).
+	Attrs    []string
+	AllAttrs bool
+}
+
+func (s *Scan) Label() string {
+	var sb strings.Builder
+	if s.Table {
+		sb.WriteString("TableScan ")
+	} else {
+		sb.WriteString("Scan ")
+	}
+	sb.WriteString(s.Name)
+	if s.Qual != "" && !strings.EqualFold(s.Qual, s.Name) {
+		sb.WriteString(" AS ")
+		sb.WriteString(s.Qual)
+	}
+	restricted := false
+	for i := range s.Dims {
+		d := &s.Dims[i]
+		if d.Point == "" && d.Lo == "" && d.Hi == "" {
+			continue
+		}
+		if !restricted {
+			sb.WriteString(" dims[")
+			restricted = true
+		} else {
+			sb.WriteString(", ")
+		}
+		d.render(&sb)
+	}
+	if restricted {
+		sb.WriteByte(']')
+	}
+	if !s.AllAttrs {
+		sb.WriteString(" attrs[")
+		sb.WriteString(strings.Join(s.Attrs, ", "))
+		sb.WriteByte(']')
+	}
+	return sb.String()
+}
+func (s *Scan) Children() []Node { return nil }
+
+// TiledAggregate is structural grouping (§4.4): every anchor point
+// yields one tile of cells folded by the aggregate calls. Its child
+// produces the anchor domain.
+type TiledAggregate struct {
+	Array    string
+	Tiles    []string
+	Distinct bool
+	Aggs     []string
+	Child    Node
+}
+
+func (t *TiledAggregate) Label() string {
+	var sb strings.Builder
+	sb.WriteString("TiledAggregate ")
+	sb.WriteString(t.Array)
+	if t.Distinct {
+		sb.WriteString(" distinct")
+	}
+	sb.WriteString(" tiles[")
+	sb.WriteString(strings.Join(t.Tiles, ", "))
+	sb.WriteByte(']')
+	if len(t.Aggs) > 0 {
+		sb.WriteString(" aggs[")
+		sb.WriteString(strings.Join(t.Aggs, ", "))
+		sb.WriteByte(']')
+	}
+	return sb.String()
+}
+func (t *TiledAggregate) Children() []Node { return []Node{t.Child} }
+
+// Filter keeps the rows satisfying Cond. Having marks the post-
+// aggregation variant.
+type Filter struct {
+	Cond   ast.Expr
+	Having bool
+	Child  Node
+}
+
+func (f *Filter) Label() string {
+	if f.Having {
+		return "Having " + ast.Format(f.Cond)
+	}
+	return "Filter " + ast.Format(f.Cond)
+}
+func (f *Filter) Children() []Node { return []Node{f.Child} }
+
+// Aggregate is value-based grouping (GROUP BY exprs, or one implicit
+// group when aggregates appear without keys).
+type Aggregate struct {
+	Keys  []string
+	Aggs  []string
+	Child Node
+}
+
+func (a *Aggregate) Label() string {
+	var sb strings.Builder
+	sb.WriteString("Aggregate")
+	if len(a.Keys) > 0 {
+		sb.WriteString(" keys[")
+		sb.WriteString(strings.Join(a.Keys, ", "))
+		sb.WriteByte(']')
+	}
+	sb.WriteString(" aggs[")
+	sb.WriteString(strings.Join(a.Aggs, ", "))
+	sb.WriteByte(']')
+	return sb.String()
+}
+func (a *Aggregate) Children() []Node { return []Node{a.Child} }
+
+// Project evaluates the target list.
+type Project struct {
+	Items []string
+	Child Node
+}
+
+func (p *Project) Label() string    { return "Project " + strings.Join(p.Items, ", ") }
+func (p *Project) Children() []Node { return []Node{p.Child} }
+
+// Distinct removes duplicate rows.
+type Distinct struct{ Child Node }
+
+func (d *Distinct) Label() string    { return "Distinct" }
+func (d *Distinct) Children() []Node { return []Node{d.Child} }
+
+// Sort orders the result.
+type Sort struct {
+	Keys  []string
+	Child Node
+}
+
+func (s *Sort) Label() string    { return "Sort " + strings.Join(s.Keys, ", ") }
+func (s *Sort) Children() []Node { return []Node{s.Child} }
+
+// Limit truncates the result.
+type Limit struct {
+	Count ast.Expr
+	Child Node
+}
+
+func (l *Limit) Label() string    { return "Limit " + ast.Format(l.Count) }
+func (l *Limit) Children() []Node { return []Node{l.Child} }
+
+// Join combines two inputs (hash join on equality keys at runtime).
+type Join struct {
+	Kind string
+	On   ast.Expr
+	L, R Node
+}
+
+func (j *Join) Label() string {
+	kind := j.Kind
+	if kind == "" {
+		kind = "CROSS"
+	}
+	if j.On == nil {
+		return "Join " + kind
+	}
+	return "Join " + kind + " on " + ast.Format(j.On)
+}
+func (j *Join) Children() []Node { return []Node{j.L, j.R} }
+
+// Union chains set operands.
+type Union struct {
+	All  bool
+	L, R Node
+}
+
+func (u *Union) Label() string {
+	if u.All {
+		return "Union all"
+	}
+	return "Union"
+}
+func (u *Union) Children() []Node { return []Node{u.L, u.R} }
+
+// Opaque stands for a source the planner does not model (derived
+// tables, environment-bound arrays, rowless selects); the interpreter
+// executes it directly.
+type Opaque struct{ What string }
+
+func (o *Opaque) Label() string    { return "Opaque " + o.What }
+func (o *Opaque) Children() []Node { return nil }

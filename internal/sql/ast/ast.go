@@ -263,6 +263,14 @@ type Select struct {
 func (*Select) node() {}
 func (*Select) stmt() {}
 
+// Explain wraps a SELECT: the engine compiles and optimizes the query
+// through the logical planner and returns the rendered plan tree
+// instead of executing it.
+type Explain struct{ Select *Select }
+
+func (*Explain) node() {}
+func (*Explain) stmt() {}
+
 // ---------------------------------------------------------------------------
 // DDL
 

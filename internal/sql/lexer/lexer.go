@@ -60,7 +60,7 @@ var keywords = map[string]bool{
 	"CREATE": true, "TABLE": true, "ARRAY": true, "DIMENSION": true,
 	"DEFAULT": true, "CHECK": true, "SEQUENCE": true, "FUNCTION": true,
 	"RETURNS": true, "RETURN": true, "BEGIN": true, "DECLARE": true,
-	"IF": true, "EXTERNAL": true, "START": true,
+	"IF": true, "EXTERNAL": true, "START": true, "EXPLAIN": true,
 	"WITH": true, "INCREMENT": true, "MAXVALUE": true, "INSERT": true,
 	"INTO": true, "VALUES": true, "UPDATE": true, "SET": true,
 	"DELETE": true, "ALTER": true, "ADD": true, "DROP": true,

@@ -182,6 +182,13 @@ func (p *Parser) parseStatement() (ast.Statement, error) {
 	switch t.Text {
 	case "SELECT":
 		return p.parseSelect()
+	case "EXPLAIN":
+		p.advance()
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Explain{Select: sel}, nil
 	case "CREATE":
 		return p.parseCreate()
 	case "INSERT":

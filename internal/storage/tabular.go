@@ -3,6 +3,7 @@ package storage
 import (
 	"encoding/binary"
 	"sort"
+	"sync"
 
 	"repro/internal/array"
 	"repro/internal/value"
@@ -33,7 +34,9 @@ type tabularStore struct {
 	// dimVals caches sorted distinct coordinate values per dimension
 	// for sparse-range expansion; invalidated on inserts. Stale values
 	// after deletes are harmless (reads come back NULL and are
-	// skipped).
+	// skipped). dimMu guards the lazy build: concurrent read-only
+	// queries (the morsel-driven executor) may race to build it.
+	dimMu   sync.Mutex
 	dimVals [][]int64
 }
 
@@ -222,6 +225,8 @@ func (s *tabularStore) Scan(visit func(coords []int64, vals []value.Value) bool)
 // dimension di — the sparse-range expansion index. The result must be
 // treated as read-only.
 func (s *tabularStore) DimValues(di int) []int64 {
+	s.dimMu.Lock()
+	defer s.dimMu.Unlock()
 	if s.dimVals == nil {
 		s.dimVals = make([][]int64, len(s.dims))
 	}

@@ -1,0 +1,95 @@
+package sciql
+
+import (
+	"strings"
+	"testing"
+)
+
+func explainDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open()
+	db.MustExec(`
+		CREATE ARRAY matrix (x INTEGER DIMENSION[8], y INTEGER DIMENSION[8], v FLOAT DEFAULT 0.0, w FLOAT DEFAULT 1.0);
+		UPDATE matrix SET v = x * 8 + y;
+	`)
+	return db
+}
+
+func assertExplain(t *testing.T, db *DB, sql, want string) {
+	t.Helper()
+	got, err := db.Explain(sql)
+	if err != nil {
+		t.Fatalf("EXPLAIN %s: %v", sql, err)
+	}
+	want = strings.TrimLeft(want, "\n")
+	if got != want {
+		t.Errorf("EXPLAIN %s:\ngot:\n%s\nwant:\n%s", sql, got, want)
+	}
+}
+
+// TestExplainBoundedSelect is the paper's bounded array select: the
+// dimension predicates leave the WHERE clause and become point/slice
+// restrictions on the scan, and the unused attribute w is pruned.
+func TestExplainBoundedSelect(t *testing.T) {
+	db := explainDB(t)
+	assertExplain(t, db,
+		`SELECT v FROM matrix WHERE x = 1 AND y >= 1 AND y < 3 AND v > 1 + 1`,
+		`
+Project v
+  Filter (v > 2)
+    Scan matrix dims[x=1 (pushed), y=[1:3) (pushed)] attrs[v]
+execution: parallelizable (morsel-driven)
+`)
+}
+
+// TestExplainTiledAggregation is the paper's §4.4 structural grouping.
+func TestExplainTiledAggregation(t *testing.T) {
+	db := explainDB(t)
+	assertExplain(t, db,
+		`SELECT [x], [y], AVG(v) FROM matrix GROUP BY DISTINCT matrix[x:x+2][y:y+2]`,
+		`
+Project [x], [y], AVG(v)
+  TiledAggregate matrix distinct tiles[matrix[x:(x + 2)][y:(y + 2)]] aggs[AVG(v)]
+    Scan matrix attrs[v]
+execution: parallelizable (morsel-driven)
+`)
+}
+
+// TestExplainStatement checks the EXPLAIN keyword works through Exec
+// and returns one row per plan line.
+func TestExplainStatement(t *testing.T) {
+	db := explainDB(t)
+	rs, err := db.Exec(`EXPLAIN SELECT v FROM matrix WHERE x = 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.NumCols() != 1 || rs.Cols[0].Name != "plan" {
+		t.Fatalf("unexpected EXPLAIN shape: %v", rs.Cols)
+	}
+	if rs.NumRows() < 3 {
+		t.Fatalf("EXPLAIN returned %d rows, want >= 3", rs.NumRows())
+	}
+	if got := rs.Get(1, 0).S; !strings.Contains(got, "x=3 (pushed)") {
+		t.Fatalf("scan line %q missing pushed point restriction", got)
+	}
+}
+
+// TestExplainFallbackReason checks non-parallelizable shapes say why.
+func TestExplainFallbackReason(t *testing.T) {
+	db := explainDB(t)
+	out, err := db.Explain(`SELECT a.v FROM matrix AS a, matrix AS b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "execution: serial interpreter (cross join)") {
+		t.Fatalf("missing fallback reason:\n%s", out)
+	}
+	// A thread-unsafe expression also forces the interpreter.
+	out, err = db.Explain(`SELECT v FROM matrix WHERE v > (SELECT AVG(v) FROM matrix)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "execution: serial interpreter (expression needs engine state)") {
+		t.Fatalf("missing expression gate:\n%s", out)
+	}
+}

@@ -18,6 +18,7 @@ package sciql
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/array"
@@ -151,6 +152,37 @@ func (db *DB) RegisterExternal(externalName string, fn func(args []Value) (Value
 // edge length when the slab scheme is used.
 func (db *DB) SetStorageHint(arrayName, scheme string, slabSize int64) {
 	db.engine.SetStorageHint(arrayName, storage.Hints{ForceScheme: scheme, SlabSize: slabSize})
+}
+
+// Parallelism sets the worker count for morsel-driven SELECT
+// execution: array scans, filters, value group-bys and structural
+// tilings split into fixed-size morsels executed across n workers
+// with per-worker partial aggregates merged at the end. n <= 0
+// selects GOMAXPROCS; 1 (the default) runs the serial interpreter.
+// Queries whose plan shape or expressions don't qualify fall back to
+// the serial interpreter transparently, with identical results.
+// Parallel results are deterministic (partials merge in morsel
+// order); float SUM/AVG may differ from serial execution in last-bit
+// summation order on non-integer data, as in any parallel database.
+func (db *DB) Parallelism(n int) {
+	db.engine.SetParallelism(n)
+}
+
+// Explain compiles sql through the query planner (parse → plan →
+// optimize) and returns the rendered operator tree plus an execution-
+// mode line, without running the query. Equivalent to executing
+// "EXPLAIN <sql>".
+func (db *DB) Explain(sql string) (string, error) {
+	rs, err := db.Exec("EXPLAIN " + sql)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	for r := 0; r < rs.NumRows(); r++ {
+		sb.WriteString(rs.Get(r, 0).S)
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
 }
 
 // Array wraps an engine array for Go-side access (workload loaders and
