@@ -465,3 +465,64 @@ func BenchmarkBlackBoxMarshal(b *testing.B) {
 		}
 	})
 }
+
+// --- P2: prepared statements vs ad-hoc text --------------------------------
+
+// BenchmarkPreparedVsAdhoc quantifies the plan-cache win on repeated
+// parameterized SELECTs: "adhoc-uncached" re-parses and re-plans every
+// execution (statement cache disabled), "adhoc-cached" hits the DB's
+// LRU statement cache, and "prepared" re-executes a *sciql.Stmt. The
+// array is small so parse+plan dominates; with parallelism configured
+// the planner's fold/compile/pushdown/prune pass sits on the ad-hoc
+// hot path and is skipped by the cached and prepared variants.
+func BenchmarkPreparedVsAdhoc(b *testing.B) {
+	const q = `SELECT x, y, v, SQRT(v) + POWER(v, 0.25) AS s,
+	        CASE WHEN MOD(x + y, 2) = 0 THEN v * 2.0 ELSE v / 2.0 END AS w
+	      FROM bench
+	      WHERE x >= ?x AND x < ?x + 8 AND y >= 0 AND y < 16
+	        AND v > ?lo AND MOD(x * 31 + y, 7) <> 3
+	        AND (v < 1000000 OR SQRT(v + 1) > 0 OR POWER(v, 2) < 100000000)`
+	open := func(b *testing.B) *sciql.DB {
+		b.Helper()
+		db := sciql.Open()
+		db.MustExec(`CREATE ARRAY bench (x INTEGER DIMENSION[4], y INTEGER DIMENSION[4], v FLOAT DEFAULT 0.0)`)
+		db.MustExec(`UPDATE bench SET v = x * 31 + y`)
+		db.Parallelism(4)
+		return db
+	}
+	args := func(i int) []sciql.Arg {
+		return []sciql.Arg{sciql.Int("x", int64(i)%4), sciql.Float("lo", 1)}
+	}
+	b.Run("adhoc-uncached", func(b *testing.B) {
+		db := open(b)
+		db.SetPlanCacheSize(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(q, args(i)...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("adhoc-cached", func(b *testing.B) {
+		db := open(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(q, args(i)...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepared", func(b *testing.B) {
+		db := open(b)
+		st, err := db.Prepare(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.Query(args(i)...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -7,14 +7,20 @@
 //	sciql -f script.sql   # execute a script file
 //	sciql -c "SELECT 1"   # execute one statement string
 //
-// REPL meta commands: \d lists catalog objects, \q quits.
+// Statements run under a cancelable context: Ctrl-C aborts the
+// statement in flight (long scans stop promptly) without killing the
+// shell; a second Ctrl-C at the prompt exits. REPL meta commands:
+// \d lists catalog objects, \q quits.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro/internal/core"
@@ -52,8 +58,11 @@ func main() {
 	}
 }
 
+// runScript executes sql under an interrupt-cancelable context.
 func runScript(s *core.Session, sql string) error {
-	ds, err := s.Run(sql, nil)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	ds, err := s.RunContext(ctx, sql, nil)
 	if err != nil {
 		return err
 	}
@@ -64,7 +73,7 @@ func runScript(s *core.Session, sql string) error {
 }
 
 func repl(s *core.Session) {
-	fmt.Println("SciQL shell — arrays as first class citizens. \\d lists objects, \\q quits.")
+	fmt.Println("SciQL shell — arrays as first class citizens. \\d lists objects, \\q quits, Ctrl-C cancels.")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -101,14 +110,19 @@ func repl(s *core.Session) {
 		prompt = "sciql> "
 		sql := buf.String()
 		buf.Reset()
-		ds, err := s.Run(sql, nil)
-		if err != nil {
+		// Each statement batch runs under its own interrupt-cancelable
+		// context, so Ctrl-C aborts the query, not the shell.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		ds, err := s.RunContext(ctx, sql, nil)
+		stop()
+		switch {
+		case errors.Is(err, context.Canceled):
+			fmt.Println("canceled")
+		case err != nil:
 			fmt.Println("error:", err)
-			continue
-		}
-		if ds != nil {
+		case ds != nil:
 			fmt.Print(ds)
-		} else {
+		default:
 			fmt.Println("ok")
 		}
 	}

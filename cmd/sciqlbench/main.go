@@ -47,6 +47,7 @@ func main() {
 	runX2()
 	runX3()
 	runP1()
+	runP2()
 }
 
 func want(id string) bool {
@@ -443,4 +444,70 @@ func runP1() {
 	fmt.Printf("parallel (%d workers):%8.1f ms\n", workers, float64(dP.Microseconds())/1000)
 	fmt.Printf("speedup: %.2fx (identical results; scaling requires >= %d cores)\n\n",
 		float64(dS.Nanoseconds())/float64(dP.Nanoseconds()), workers)
+}
+
+// runP2 quantifies the prepared-statement / plan-cache win: the same
+// parameterized SELECT re-executed many times as (a) ad-hoc text with
+// the statement cache disabled (parse + plan every call), (b) ad-hoc
+// text with the default LRU statement cache, and (c) a prepared
+// statement. (b) and (c) skip parse+plan after the first call.
+func runP2() {
+	if !want("P2") {
+		return
+	}
+	n, iters := int64(4), 5000
+	if *quick {
+		iters = 1000
+	}
+	header("P2", fmt.Sprintf("prepared statements vs ad-hoc text (%dx%d array, %d re-executions)", n, n, iters))
+	db := sciql.Open()
+	db.MustExec(fmt.Sprintf(
+		`CREATE ARRAY bench (x INTEGER DIMENSION[%d], y INTEGER DIMENSION[%d], v FLOAT DEFAULT 0.0)`, n, n))
+	db.MustExec(`UPDATE bench SET v = x * 31 + y`)
+	// The planner gates the morsel-driven path, so with parallelism
+	// configured every fresh AST pays fold+compile+pushdown+prune; the
+	// array is small enough that execution itself stays lean. Prepared
+	// statements (and the LRU) skip parse and that planning entirely.
+	db.Parallelism(4)
+	q := `SELECT x, y, v, SQRT(v) + POWER(v, 0.25) AS s,
+	        CASE WHEN MOD(x + y, 2) = 0 THEN v * 2.0 ELSE v / 2.0 END AS w
+	      FROM bench
+	      WHERE x >= ?x AND x < ?x + 8 AND y >= 0 AND y < 16
+	        AND v > ?lo AND MOD(x * 31 + y, 7) <> 3
+	        AND (v < 1000000 OR SQRT(v + 1) > 0 OR POWER(v, 2) < 100000000)`
+
+	run := func(exec func(i int) error) time.Duration {
+		d, err := timeIt(func() error {
+			for i := 0; i < iters; i++ {
+				if err := exec(i); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			fail("P2", err)
+		}
+		return d
+	}
+	args := func(i int) []sciql.Arg {
+		return []sciql.Arg{sciql.Int("x", int64(i)%4), sciql.Float("lo", 1)}
+	}
+
+	db.SetPlanCacheSize(0)
+	dCold := run(func(i int) error { _, err := db.Query(q, args(i)...); return err })
+	db.SetPlanCacheSize(256)
+	dCached := run(func(i int) error { _, err := db.Query(q, args(i)...); return err })
+	st, err := db.Prepare(q)
+	if err != nil {
+		fail("P2", err)
+	}
+	dPrep := run(func(i int) error { _, err := st.Query(args(i)...); return err })
+
+	perCall := func(d time.Duration) float64 { return float64(d.Microseconds()) / float64(iters) }
+	fmt.Printf("ad-hoc, cache off  (parse+plan each): %8.1f us/exec\n", perCall(dCold))
+	fmt.Printf("ad-hoc, LRU cache  (plan reused):     %8.1f us/exec\n", perCall(dCached))
+	fmt.Printf("prepared statement (plan reused):     %8.1f us/exec\n", perCall(dPrep))
+	fmt.Printf("prepared speedup over uncached ad-hoc: %.2fx\n\n",
+		float64(dCold.Nanoseconds())/float64(dPrep.Nanoseconds()))
 }

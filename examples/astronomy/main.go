@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -34,6 +35,7 @@ func main() {
 	fi, _ := os.Stat(path)
 	fmt.Printf("wrote %s (%d bytes)\n", path, fi.Size())
 
+	ctx := context.Background()
 	s := core.NewSession()
 
 	// Data vault (§2.1): register, then answer metadata queries from
@@ -56,7 +58,7 @@ func main() {
 
 	// X-ray binning (§7.2.1): the event table becomes a 2-D histogram.
 	mustRun := func(sql string, params map[string]value.Value) {
-		if _, err := s.Run(sql, params); err != nil {
+		if _, err := s.RunContext(ctx, sql, params); err != nil {
 			panic(fmt.Sprintf("%v\nSQL: %s", err, sql))
 		}
 	}
@@ -67,20 +69,30 @@ func main() {
 			v INTEGER DEFAULT 0);
 		INSERT INTO ximage SELECT [x], [y], count(*) FROM obs_t1 GROUP BY x, y;
 	`, nil)
-	tot, _ := s.Run(`SELECT SUM(v), MAX(v) FROM ximage`, nil)
+	tot, _ := s.RunContext(ctx, `SELECT SUM(v), MAX(v) FROM ximage`, nil)
 	fmt.Printf("binned image: %s events total, hottest pixel %s\n",
 		tot.Get(0, 0), tot.Get(0, 1))
 
 	// Re-binning 16x via DISTINCT tiling.
-	rebin, err := s.Run(`
+	rebin, err := s.DB().QueryContext(ctx, `
 		SELECT [x/16], [y/16], SUM(v) FROM ximage
 		GROUP BY DISTINCT ximage[x:x+16][y:y+16]
-		ORDER BY 3 DESC LIMIT 3`, nil)
+		ORDER BY 3 DESC LIMIT 3`)
 	if err != nil {
 		panic(err)
 	}
 	fmt.Println("brightest 16x16 super-bins (the injected point sources):")
-	fmt.Print(rebin)
+	for rebin.Next() {
+		var bx, by, sum int64
+		if err := rebin.Scan(&bx, &by, &sum); err != nil {
+			panic(err)
+		}
+		fmt.Printf("  super-bin [%d][%d]: %d events\n", bx, by, sum)
+	}
+	if err := rebin.Err(); err != nil {
+		panic(err)
+	}
+	rebin.Close()
 
 	// WCS transformation (§7.2.1): linear transform + scaling from
 	// pixel to world coordinates.
@@ -96,8 +108,8 @@ func main() {
 			wcs_x = (SELECT sc[0].v * (m[0][0].v * (obs.x1 - ref[0].v) + m[0][1].v * (obs.x2 - ref[1].v)) FROM m, ref, sc),
 			wcs_y = (SELECT sc[1].v * (m[1][0].v * (obs.x1 - ref[0].v) + m[1][1].v * (obs.x2 - ref[1].v)) FROM m, ref, sc);
 	`, nil)
-	corner, _ := s.Run(`SELECT wcs_x, wcs_y FROM obs WHERE x1 = 0 AND x2 = 0`, nil)
-	center, _ := s.Run(`SELECT wcs_x, wcs_y FROM obs WHERE x1 = 128 AND x2 = 128`, nil)
+	corner, _ := s.RunContext(ctx, `SELECT wcs_x, wcs_y FROM obs WHERE x1 = 0 AND x2 = 0`, nil)
+	center, _ := s.RunContext(ctx, `SELECT wcs_x, wcs_y FROM obs WHERE x1 = 128 AND x2 = 128`, nil)
 	fmt.Printf("WCS: corner (0,0) -> (%.4f, %.4f); reference pixel -> (%.4f, %.4f)\n",
 		corner.Get(0, 0).AsFloat(), corner.Get(0, 1).AsFloat(),
 		center.Get(0, 0).AsFloat(), center.Get(0, 1).AsFloat())

@@ -4,11 +4,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/value"
 	"repro/internal/workload"
+	"repro/sciql"
 )
 
 const n = 128 // image edge; the paper uses 1024, the pipeline is identical
@@ -24,21 +26,43 @@ func main() {
 	}
 	fmt.Printf("loaded synthetic landsat: 7 channels x %dx%d\n", n, n)
 
+	ctx := context.Background()
 	mustRun := func(sql string, params map[string]value.Value) {
-		if _, err := s.Run(sql, params); err != nil {
+		if _, err := s.RunContext(ctx, sql, params); err != nil {
 			panic(fmt.Sprintf("%v\nSQL: %s", err, sql))
 		}
 	}
 
 	// --- DESTRIPE (§7.1.1): correct the channel-6 drift on every
-	// sixth scan line.
-	before, _ := s.Run(`SELECT AVG(v) FROM landsat WHERE channel = 6 AND MOD(x,6) = 1`, nil)
+	// sixth scan line. The mean probe is a prepared statement over the
+	// public API — parsed and planned once, executed three times with
+	// different line-parity bindings.
+	db := s.DB()
+	lineMean, err := db.Prepare(
+		`SELECT AVG(v) FROM landsat WHERE channel = 6 AND MOD(x,6) = ?parity`)
+	if err != nil {
+		panic(err)
+	}
+	meanAt := func(parity int64) float64 {
+		rs, err := lineMean.QueryContext(ctx, sciql.Int("parity", parity))
+		if err != nil {
+			panic(err)
+		}
+		defer rs.Close()
+		var m float64
+		if !rs.Next() {
+			panic("no mean row")
+		}
+		if err := rs.Scan(&m); err != nil {
+			panic(err)
+		}
+		return m
+	}
+	before := meanAt(1)
 	mustRun(`UPDATE landsat SET v = noise(v, ?delta) WHERE channel = 6 AND MOD(x,6) = 1`,
 		map[string]value.Value{"delta": value.NewFloat(float64(ls.Delta))})
-	after, _ := s.Run(`SELECT AVG(v) FROM landsat WHERE channel = 6 AND MOD(x,6) = 1`, nil)
-	clean, _ := s.Run(`SELECT AVG(v) FROM landsat WHERE channel = 6 AND MOD(x,6) = 0`, nil)
 	fmt.Printf("DESTRIPE: striped-line mean %.2f -> %.2f (clean lines: %.2f)\n",
-		before.Get(0, 0).AsFloat(), after.Get(0, 0).AsFloat(), clean.Get(0, 0).AsFloat())
+		before, meanAt(1), meanAt(0))
 
 	// --- TVI (§7.1.2): noise-reduce bands 3 and 4 with the conv
 	// filter, then combine.
@@ -65,7 +89,7 @@ func main() {
 	if _, err := s.LoadChannel("b4", ls, 4); err != nil {
 		panic(err)
 	}
-	tviDS, err := s.Run(`
+	tviDS, err := s.RunContext(ctx, `
 		SELECT [x], [y], tvi(conv(b3[x-1:x+2][y-1:y+2]), conv(b4[x-1:x+2][y-1:y+2]))
 		FROM b3[1:`+fmt.Sprint(n-1)+`][1:`+fmt.Sprint(n-1)+`]`, nil)
 	if err != nil {
@@ -87,12 +111,12 @@ func main() {
 			b2 = (SELECT intens2radiance(landsat[4][x][y].v, ?lmin, ?lmax) FROM landsat),
 			v  = (b2 - b1) / (b2 + b1);
 	`, map[string]value.Value{"lmin": value.NewFloat(0.5), "lmax": value.NewFloat(1.5)})
-	stats, _ := s.Run(`SELECT MIN(v), AVG(v), MAX(v) FROM ndvi`, nil)
+	stats, _ := s.RunContext(ctx, `SELECT MIN(v), AVG(v), MAX(v) FROM ndvi`, nil)
 	fmt.Printf("NDVI: min=%.3f avg=%.3f max=%.3f (vegetation > 0)\n",
 		stats.Get(0, 0).AsFloat(), stats.Get(0, 1).AsFloat(), stats.Get(0, 2).AsFloat())
 
 	// --- MASK (§7.1.4): 3x3 tile averages kept within [10, 100].
-	mask, err := s.Run(`
+	mask, err := s.RunContext(ctx, `
 		SELECT [x], [y], AVG(v) FROM b3
 		GROUP BY b3[x-1:x+2][y-1:y+2]
 		HAVING AVG(v) BETWEEN 10 AND 100`, nil)
@@ -110,7 +134,7 @@ func main() {
 		CREATE ARRAY wimg (x INTEGER DIMENSION[%d], y INTEGER DIMENSION[%d], v FLOAT DEFAULT 0.0);
 		UPDATE wimg SET wimg[x][y].v = (SELECT wd[x/2][y].v + we[x/2][y].v * POWER(-1,x) FROM wd, we);
 	`, half, half, half, half, n, half), nil)
-	w, _ := s.Run(`SELECT wimg[0][0].v, wimg[1][0].v`, nil)
+	w, _ := s.RunContext(ctx, `SELECT wimg[0][0].v, wimg[1][0].v`, nil)
 	fmt.Printf("WAVELET: even row = %.2f, odd row = %.2f (1±0.25)\n",
 		w.Get(0, 0).AsFloat(), w.Get(0, 1).AsFloat())
 
@@ -121,6 +145,6 @@ func main() {
 		CREATE ARRAY mv (x INT DIMENSION[8], v FLOAT DEFAULT 0.0);
 		UPDATE mv SET mv[x].v = (SELECT SUM(mva[x][y].v * mvb[y].v) FROM mva GROUP BY mva[x][*]);
 	`, nil)
-	mv, _ := s.Run(`SELECT v FROM mv WHERE x = 0`, nil)
+	mv, _ := s.RunContext(ctx, `SELECT v FROM mv WHERE x = 0`, nil)
 	fmt.Printf("MATVEC: row dot product = %.1f (8 x 1 x 2)\n", mv.Get(0, 0).AsFloat())
 }

@@ -1,15 +1,18 @@
 // Quickstart: arrays as first-class citizens — create, update, slice,
 // tile and coerce, following the running example of the SciQL paper
-// (§3–§5).
+// (§3–§5), driven through the context-aware streaming API (Rows
+// cursors, prepared statements).
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro/sciql"
 )
 
 func main() {
+	ctx := context.Background()
 	db := sciql.Open()
 
 	// §3.1: a 4x4 zero-initialized matrix with named dimensions.
@@ -27,8 +30,39 @@ func main() {
 			WHEN x < y THEN x - y
 			ELSE 0 END`)
 
-	fmt.Println("matrix after the guarded update:")
-	fmt.Println(db.MustQuery(`SELECT x, y, v FROM matrix`))
+	// The streaming cursor API: rows are pulled from the scan as it
+	// runs; canceling ctx would abort it mid-flight.
+	fmt.Println("matrix after the guarded update (streamed):")
+	rows, err := db.QueryContext(ctx, `SELECT x, y, v FROM matrix WHERE v <> 0`)
+	if err != nil {
+		panic(err)
+	}
+	for rows.Next() {
+		var x, y int64
+		var v float64
+		if err := rows.Scan(&x, &y, &v); err != nil {
+			panic(err)
+		}
+		fmt.Printf("  matrix[%d][%d] = %g\n", x, y, v)
+	}
+	if err := rows.Err(); err != nil {
+		panic(err)
+	}
+	rows.Close()
+
+	// Prepared statements parse and plan once; each execution just
+	// binds the ?name parameters.
+	probe, err := db.Prepare(`SELECT v FROM matrix WHERE x = ?x AND y = ?y`)
+	if err != nil {
+		panic(err)
+	}
+	for _, xy := range [][2]int64{{1, 0}, {2, 1}, {3, 2}} {
+		rs, err := probe.Query(sciql.Int("x", xy[0]), sciql.Int("y", xy[1]))
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("probe matrix[%d][%d] = %s\n", xy[0], xy[1], rs.Get(0, 0))
+	}
 
 	// §4.2: array slicing.
 	fmt.Println("top-left 2x2 slab:")

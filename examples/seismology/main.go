@@ -1,10 +1,14 @@
 // Seismology: the §7.3 SEED use cases — write an mSEED-lite volume,
 // attach it through the data vault, retrieve waveforms by station and
 // time window, detect gaps and spikes in the time series, and compute
-// trailing moving averages with structural grouping.
+// trailing moving averages with structural grouping. Queries run
+// through the context-aware public API; the window retrieval uses a
+// prepared statement with ?lo/?hi slice parameters instead of
+// formatting SQL per window.
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -13,9 +17,11 @@ import (
 	"repro/internal/value"
 	"repro/internal/vault/mseed"
 	"repro/internal/workload"
+	"repro/sciql"
 )
 
 func main() {
+	ctx := context.Background()
 	dir, err := os.MkdirTemp("", "sciql-seis")
 	if err != nil {
 		panic(err)
@@ -49,13 +55,26 @@ func main() {
 		panic(err)
 	}
 
-	// §7.3.1: retrieval — records per station with nested waveforms.
-	rs, err := s.Run(`SELECT seqnr, station, quality FROM mSeed`, nil)
+	// §7.3.1: retrieval — records per station with nested waveforms,
+	// streamed through a Rows cursor.
+	db := s.DB()
+	rows, err := db.QueryContext(ctx, `SELECT seqnr, station, quality FROM mSeed`)
 	if err != nil {
 		panic(err)
 	}
 	fmt.Println("attached mSEED records:")
-	fmt.Print(rs)
+	for rows.Next() {
+		var seqnr int64
+		var station, quality string
+		if err := rows.Scan(&seqnr, &station, &quality); err != nil {
+			panic(err)
+		}
+		fmt.Printf("  seq %d  station %-4s quality %s\n", seqnr, station, quality)
+	}
+	if err := rows.Err(); err != nil {
+		panic(err)
+	}
+	rows.Close()
 
 	// Working time-series array for the cleansing queries (the AASN
 	// waveform, which carries 4 gaps and 6 spikes).
@@ -64,7 +83,7 @@ func main() {
 	}
 
 	// §7.3.2: gap detection via next() over the sparse time dimension.
-	gaps, err := s.Run(`
+	gaps, err := s.RunContext(ctx, `
 		SELECT [time], next(time) - time FROM samples
 		WHERE next(time) - time BETWEEN ?gap_min AND ?gap_max`,
 		map[string]value.Value{
@@ -79,7 +98,7 @@ func main() {
 
 	// §7.3.3: spike detection — threshold on the jump to the next
 	// sample, then retrieve the ±100-sample neighborhood of the first.
-	spikes, err := s.Run(`
+	spikes, err := s.RunContext(ctx, `
 		SELECT [time], data FROM samples
 		WHERE ABS(data - next(data)) > ?T`,
 		map[string]value.Value{"T": value.NewFloat(4)})
@@ -91,18 +110,27 @@ func main() {
 	fmt.Printf("spike detection: flagged %d jump points around %d injected spikes\n",
 		spikes.NumRows(), len(w1.SpikeTimes))
 	if spikes.NumRows() > 0 {
-		t0 := spikes.Get(0, 0).I
-		window, err := s.Run(fmt.Sprintf(`SELECT count(*) FROM samples[%d:%d]`,
-			t0-100*interval, t0+100*interval), nil)
+		// A prepared statement binds the window bounds as parameters —
+		// parsed and planned once, re-executed per spike.
+		windowStmt, err := db.Prepare(`SELECT count(*) FROM samples[?lo:?hi]`)
 		if err != nil {
 			panic(err)
 		}
-		fmt.Printf("neighborhood of first spike: %s samples in ±100s window\n", window.Get(0, 0))
+		for i := 0; i < spikes.NumRows() && i < 3; i++ {
+			t0 := spikes.Get(i, 0).I
+			window, err := windowStmt.Query(
+				sciql.Int("lo", t0-100*interval), sciql.Int("hi", t0+100*interval))
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("neighborhood of spike at t=%d: %s samples in ±100s window\n",
+				t0, window.Get(0, 0))
+		}
 	}
 
 	// §7.3.4: trailing moving average over 3 samples via tiling; the
 	// AVG semantics shorten the window at the series edge.
-	mov, err := s.Run(`
+	mov, err := s.RunContext(ctx, `
 		SELECT [time], data, AVG(samples[time-`+fmt.Sprint(2*interval)+`:time+1].data) AS movavg
 		FROM samples
 		GROUP BY samples[time-`+fmt.Sprint(2*interval)+`:time+1]

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -19,6 +20,7 @@ import (
 	"repro/internal/value"
 	"repro/internal/vault"
 	"repro/internal/workload"
+	"repro/sciql"
 )
 
 // Session is a fully wired SciQL engine: catalog, executor, vault and
@@ -26,24 +28,38 @@ import (
 type Session struct {
 	Engine *exec.Engine
 	Vault  *vault.Vault
+	db     *sciql.DB
 }
 
 // NewSession creates a session with the standard externals registered.
 func NewSession() *Session {
 	s := &Session{Engine: exec.New(), Vault: vault.New()}
+	s.db = sciql.Wrap(s.Engine)
 	s.registerExternals()
 	return s
 }
 
+// DB exposes the session's engine through the public sciql API —
+// streaming cursors (QueryContext/Rows), prepared statements and the
+// plan cache — without a second catalog. The examples and tools use
+// it for their query loops.
+func (s *Session) DB() *sciql.DB { return s.db }
+
 // Run parses and executes a script, returning the last result.
 func (s *Session) Run(sql string, params map[string]value.Value) (*exec.Dataset, error) {
+	return s.RunContext(context.Background(), sql, params)
+}
+
+// RunContext is Run bound to a context: cancellation aborts long
+// scans mid-statement and returns ctx.Err().
+func (s *Session) RunContext(ctx context.Context, sql string, params map[string]value.Value) (*exec.Dataset, error) {
 	stmts, err := parser.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
 	var last *exec.Dataset
 	for _, st := range stmts {
-		ds, err := s.Engine.Exec(st, params)
+		ds, err := s.Engine.ExecContext(ctx, st, params)
 		if err != nil {
 			return nil, err
 		}

@@ -153,7 +153,7 @@ func (e *Engine) updateArray(a *array.Array, s *ast.Update, outer expr.Env) erro
 	}
 	conjs := splitConjuncts(s.Where)
 	consumed := make([]bool, len(conjs))
-	restrict := e.pushdownDims(a, a.Name, conjs, consumed, outer)
+	restrict := e.pushdownDims(a, a.Name, conjs, consumed, nil, outer)
 	var residual []ast.Expr
 	for i, c := range conjs {
 		if !consumed[i] {

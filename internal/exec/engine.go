@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -39,6 +40,12 @@ type Engine struct {
 	// AST) plan once, not once per row.
 	planMu    sync.Mutex
 	planCache map[*ast.Select]planDecision
+	// qctx is the context of the statement currently executing through
+	// ExecContext; helpers consult it (via canceled and the worker
+	// pool) so cancellation stops long scans. The engine executes one
+	// statement at a time — it is not safe for concurrent use — so a
+	// single field suffices.
+	qctx context.Context
 }
 
 // planDecision is one memoized routing decision: the worker count and
@@ -125,6 +132,52 @@ func (b *baseEnv) Param(name string) (value.Value, bool) {
 // Exec runs one statement. Params bind ?name host parameters. SELECT
 // returns a dataset; DDL/DML return nil (or a small info dataset).
 func (e *Engine) Exec(stmt ast.Statement, params map[string]value.Value) (*Dataset, error) {
+	return e.ExecContext(context.Background(), stmt, params)
+}
+
+// ExecContext is Exec bound to a context: cancellation stops long
+// scans (serial loops check periodically; the morsel pool checks in
+// its worker loop) and the statement returns ctx.Err().
+func (e *Engine) ExecContext(ctx context.Context, stmt ast.Statement, params map[string]value.Value) (*Dataset, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	prev := e.qctx
+	e.qctx = ctx
+	defer func() { e.qctx = prev }()
+	return e.execStmt(stmt, params)
+}
+
+// ctx returns the context of the in-flight statement.
+func (e *Engine) ctx() context.Context {
+	if e.qctx == nil {
+		return context.Background()
+	}
+	return e.qctx
+}
+
+// canceled reports the in-flight statement's context error; serial
+// row loops call it periodically so cancellation is honored even off
+// the parallel path.
+func (e *Engine) canceled() error {
+	if e.qctx == nil {
+		return nil
+	}
+	return e.qctx.Err()
+}
+
+// ddl wraps a DDL execution: schema changes invalidate the memoized
+// per-AST planning decisions, since a statement prepared (or cached by
+// text) before a CREATE/ALTER/DROP may now plan differently — e.g.
+// become parallel-eligible once its array exists.
+func (e *Engine) ddl(err error) error {
+	e.planMu.Lock()
+	e.planCache = nil
+	e.planMu.Unlock()
+	return err
+}
+
+func (e *Engine) execStmt(stmt ast.Statement, params map[string]value.Value) (*Dataset, error) {
 	norm := make(map[string]value.Value, len(params))
 	for k, v := range params {
 		norm[strings.ToLower(k)] = v
@@ -136,17 +189,17 @@ func (e *Engine) Exec(stmt ast.Statement, params map[string]value.Value) (*Datas
 	case *ast.Explain:
 		return e.execExplain(s)
 	case *ast.CreateTable:
-		return nil, e.execCreateTable(s)
+		return nil, e.ddl(e.execCreateTable(s))
 	case *ast.CreateArray:
-		return nil, e.execCreateArray(s, env)
+		return nil, e.ddl(e.execCreateArray(s, env))
 	case *ast.CreateSequence:
-		return nil, e.execCreateSequence(s, env)
+		return nil, e.ddl(e.execCreateSequence(s, env))
 	case *ast.CreateFunction:
-		return nil, e.execCreateFunction(s)
+		return nil, e.ddl(e.execCreateFunction(s))
 	case *ast.AlterArray:
-		return nil, e.execAlterArray(s, env)
+		return nil, e.ddl(e.execAlterArray(s, env))
 	case *ast.Drop:
-		return nil, e.Cat.Drop(s.Kind, s.Name)
+		return nil, e.ddl(e.Cat.Drop(s.Kind, s.Name))
 	case *ast.Insert:
 		return nil, e.execInsert(s, env)
 	case *ast.Update:

@@ -39,7 +39,15 @@ func (e *Engine) planSelect(sel *ast.Select) *plan.Plan {
 // one-column dataset, one row per tree line, followed by an execution-
 // mode line stating whether the morsel-driven parallel path applies.
 func (e *Engine) execExplain(s *ast.Explain) (*Dataset, error) {
-	pl := e.planSelect(s.Select)
+	return e.ExplainSelect(s.Select), nil
+}
+
+// ExplainSelect compiles sel through the planner (plan → optimize)
+// without executing it and renders the operator tree plus the
+// execution-mode line as a one-column dataset. The public API calls
+// this directly, so EXPLAIN never re-enters the SQL string layer.
+func (e *Engine) ExplainSelect(sel *ast.Select) *Dataset {
+	pl := e.planSelect(sel)
 	out := NewDataset([]Col{{Name: "plan", Typ: value.String}})
 	for _, line := range strings.Split(strings.TrimRight(pl.String(), "\n"), "\n") {
 		out.Append([]value.Value{value.NewString(line)})
@@ -48,11 +56,11 @@ func (e *Engine) execExplain(s *ast.Explain) (*Dataset, error) {
 	switch {
 	case !pl.Parallel:
 		mode += " (" + pl.Reason + ")"
-	case !parSafeSelect(s.Select):
+	case !parSafeSelect(sel):
 		mode += " (expression needs engine state)"
 	default:
 		mode = "execution: parallelizable (morsel-driven)"
 	}
 	out.Append([]value.Value{value.NewString(mode)})
-	return out, nil
+	return out
 }

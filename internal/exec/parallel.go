@@ -189,6 +189,11 @@ func (e *Engine) filterKeep(where ast.Expr, ds *Dataset, outer expr.Env, par int
 		var keep []int
 		env := &rowEnv{d: ds, outer: outer}
 		for r := 0; r < n; r++ {
+			if r&1023 == 0 {
+				if err := e.canceled(); err != nil {
+					return nil, err
+				}
+			}
 			env.row = r
 			ok, err := e.Ev.EvalBool(where, env)
 			if err != nil {
@@ -201,7 +206,7 @@ func (e *Engine) filterKeep(where ast.Expr, ds *Dataset, outer expr.Env, par int
 		return keep, nil
 	}
 	mask := make([]bool, n)
-	err := e.pool.ForEach(n, e.pool.MorselFor(n), func(m parallelMorsel) error {
+	err := e.pool.ForEachCtx(e.ctx(), n, e.pool.MorselFor(n), func(m parallelMorsel) error {
 		env := &rowEnv{d: ds, outer: outer}
 		for r := m.Lo; r < m.Hi; r++ {
 			env.row = r
@@ -229,7 +234,7 @@ func (e *Engine) filterKeep(where ast.Expr, ds *Dataset, outer expr.Env, par int
 // the rows out over the pool when par > 1. Output is identical to the
 // serial project for any par.
 func (e *Engine) projectWith(items []ast.SelectItem, ds *Dataset, outer expr.Env, par int) (*Dataset, error) {
-	items = expandStars(items, ds)
+	items = expandStars(items, ds.Cols)
 	n := ds.NumRows()
 	if par <= 1 || e.pool == nil || n < 2*e.pool.Workers() {
 		return e.project(items, ds, outer)
@@ -238,7 +243,7 @@ func (e *Engine) projectWith(items []ast.SelectItem, ds *Dataset, outer expr.Env
 	for i := range colVals {
 		colVals[i] = make([]value.Value, n)
 	}
-	err := e.pool.ForEach(n, e.pool.MorselFor(n), func(m parallelMorsel) error {
+	err := e.pool.ForEachCtx(e.ctx(), n, e.pool.MorselFor(n), func(m parallelMorsel) error {
 		env := &rowEnv{d: ds, outer: outer}
 		for r := m.Lo; r < m.Hi; r++ {
 			env.row = r

@@ -14,7 +14,7 @@ import (
 
 // expandStars replaces * and A.* select items with explicit column
 // references, preserving the source columns' dimension flags.
-func expandStars(items []ast.SelectItem, ds *Dataset) []ast.SelectItem {
+func expandStars(items []ast.SelectItem, cols []Col) []ast.SelectItem {
 	var out []ast.SelectItem
 	for _, it := range items {
 		st, ok := it.Expr.(*ast.Star)
@@ -22,7 +22,7 @@ func expandStars(items []ast.SelectItem, ds *Dataset) []ast.SelectItem {
 			out = append(out, it)
 			continue
 		}
-		for _, c := range ds.Cols {
+		for _, c := range cols {
 			if st.Table != "" && !strings.EqualFold(c.Qual, st.Table) {
 				continue
 			}
@@ -41,13 +41,18 @@ func expandStars(items []ast.SelectItem, ds *Dataset) []ast.SelectItem {
 
 // project evaluates the target list for every row of ds.
 func (e *Engine) project(items []ast.SelectItem, ds *Dataset, outer expr.Env) (*Dataset, error) {
-	items = expandStars(items, ds)
+	items = expandStars(items, ds.Cols)
 	n := ds.NumRows()
 	colVals := make([][]value.Value, len(items))
 	for i := range colVals {
 		colVals[i] = make([]value.Value, 0, n)
 	}
 	for r := 0; r < n; r++ {
+		if r&1023 == 0 {
+			if err := e.canceled(); err != nil {
+				return nil, err
+			}
+		}
 		env := &rowEnv{d: ds, row: r, outer: outer}
 		for i, it := range items {
 			v, err := e.Ev.Eval(it.Expr, env)
@@ -277,7 +282,7 @@ func (e *Engine) accumulate(g *group, calls []*ast.FuncCall, env expr.Env) error
 // in its own hash table and the partials merge at the end, preserving
 // the serial first-encounter group order.
 func (e *Engine) execValueGroupBy(sel *ast.Select, items []ast.SelectItem, having ast.Expr, ds *Dataset, outer expr.Env, par int) (*Dataset, error) {
-	items = expandStars(items, ds)
+	items = expandStars(items, ds.Cols)
 	ac := &aggCollector{}
 	rewritten := make([]ast.SelectItem, len(items))
 	for i, it := range items {
@@ -324,7 +329,7 @@ func (e *Engine) execValueGroupBy(sel *ast.Select, items []ast.SelectItem, havin
 		// serial fold in last-bit summation order on non-integer data.
 		morsel := e.pool.MorselFor(n)
 		partials := make([]map[string]*group, (n+morsel-1)/morsel)
-		err := e.pool.ForEach(n, morsel, func(m parallelMorsel) error {
+		err := e.pool.ForEachCtx(e.ctx(), n, morsel, func(m parallelMorsel) error {
 			wm := make(map[string]*group)
 			partials[m.Lo/morsel] = wm
 			env := &rowEnv{d: ds, outer: outer}
@@ -376,6 +381,11 @@ func (e *Engine) execValueGroupBy(sel *ast.Select, items []ast.SelectItem, havin
 	} else {
 		env := &rowEnv{d: ds, outer: outer}
 		for r := 0; r < n; r++ {
+			if r&1023 == 0 {
+				if err := e.canceled(); err != nil {
+					return nil, err
+				}
+			}
 			env.row = r
 			key, err := rowKey(env)
 			if err != nil {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/array"
 	"repro/internal/bat"
 	"repro/internal/expr"
+	"repro/internal/plan"
 	"repro/internal/sql/ast"
 	"repro/internal/value"
 )
@@ -510,7 +511,7 @@ func (e *Engine) buildTableRef(t *ast.TableRef, conjs []ast.Expr, consumed []boo
 			sels = s
 		}
 		src.sels = sels
-		restrict := e.pushdownDims(arr, src.qual(), conjs, consumed, outer)
+		restrict := e.pushdownDims(arr, src.qual(), conjs, consumed, sels, outer)
 		ds, err := e.scanArray(arr, src.qual(), sels, restrict)
 		if err != nil {
 			return nil, nil, err
@@ -534,83 +535,76 @@ func (e *Engine) buildTableRef(t *ast.TableRef, conjs []ast.Expr, consumed []boo
 }
 
 // pushdownDims extracts per-dimension point/range restrictions from
-// WHERE conjuncts of the form <dim> op <outer-constant>, marking fully
-// consumed equality conjuncts.
-func (e *Engine) pushdownDims(a *array.Array, qual string, conjs []ast.Expr, consumed []bool, outer expr.Env) map[int]dimSel {
-	restrict := make(map[int]dimSel)
-	for ci, c := range conjs {
-		b, ok := c.(*ast.Binary)
-		if !ok {
-			continue
+// WHERE conjuncts of the form <dim> op <outer-constant>, marking the
+// consumed conjuncts. Classification and consumption policy are
+// plan.AnalyzeDimConjuncts — the same implementation the planner uses
+// for EXPLAIN annotations — so the plan can never drift from what the
+// scan applies. The executor's ConstEval additionally handles host
+// parameters and outer-bound constants the planner cannot evaluate,
+// and sels marks dimensions already restricted by FROM-clause slicing
+// (left to the filter, matching the planner's decision).
+func (e *Engine) pushdownDims(a *array.Array, qual string, conjs []ast.Expr, consumed []bool, sels []dimSel, outer expr.Env) map[int]dimSel {
+	resolve := func(id *ast.Ident) int {
+		if id.Table != "" && !strings.EqualFold(id.Table, qual) {
+			return -1
 		}
-		op := b.Op
-		var dimIdent *ast.Ident
-		var other ast.Expr
-		if id, ok := b.L.(*ast.Ident); ok && matchesDim(a, qual, id) {
-			dimIdent, other = id, b.R
-		} else if id, ok := b.R.(*ast.Ident); ok && matchesDim(a, qual, id) {
-			dimIdent, other = id, b.L
-			op = flipOp(op)
-		} else {
-			continue
+		return dimIndexFold(a, id.Name)
+	}
+	eval := func(x ast.Expr) (int64, bool) {
+		if !e.constUnderOuter(x, a, qual, outer) {
+			return 0, false
 		}
-		if !e.constUnderOuter(other, a, qual, outer) {
-			continue
+		v, err := e.Ev.Eval(x, outer)
+		// Only exactly integral values may become scan bounds:
+		// truncating a float here would move the bound and drop rows.
+		if err != nil || v.Null || (v.Typ != value.Int && v.Typ != value.Timestamp) {
+			return 0, false
 		}
-		v, err := e.Ev.Eval(other, outer)
-		if err != nil || v.Null {
-			continue
-		}
-		di := a.Schema.DimIndex(dimIdent.Name)
-		if di < 0 {
-			di = dimIndexFold(a, dimIdent.Name)
-		}
-		if di < 0 {
-			continue
-		}
-		cur, have := restrict[di]
+		return v.AsInt(), true
+	}
+	blocked := func(di int) bool { return sels != nil && !sels[di].full }
+	restrict, cons := plan.AnalyzeDimConjuncts(conjs, resolve, eval, blocked)
+	out := make(map[int]dimSel)
+	for di, r := range restrict {
 		step := a.Schema.Dims[di].Step
 		if step <= 0 {
 			step = 1
 		}
-		switch op {
-		case "=":
-			restrict[di] = dimSel{point: true, val: v.AsInt(), step: step}
-			consumed[ci] = true
-		case "<", "<=", ">", ">=":
-			if !have {
-				lo, hi, err := a.BoundingBox()
+		switch {
+		case r.Point:
+			out[di] = dimSel{point: true, val: r.Val, step: step}
+		case r.HasLo || r.HasHi:
+			lo, hi := r.Lo, r.Hi
+			if !r.HasLo || !r.HasHi {
+				blo, bhi, err := a.BoundingBox()
 				if err != nil {
+					// No bounding box to close the open end: leave the
+					// conjuncts in the filter instead of restricting.
+					for _, rc := range r.RangeConjs {
+						for i, c := range conjs {
+							if c == rc {
+								cons[i] = false
+							}
+						}
+					}
 					continue
 				}
-				cur = dimSel{lo: lo[di], hi: hi[di] + step, step: step}
-			}
-			switch op {
-			case "<":
-				if v.AsInt() < cur.hi {
-					cur.hi = v.AsInt()
+				if !r.HasLo {
+					lo = blo[di]
 				}
-			case "<=":
-				if v.AsInt()+1 < cur.hi {
-					cur.hi = v.AsInt() + 1
-				}
-			case ">":
-				if v.AsInt()+1 > cur.lo {
-					cur.lo = v.AsInt() + 1
-				}
-			case ">=":
-				if v.AsInt() > cur.lo {
-					cur.lo = v.AsInt()
+				if !r.HasHi {
+					hi = bhi[di] + 1
 				}
 			}
-			if !cur.point {
-				restrict[di] = cur
-			}
-			// Range conjuncts stay for re-checking (cheap) to keep the
-			// logic simple; only equality is consumed.
+			out[di] = dimSel{lo: lo, hi: hi, step: step}
 		}
 	}
-	return restrict
+	for i := range conjs {
+		if cons[i] {
+			consumed[i] = true
+		}
+	}
+	return out
 }
 
 func dimIndexFold(a *array.Array, name string) int {
@@ -620,27 +614,6 @@ func dimIndexFold(a *array.Array, name string) int {
 		}
 	}
 	return -1
-}
-
-func matchesDim(a *array.Array, qual string, id *ast.Ident) bool {
-	if id.Table != "" && !strings.EqualFold(id.Table, qual) {
-		return false
-	}
-	return dimIndexFold(a, id.Name) >= 0
-}
-
-func flipOp(op string) string {
-	switch op {
-	case "<":
-		return ">"
-	case "<=":
-		return ">="
-	case ">":
-		return "<"
-	case ">=":
-		return "<="
-	}
-	return op
 }
 
 // constUnderOuter reports whether x can be evaluated with only the
@@ -688,11 +661,9 @@ func attrIndexFold(a *array.Array, name string) int {
 	return -1
 }
 
-// scanArray materializes an array as a dataset of dimension columns
-// (IsDim) and attribute columns, skipping holes (§3.1). sels (FROM
-// slicing) and restrict (pushed-down predicates) bound the scan; when
-// every dimension is pinned to a point the scan is a direct cell read.
-func (e *Engine) scanArray(a *array.Array, qual string, sels []dimSel, restrict map[int]dimSel) (*Dataset, error) {
+// scanCols builds the dataset column header of an array scan: the
+// dimension columns (IsDim) followed by the attribute columns.
+func scanCols(a *array.Array, qual string) []Col {
 	nd, na := len(a.Schema.Dims), len(a.Schema.Attrs)
 	cols := make([]Col, 0, nd+na)
 	for _, d := range a.Schema.Dims {
@@ -701,9 +672,13 @@ func (e *Engine) scanArray(a *array.Array, qual string, sels []dimSel, restrict 
 	for _, at := range a.Schema.Attrs {
 		cols = append(cols, Col{Name: at.Name, Qual: qual, Typ: at.Typ})
 	}
-	out := NewDataset(cols)
-	// Effective per-dim constraint = intersection of sels and restrict.
-	eff := make([]dimSel, nd)
+	return cols
+}
+
+// effectiveSels intersects FROM slicing with pushed-down restrictions
+// into one per-dimension constraint vector.
+func effectiveSels(a *array.Array, sels []dimSel, restrict map[int]dimSel) []dimSel {
+	eff := make([]dimSel, len(a.Schema.Dims))
 	for i := range eff {
 		eff[i] = dimSel{full: true}
 		if sels != nil {
@@ -713,6 +688,36 @@ func (e *Engine) scanArray(a *array.Array, qual string, sels []dimSel, restrict 
 			eff[i] = intersectSel(eff[i], r)
 		}
 	}
+	return eff
+}
+
+// effMatch reports whether coords satisfy every effective constraint.
+func effMatch(eff []dimSel, coords []int64) bool {
+	for i := range eff {
+		s := eff[i]
+		if s.point {
+			if coords[i] != s.val {
+				return false
+			}
+		} else if !s.full || s.hi != 0 || s.lo != 0 {
+			if !s.full && (coords[i] < s.lo || coords[i] >= s.hi) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// scanArray materializes an array as a dataset of dimension columns
+// (IsDim) and attribute columns, skipping holes (§3.1). sels (FROM
+// slicing) and restrict (pushed-down predicates) bound the scan; when
+// every dimension is pinned to a point the scan is a direct cell read.
+func (e *Engine) scanArray(a *array.Array, qual string, sels []dimSel, restrict map[int]dimSel) (*Dataset, error) {
+	nd, na := len(a.Schema.Dims), len(a.Schema.Attrs)
+	cols := scanCols(a, qual)
+	out := NewDataset(cols)
+	// Effective per-dim constraint = intersection of sels and restrict.
+	eff := effectiveSels(a, sels, restrict)
 	allPoint := nd > 0
 	for i := range eff {
 		if !eff[i].point {
@@ -744,18 +749,18 @@ func (e *Engine) scanArray(a *array.Array, qual string, sels []dimSel, restrict 
 		}
 		return out, nil
 	}
+	var visited int
+	var scanErr error
 	a.Store.Scan(func(coords []int64, vals []value.Value) bool {
-		for i := range eff {
-			s := eff[i]
-			if s.point {
-				if coords[i] != s.val {
-					return true
-				}
-			} else if !s.full || s.hi != 0 || s.lo != 0 {
-				if !s.full && (coords[i] < s.lo || coords[i] >= s.hi) {
-					return true
-				}
+		visited++
+		if visited&8191 == 0 {
+			if err := e.canceled(); err != nil {
+				scanErr = err
+				return false
 			}
+		}
+		if !effMatch(eff, coords) {
+			return true
 		}
 		for i, c := range coords {
 			row[i] = value.Value{Typ: a.Schema.Dims[i].Typ, I: c}
@@ -764,6 +769,9 @@ func (e *Engine) scanArray(a *array.Array, qual string, sels []dimSel, restrict 
 		out.Append(row)
 		return true
 	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
 	return out, nil
 }
 

@@ -1,0 +1,519 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"strings"
+
+	"repro/internal/array"
+	"repro/internal/sql/ast"
+	"repro/internal/value"
+)
+
+// This file is the pull/iterator execution path behind the public
+// streaming API (sciql.Rows, the database/sql driver). A SELECT whose
+// shape qualifies — a single catalog-array pipeline of scan → filter →
+// project (+ LIMIT), engine-state-free expressions — yields rows as
+// they are produced instead of materializing the whole result:
+//
+//   - serially, the interpreter walks the array store inside a
+//     coroutine (iter.Pull), evaluating filter and projection per cell
+//     and suspending after each emitted row;
+//   - in parallel, the morsel pool evaluates filter+projection per
+//     morsel and streams the merged partials to the consumer in morsel
+//     order, so iteration order (and results) are identical to the
+//     serial path; workers honor ctx.Done() between morsels, so
+//     cancellation actually stops long scans.
+//
+// Everything else — aggregation, tiling, joins, ORDER BY, DISTINCT,
+// set operations — executes through the materializing interpreter and
+// is served from the completed dataset through the same Cursor
+// interface: one implementation, two views.
+
+// cursorItem is one step of a row stream: a row or a terminal error.
+type cursorItem struct {
+	row []value.Value
+	err error
+}
+
+// Cursor is a pull-based row stream over a query result. It is not
+// safe for concurrent use; Close must be called when done (Materialize
+// and a drained Next loop close it implicitly).
+type Cursor struct {
+	cols []Col
+	// items carry the projection metadata needed to rebuild a dataset
+	// with the same column typing as the materialized path; nil for
+	// dataset-backed cursors.
+	items []ast.SelectItem
+	// ds backs fallback cursors (materialized execution).
+	ds  *Dataset
+	row int // next row of ds
+	// next/stop drive streaming cursors.
+	next   func() (cursorItem, bool)
+	stop   func()
+	cancel context.CancelFunc
+	done   bool
+	err    error
+}
+
+// Cols describes the cursor's columns. For streaming cursors the
+// types are provisional (computed expressions promote per row); names,
+// qualifiers and dimension flags are exact.
+func (c *Cursor) Cols() []Col { return c.cols }
+
+// Next returns the next row, or (nil, nil) after the last one. The
+// returned slice is owned by the caller. After an error, Next keeps
+// returning the same error.
+func (c *Cursor) Next() ([]value.Value, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.done {
+		return nil, nil
+	}
+	if c.ds != nil {
+		if c.row >= c.ds.NumRows() {
+			c.done = true
+			return nil, nil
+		}
+		row := c.ds.Row(c.row)
+		c.row++
+		return row, nil
+	}
+	it, ok := c.next()
+	if !ok {
+		c.done = true
+		return nil, nil
+	}
+	if it.err != nil {
+		c.err = it.err
+		c.Close()
+		return nil, it.err
+	}
+	return it.row, nil
+}
+
+// Close releases the stream: the producing coroutine is stopped and
+// any in-flight parallel workers are canceled. Safe to call multiple
+// times.
+func (c *Cursor) Close() {
+	c.done = true
+	if c.cancel != nil {
+		c.cancel()
+	}
+	if c.stop != nil {
+		c.stop()
+	}
+}
+
+// Materialize drains the cursor into a dataset with the same column
+// metadata and type promotion as the materializing execution path, so
+// the two views of one query are byte-identical.
+func (c *Cursor) Materialize() (*Dataset, error) {
+	if c.ds != nil {
+		return c.ds, nil
+	}
+	defer c.Close()
+	colVals := make([][]value.Value, len(c.items))
+	for {
+		row, err := c.Next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			break
+		}
+		for i, v := range row {
+			colVals[i] = append(colVals[i], v)
+		}
+	}
+	return buildProjected(c.items, colVals), nil
+}
+
+// Streaming reports whether rows are produced incrementally (as
+// opposed to being served from a completed dataset).
+func (c *Cursor) Streaming() bool { return c.ds == nil }
+
+// datasetCursor wraps an already-materialized result.
+func datasetCursor(ds *Dataset) *Cursor { return &Cursor{cols: ds.Cols, ds: ds} }
+
+// streamPlan is a compiled streamable SELECT: one array scan with
+// per-row filter and projection.
+type streamPlan struct {
+	arr    *array.Array
+	qual   string
+	sels   []dimSel
+	eff    []dimSel
+	items  []ast.SelectItem
+	where  ast.Expr // residual conjuncts after pushdown
+	having ast.Expr // aggregate-free HAVING (post-where row filter)
+	limit  int      // -1: none
+	par    int
+	outer  *baseEnv // host parameters
+}
+
+// QueryStream executes a SELECT as a row stream. Statements whose
+// shape does not qualify for incremental execution are materialized
+// (honoring ctx) and streamed from the completed dataset.
+func (e *Engine) QueryStream(ctx context.Context, sel *ast.Select, params map[string]value.Value) (*Cursor, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	norm := make(map[string]value.Value, len(params))
+	for k, v := range params {
+		norm[strings.ToLower(k)] = v
+	}
+	env := &baseEnv{params: norm}
+	sp, ok, err := e.compileStream(sel, env)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		ds, err := e.ExecContext(ctx, sel, params)
+		if err != nil {
+			return nil, err
+		}
+		return datasetCursor(ds), nil
+	}
+	cols := streamColumns(sp.items, sp.arr, sp.qual)
+	if sp.par > 1 && e.pool != nil {
+		// Materialize the scan (the morsel domain) under the full
+		// effective restriction, then stream filter+projection through
+		// the pool in morsel order.
+		prev := e.qctx
+		e.qctx = ctx
+		ds, err := e.scanArray(sp.arr, sp.qual, sp.eff, nil)
+		e.qctx = prev
+		if err != nil {
+			return nil, err
+		}
+		return e.parallelStreamCursor(ctx, sp, ds, cols), nil
+	}
+	return e.serialStreamCursor(ctx, sp, cols), nil
+}
+
+// compileStream vets the SELECT's shape and compiles the stream plan.
+// ok is false (with no error) when the statement must fall back to the
+// materializing path.
+func (e *Engine) compileStream(sel *ast.Select, env *baseEnv) (*streamPlan, bool, error) {
+	if sel.SetRight != nil || sel.Distinct || len(sel.OrderBy) > 0 ||
+		sel.GroupBy != nil || len(sel.From) != 1 {
+		return nil, false, nil
+	}
+	tr, ok := sel.From[0].(*ast.TableRef)
+	if !ok || tr.Subquery != nil {
+		return nil, false, nil
+	}
+	// Aggregates need the whole input; NEXT/subqueries/UDFs/RAND need
+	// engine state (parSafeSelect vets all of those plus indexers).
+	for _, it := range sel.Items {
+		if it.Expr == nil || ast.HasAggregate(it.Expr) {
+			return nil, false, nil
+		}
+	}
+	if sel.Having != nil && ast.HasAggregate(sel.Having) {
+		return nil, false, nil
+	}
+	if !parSafeSelect(sel) {
+		return nil, false, nil
+	}
+	// Only catalog arrays stream; environment-bound arrays and tables
+	// fall back (they are small or already materialized).
+	if _, envBound := env.Lookup("", tr.Name); envBound {
+		return nil, false, nil
+	}
+	arr, found := e.Cat.Array(tr.Name)
+	if !found {
+		return nil, false, nil
+	}
+	if e.fromIsVacuous(sel, env) {
+		return nil, false, nil
+	}
+	sp := &streamPlan{arr: arr, qual: tr.Name, limit: -1, outer: env}
+	if tr.Alias != "" {
+		sp.qual = tr.Alias
+	}
+	if len(tr.Indexers) > 0 {
+		sels, err := e.resolveIndexers(arr, tr.Indexers, env)
+		if err != nil {
+			return nil, false, err
+		}
+		sp.sels = sels
+	}
+	conjs := splitConjuncts(sel.Where)
+	consumed := make([]bool, len(conjs))
+	restrict := e.pushdownDims(arr, sp.qual, conjs, consumed, sp.sels, env)
+	var remaining []ast.Expr
+	for i, c := range conjs {
+		if !consumed[i] {
+			remaining = append(remaining, c)
+		}
+	}
+	sp.where = andAll(remaining)
+	sp.having = sel.Having
+	sp.eff = effectiveSels(arr, sp.sels, restrict)
+	// An all-point scan is a single cell read; the materialized path's
+	// direct-read fast path keeps its exact hole semantics.
+	allPoint := len(arr.Schema.Dims) > 0
+	for i := range sp.eff {
+		if !sp.eff[i].point {
+			allPoint = false
+			break
+		}
+	}
+	if allPoint {
+		return nil, false, nil
+	}
+	if sel.Limit != nil {
+		lv, err := e.Ev.Eval(sel.Limit, env)
+		if err != nil {
+			return nil, false, err
+		}
+		if n := int(lv.AsInt()); n >= 0 {
+			sp.limit = n
+		} else {
+			sp.limit = 0
+		}
+	}
+	sp.items = expandStars(sel.Items, scanCols(arr, sp.qual))
+	for _, it := range sp.items {
+		if _, isStar := it.Expr.(*ast.Star); isStar {
+			return nil, false, fmt.Errorf("cannot expand * against %s", sp.qual)
+		}
+	}
+	sp.par = e.selectParallelism(sel)
+	return sp, true, nil
+}
+
+// streamColumns builds the provisional column header of a streaming
+// cursor: names, qualifiers and dimension flags are final; types of
+// computed expressions refine during materialization.
+func streamColumns(items []ast.SelectItem, a *array.Array, qual string) []Col {
+	src := scanCols(a, qual)
+	cols := make([]Col, len(items))
+	for i, it := range items {
+		cols[i] = Col{Name: itemName(it, i), Typ: value.Unknown, IsDim: it.DimQual}
+		if id, ok := it.Expr.(*ast.Ident); ok {
+			cols[i].Qual = id.Table
+			for _, sc := range src {
+				if strings.EqualFold(sc.Name, id.Name) && (id.Table == "" || strings.EqualFold(sc.Qual, id.Table)) {
+					cols[i].Typ = sc.Typ
+					break
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// serialStreamCursor walks the array store in a coroutine, yielding
+// one projected row per matching cell. Only one of producer and
+// consumer runs at a time (iter.Pull), so the path shares the serial
+// interpreter's single-threaded evaluation model.
+func (e *Engine) serialStreamCursor(ctx context.Context, sp *streamPlan, cols []Col) *Cursor {
+	nd := len(sp.arr.Schema.Dims)
+	seq := func(yield func(cursorItem) bool) {
+		srcCols := scanCols(sp.arr, sp.qual)
+		srcRow := make([]value.Value, len(srcCols))
+		venv := &valuesEnv{cols: srcCols, vals: srcRow, outer: sp.outer}
+		emitted := 0
+		visited := 0
+		sp.arr.Store.Scan(func(coords []int64, vals []value.Value) bool {
+			visited++
+			if visited&255 == 0 {
+				if err := ctx.Err(); err != nil {
+					yield(cursorItem{err: err})
+					return false
+				}
+			}
+			if sp.limit >= 0 && emitted >= sp.limit {
+				return false
+			}
+			if !effMatch(sp.eff, coords) {
+				return true
+			}
+			for i, c := range coords {
+				srcRow[i] = value.Value{Typ: sp.arr.Schema.Dims[i].Typ, I: c}
+			}
+			copy(srcRow[nd:], vals)
+			row, keep, err := e.streamEvalRow(sp, venv)
+			if err != nil {
+				yield(cursorItem{err: err})
+				return false
+			}
+			if !keep {
+				return true
+			}
+			if !yield(cursorItem{row: row}) {
+				return false
+			}
+			emitted++
+			return sp.limit < 0 || emitted < sp.limit
+		})
+	}
+	next, stop := iter.Pull(seq)
+	return &Cursor{cols: cols, items: sp.items, next: next, stop: stop}
+}
+
+// streamEvalRow applies residual filter, HAVING and projection to one
+// source row bound in env.
+func (e *Engine) streamEvalRow(sp *streamPlan, env *valuesEnv) ([]value.Value, bool, error) {
+	if sp.where != nil {
+		ok, err := e.Ev.EvalBool(sp.where, env)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+	}
+	if sp.having != nil {
+		ok, err := e.Ev.EvalBool(sp.having, env)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+	}
+	out := make([]value.Value, len(sp.items))
+	for i, it := range sp.items {
+		v, err := e.Ev.Eval(it.Expr, env)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = v
+	}
+	return out, true, nil
+}
+
+// morselBatch is the unit the parallel stream sends from workers to
+// the consumer: the projected rows of one morsel, tagged with the
+// morsel ordinal for in-order merging.
+type morselBatch struct {
+	idx  int
+	rows [][]value.Value
+	err  error
+}
+
+// parallelStreamCursor fans the scanned rows out over the morsel pool
+// and streams the merged partials: workers evaluate filter+projection
+// per morsel and the consumer reorders batches by morsel ordinal, so
+// iteration order equals the serial path's. Workers check ctx between
+// morsels and sends select on ctx.Done(), so canceling the query (or
+// closing the cursor early) stops the scan and leaks no goroutines.
+func (e *Engine) parallelStreamCursor(ctx context.Context, sp *streamPlan, ds *Dataset, cols []Col) *Cursor {
+	n := ds.NumRows()
+	if e.pool == nil || n < 2*e.pool.Workers() {
+		// Too small to fan out; stream the scanned rows serially.
+		return e.serialDatasetStream(ctx, sp, ds, cols)
+	}
+	ictx, cancel := context.WithCancel(ctx)
+	morsel := e.pool.MorselFor(n)
+	ch := make(chan morselBatch, 2*e.pool.Workers())
+	started := false
+	start := func() {
+		started = true
+		go func() {
+			defer close(ch)
+			err := e.pool.ForEachCtx(ictx, n, morsel, func(m parallelMorsel) error {
+				rows := make([][]value.Value, 0, m.Hi-m.Lo)
+				srcRow := make([]value.Value, len(ds.Cols))
+				venv := &valuesEnv{cols: ds.Cols, vals: srcRow, outer: sp.outer}
+				for r := m.Lo; r < m.Hi; r++ {
+					for c := range ds.Cols {
+						srcRow[c] = ds.Vecs[c].Get(r)
+					}
+					row, keep, err := e.streamEvalRow(sp, venv)
+					if err != nil {
+						return err
+					}
+					if keep {
+						rows = append(rows, row)
+					}
+				}
+				select {
+				case ch <- morselBatch{idx: m.Lo / morsel, rows: rows}:
+					return nil
+				case <-ictx.Done():
+					return ictx.Err()
+				}
+			})
+			if err != nil {
+				select {
+				case ch <- morselBatch{err: err}:
+				case <-ictx.Done():
+				}
+			}
+		}()
+	}
+	seq := func(yield func(cursorItem) bool) {
+		defer cancel()
+		if !started {
+			start()
+		}
+		pending := make(map[int][][]value.Value)
+		nextIdx := 0
+		emitted := 0
+		for b := range ch {
+			if b.err != nil {
+				yield(cursorItem{err: b.err})
+				return
+			}
+			pending[b.idx] = b.rows
+			for {
+				rows, have := pending[nextIdx]
+				if !have {
+					break
+				}
+				delete(pending, nextIdx)
+				nextIdx++
+				for _, row := range rows {
+					if sp.limit >= 0 && emitted >= sp.limit {
+						return
+					}
+					if !yield(cursorItem{row: row}) {
+						return
+					}
+					emitted++
+				}
+			}
+		}
+	}
+	next, stop := iter.Pull(seq)
+	return &Cursor{cols: cols, items: sp.items, next: next, stop: stop, cancel: cancel}
+}
+
+// serialDatasetStream streams filter+projection over an already
+// materialized scan (small parallel-eligible results).
+func (e *Engine) serialDatasetStream(ctx context.Context, sp *streamPlan, ds *Dataset, cols []Col) *Cursor {
+	seq := func(yield func(cursorItem) bool) {
+		n := ds.NumRows()
+		srcRow := make([]value.Value, len(ds.Cols))
+		venv := &valuesEnv{cols: ds.Cols, vals: srcRow, outer: sp.outer}
+		emitted := 0
+		for r := 0; r < n; r++ {
+			if r&255 == 0 {
+				if err := ctx.Err(); err != nil {
+					yield(cursorItem{err: err})
+					return
+				}
+			}
+			for c := range ds.Cols {
+				srcRow[c] = ds.Vecs[c].Get(r)
+			}
+			row, keep, err := e.streamEvalRow(sp, venv)
+			if err != nil {
+				yield(cursorItem{err: err})
+				return
+			}
+			if !keep {
+				continue
+			}
+			if sp.limit >= 0 && emitted >= sp.limit {
+				return
+			}
+			if !yield(cursorItem{row: row}) {
+				return
+			}
+			emitted++
+		}
+	}
+	next, stop := iter.Pull(seq)
+	return &Cursor{cols: cols, items: sp.items, next: next, stop: stop}
+}

@@ -1,0 +1,35 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/sql/ast"
+	"repro/internal/sql/parser"
+)
+
+// TestDDLInvalidatesPlanCache: a SELECT planned before its array
+// exists memoizes "not parallel-eligible" per AST node; DDL must
+// invalidate that decision so the same (cached or prepared) statement
+// replans against the new schema.
+func TestDDLInvalidatesPlanCache(t *testing.T) {
+	e := New()
+	e.SetParallelism(4)
+	stmt, err := parser.ParseOne(`SELECT v FROM m WHERE v > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(*ast.Select)
+	if got := e.selectParallelism(sel); got != 1 {
+		t.Fatalf("unknown array: par = %d, want 1", got)
+	}
+	ddl, err := parser.ParseOne(`CREATE ARRAY m (x INTEGER DIMENSION[4], v FLOAT DEFAULT 0.0)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Exec(ddl, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.selectParallelism(sel); got != 4 {
+		t.Fatalf("after CREATE: par = %d, want 4 (stale plan decision survived DDL)", got)
+	}
+}

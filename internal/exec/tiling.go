@@ -122,7 +122,7 @@ func (e *Engine) execTiling(sel *ast.Select, ds *Dataset, sources []*source, rem
 		anchors = kept
 	}
 	// Rewrite aggregates in items/having to placeholders.
-	items := expandStars(sel.Items, ds)
+	items := expandStars(sel.Items, ds.Cols)
 	ac := &aggCollector{}
 	rewritten := make([]ast.SelectItem, len(items))
 	for i, it := range items {
@@ -188,7 +188,7 @@ func (e *Engine) execTiling(sel *ast.Select, ds *Dataset, sources []*source, rem
 		// preallocated slice so output order matches the serial path.
 		rows := make([][]value.Value, len(anchors))
 		states := make([]*tileWorker, e.pool.Workers())
-		err := e.pool.ForEach(len(anchors), e.pool.MorselFor(len(anchors)), func(m parallelMorsel) error {
+		err := e.pool.ForEachCtx(e.ctx(), len(anchors), e.pool.MorselFor(len(anchors)), func(m parallelMorsel) error {
 			ws := states[m.Worker]
 			if ws == nil {
 				ws = job.newWorker()
@@ -214,7 +214,12 @@ func (e *Engine) execTiling(sel *ast.Select, ds *Dataset, sources []*source, rem
 		// (the tiling loop is the engine's hottest path).
 		ws := job.newWorker()
 		rowBuf := make([]value.Value, len(interCols))
-		for _, a := range anchors {
+		for i, a := range anchors {
+			if i&255 == 0 {
+				if err := e.canceled(); err != nil {
+					return nil, err
+				}
+			}
 			if err := job.evalAnchor(ws, a, rowBuf); err != nil {
 				return nil, err
 			}

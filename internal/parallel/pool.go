@@ -9,6 +9,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -47,8 +48,20 @@ func (p *Pool) Workers() int { return p.workers }
 // are serialized. The first error stops scheduling of further morsels
 // and is returned after all in-flight morsels finish.
 func (p *Pool) ForEach(n, morsel int, fn func(m Morsel) error) error {
+	return p.ForEachCtx(context.Background(), n, morsel, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: every worker
+// checks ctx between morsels, so canceling the context stops a long
+// scan after at most one in-flight morsel per worker. The first error
+// — ctx.Err() when the context fired first — is returned after all
+// in-flight morsels finish; no worker goroutines outlive the call.
+func (p *Pool) ForEachCtx(ctx context.Context, n, morsel int, fn func(m Morsel) error) error {
 	if n <= 0 {
 		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if morsel <= 0 {
 		morsel = DefaultMorsel
@@ -60,6 +73,9 @@ func (p *Pool) ForEach(n, morsel int, fn func(m Morsel) error) error {
 	if nw <= 1 {
 		// Degenerate single-worker domain: run inline, no goroutines.
 		for lo := 0; lo < n; lo += morsel {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			hi := lo + morsel
 			if hi > n {
 				hi = n
@@ -77,11 +93,19 @@ func (p *Pool) ForEach(n, morsel int, fn func(m Morsel) error) error {
 		first  error
 		wg     sync.WaitGroup
 	)
+	fail := func(err error) {
+		once.Do(func() { first = err })
+		failed.Store(true)
+	}
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
 			for !failed.Load() {
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
 				lo := int(cursor.Add(int64(morsel))) - morsel
 				if lo >= n {
 					return
@@ -91,8 +115,7 @@ func (p *Pool) ForEach(n, morsel int, fn func(m Morsel) error) error {
 					hi = n
 				}
 				if err := fn(Morsel{Lo: lo, Hi: hi, Worker: worker}); err != nil {
-					once.Do(func() { first = err })
-					failed.Store(true)
+					fail(err)
 					return
 				}
 			}

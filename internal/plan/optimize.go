@@ -234,139 +234,61 @@ func replaceChild(root Node, old, new Node) bool {
 }
 
 // pushConjuncts consumes dim-vs-constant conjuncts into sc, returning
-// the residual condition (nil when everything was pushed).
+// the residual condition (nil when everything was pushed). The
+// classification and consumption policy live in AnalyzeDimConjuncts,
+// shared with the executor's runtime pushdown; here the constants are
+// integer literals (post-folding) and dimensions already restricted by
+// FROM-clause slicing are left entirely to the filter.
 func pushConjuncts(cond ast.Expr, sc *Scan) ast.Expr {
 	conjs := splitAnd(cond)
-	var residual []ast.Expr
-	// Numeric range accumulator per dimension (half-open [lo, hi));
-	// conjs remembers the source conjuncts so they can be restored to
-	// the filter when an equality claims the dimension instead.
-	type rng struct {
-		lo, hi       int64
-		hasLo, hasHi bool
-		conjs        []ast.Expr
-	}
-	ranges := make(map[int]*rng)
-	for _, c := range conjs {
-		di, op, lit, ok := dimConjunct(c, sc)
-		if !ok {
-			residual = append(residual, c)
-			continue
-		}
-		d := &sc.Dims[di]
-		if d.Sliced {
-			// Already restricted by FROM slicing: leave for the
-			// executor's runtime intersection.
-			residual = append(residual, c)
-			continue
-		}
-		v := lit.Val.AsInt()
-		switch op {
-		case "=":
-			pt := strconv.FormatInt(v, 10)
-			switch {
-			case d.Point == "":
-				d.Point = pt
-				d.Pushed = true
-			case d.Point == pt:
-				// Redundant duplicate: consumed.
-			default:
-				// Conflicting equality (x = 1 AND x = 2): the scan
-				// keeps the first point, the contradiction stays
-				// visible in the filter.
-				residual = append(residual, c)
-			}
-		case "<", "<=", ">", ">=":
-			r := ranges[di]
-			if r == nil {
-				r = &rng{}
-				ranges[di] = r
-			}
-			r.conjs = append(r.conjs, c)
-			switch op {
-			case "<":
-				if !r.hasHi || v < r.hi {
-					r.hi, r.hasHi = v, true
-				}
-			case "<=":
-				if !r.hasHi || v+1 < r.hi {
-					r.hi, r.hasHi = v+1, true
-				}
-			case ">":
-				if !r.hasLo || v+1 > r.lo {
-					r.lo, r.hasLo = v+1, true
-				}
-			case ">=":
-				if !r.hasLo || v > r.lo {
-					r.lo, r.hasLo = v, true
-				}
-			}
-		}
-	}
-	// Flush in dimension order so the rendered plan (and any restored
-	// residual conjuncts) are deterministic.
-	for di := range sc.Dims {
-		r, haveRange := ranges[di]
-		if !haveRange {
-			continue
-		}
-		d := &sc.Dims[di]
-		if d.Point != "" {
-			// An equality claimed the dimension: the range conjuncts
-			// still constrain execution, so they go back to the filter
-			// rather than silently vanishing from the plan.
-			residual = append(residual, r.conjs...)
-			continue
-		}
-		if r.hasLo {
-			d.Lo = strconv.FormatInt(r.lo, 10)
-		}
-		if r.hasHi {
-			d.Hi = strconv.FormatInt(r.hi, 10)
-		}
-		d.Pushed = true
-	}
-	return andJoin(residual)
-}
-
-// dimConjunct matches <dim> op <int-literal> (either orientation) for
-// a dimension of sc, returning the dimension index, normalized op and
-// the literal.
-func dimConjunct(c ast.Expr, sc *Scan) (di int, op string, lit *ast.Literal, ok bool) {
-	b, isBin := c.(*ast.Binary)
-	if !isBin {
-		return 0, "", nil, false
-	}
-	switch b.Op {
-	case "=", "<", "<=", ">", ">=":
-	default:
-		return 0, "", nil, false
-	}
-	match := func(x, y ast.Expr, flipped bool) bool {
-		id, okID := x.(*ast.Ident)
-		l, okLit := y.(*ast.Literal)
-		if !okID || !okLit || l.Val.Null || l.Val.Typ != value.Int {
-			return false
-		}
+	resolve := func(id *ast.Ident) int {
 		if id.Table != "" && !strings.EqualFold(id.Table, sc.scanQual()) {
-			return false
+			return -1
 		}
 		for i := range sc.Dims {
 			if strings.EqualFold(sc.Dims[i].Name, id.Name) {
-				di, lit = i, l
-				op = b.Op
-				if flipped {
-					op = flip(b.Op)
-				}
-				return true
+				return i
 			}
 		}
-		return false
+		return -1
 	}
-	if match(b.L, b.R, false) || match(b.R, b.L, true) {
-		return di, op, lit, true
+	eval := func(x ast.Expr) (int64, bool) {
+		l, ok := x.(*ast.Literal)
+		if !ok || l.Val.Null || l.Val.Typ != value.Int {
+			return 0, false
+		}
+		return l.Val.I, true
 	}
-	return 0, "", nil, false
+	blocked := func(di int) bool { return sc.Dims[di].Sliced }
+	restrict, consumed := AnalyzeDimConjuncts(conjs, resolve, eval, blocked)
+	// Apply in dimension order so the rendered plan is deterministic.
+	for di := range sc.Dims {
+		r := restrict[di]
+		if r == nil {
+			continue
+		}
+		d := &sc.Dims[di]
+		switch {
+		case r.Point:
+			d.Point = strconv.FormatInt(r.Val, 10)
+			d.Pushed = true
+		case r.HasLo || r.HasHi:
+			if r.HasLo {
+				d.Lo = strconv.FormatInt(r.Lo, 10)
+			}
+			if r.HasHi {
+				d.Hi = strconv.FormatInt(r.Hi, 10)
+			}
+			d.Pushed = true
+		}
+	}
+	var residual []ast.Expr
+	for i, c := range conjs {
+		if !consumed[i] {
+			residual = append(residual, c)
+		}
+	}
+	return andJoin(residual)
 }
 
 func (s *Scan) scanQual() string {

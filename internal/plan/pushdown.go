@@ -1,0 +1,159 @@
+package plan
+
+import "repro/internal/sql/ast"
+
+// This file is the single implementation of dimension-predicate
+// pushdown ("symbolic reasoning over the dimensions", §2.3), shared by
+// the planner (EXPLAIN annotations, literal constants only) and the
+// executor (runtime bounds, host parameters and outer-bound constants
+// included). Both sides classify WHERE conjuncts through
+// AnalyzeDimConjuncts, so the plan EXPLAIN renders can never drift
+// from the restriction the scan actually applies; they differ only in
+// the ConstEval they supply.
+
+// DimRange is the computed restriction of one scan dimension: either a
+// point or a half-open [Lo, Hi) integer range.
+type DimRange struct {
+	Point bool
+	Val   int64 // the point, when Point
+	HasLo bool
+	Lo    int64
+	HasHi bool
+	Hi    int64 // exclusive
+	// RangeConjs are the source conjuncts folded into Lo/Hi; callers
+	// that cannot apply an open-ended range (no bounding box) restore
+	// them to the filter.
+	RangeConjs []ast.Expr
+}
+
+// ConstEval resolves an expression to an exact integer constant, or
+// reports that it cannot. The planner accepts integer literals only;
+// the executor evaluates any expression that is constant under the
+// outer environment. Implementations must return ok only when the
+// value is exactly integral — truncating a float would widen the
+// pushed bound and drop rows.
+type ConstEval func(x ast.Expr) (int64, bool)
+
+// DimResolver maps a (possibly qualified) identifier to the scan's
+// dimension ordinal, or -1 when the identifier is not one of its
+// dimensions.
+type DimResolver func(id *ast.Ident) int
+
+// AnalyzeDimConjuncts classifies WHERE conjuncts of the form
+// <dim> op <constant> (either orientation; op one of = < <= > >=)
+// into per-dimension restrictions. It returns the restriction per
+// dimension ordinal and, aligned with conjs, which conjuncts were
+// fully consumed by a restriction and may be dropped from the filter.
+//
+// The consumption policy — shared verbatim by planner and executor:
+//
+//   - an equality becomes a point and is consumed; a second, equal
+//     equality is redundant and also consumed; a *conflicting*
+//     equality stays in the filter so the contradiction remains
+//     visible (and still yields zero rows);
+//   - comparisons intersect into a half-open range and are consumed,
+//     the bounds being exact integer rewrites of the conjuncts;
+//   - when an equality claims a dimension, its range conjuncts are
+//     restored to the filter rather than silently vanishing;
+//   - dimensions for which blocked(di) reports true (e.g. already
+//     restricted by FROM-clause slicing the caller cannot intersect)
+//     are left entirely to the filter.
+func AnalyzeDimConjuncts(conjs []ast.Expr, resolve DimResolver, eval ConstEval, blocked func(di int) bool) (map[int]*DimRange, []bool) {
+	restrict := make(map[int]*DimRange)
+	consumed := make([]bool, len(conjs))
+	// rangeIdx remembers which conjunct indexes fed each dimension's
+	// range so they can be un-consumed if an equality claims it.
+	rangeIdx := make(map[int][]int)
+	for ci, c := range conjs {
+		di, op, v, ok := dimConstConjunct(c, resolve, eval)
+		if !ok {
+			continue
+		}
+		if blocked != nil && blocked(di) {
+			continue
+		}
+		r := restrict[di]
+		if r == nil {
+			r = &DimRange{}
+			restrict[di] = r
+		}
+		switch op {
+		case "=":
+			switch {
+			case !r.Point:
+				// The point claims the dimension; any ranges
+				// accumulated first are restored to the filter below.
+				r.Point, r.Val = true, v
+				consumed[ci] = true
+			case r.Val == v:
+				consumed[ci] = true // redundant duplicate
+			default:
+				// Conflicting equality (x = 1 AND x = 2): keep the
+				// first point, leave the contradiction in the filter.
+			}
+		case "<", "<=", ">", ">=":
+			hi, lo := int64(0), int64(0)
+			hasHi, hasLo := false, false
+			switch op {
+			case "<":
+				hi, hasHi = v, true
+			case "<=":
+				hi, hasHi = v+1, true
+			case ">":
+				lo, hasLo = v+1, true
+			case ">=":
+				lo, hasLo = v, true
+			}
+			if hasHi && (!r.HasHi || hi < r.Hi) {
+				r.Hi, r.HasHi = hi, true
+			}
+			if hasLo && (!r.HasLo || lo > r.Lo) {
+				r.Lo, r.HasLo = lo, true
+			}
+			r.RangeConjs = append(r.RangeConjs, c)
+			rangeIdx[di] = append(rangeIdx[di], ci)
+			consumed[ci] = true
+		}
+	}
+	// A point claims its dimension exclusively: restore the range
+	// conjuncts to the filter (they still constrain execution there).
+	for di, r := range restrict {
+		if r.Point && len(r.RangeConjs) > 0 {
+			for _, ci := range rangeIdx[di] {
+				consumed[ci] = false
+			}
+			r.HasLo, r.HasHi = false, false
+		}
+	}
+	return restrict, consumed
+}
+
+// dimConstConjunct matches <dim> op <constant> in either orientation,
+// returning the dimension ordinal, the op normalized to the
+// dim-on-the-left form, and the constant.
+func dimConstConjunct(c ast.Expr, resolve DimResolver, eval ConstEval) (di int, op string, v int64, ok bool) {
+	b, isBin := c.(*ast.Binary)
+	if !isBin {
+		return 0, "", 0, false
+	}
+	switch b.Op {
+	case "=", "<", "<=", ">", ">=":
+	default:
+		return 0, "", 0, false
+	}
+	if id, isID := b.L.(*ast.Ident); isID {
+		if d := resolve(id); d >= 0 {
+			if c, okC := eval(b.R); okC {
+				return d, b.Op, c, true
+			}
+		}
+	}
+	if id, isID := b.R.(*ast.Ident); isID {
+		if d := resolve(id); d >= 0 {
+			if c, okC := eval(b.L); okC {
+				return d, flip(b.Op), c, true
+			}
+		}
+	}
+	return 0, "", 0, false
+}

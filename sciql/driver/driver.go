@@ -1,0 +1,325 @@
+// Package driver registers the SciQL engine with database/sql, so
+// standard Go tooling can talk to arrays through the standard
+// relational interface — the same move SciQL itself makes for array
+// science workloads (Kersten et al., EDBT 2011):
+//
+//	import (
+//	    "database/sql"
+//	    _ "repro/sciql/driver"
+//	)
+//
+//	db, _ := sql.Open("sciql", "memory://demo")
+//	db.ExecContext(ctx, `CREATE ARRAY m (x INTEGER DIMENSION[4], v FLOAT DEFAULT 0.0)`)
+//	rows, _ := db.QueryContext(ctx, `SELECT x, v FROM m WHERE v > ?1`, 0.5)
+//
+// Every connection opened with the same data source name shares one
+// in-memory database (the DSN is just a registry key; "" names the
+// default instance). Placeholders are SciQL's named host parameters:
+// ?name binds sql.Named("name", v), and plain positional arguments
+// bind ?1, ?2, ... by ordinal.
+//
+// database/sql may use connections from multiple goroutines, while the
+// embedded engine is single-threaded by contract; the driver therefore
+// serializes statements on a per-database mutex and buffers each
+// result set before returning it, so no lock is held while the caller
+// iterates rows. Query execution itself honors the context — canceling
+// it aborts a running scan — and the native sciql API remains the way
+// to stream cursors incrementally. Transactions are not supported.
+package driver
+
+import (
+	"context"
+	"database/sql"
+	stddriver "database/sql/driver"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/sciql"
+)
+
+func init() {
+	sql.Register("sciql", &Driver{})
+}
+
+// Driver implements database/sql/driver.Driver over shared in-memory
+// SciQL databases keyed by data source name.
+type Driver struct{}
+
+var (
+	registryMu sync.Mutex
+	registry   = make(map[string]*shared)
+)
+
+// shared is one registered database plus the mutex serializing the
+// connections that point at it.
+type shared struct {
+	db *sciql.DB
+	mu sync.Mutex
+}
+
+// getShared resolves a DSN to its shared database, creating it on
+// first use.
+func getShared(dsn string) *shared {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	s, ok := registry[dsn]
+	if !ok {
+		s = &shared{db: sciql.Open()}
+		registry[dsn] = s
+	}
+	return s
+}
+
+// Open returns a connection to the database named by dsn, creating it
+// on first use.
+func (Driver) Open(dsn string) (stddriver.Conn, error) {
+	return &conn{s: getShared(dsn)}, nil
+}
+
+// DB returns the sciql.DB behind a data source name (creating it on
+// first use), for tests and mixed native/database-sql access.
+func DB(dsn string) *sciql.DB {
+	return getShared(dsn).db
+}
+
+// NewConnector wraps an existing sciql.DB as a driver.Connector for
+// sql.OpenDB, bypassing the DSN registry.
+func NewConnector(db *sciql.DB) stddriver.Connector {
+	return &connector{s: &shared{db: db}}
+}
+
+type connector struct{ s *shared }
+
+func (c *connector) Connect(context.Context) (stddriver.Conn, error) { return &conn{s: c.s}, nil }
+func (c *connector) Driver() stddriver.Driver                        { return &Driver{} }
+
+// conn is one database/sql connection. All conns on a DSN share the
+// engine; the shared mutex serializes their statements.
+type conn struct{ s *shared }
+
+var (
+	_ stddriver.Conn              = (*conn)(nil)
+	_ stddriver.QueryerContext    = (*conn)(nil)
+	_ stddriver.ExecerContext     = (*conn)(nil)
+	_ stddriver.NamedValueChecker = (*conn)(nil)
+)
+
+func (c *conn) Close() error { return nil }
+
+func (c *conn) Begin() (stddriver.Tx, error) {
+	return nil, fmt.Errorf("sciql: transactions are not supported")
+}
+
+// Prepare parses the statement once; re-executions reuse the cached
+// AST and optimized plan.
+func (c *conn) Prepare(query string) (stddriver.Stmt, error) {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	ps, err := c.s.db.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return &stmt{s: c.s, ps: ps}, nil
+}
+
+// CheckNamedValue converts arguments to engine values; named and
+// ordinal parameters are both accepted.
+func (c *conn) CheckNamedValue(nv *stddriver.NamedValue) error {
+	_, err := toArg(nv)
+	return err
+}
+
+func (c *conn) QueryContext(ctx context.Context, query string, nvs []stddriver.NamedValue) (stddriver.Rows, error) {
+	args, err := toArgs(nvs)
+	if err != nil {
+		return nil, err
+	}
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	r, err := c.s.db.QueryContext(ctx, query, args...)
+	if err != nil {
+		return nil, err
+	}
+	return bufferRows(r)
+}
+
+func (c *conn) ExecContext(ctx context.Context, query string, nvs []stddriver.NamedValue) (stddriver.Result, error) {
+	args, err := toArgs(nvs)
+	if err != nil {
+		return nil, err
+	}
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	if _, err := c.s.db.ExecContext(ctx, query, args...); err != nil {
+		return nil, err
+	}
+	return stddriver.ResultNoRows, nil
+}
+
+// stmt is a prepared statement handle.
+type stmt struct {
+	s  *shared
+	ps *sciql.Stmt
+}
+
+var (
+	_ stddriver.Stmt              = (*stmt)(nil)
+	_ stddriver.StmtQueryContext  = (*stmt)(nil)
+	_ stddriver.StmtExecContext   = (*stmt)(nil)
+	_ stddriver.NamedValueChecker = (*stmt)(nil)
+)
+
+func (s *stmt) Close() error { return s.ps.Close() }
+
+// NumInput reports -1: the engine binds named parameters at execution
+// time, so database/sql skips its placeholder-count check.
+func (s *stmt) NumInput() int { return -1 }
+
+func (s *stmt) CheckNamedValue(nv *stddriver.NamedValue) error {
+	_, err := toArg(nv)
+	return err
+}
+
+func (s *stmt) Exec(vals []stddriver.Value) (stddriver.Result, error) {
+	return s.ExecContext(context.Background(), ordinalValues(vals))
+}
+
+func (s *stmt) Query(vals []stddriver.Value) (stddriver.Rows, error) {
+	return s.QueryContext(context.Background(), ordinalValues(vals))
+}
+
+func (s *stmt) ExecContext(ctx context.Context, nvs []stddriver.NamedValue) (stddriver.Result, error) {
+	args, err := toArgs(nvs)
+	if err != nil {
+		return nil, err
+	}
+	s.s.mu.Lock()
+	defer s.s.mu.Unlock()
+	if _, err := s.ps.ExecContext(ctx, args...); err != nil {
+		return nil, err
+	}
+	return stddriver.ResultNoRows, nil
+}
+
+func (s *stmt) QueryContext(ctx context.Context, nvs []stddriver.NamedValue) (stddriver.Rows, error) {
+	args, err := toArgs(nvs)
+	if err != nil {
+		return nil, err
+	}
+	s.s.mu.Lock()
+	defer s.s.mu.Unlock()
+	r, err := s.ps.QueryContext(ctx, args...)
+	if err != nil {
+		return nil, err
+	}
+	return bufferRows(r)
+}
+
+func ordinalValues(vals []stddriver.Value) []stddriver.NamedValue {
+	nvs := make([]stddriver.NamedValue, len(vals))
+	for i, v := range vals {
+		nvs[i] = stddriver.NamedValue{Ordinal: i + 1, Value: v}
+	}
+	return nvs
+}
+
+// rows adapts a drained sciql.Rows to driver.Rows. Buffering happens
+// under the database mutex (bufferRows), so iteration here needs no
+// lock and other connections are free to run statements.
+type rows struct {
+	cols []string
+	data [][]any
+	pos  int
+}
+
+// bufferRows drains r into memory, converting values to driver types.
+func bufferRows(r *sciql.Rows) (stddriver.Rows, error) {
+	defer r.Close()
+	out := &rows{cols: r.Columns()}
+	for r.Next() {
+		vals := r.Values()
+		row := make([]any, len(vals))
+		for i, v := range vals {
+			row[i] = driverValue(v)
+		}
+		out.data = append(out.data, row)
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (r *rows) Columns() []string { return r.cols }
+func (r *rows) Close() error      { return nil }
+
+func (r *rows) Next(dest []stddriver.Value) error {
+	if r.pos >= len(r.data) {
+		return io.EOF
+	}
+	for i, v := range r.data[r.pos] {
+		dest[i] = v
+	}
+	r.pos++
+	return nil
+}
+
+// driverValue maps an engine value onto driver.Value's allowed set.
+func driverValue(v sciql.Value) stddriver.Value {
+	g := sciql.GoValue(v)
+	switch g.(type) {
+	case nil, int64, float64, bool, []byte, string, time.Time:
+		return g
+	default:
+		return fmt.Sprint(g)
+	}
+}
+
+// toArgs converts database/sql arguments to engine parameter bindings.
+func toArgs(nvs []stddriver.NamedValue) ([]sciql.Arg, error) {
+	args := make([]sciql.Arg, 0, len(nvs))
+	for i := range nvs {
+		a, err := toArg(&nvs[i])
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+	return args, nil
+}
+
+// toArg binds one argument: sql.Named("lo", v) binds ?lo, a bare
+// positional argument binds ?N by ordinal.
+func toArg(nv *stddriver.NamedValue) (sciql.Arg, error) {
+	name := nv.Name
+	if name == "" {
+		name = strconv.Itoa(nv.Ordinal)
+	}
+	switch v := nv.Value.(type) {
+	case nil:
+		return sciql.Arg{Name: name, Value: sciql.NewNullFloat()}, nil
+	case int64:
+		return sciql.Int(name, v), nil
+	case int:
+		return sciql.Int(name, int64(v)), nil
+	case float64:
+		return sciql.Float(name, v), nil
+	case bool:
+		i := int64(0)
+		if v {
+			i = 1
+		}
+		return sciql.Int(name, i), nil
+	case string:
+		return sciql.String(name, v), nil
+	case []byte:
+		return sciql.String(name, string(v)), nil
+	case time.Time:
+		return sciql.Time(name, v), nil
+	default:
+		return sciql.Arg{}, fmt.Errorf("sciql: unsupported argument type %T", nv.Value)
+	}
+}

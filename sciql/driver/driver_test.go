@@ -1,0 +1,137 @@
+package driver
+
+import (
+	"context"
+	"database/sql"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDatabaseSQLRoundTrip is the end-to-end acceptance path: open the
+// default DSN through stdlib database/sql, create an array, update it,
+// run a parameterized SELECT through QueryContext and scan the rows.
+func TestDatabaseSQLRoundTrip(t *testing.T) {
+	db, err := sql.Open("sciql", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ctx := context.Background()
+
+	if _, err := db.ExecContext(ctx, `CREATE ARRAY rt (
+		x INTEGER DIMENSION[4], y INTEGER DIMENSION[4], v FLOAT DEFAULT 0.0)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ExecContext(ctx, `UPDATE rt SET v = x * 4 + y`); err != nil {
+		t.Fatal(err)
+	}
+
+	rows, err := db.QueryContext(ctx,
+		`SELECT x, y, v FROM rt WHERE v >= ?lo AND x = ?2`,
+		sql.Named("lo", 5.0), int64(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	cols, err := rows.Columns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"x", "y", "v"}; strings.Join(cols, ",") != strings.Join(want, ",") {
+		t.Fatalf("columns = %v, want %v", cols, want)
+	}
+	var got []float64
+	for rows.Next() {
+		var x, y int64
+		var v float64
+		if err := rows.Scan(&x, &y, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v != float64(x*4+y) {
+			t.Fatalf("row (%d,%d) = %v, want %v", x, y, v, x*4+y)
+		}
+		got = append(got, v)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 { // x=2: v in {8,9,10,11}, all >= 5
+		t.Fatalf("got %d rows, want 4: %v", len(got), got)
+	}
+}
+
+// TestPreparedStatementReuse exercises driver.Stmt: prepared once,
+// executed with different bindings.
+func TestPreparedStatementReuse(t *testing.T) {
+	db, err := sql.Open("sciql", "prepared-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ctx := context.Background()
+	mustExec(t, db, `CREATE ARRAY ps (x INTEGER DIMENSION[8], v FLOAT DEFAULT 0.0)`)
+	mustExec(t, db, `UPDATE ps SET v = x * 1.5`)
+
+	st, err := db.PrepareContext(ctx, `SELECT v FROM ps WHERE x = ?x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for x := int64(0); x < 8; x++ {
+		var v float64
+		if err := st.QueryRowContext(ctx, sql.Named("x", x)).Scan(&v); err != nil {
+			t.Fatalf("x=%d: %v", x, err)
+		}
+		if v != float64(x)*1.5 {
+			t.Fatalf("v(%d) = %v, want %v", x, v, float64(x)*1.5)
+		}
+	}
+}
+
+// TestContextCancelAborts verifies a canceled context aborts a
+// running query through the standard interface.
+func TestContextCancelAborts(t *testing.T) {
+	db, err := sql.Open("sciql", "cancel-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	mustExec(t, db, `CREATE ARRAY big (x INTEGER DIMENSION[300], y INTEGER DIMENSION[300], v FLOAT DEFAULT 0.0)`)
+	mustExec(t, db, `UPDATE big SET v = x + y`)
+	DB("cancel-test").Parallelism(4)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	// Aggregation over 90k cells with a non-trivial expression: long
+	// enough that cancellation normally lands mid-flight. Both
+	// outcomes of the race are accepted; what must never happen is a
+	// non-context error or a hang.
+	_, err = db.QueryContext(ctx, `SELECT AVG(SQRT(v) * SQRT(v+1) + POWER(v, 0.3)) FROM big GROUP BY MOD(x*31+y, 97)`)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled or success(race), got %v", err)
+	}
+}
+
+// TestTransactionsUnsupported pins the explicit Begin error.
+func TestTransactionsUnsupported(t *testing.T) {
+	db, err := sql.Open("sciql", "tx-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Begin(); err == nil || !strings.Contains(err.Error(), "transactions") {
+		t.Fatalf("Begin error = %v, want transactions-unsupported", err)
+	}
+}
+
+func mustExec(t *testing.T, db *sql.DB, q string) {
+	t.Helper()
+	if _, err := db.Exec(q); err != nil {
+		t.Fatalf("%v\nSQL: %s", err, q)
+	}
+}

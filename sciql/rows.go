@@ -1,0 +1,187 @@
+package sciql
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/value"
+)
+
+// Rows is a streaming result cursor, modeled on database/sql.Rows:
+//
+//	rows, err := db.QueryContext(ctx, `SELECT x, v FROM m WHERE v > ?lo`, sciql.Float("lo", 0.5))
+//	if err != nil { ... }
+//	defer rows.Close()
+//	for rows.Next() {
+//	    var x int64
+//	    var v float64
+//	    if err := rows.Scan(&x, &v); err != nil { ... }
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// For eligible queries (single-array scan/filter/project pipelines)
+// rows are pulled incrementally from the executor — the first row is
+// available before the scan finishes, and Close stops the scan early.
+// Other shapes execute fully and stream from the completed result.
+// A Rows cursor counts as an in-flight operation on its DB: run DML
+// that mutates the scanned array only after Close.
+type Rows struct {
+	cur    *exec.Cursor
+	row    []Value
+	err    error
+	closed bool
+}
+
+// Columns returns the result column names in order.
+func (r *Rows) Columns() []string {
+	cols := r.cur.Cols()
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Next advances to the next row, reporting false at the end of the
+// result (or on error — check Err).
+func (r *Rows) Next() bool {
+	if r.closed || r.err != nil {
+		return false
+	}
+	row, err := r.cur.Next()
+	if err != nil {
+		r.err = err
+		r.close()
+		return false
+	}
+	if row == nil {
+		r.close()
+		return false
+	}
+	r.row = row
+	return true
+}
+
+// Values returns the current row's raw engine values. The slice is
+// valid until the next call to Next.
+func (r *Rows) Values() []Value { return r.row }
+
+// Scan copies the current row into dest: *int64, *int, *float64,
+// *string, *bool, *time.Time, *sciql.Value or *any.
+func (r *Rows) Scan(dest ...any) error {
+	if r.row == nil {
+		return fmt.Errorf("sciql: Scan called without a successful Next")
+	}
+	if len(dest) != len(r.row) {
+		return fmt.Errorf("sciql: Scan expects %d destinations, got %d", len(r.row), len(dest))
+	}
+	for i, d := range dest {
+		if err := scanValue(r.row[i], d); err != nil {
+			return fmt.Errorf("sciql: Scan column %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Err returns the error that terminated iteration, if any.
+func (r *Rows) Err() error { return r.err }
+
+// Close releases the cursor, stopping any in-flight scan. It is safe
+// to call multiple times and after full iteration.
+func (r *Rows) Close() error {
+	r.close()
+	return nil
+}
+
+func (r *Rows) close() {
+	if !r.closed {
+		r.closed = true
+		r.cur.Close()
+	}
+}
+
+// materialize drains the cursor into the classic materialized Result —
+// the other view of the same execution.
+func (r *Rows) materialize() (*Result, error) {
+	defer r.close()
+	return r.cur.Materialize()
+}
+
+// scanValue converts one engine value into a Go destination.
+func scanValue(v Value, dest any) error {
+	switch d := dest.(type) {
+	case *Value:
+		*d = v
+		return nil
+	case *any:
+		*d = GoValue(v)
+		return nil
+	}
+	if v.Null {
+		return fmt.Errorf("cannot scan NULL into %T (use *sciql.Value or *any)", dest)
+	}
+	switch d := dest.(type) {
+	case *int64:
+		if !numeric(v) {
+			return fmt.Errorf("cannot scan %s into *int64", v.Typ)
+		}
+		*d = v.AsInt()
+	case *int:
+		if !numeric(v) {
+			return fmt.Errorf("cannot scan %s into *int", v.Typ)
+		}
+		*d = int(v.AsInt())
+	case *float64:
+		if !numeric(v) {
+			return fmt.Errorf("cannot scan %s into *float64", v.Typ)
+		}
+		*d = v.AsFloat()
+	case *string:
+		*d = v.String()
+	case *bool:
+		if v.Typ != value.Bool {
+			return fmt.Errorf("cannot scan %s into *bool", v.Typ)
+		}
+		*d = v.B
+	case *time.Time:
+		if v.Typ != value.Timestamp {
+			return fmt.Errorf("cannot scan %s into *time.Time", v.Typ)
+		}
+		*d = time.UnixMicro(v.I).UTC()
+	default:
+		return fmt.Errorf("unsupported Scan destination %T", dest)
+	}
+	return nil
+}
+
+func numeric(v Value) bool {
+	switch v.Typ {
+	case value.Int, value.Float, value.Timestamp, value.Bool:
+		return true
+	}
+	return false
+}
+
+// GoValue maps an engine value onto its natural Go representation:
+// nil for NULL, int64, float64, string, bool, time.Time, or the raw
+// array handle. The database/sql driver builds on it.
+func GoValue(v Value) any {
+	if v.Null {
+		return nil
+	}
+	switch v.Typ {
+	case value.Int:
+		return v.I
+	case value.Float:
+		return v.F
+	case value.String:
+		return v.S
+	case value.Bool:
+		return v.B
+	case value.Timestamp:
+		return time.UnixMicro(v.I).UTC()
+	default:
+		return v.A
+	}
+}

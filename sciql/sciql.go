@@ -17,22 +17,29 @@
 package sciql
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/array"
 	"repro/internal/exec"
 	"repro/internal/sql/ast"
-	"repro/internal/sql/parser"
 	"repro/internal/storage"
 	"repro/internal/value"
 )
 
-// DB is an embedded SciQL database. It is not safe for concurrent
-// writers; wrap with your own synchronization if needed.
+// DB is an embedded SciQL database. It is not safe for concurrent use;
+// wrap with your own synchronization (or go through the sciql/driver
+// package, which serializes connections) if needed. An open Rows
+// cursor counts as an in-flight operation.
 type DB struct {
 	engine *exec.Engine
+	// mu guards the statement cache only; execution itself is
+	// single-threaded by contract.
+	mu    sync.Mutex
+	cache *stmtCache
 }
 
 // Result is a materialized query result.
@@ -42,19 +49,35 @@ type Result = exec.Dataset
 type Value = value.Value
 
 // Open creates an empty database.
-func Open() *DB { return &DB{engine: exec.New()} }
+func Open() *DB {
+	return &DB{engine: exec.New(), cache: newStmtCache(defaultPlanCacheSize)}
+}
+
+// Wrap exposes an existing engine through the public API (the
+// integration session in internal/core uses it to serve the examples
+// and tools without a second catalog).
+func Wrap(e *exec.Engine) *DB {
+	return &DB{engine: e, cache: newStmtCache(defaultPlanCacheSize)}
+}
 
 // Exec runs one or more semicolon-separated statements, returning the
 // result of the last one (nil for DDL/DML).
 func (db *DB) Exec(sql string, args ...Arg) (*Result, error) {
-	stmts, err := parser.Parse(sql)
+	return db.ExecContext(context.Background(), sql, args...)
+}
+
+// ExecContext is Exec bound to a context: cancellation stops long
+// scans — serial loops check periodically, the morsel pool checks in
+// its worker loop — and the call returns ctx.Err().
+func (db *DB) ExecContext(ctx context.Context, sql string, args ...Arg) (*Result, error) {
+	stmts, err := db.compile(sql)
 	if err != nil {
 		return nil, err
 	}
 	params := collectArgs(args)
 	var last *Result
 	for _, s := range stmts {
-		ds, err := db.engine.Exec(s, params)
+		ds, err := db.engine.ExecContext(ctx, s, params)
 		if err != nil {
 			return nil, err
 		}
@@ -72,16 +95,48 @@ func (db *DB) MustExec(sql string, args ...Arg) *Result {
 	return rs
 }
 
-// Query runs a single SELECT and returns its rows.
+// Query runs a single SELECT and returns its rows, materialized. It
+// is a thin wrapper over the same cursor pipeline QueryContext
+// streams from: one implementation, two views.
 func (db *DB) Query(sql string, args ...Arg) (*Result, error) {
-	stmt, err := parser.ParseOne(sql)
+	rows, err := db.QueryContext(context.Background(), sql, args...)
 	if err != nil {
 		return nil, err
 	}
-	if _, ok := stmt.(*ast.Select); !ok {
-		return nil, fmt.Errorf("Query requires a SELECT; use Exec for %T", stmt)
+	return rows.materialize()
+}
+
+// QueryContext runs a single SELECT as a streaming cursor: rows are
+// pulled incrementally from the executor (for eligible plans the scan
+// itself is incremental; other shapes execute fully first), and
+// canceling ctx aborts the query. Always Close the returned Rows.
+func (db *DB) QueryContext(ctx context.Context, sql string, args ...Arg) (*Rows, error) {
+	sel, err := db.compileSelect(sql)
+	if err != nil {
+		return nil, err
 	}
-	return db.engine.Exec(stmt, collectArgs(args))
+	cur, err := db.engine.QueryStream(ctx, sel, collectArgs(args))
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{cur: cur}, nil
+}
+
+// compileSelect parses (through the statement cache) and requires a
+// single SELECT.
+func (db *DB) compileSelect(sql string) (*ast.Select, error) {
+	stmts, err := db.compile(sql)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("Query requires a single SELECT; got %d statements", len(stmts))
+	}
+	sel, ok := stmts[0].(*ast.Select)
+	if !ok {
+		return nil, fmt.Errorf("Query requires a SELECT; use Exec for %T", stmts[0])
+	}
+	return sel, nil
 }
 
 // MustQuery is Query that panics on error.
@@ -170,13 +225,28 @@ func (db *DB) Parallelism(n int) {
 
 // Explain compiles sql through the query planner (parse → plan →
 // optimize) and returns the rendered operator tree plus an execution-
-// mode line, without running the query. Equivalent to executing
-// "EXPLAIN <sql>".
+// mode line, without running anything. sql may be a SELECT or an
+// EXPLAIN SELECT; the statement is compiled directly — not glued onto
+// an "EXPLAIN " prefix — so leading comments work and multi-statement
+// input is rejected instead of silently executed.
 func (db *DB) Explain(sql string) (string, error) {
-	rs, err := db.Exec("EXPLAIN " + sql)
+	stmts, err := db.compile(sql)
 	if err != nil {
 		return "", err
 	}
+	if len(stmts) != 1 {
+		return "", fmt.Errorf("Explain requires a single statement; got %d", len(stmts))
+	}
+	var sel *ast.Select
+	switch s := stmts[0].(type) {
+	case *ast.Select:
+		sel = s
+	case *ast.Explain:
+		sel = s.Select
+	default:
+		return "", fmt.Errorf("EXPLAIN supports SELECT statements, got %T", s)
+	}
+	rs := db.engine.ExplainSelect(sel)
 	var sb strings.Builder
 	for r := 0; r < rs.NumRows(); r++ {
 		sb.WriteString(rs.Get(r, 0).S)

@@ -1,0 +1,179 @@
+package sciql
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+
+	"repro/internal/sql/ast"
+	"repro/internal/sql/parser"
+)
+
+// Stmt is a prepared statement: the SQL text is parsed once and the
+// engine's per-node plan memoization means the optimized plan is
+// computed once too — re-executions bind ?name parameters and run,
+// skipping parse and plan entirely.
+//
+// A Stmt is bound to its DB and shares the DB's (lack of) concurrency
+// guarantees. Close is optional (statements hold no external
+// resources) but keeps the API parallel to database/sql.
+type Stmt struct {
+	db    *DB
+	text  string
+	stmts []ast.Statement
+}
+
+// Prepare parses sql (one or more semicolon-separated statements)
+// once and returns a reusable statement handle.
+func (db *DB) Prepare(sql string) (*Stmt, error) {
+	stmts, err := db.compile(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{db: db, text: sql, stmts: stmts}, nil
+}
+
+// Text returns the statement's SQL.
+func (s *Stmt) Text() string { return s.text }
+
+// Close releases the statement. It is a no-op today.
+func (s *Stmt) Close() error { return nil }
+
+// Exec runs the prepared statement(s), returning the last result.
+func (s *Stmt) Exec(args ...Arg) (*Result, error) {
+	return s.ExecContext(context.Background(), args...)
+}
+
+// ExecContext is Exec bound to a context; cancellation aborts long
+// scans and returns ctx.Err().
+func (s *Stmt) ExecContext(ctx context.Context, args ...Arg) (*Result, error) {
+	params := collectArgs(args)
+	var last *Result
+	for _, st := range s.stmts {
+		ds, err := s.db.engine.ExecContext(ctx, st, params)
+		if err != nil {
+			return nil, err
+		}
+		last = ds
+	}
+	return last, nil
+}
+
+// Query runs a prepared single-SELECT statement, materializing the
+// rows (Result is the materialized view of the same cursor pipeline
+// QueryContext streams from).
+func (s *Stmt) Query(args ...Arg) (*Result, error) {
+	rows, err := s.QueryContext(context.Background(), args...)
+	if err != nil {
+		return nil, err
+	}
+	return rows.materialize()
+}
+
+// QueryContext runs a prepared single-SELECT statement as a streaming
+// cursor.
+func (s *Stmt) QueryContext(ctx context.Context, args ...Arg) (*Rows, error) {
+	sel, err := s.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	cur, err := s.db.engine.QueryStream(ctx, sel, collectArgs(args))
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{cur: cur}, nil
+}
+
+func (s *Stmt) selectStmt() (*ast.Select, error) {
+	if len(s.stmts) != 1 {
+		return nil, fmt.Errorf("Query requires a single SELECT; statement has %d statements", len(s.stmts))
+	}
+	sel, ok := s.stmts[0].(*ast.Select)
+	if !ok {
+		return nil, fmt.Errorf("Query requires a SELECT; use Exec for %T", s.stmts[0])
+	}
+	return sel, nil
+}
+
+// --- statement cache -------------------------------------------------------
+
+// defaultPlanCacheSize bounds the DB's LRU statement cache: ad-hoc
+// Query/Exec calls with identical text reuse the parsed AST, and —
+// because the engine memoizes its planning decision per AST node —
+// skip the optimizer as well.
+const defaultPlanCacheSize = 256
+
+// stmtCache is a small LRU keyed by SQL text.
+type stmtCache struct {
+	cap     int
+	order   *list.List // front = most recent; values are *cacheEntry
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	text  string
+	stmts []ast.Statement
+}
+
+func newStmtCache(capacity int) *stmtCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &stmtCache{cap: capacity, order: list.New(), entries: make(map[string]*list.Element)}
+}
+
+func (c *stmtCache) get(text string) ([]ast.Statement, bool) {
+	el, ok := c.entries[text]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).stmts, true
+}
+
+func (c *stmtCache) put(text string, stmts []ast.Statement) {
+	if el, ok := c.entries[text]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).stmts = stmts
+		return
+	}
+	c.entries[text] = c.order.PushFront(&cacheEntry{text: text, stmts: stmts})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).text)
+	}
+}
+
+// compile parses sql through the DB's statement cache: a hit reuses
+// the parsed AST (and thereby the engine's memoized plan); a miss
+// parses and caches.
+func (db *DB) compile(sql string) ([]ast.Statement, error) {
+	db.mu.Lock()
+	if db.cache != nil {
+		if stmts, ok := db.cache.get(sql); ok {
+			db.mu.Unlock()
+			return stmts, nil
+		}
+	}
+	db.mu.Unlock()
+	stmts, err := parser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	if db.cache != nil {
+		db.cache.put(sql, stmts)
+	}
+	db.mu.Unlock()
+	return stmts, nil
+}
+
+// SetPlanCacheSize resizes the DB's statement/plan LRU cache. n <= 0
+// disables caching (every call re-parses and re-plans); the default
+// is 256 entries.
+func (db *DB) SetPlanCacheSize(n int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.cache = newStmtCache(n)
+}
