@@ -412,6 +412,53 @@ func BenchmarkParallelFilterAgg(b *testing.B) {
 	}
 }
 
+// --- P3: chunked parallel array scans + runtime projection pruning -----------
+
+// BenchmarkParallelScan is P3: the scan itself — not just post-scan
+// operators — split into store chunks across the morsel pool, with the
+// optimizer's pruned projection applied at runtime. filter-heavy runs
+// a residual (non-pushable) predicate over a 1M-cell array serially
+// and at 4 workers; projection compares a full five-column scan
+// against the pruned three-column scan of the same filter (ReportAllocs
+// makes the skipped attribute materialization visible). Expected shape:
+// near-linear scan scaling on a >= 4-core host (single-core containers
+// show only scheduling overhead, as with P1); pruning wins on any host.
+func BenchmarkParallelScan(b *testing.B) {
+	const n = 1024 // 1024x1024 = 1,048,576 cells
+	db := sciql.Open()
+	db.MustExec(fmt.Sprintf(`CREATE ARRAY bigscan (x INTEGER DIMENSION[%d], y INTEGER DIMENSION[%d],
+		a FLOAT DEFAULT 1.0, b FLOAT DEFAULT 2.0, c FLOAT DEFAULT 3.0)`, n, n))
+	const filterQ = `SELECT x, y, a FROM bigscan WHERE MOD(x * 31 + y, 7) < 3 AND MOD(x + y, 5) <> 0 AND a > 0`
+	db.Parallelism(1)
+	want := db.MustQuery(filterQ).NumRows()
+	for _, par := range []int{1, 4} {
+		db.Parallelism(par)
+		if got := db.MustQuery(filterQ).NumRows(); got != want {
+			b.Fatalf("parallelism %d changed the result: %d rows, want %d", par, got, want)
+		}
+		b.Run(fmt.Sprintf("filter-heavy/workers=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				db.MustQuery(filterQ)
+			}
+		})
+	}
+	db.Parallelism(4)
+	const fullQ = `SELECT x, y, a, b, c FROM bigscan WHERE MOD(x * 31 + y, 7) = 0`
+	const prunedQ = `SELECT x, y, a FROM bigscan WHERE MOD(x * 31 + y, 7) = 0`
+	b.Run("projection/full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			db.MustQuery(fullQ)
+		}
+	})
+	b.Run("projection/pruned", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			db.MustQuery(prunedQ)
+		}
+	})
+}
+
 // --- X2: data-vault lazy metadata access -------------------------------------
 
 // BenchmarkVaultLazyCount compares the header-only COUNT of the data

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,7 +29,8 @@ import (
 var (
 	quick = flag.Bool("quick", false, "use smaller sizes")
 	only  = flag.String("only", "", "run only experiments whose id has this prefix")
-	par   = flag.Int("par", 4, "worker count for the parallel-execution experiment (P1)")
+	par   = flag.Int("par", 4, "worker count for the parallel-execution experiments (P1, P3)")
+	p3out = flag.String("p3out", "", "write the P3 measurements as JSON to this file")
 )
 
 func main() {
@@ -48,6 +50,7 @@ func main() {
 	runX3()
 	runP1()
 	runP2()
+	runP3()
 }
 
 func want(id string) bool {
@@ -510,4 +513,112 @@ func runP2() {
 	fmt.Printf("prepared statement (plan reused):     %8.1f us/exec\n", perCall(dPrep))
 	fmt.Printf("prepared speedup over uncached ad-hoc: %.2fx\n\n",
 		float64(dCold.Nanoseconds())/float64(dPrep.Nanoseconds()))
+}
+
+// p3Result is the recorded shape of the P3 experiment: the chunked
+// parallel scan and runtime projection pruning. -p3out writes the
+// latest run (truncating); committing BENCH_P3.json per change keeps
+// the perf trajectory in git history.
+type p3Result struct {
+	Experiment         string  `json:"experiment"`
+	Cells              int64   `json:"cells"`
+	Workers            int     `json:"workers"`
+	GOMAXPROCS         int     `json:"gomaxprocs"`
+	SerialMs           float64 `json:"serial_scan_ms"`
+	ParallelMs         float64 `json:"parallel_scan_ms"`
+	ScanSpeedup        float64 `json:"scan_speedup"`
+	FullProjectionMs   float64 `json:"full_projection_ms"`
+	PrunedProjectionMs float64 `json:"pruned_projection_ms"`
+	PruneSpeedup       float64 `json:"prune_speedup"`
+	Rows               int     `json:"result_rows"`
+}
+
+// runP3 measures the chunked parallel array scan: a filter-heavy query
+// over a >=1M-cell array, serial vs chunk-parallel (the scan itself is
+// the morsel domain; filter+projection run per chunk inside it), and a
+// full- vs pruned-projection scan (unreferenced attribute columns are
+// never materialized). Results optionally land in -p3out as JSON.
+func runP3() {
+	if !want("P3") {
+		return
+	}
+	n := int64(1024)
+	if *quick {
+		n = 512
+	}
+	workers := *par
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	header("P3", fmt.Sprintf("chunked parallel array scan + projection pruning (%dx%d = %d cells, %d workers, GOMAXPROCS=%d)",
+		n, n, n*n, workers, runtime.GOMAXPROCS(0)))
+	db := sciql.Open()
+	db.MustExec(fmt.Sprintf(`CREATE ARRAY bigscan (x INTEGER DIMENSION[%d], y INTEGER DIMENSION[%d],
+		a FLOAT DEFAULT 1.0, b FLOAT DEFAULT 2.0, c FLOAT DEFAULT 3.0)`, n, n))
+	filterQ := `SELECT x, y, a FROM bigscan WHERE MOD(x * 31 + y, 7) < 3 AND MOD(x + y, 5) <> 0 AND a > 0`
+	var serialRows, parRows int
+	dS, err := timeIt(func() error {
+		db.Parallelism(1)
+		rs, e := db.Query(filterQ)
+		if e == nil {
+			serialRows = rs.NumRows()
+		}
+		return e
+	})
+	if err != nil {
+		fail("P3", err)
+	}
+	dP, err := timeIt(func() error {
+		db.Parallelism(workers)
+		rs, e := db.Query(filterQ)
+		if e == nil {
+			parRows = rs.NumRows()
+		}
+		return e
+	})
+	if err != nil {
+		fail("P3", err)
+	}
+	if serialRows != parRows {
+		fail("P3", fmt.Errorf("parallel scan returned %d rows, serial %d", parRows, serialRows))
+	}
+	fullQ := `SELECT x, y, a, b, c FROM bigscan WHERE MOD(x * 31 + y, 7) = 0`
+	prunedQ := `SELECT x, y, a FROM bigscan WHERE MOD(x * 31 + y, 7) = 0`
+	dFull, err := timeIt(func() error { _, e := db.Query(fullQ); return e })
+	if err != nil {
+		fail("P3", err)
+	}
+	dPruned, err := timeIt(func() error { _, e := db.Query(prunedQ); return e })
+	if err != nil {
+		fail("P3", err)
+	}
+	res := p3Result{
+		Experiment:         "P3",
+		Cells:              n * n,
+		Workers:            workers,
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		SerialMs:           float64(dS.Microseconds()) / 1000,
+		ParallelMs:         float64(dP.Microseconds()) / 1000,
+		ScanSpeedup:        float64(dS.Nanoseconds()) / float64(dP.Nanoseconds()),
+		FullProjectionMs:   float64(dFull.Microseconds()) / 1000,
+		PrunedProjectionMs: float64(dPruned.Microseconds()) / 1000,
+		PruneSpeedup:       float64(dFull.Nanoseconds()) / float64(dPruned.Nanoseconds()),
+		Rows:               serialRows,
+	}
+	fmt.Printf("serial scan (1 worker):      %8.1f ms  (%d rows)\n", res.SerialMs, serialRows)
+	fmt.Printf("chunked scan (%d workers):   %8.1f ms\n", workers, res.ParallelMs)
+	fmt.Printf("scan speedup: %.2fx (scaling requires >= %d cores)\n", res.ScanSpeedup, workers)
+	fmt.Printf("full projection (5 cols):    %8.1f ms\n", res.FullProjectionMs)
+	fmt.Printf("pruned projection (3 cols):  %8.1f ms\n", res.PrunedProjectionMs)
+	fmt.Printf("pruning speedup: %.2fx (unused attribute columns never materialize)\n\n", res.PruneSpeedup)
+	if *p3out != "" {
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fail("P3", err)
+		}
+		if err := os.WriteFile(*p3out, append(buf, '\n'), 0o644); err != nil {
+			fail("P3", err)
+		}
+		fmt.Printf("(P3 measurements written to %s)\n\n", *p3out)
+	}
 }

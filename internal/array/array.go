@@ -185,6 +185,45 @@ type Store interface {
 	Clone() Store
 }
 
+// ChunkScan walks one chunk of a store's scan order. The coords and
+// vals slices passed to visit are reused between calls and must not be
+// retained; returning false stops the chunk's scan. Distinct ChunkScan
+// closures own their buffers, so different chunks may run concurrently.
+type ChunkScan func(visit func(coords []int64, vals []value.Value) bool)
+
+// ChunkedScanner is implemented by stores whose scan can be split into
+// independent, bounded chunks with attribute-column pruning — the unit
+// of parallel array scans.
+//
+// ScanChunks partitions the store's Scan order into roughly `target`
+// chunks (the result may be shorter or longer; at least one chunk is
+// returned for a non-empty store). Running the chunks in slice order
+// and concatenating their outputs visits exactly the cells Scan
+// visits, in the same order — parallel scans that buffer per chunk and
+// merge by index are therefore byte-identical to a serial scan.
+//
+// attrs selects the attribute columns to materialize: vals[i] passed
+// to visit holds the value of attribute attrs[i]. A nil attrs keeps
+// every attribute (vals[i] = attribute i). Cell liveness (hole
+// skipping) is always judged on all attributes, exactly like Scan, so
+// pruning never changes which cells are visited.
+type ChunkedScanner interface {
+	ScanChunks(target int, attrs []int) []ChunkScan
+}
+
+// AllAttrs expands ChunkedScanner's nil attribute selection to the
+// identity list over n attributes; a non-nil selection passes through.
+func AllAttrs(attrs []int, n int) []int {
+	if attrs != nil {
+		return attrs
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
 // Array binds a schema to a storage instance. It is the engine's
 // first-class citizen.
 type Array struct {

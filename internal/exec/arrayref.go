@@ -21,6 +21,15 @@ func searchInt64s(xs []int64, v int64) int {
 	return sort.Search(len(xs), func(i int) bool { return xs[i] >= v })
 }
 
+// ceilDiv rounds the quotient toward +inf (b > 0).
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a > 0) == (b > 0) {
+		q++
+	}
+	return q
+}
+
 // resolveArrayBase finds the array an ArrayRef talks about: a PSM
 // local / function parameter holding an array value, a catalog array,
 // or a computed base (nested access like next(samples[t]).data never
@@ -120,7 +129,7 @@ func (e *Engine) resolveIndexers(a *array.Array, ixs []ast.Indexer, env expr.Env
 			}
 			out[di] = dimSel{point: true, val: v.AsInt(), step: step, sparse: sparse}
 		case ix.Range:
-			s := dimSel{step: step, sparse: sparse}
+			s := dimSel{step: 1, sparse: sparse}
 			if ix.Start != nil {
 				v, err := e.Ev.Eval(ix.Start, env)
 				if err != nil {
@@ -139,13 +148,25 @@ func (e *Engine) resolveIndexers(a *array.Array, ixs []ast.Indexer, env expr.Env
 			} else if bounds() {
 				s.hi = hi[di] + step
 			}
-			if ix.Step != nil {
+			switch {
+			case ix.Step != nil:
+				// An explicit [lo:hi:step] stride is anchored at lo.
 				v, err := e.Ev.Eval(ix.Step, env)
 				if err != nil {
 					return nil, err
 				}
 				if v.AsInt() > 0 {
 					s.step = v.AsInt()
+				}
+			case !sparse && step > 1 && d.Start != array.UnboundedLow:
+				// A plain [lo:hi] on a stepped grid is a pure range: it
+				// admits the grid's own cells in [lo, hi). Walk the grid
+				// stride but snap lo up onto the grid phase — anchoring
+				// the dimension step at an off-phase slice bound would
+				// reject every existing cell.
+				s.step = step
+				if snapped := d.Start + ceilDiv(s.lo-d.Start, step)*step; snapped > s.lo {
+					s.lo = snapped
 				}
 			}
 			out[di] = s
@@ -248,6 +269,38 @@ func sortInt64s(xs []int64) {
 	if len(xs) > 1 {
 		sortSliceInt64(xs)
 	}
+}
+
+// forEachSelCoord expands one resolved dimension selection into its
+// admitted coordinate values, in ascending order: a point yields its
+// value, sparse (order-only) ranges walk the existing coordinates via
+// the cache, and grid ranges step from lo by the selection stride.
+// This is the single definition of [lo:hi:step] expansion, shared by
+// expression-position slicing (sliceArray) and structural tiling
+// (forEachTileCell); the scan path's matcher (selContains) mirrors it,
+// so FROM-clause slicing admits exactly the coordinates expanded here.
+func forEachSelCoord(s dimSel, a *array.Array, di int, cache *dimValuesCache, fn func(v int64) error) error {
+	if s.point {
+		return fn(s.val)
+	}
+	if s.sparse {
+		for _, v := range cache.inRange(a, di, s.lo, s.hi) {
+			if err := fn(v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	step := s.step
+	if step <= 0 {
+		step = 1
+	}
+	for v := s.lo; v < s.hi; v += step {
+		if err := fn(v); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // pickAttr resolves an attribute name; "" selects the single attribute
@@ -357,24 +410,11 @@ func (e *Engine) sliceArray(a *array.Array, sels []dimSel, attr string) (*array.
 				break
 			}
 		}
-		if s.sparse {
-			for _, v := range cache.inRange(a, di, s.lo, s.hi) {
-				src[di] = v
-				dst[ki] = v
-				if err := walk(di + 1); err != nil {
-					return err
-				}
-			}
-			return nil
-		}
-		for v := s.lo; v < s.hi; v += s.step {
+		return forEachSelCoord(s, a, di, cache, func(v int64) error {
 			src[di] = v
 			dst[ki] = v
-			if err := walk(di + 1); err != nil {
-				return err
-			}
-		}
-		return nil
+			return walk(di + 1)
+		})
 	}
 	if err := walk(0); err != nil {
 		return nil, err

@@ -48,12 +48,36 @@ type Engine struct {
 	qctx context.Context
 }
 
-// planDecision is one memoized routing decision: the worker count and
+// planDecision is one memoized routing decision: the worker count,
 // the catalog arrays whose lazy indexes need prewarming before each
-// parallel execution.
+// parallel execution, and the optimizer's pruned scan projections.
 type planDecision struct {
 	par  int
 	warm []string
+	// scans maps lowercased array names to the pruned attribute-name
+	// projection of their Scan nodes; an absent entry keeps every
+	// attribute. Name-based pruning is safe for any array bound to the
+	// name at runtime: an attribute whose name the statement never
+	// mentions cannot be referenced.
+	scans map[string][]string
+}
+
+// scanAttrs resolves the pruned projection for one scanned array into
+// schema attribute positions (nil = keep all; empty = dimensions-only
+// scan). Names that don't resolve against the runtime schema are
+// dropped rather than guessed.
+func (d planDecision) scanAttrs(a *array.Array, name string) []int {
+	names, ok := d.scans[strings.ToLower(name)]
+	if !ok {
+		return nil
+	}
+	out := make([]int, 0, len(names))
+	for _, n := range names {
+		if ai := a.Schema.AttrIndex(n); ai >= 0 {
+			out = append(out, ai)
+		}
+	}
+	return out
 }
 
 // New creates an engine with an empty catalog.

@@ -55,8 +55,6 @@ func rowsOf(ds *Dataset) int {
 	return ds.NumRows()
 }
 
-func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
-
 // TestTilingMassConservation: summing SUM(v) over DISTINCT tiles that
 // partition the array equals the total sum.
 func TestTilingMassConservation(t *testing.T) {

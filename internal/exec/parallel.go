@@ -6,6 +6,7 @@ import (
 	"repro/internal/array"
 	"repro/internal/expr"
 	"repro/internal/parallel"
+	"repro/internal/plan"
 	"repro/internal/sql/ast"
 	"repro/internal/value"
 )
@@ -27,26 +28,27 @@ type parallelMorsel = parallel.Morsel
 // the cache without limit.
 const planCacheMax = 4096
 
-// selectParallelism decides the worker count for one SELECT: the
-// configured parallelism when the plan and expressions qualify,
-// otherwise 1. The decision is memoized per AST node (re-executed
-// prepared statements and per-row correlated subqueries reuse one
-// node). On the parallel path it also pre-warms lazily built store
-// indexes (sorted dimension values, bounding boxes) — on every
-// execution, since DML invalidates them — so workers only ever read
-// shared state.
-func (e *Engine) selectParallelism(sel *ast.Select) int {
-	if e.parallelism <= 1 || e.pool == nil {
-		return 1
-	}
+// selectDecision plans one SELECT's routing: the worker count (the
+// configured parallelism when the optimized plan shape and the
+// expressions qualify, otherwise 1) and the optimizer's pruned scan
+// projections, which the scan applies at any parallelism. The decision
+// is memoized per AST node (re-executed prepared statements and
+// per-row correlated subqueries reuse one node). On the parallel path
+// it also pre-warms lazily built store indexes (sorted dimension
+// values, bounding boxes) — on every execution, since DML invalidates
+// them — so workers only ever read shared state.
+func (e *Engine) selectDecision(sel *ast.Select) planDecision {
 	e.planMu.Lock()
 	dec, cached := e.planCache[sel]
 	e.planMu.Unlock()
 	if !cached {
 		dec = planDecision{par: 1}
-		if pl := e.planSelect(sel); pl.Parallel && parSafeSelect(sel) {
-			dec = planDecision{par: e.parallelism, warm: warmNames(sel)}
+		pl := e.planSelect(sel)
+		if e.parallelism > 1 && e.pool != nil && pl.Parallel && parSafeSelect(sel) {
+			dec.par = e.parallelism
+			dec.warm = warmNames(sel)
 		}
+		dec.scans = prunedScanAttrs(pl)
 		e.planMu.Lock()
 		if len(e.planCache) >= planCacheMax || e.planCache == nil {
 			e.planCache = make(map[*ast.Select]planDecision)
@@ -62,7 +64,37 @@ func (e *Engine) selectParallelism(sel *ast.Select) int {
 			e.prewarmArray(a)
 		}
 	}
-	return dec.par
+	return dec
+}
+
+// selectParallelism is the worker-count view of selectDecision.
+func (e *Engine) selectParallelism(sel *ast.Select) int {
+	return e.selectDecision(sel).par
+}
+
+// prunedScanAttrs collects the optimizer's projection pruning per
+// scanned array. Two scans of one array carry identical projections
+// (pruning is computed from the statement's global reference set), so
+// the first wins.
+func prunedScanAttrs(pl *plan.Plan) map[string][]string {
+	var out map[string][]string
+	var walk func(n plan.Node)
+	walk = func(n plan.Node) {
+		if sc, ok := n.(*plan.Scan); ok && !sc.Table && !sc.AllAttrs {
+			if out == nil {
+				out = make(map[string][]string)
+			}
+			key := strings.ToLower(sc.Name)
+			if _, seen := out[key]; !seen {
+				out[key] = sc.Attrs
+			}
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(pl.Root)
+	return out
 }
 
 // parSafeSelect reports whether every scalar expression of the select

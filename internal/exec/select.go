@@ -61,12 +61,14 @@ func (e *Engine) execSelectCore(sel *ast.Select, outer expr.Env) (*Dataset, erro
 	if len(sel.From) == 0 || e.fromIsVacuous(sel, outer) {
 		return e.projectRowless(sel, outer)
 	}
-	// The planner gates the morsel-driven path: par is the worker
+	// The planner gates the morsel-driven path: dec.par is the worker
 	// count when the optimized plan shape and the expressions qualify,
-	// 1 (serial interpreter) otherwise.
-	par := e.selectParallelism(sel)
+	// 1 (serial interpreter) otherwise. The decision also carries the
+	// optimizer's pruned scan projections, applied inside buildFrom.
+	dec := e.selectDecision(sel)
+	par := dec.par
 	conjs := splitConjuncts(sel.Where)
-	ds, sources, remaining, err := e.buildFrom(sel.From, conjs, outer)
+	ds, sources, remaining, err := e.buildFrom(sel.From, conjs, outer, dec)
 	if err != nil {
 		return nil, err
 	}
@@ -431,12 +433,12 @@ func splitConjuncts(where ast.Expr) []ast.Expr {
 // equality/range conjuncts into array scans (the "symbolic reasoning
 // over the dimensions" of §2.3). It returns the joined dataset, the
 // source descriptors, and the conjuncts not fully consumed.
-func (e *Engine) buildFrom(items []ast.FromItem, conjs []ast.Expr, outer expr.Env) (*Dataset, []*source, []ast.Expr, error) {
+func (e *Engine) buildFrom(items []ast.FromItem, conjs []ast.Expr, outer expr.Env, dec planDecision) (*Dataset, []*source, []ast.Expr, error) {
 	var ds *Dataset
 	var sources []*source
 	consumed := make([]bool, len(conjs))
 	for _, fi := range items {
-		d, srcs, err := e.buildFromItem(fi, conjs, consumed, outer)
+		d, srcs, err := e.buildFromItem(fi, conjs, consumed, outer, dec)
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -456,16 +458,16 @@ func (e *Engine) buildFrom(items []ast.FromItem, conjs []ast.Expr, outer expr.En
 	return ds, sources, remaining, nil
 }
 
-func (e *Engine) buildFromItem(fi ast.FromItem, conjs []ast.Expr, consumed []bool, outer expr.Env) (*Dataset, []*source, error) {
+func (e *Engine) buildFromItem(fi ast.FromItem, conjs []ast.Expr, consumed []bool, outer expr.Env, dec planDecision) (*Dataset, []*source, error) {
 	switch t := fi.(type) {
 	case *ast.TableRef:
-		return e.buildTableRef(t, conjs, consumed, outer)
+		return e.buildTableRef(t, conjs, consumed, outer, dec)
 	case *ast.Join:
-		left, ls, err := e.buildFromItem(t.Left, conjs, consumed, outer)
+		left, ls, err := e.buildFromItem(t.Left, conjs, consumed, outer, dec)
 		if err != nil {
 			return nil, nil, err
 		}
-		right, rs, err := e.buildFromItem(t.Right, conjs, consumed, outer)
+		right, rs, err := e.buildFromItem(t.Right, conjs, consumed, outer, dec)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -478,7 +480,7 @@ func (e *Engine) buildFromItem(fi ast.FromItem, conjs []ast.Expr, consumed []boo
 	return nil, nil, fmt.Errorf("unsupported FROM item %T", fi)
 }
 
-func (e *Engine) buildTableRef(t *ast.TableRef, conjs []ast.Expr, consumed []bool, outer expr.Env) (*Dataset, []*source, error) {
+func (e *Engine) buildTableRef(t *ast.TableRef, conjs []ast.Expr, consumed []bool, outer expr.Env, dec planDecision) (*Dataset, []*source, error) {
 	if t.Subquery != nil {
 		ds, err := e.execSelect(t.Subquery, outer)
 		if err != nil {
@@ -492,8 +494,10 @@ func (e *Engine) buildTableRef(t *ast.TableRef, conjs []ast.Expr, consumed []boo
 	}
 	// Array from the environment (PSM array parameters) or catalog.
 	var arr *array.Array
+	fromEnv := false
 	if v, ok := outer.Lookup("", t.Name); ok && v.Typ == value.Array && !v.Null {
 		arr, _ = v.A.(*array.Array)
+		fromEnv = arr != nil
 	}
 	if arr == nil {
 		if a, ok := e.Cat.Array(t.Name); ok {
@@ -512,7 +516,14 @@ func (e *Engine) buildTableRef(t *ast.TableRef, conjs []ast.Expr, consumed []boo
 		}
 		src.sels = sels
 		restrict := e.pushdownDims(arr, src.qual(), conjs, consumed, sels, outer)
-		ds, err := e.scanArray(arr, src.qual(), sels, restrict)
+		// The pruned projection was planned against the catalog schema;
+		// an environment-bound array shadowing a catalog name may carry
+		// attributes the planner never saw, so it scans unpruned.
+		var attrs []int
+		if !fromEnv {
+			attrs = dec.scanAttrs(arr, t.Name)
+		}
+		ds, err := e.scanArrayPruned(arr, src.qual(), sels, restrict, attrs, dec.par)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -566,13 +577,12 @@ func (e *Engine) pushdownDims(a *array.Array, qual string, conjs []ast.Expr, con
 	restrict, cons := plan.AnalyzeDimConjuncts(conjs, resolve, eval, blocked)
 	out := make(map[int]dimSel)
 	for di, r := range restrict {
-		step := a.Schema.Dims[di].Step
-		if step <= 0 {
-			step = 1
-		}
+		// Predicate-derived restrictions carry no stride (step 1): a
+		// WHERE bound is a pure range, and anchoring the dimension's
+		// grid step at an arbitrary bound would reject on-grid cells.
 		switch {
 		case r.Point:
-			out[di] = dimSel{point: true, val: r.Val, step: step}
+			out[di] = dimSel{point: true, val: r.Val, step: 1}
 		case r.HasLo || r.HasHi:
 			lo, hi := r.Lo, r.Hi
 			if !r.HasLo || !r.HasHi {
@@ -596,7 +606,7 @@ func (e *Engine) pushdownDims(a *array.Array, qual string, conjs []ast.Expr, con
 					hi = bhi[di] + 1
 				}
 			}
-			out[di] = dimSel{lo: lo, hi: hi, step: step}
+			out[di] = dimSel{lo: lo, hi: hi, step: 1}
 		}
 	}
 	for i := range conjs {
@@ -664,12 +674,21 @@ func attrIndexFold(a *array.Array, name string) int {
 // scanCols builds the dataset column header of an array scan: the
 // dimension columns (IsDim) followed by the attribute columns.
 func scanCols(a *array.Array, qual string) []Col {
-	nd, na := len(a.Schema.Dims), len(a.Schema.Attrs)
-	cols := make([]Col, 0, nd+na)
+	return scanColsPruned(a, qual, nil)
+}
+
+// scanColsPruned is scanCols restricted to the attribute positions in
+// attrs (nil keeps every attribute; an empty slice keeps none — a
+// dimensions-only scan).
+func scanColsPruned(a *array.Array, qual string, attrs []int) []Col {
+	nd := len(a.Schema.Dims)
+	attrs = array.AllAttrs(attrs, len(a.Schema.Attrs))
+	cols := make([]Col, 0, nd+len(attrs))
 	for _, d := range a.Schema.Dims {
 		cols = append(cols, Col{Name: d.Name, Qual: qual, Typ: d.Typ, IsDim: true})
 	}
-	for _, at := range a.Schema.Attrs {
+	for _, ai := range attrs {
+		at := a.Schema.Attrs[ai]
 		cols = append(cols, Col{Name: at.Name, Qual: qual, Typ: at.Typ})
 	}
 	return cols
@@ -694,30 +713,67 @@ func effectiveSels(a *array.Array, sels []dimSel, restrict map[int]dimSel) []dim
 // effMatch reports whether coords satisfy every effective constraint.
 func effMatch(eff []dimSel, coords []int64) bool {
 	for i := range eff {
-		s := eff[i]
-		if s.point {
-			if coords[i] != s.val {
-				return false
-			}
-		} else if !s.full || s.hi != 0 || s.lo != 0 {
-			if !s.full && (coords[i] < s.lo || coords[i] >= s.hi) {
-				return false
-			}
+		if !selContains(eff[i], coords[i]) {
+			return false
 		}
 	}
 	return true
 }
 
-// scanArray materializes an array as a dataset of dimension columns
-// (IsDim) and attribute columns, skipping holes (§3.1). sels (FROM
-// slicing) and restrict (pushed-down predicates) bound the scan; when
-// every dimension is pinned to a point the scan is a direct cell read.
+// selContains reports whether one dimension selection admits index
+// value v: a point admits only its value; a full selection ([*] or an
+// unindexed dimension) never rejects; ranges are half-open and
+// stride-aware — [lo:hi:step] admits lo, lo+step, ... just like the
+// same slice in expression position. Sparse (order-only) dimensions
+// carry no grid, so their ranges admit any in-range coordinate.
+func selContains(s dimSel, v int64) bool {
+	if s.point {
+		return v == s.val
+	}
+	if s.full {
+		return true
+	}
+	if v < s.lo || v >= s.hi {
+		return false
+	}
+	if s.step > 1 && !s.sparse && (v-s.lo)%s.step != 0 {
+		return false
+	}
+	return true
+}
+
+// scanArray materializes an array serially with every attribute.
 func (e *Engine) scanArray(a *array.Array, qual string, sels []dimSel, restrict map[int]dimSel) (*Dataset, error) {
-	nd, na := len(a.Schema.Dims), len(a.Schema.Attrs)
-	cols := scanCols(a, qual)
+	return e.scanArrayPruned(a, qual, sels, restrict, nil, 1)
+}
+
+// scanChunksPerWorker is how many scan chunks each worker gets on
+// average: a few per worker lets dynamic scheduling balance skew
+// (selective filters, sparse slabs) across the pool.
+const scanChunksPerWorker = 4
+
+// minParallelScanCells gates the chunked parallel scan: below this
+// many materialized cells the fan-out overhead dominates and the
+// serial scan wins.
+const minParallelScanCells = 4096
+
+// scanArrayPruned materializes an array as a dataset of dimension
+// columns (IsDim) and the attribute columns selected by attrs (the
+// optimizer's pruned scan projection; nil keeps all), skipping holes
+// (§3.1). sels (FROM slicing) and restrict (pushed-down predicates)
+// bound the scan; when every dimension is pinned to a point the scan
+// is a direct cell read. par > 1 fans scan chunks across the morsel
+// pool when the store supports chunked scans; per-chunk buffers merge
+// in chunk order, so the result is byte-identical to the serial scan.
+func (e *Engine) scanArrayPruned(a *array.Array, qual string, sels []dimSel, restrict map[int]dimSel, attrs []int, par int) (*Dataset, error) {
+	nd := len(a.Schema.Dims)
+	cols := scanColsPruned(a, qual, attrs)
 	out := NewDataset(cols)
 	// Effective per-dim constraint = intersection of sels and restrict.
 	eff := effectiveSels(a, sels, restrict)
+	if effProvablyEmpty(eff) {
+		return out, nil // disjoint slice ∩ predicate: nothing to scan
+	}
 	allPoint := nd > 0
 	for i := range eff {
 		if !eff[i].point {
@@ -725,33 +781,48 @@ func (e *Engine) scanArray(a *array.Array, qual string, sels []dimSel, restrict 
 			break
 		}
 	}
-	row := make([]value.Value, nd+na)
 	if allPoint {
 		coords := make([]int64, nd)
 		for i := range eff {
 			coords[i] = eff[i].val
 		}
 		if a.ValidCoords(coords) {
+			// Liveness is judged on every attribute — a cell whose
+			// selected attributes are NULL is still live (not a hole)
+			// when an unselected one is set.
+			na := len(a.Schema.Attrs)
+			all := make([]value.Value, na)
 			hole := true
 			for ai := 0; ai < na; ai++ {
-				v := a.Store.Get(coords, ai)
-				row[nd+ai] = v
-				if !v.Null {
+				all[ai] = a.Store.Get(coords, ai)
+				if !all[ai].Null {
 					hole = false
 				}
 			}
 			if !hole {
+				row := make([]value.Value, len(cols))
 				for i, c := range coords {
 					row[i] = value.Value{Typ: a.Schema.Dims[i].Typ, I: c}
+				}
+				for vi, ai := range array.AllAttrs(attrs, na) {
+					row[nd+vi] = all[ai]
 				}
 				out.Append(row)
 			}
 		}
 		return out, nil
 	}
+	if par > 1 && e.pool != nil && a.Store.Len() >= minParallelScanCells {
+		if cs, ok := a.Store.(array.ChunkedScanner); ok {
+			if chunks := cs.ScanChunks(par*scanChunksPerWorker, attrs); len(chunks) >= 2 {
+				return e.scanChunksParallel(a, cols, eff, chunks)
+			}
+		}
+	}
+	row := make([]value.Value, len(cols))
 	var visited int
 	var scanErr error
-	a.Store.Scan(func(coords []int64, vals []value.Value) bool {
+	storeScanPruned(a.Store, attrs, func(coords []int64, vals []value.Value) bool {
 		visited++
 		if visited&8191 == 0 {
 			if err := e.canceled(); err != nil {
@@ -775,12 +846,129 @@ func (e *Engine) scanArray(a *array.Array, qual string, sels []dimSel, restrict 
 	return out, nil
 }
 
-func intersectSel(a, b dimSel) dimSel {
-	if b.point {
-		return b
+// storeScanPruned runs a serial scan of st materializing only the
+// attribute columns in attrs (vals[i] = attribute attrs[i]; nil keeps
+// all), whether or not the store supports chunked scans.
+func storeScanPruned(st array.Store, attrs []int, visit func(coords []int64, vals []value.Value) bool) {
+	if attrs == nil {
+		st.Scan(visit)
+		return
 	}
+	if cs, ok := st.(array.ChunkedScanner); ok {
+		stopped := false
+		for _, chunk := range cs.ScanChunks(1, attrs) {
+			if stopped {
+				return
+			}
+			chunk(func(coords []int64, vals []value.Value) bool {
+				if !visit(coords, vals) {
+					stopped = true
+					return false
+				}
+				return true
+			})
+		}
+		return
+	}
+	sub := make([]value.Value, len(attrs))
+	st.Scan(func(coords []int64, vals []value.Value) bool {
+		for vi, ai := range attrs {
+			sub[vi] = vals[ai]
+		}
+		return visit(coords, sub)
+	})
+}
+
+// scanChunksParallel runs the chunked scan across the morsel pool:
+// each worker filters its chunks against eff and buffers matching rows
+// in a per-chunk dataset; the buffers concatenate in chunk index
+// order, which the store guarantees equals serial scan order.
+func (e *Engine) scanChunksParallel(a *array.Array, cols []Col, eff []dimSel, chunks []array.ChunkScan) (*Dataset, error) {
+	nd := len(a.Schema.Dims)
+	parts := make([]*Dataset, len(chunks))
+	ctx := e.ctx()
+	err := e.pool.ForEachCtx(ctx, len(chunks), 1, func(m parallelMorsel) error {
+		for ci := m.Lo; ci < m.Hi; ci++ {
+			part := NewDataset(cols)
+			row := make([]value.Value, len(cols))
+			visited := 0
+			var stop error
+			chunks[ci](func(coords []int64, vals []value.Value) bool {
+				visited++
+				if visited&8191 == 0 {
+					if err := ctx.Err(); err != nil {
+						stop = err
+						return false
+					}
+				}
+				if !effMatch(eff, coords) {
+					return true
+				}
+				for i, c := range coords {
+					row[i] = value.Value{Typ: a.Schema.Dims[i].Typ, I: c}
+				}
+				copy(row[nd:], vals)
+				part.Append(row)
+				return true
+			})
+			if stop != nil {
+				return stop
+			}
+			parts[ci] = part
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := parts[0]
+	for _, p := range parts[1:] {
+		for c := range out.Vecs {
+			n := p.NumRows()
+			for r := 0; r < n; r++ {
+				out.Vecs[c].Append(p.Vecs[c].Get(r))
+			}
+		}
+	}
+	return out, nil
+}
+
+// emptySel is a selection no coordinate satisfies.
+func emptySel() dimSel { return dimSel{lo: 0, hi: 0, step: 1} }
+
+// selEmpty reports whether a selection can be proven to admit nothing.
+func selEmpty(s dimSel) bool { return !s.point && !s.full && s.lo >= s.hi }
+
+// effProvablyEmpty reports whether any dimension's effective selection
+// admits nothing — a disjoint slice ∩ predicate intersection — so the
+// scan can skip the store walk entirely.
+func effProvablyEmpty(eff []dimSel) bool {
+	for i := range eff {
+		if selEmpty(eff[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+// intersectSel combines two selections of one dimension (FROM-clause
+// slicing ∩ pushed-down predicate). Disjoint operands yield an empty
+// selection — a point outside the other operand's range must select
+// nothing, not the point. Stepped ranges intersect phase-aware: the
+// result's stride is the lcm of the strides, anchored at the first
+// common element (empty when the progressions never meet).
+func intersectSel(a, b dimSel) dimSel {
 	if a.point {
-		return a
+		if selContains(b, a.val) {
+			return a
+		}
+		return emptySel()
+	}
+	if b.point {
+		if selContains(a, b.val) {
+			return b
+		}
+		return emptySel()
 	}
 	if a.full {
 		return b
@@ -788,14 +976,53 @@ func intersectSel(a, b dimSel) dimSel {
 	if b.full {
 		return a
 	}
-	out := a
-	if b.lo > out.lo {
-		out.lo = b.lo
+	lo, hi := a.lo, a.hi
+	if b.lo > lo {
+		lo = b.lo
 	}
-	if b.hi < out.hi {
-		out.hi = b.hi
+	if b.hi < hi {
+		hi = b.hi
 	}
-	return out
+	if lo >= hi {
+		return emptySel()
+	}
+	out := dimSel{lo: lo, hi: hi, step: 1, sparse: a.sparse || b.sparse}
+	sa, sb := selStep(a), selStep(b)
+	if out.sparse || (sa == 1 && sb == 1) {
+		return out
+	}
+	g := gcd64(sa, sb)
+	if ((a.lo-b.lo)%g+g)%g != 0 {
+		return emptySel() // phases never coincide
+	}
+	// First element of a's progression at or above lo, then walk until
+	// the phase also matches b's (the pattern repeats after sb/g steps).
+	x := a.lo + (lo-a.lo+sa-1)/sa*sa
+	for i := int64(0); i < sb/g; i++ {
+		if x >= hi {
+			return emptySel()
+		}
+		if (x-b.lo)%sb == 0 {
+			out.lo, out.step = x, sa/g*sb
+			return out
+		}
+		x += sa
+	}
+	return emptySel()
+}
+
+func selStep(s dimSel) int64 {
+	if s.step <= 0 {
+		return 1
+	}
+	return s.step
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
 }
 
 // crossJoin forms the Cartesian product (comma joins; WHERE conjuncts

@@ -145,6 +145,7 @@ type streamPlan struct {
 	qual   string
 	sels   []dimSel
 	eff    []dimSel
+	attrs  []int // pruned scan projection (nil = all attributes)
 	items  []ast.SelectItem
 	where  ast.Expr // residual conjuncts after pushdown
 	having ast.Expr // aggregate-free HAVING (post-where row filter)
@@ -177,18 +178,20 @@ func (e *Engine) QueryStream(ctx context.Context, sel *ast.Select, params map[st
 		return datasetCursor(ds), nil
 	}
 	cols := streamColumns(sp.items, sp.arr, sp.qual)
-	if sp.par > 1 && e.pool != nil {
-		// Materialize the scan (the morsel domain) under the full
-		// effective restriction, then stream filter+projection through
-		// the pool in morsel order.
-		prev := e.qctx
-		e.qctx = ctx
-		ds, err := e.scanArray(sp.arr, sp.qual, sp.eff, nil)
-		e.qctx = prev
-		if err != nil {
-			return nil, err
+	if effProvablyEmpty(sp.eff) {
+		// Disjoint slice ∩ predicate: an empty stream, no store walk.
+		next, stop := iter.Pull(func(func(cursorItem) bool) {})
+		return &Cursor{cols: cols, items: sp.items, next: next, stop: stop}, nil
+	}
+	if sp.par > 1 && e.pool != nil && sp.arr.Store.Len() >= minParallelScanCells {
+		// Fan the scan itself out: chunks of the store are the morsel
+		// domain, and filter + projection run per chunk inside the
+		// scan — nothing is materialized up front.
+		if cs, ok := sp.arr.Store.(array.ChunkedScanner); ok {
+			if chunks := cs.ScanChunks(sp.par*scanChunksPerWorker, sp.attrs); len(chunks) >= 2 {
+				return e.parallelStreamCursor(ctx, sp, chunks, cols), nil
+			}
 		}
-		return e.parallelStreamCursor(ctx, sp, ds, cols), nil
 	}
 	return e.serialStreamCursor(ctx, sp, cols), nil
 }
@@ -282,7 +285,9 @@ func (e *Engine) compileStream(sel *ast.Select, env *baseEnv) (*streamPlan, bool
 			return nil, false, fmt.Errorf("cannot expand * against %s", sp.qual)
 		}
 	}
-	sp.par = e.selectParallelism(sel)
+	dec := e.selectDecision(sel)
+	sp.par = dec.par
+	sp.attrs = dec.scanAttrs(arr, tr.Name)
 	return sp, true, nil
 }
 
@@ -314,12 +319,12 @@ func streamColumns(items []ast.SelectItem, a *array.Array, qual string) []Col {
 func (e *Engine) serialStreamCursor(ctx context.Context, sp *streamPlan, cols []Col) *Cursor {
 	nd := len(sp.arr.Schema.Dims)
 	seq := func(yield func(cursorItem) bool) {
-		srcCols := scanCols(sp.arr, sp.qual)
+		srcCols := scanColsPruned(sp.arr, sp.qual, sp.attrs)
 		srcRow := make([]value.Value, len(srcCols))
 		venv := &valuesEnv{cols: srcCols, vals: srcRow, outer: sp.outer}
 		emitted := 0
 		visited := 0
-		sp.arr.Store.Scan(func(coords []int64, vals []value.Value) bool {
+		storeScanPruned(sp.arr.Store, sp.attrs, func(coords []int64, vals []value.Value) bool {
 			visited++
 			if visited&255 == 0 {
 				if err := ctx.Err(); err != nil {
@@ -383,56 +388,75 @@ func (e *Engine) streamEvalRow(sp *streamPlan, env *valuesEnv) ([]value.Value, b
 }
 
 // morselBatch is the unit the parallel stream sends from workers to
-// the consumer: the projected rows of one morsel, tagged with the
-// morsel ordinal for in-order merging.
+// the consumer: the projected rows of one scan chunk, tagged with the
+// chunk ordinal for in-order merging.
 type morselBatch struct {
 	idx  int
 	rows [][]value.Value
 	err  error
 }
 
-// parallelStreamCursor fans the scanned rows out over the morsel pool
-// and streams the merged partials: workers evaluate filter+projection
-// per morsel and the consumer reorders batches by morsel ordinal, so
-// iteration order equals the serial path's. Workers check ctx between
-// morsels and sends select on ctx.Done(), so canceling the query (or
-// closing the cursor early) stops the scan and leaks no goroutines.
-func (e *Engine) parallelStreamCursor(ctx context.Context, sp *streamPlan, ds *Dataset, cols []Col) *Cursor {
-	n := ds.NumRows()
-	if e.pool == nil || n < 2*e.pool.Workers() {
-		// Too small to fan out; stream the scanned rows serially.
-		return e.serialDatasetStream(ctx, sp, ds, cols)
-	}
+// parallelStreamCursor fans the scan itself out over the morsel pool:
+// each worker walks its store chunks, applying the effective dimension
+// restriction, the residual filter and the projection per cell, and
+// sends the chunk's rows to the consumer, which reorders batches by
+// chunk ordinal. Chunk concatenation order equals serial scan order,
+// so iteration order (and results) are identical to the serial path.
+// Workers check ctx between chunks (and periodically inside a chunk)
+// and sends select on ctx.Done(), so canceling the query (or closing
+// the cursor early) stops the scan and leaks no goroutines.
+func (e *Engine) parallelStreamCursor(ctx context.Context, sp *streamPlan, chunks []array.ChunkScan, cols []Col) *Cursor {
+	nd := len(sp.arr.Schema.Dims)
+	srcCols := scanColsPruned(sp.arr, sp.qual, sp.attrs)
 	ictx, cancel := context.WithCancel(ctx)
-	morsel := e.pool.MorselFor(n)
 	ch := make(chan morselBatch, 2*e.pool.Workers())
 	started := false
 	start := func() {
 		started = true
 		go func() {
 			defer close(ch)
-			err := e.pool.ForEachCtx(ictx, n, morsel, func(m parallelMorsel) error {
-				rows := make([][]value.Value, 0, m.Hi-m.Lo)
-				srcRow := make([]value.Value, len(ds.Cols))
-				venv := &valuesEnv{cols: ds.Cols, vals: srcRow, outer: sp.outer}
-				for r := m.Lo; r < m.Hi; r++ {
-					for c := range ds.Cols {
-						srcRow[c] = ds.Vecs[c].Get(r)
+			err := e.pool.ForEachCtx(ictx, len(chunks), 1, func(m parallelMorsel) error {
+				for ci := m.Lo; ci < m.Hi; ci++ {
+					srcRow := make([]value.Value, len(srcCols))
+					venv := &valuesEnv{cols: srcCols, vals: srcRow, outer: sp.outer}
+					var rows [][]value.Value
+					var evalErr error
+					visited := 0
+					chunks[ci](func(coords []int64, vals []value.Value) bool {
+						visited++
+						if visited&1023 == 0 {
+							if err := ictx.Err(); err != nil {
+								evalErr = err
+								return false
+							}
+						}
+						if !effMatch(sp.eff, coords) {
+							return true
+						}
+						for i, c := range coords {
+							srcRow[i] = value.Value{Typ: sp.arr.Schema.Dims[i].Typ, I: c}
+						}
+						copy(srcRow[nd:], vals)
+						row, keep, err := e.streamEvalRow(sp, venv)
+						if err != nil {
+							evalErr = err
+							return false
+						}
+						if keep {
+							rows = append(rows, row)
+						}
+						return true
+					})
+					if evalErr != nil {
+						return evalErr
 					}
-					row, keep, err := e.streamEvalRow(sp, venv)
-					if err != nil {
-						return err
-					}
-					if keep {
-						rows = append(rows, row)
+					select {
+					case ch <- morselBatch{idx: ci, rows: rows}:
+					case <-ictx.Done():
+						return ictx.Err()
 					}
 				}
-				select {
-				case ch <- morselBatch{idx: m.Lo / morsel, rows: rows}:
-					return nil
-				case <-ictx.Done():
-					return ictx.Err()
-				}
+				return nil
 			})
 			if err != nil {
 				select {
@@ -479,41 +503,3 @@ func (e *Engine) parallelStreamCursor(ctx context.Context, sp *streamPlan, ds *D
 	return &Cursor{cols: cols, items: sp.items, next: next, stop: stop, cancel: cancel}
 }
 
-// serialDatasetStream streams filter+projection over an already
-// materialized scan (small parallel-eligible results).
-func (e *Engine) serialDatasetStream(ctx context.Context, sp *streamPlan, ds *Dataset, cols []Col) *Cursor {
-	seq := func(yield func(cursorItem) bool) {
-		n := ds.NumRows()
-		srcRow := make([]value.Value, len(ds.Cols))
-		venv := &valuesEnv{cols: ds.Cols, vals: srcRow, outer: sp.outer}
-		emitted := 0
-		for r := 0; r < n; r++ {
-			if r&255 == 0 {
-				if err := ctx.Err(); err != nil {
-					yield(cursorItem{err: err})
-					return
-				}
-			}
-			for c := range ds.Cols {
-				srcRow[c] = ds.Vecs[c].Get(r)
-			}
-			row, keep, err := e.streamEvalRow(sp, venv)
-			if err != nil {
-				yield(cursorItem{err: err})
-				return
-			}
-			if !keep {
-				continue
-			}
-			if sp.limit >= 0 && emitted >= sp.limit {
-				return
-			}
-			if !yield(cursorItem{row: row}) {
-				return
-			}
-			emitted++
-		}
-	}
-	next, stop := iter.Pull(seq)
-	return &Cursor{cols: cols, items: sp.items, next: next, stop: stop}
-}

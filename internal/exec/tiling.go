@@ -505,31 +505,13 @@ func (e *Engine) forEachTileCell(tiles []ast.TileElement, arr *array.Array, env 
 			}
 			return visit(coords, vals)
 		}
-		s := sels[di]
-		if s.point {
-			coords[di] = s.val
-			return rec(sels, di+1)
-		}
-		if s.sparse {
-			for _, v := range cache.inRange(arr, di, s.lo, s.hi) {
-				coords[di] = v
-				if err := rec(sels, di+1); err != nil {
-					return err
-				}
-			}
-			return nil
-		}
-		step := s.step
-		if step <= 0 {
-			step = 1
-		}
-		for v := s.lo; v < s.hi; v += step {
+		// Tile-cell expansion goes through the shared [lo:hi:step]
+		// expander, so tiles, expression-position slices and the scan
+		// path's matcher agree on stride semantics.
+		return forEachSelCoord(sels[di], arr, di, cache, func(v int64) error {
 			coords[di] = v
-			if err := rec(sels, di+1); err != nil {
-				return err
-			}
-		}
-		return nil
+			return rec(sels, di+1)
+		})
 	}
 	for _, t := range tiles {
 		sels, err := e.resolveIndexers(arr, t.Ref.Indexers, env)

@@ -185,6 +185,59 @@ func (s *linearStore) Scan(visit func(coords []int64, vals []value.Value) bool) 
 	}
 }
 
+// chunkRanges splits [0, total) into roughly target contiguous ranges.
+func chunkRanges(total int64, target int) [][2]int64 {
+	if total <= 0 {
+		return nil
+	}
+	if target < 1 {
+		target = 1
+	}
+	size := (total + int64(target) - 1) / int64(target)
+	if size < 1 {
+		size = 1
+	}
+	out := make([][2]int64, 0, target)
+	for lo := int64(0); lo < total; lo += size {
+		hi := lo + size
+		if hi > total {
+			hi = total
+		}
+		out = append(out, [2]int64{lo, hi})
+	}
+	return out
+}
+
+// ScanChunks splits the linear position range into contiguous chunks;
+// concatenated in order they reproduce Scan exactly. Only the columns
+// in attrs are materialized into vals (hole detection still consults
+// every column, like Scan).
+func (s *linearStore) ScanChunks(target int, attrs []int) []array.ChunkScan {
+	cols := array.AllAttrs(attrs, len(s.attrs))
+	ranges := chunkRanges(s.total, target)
+	out := make([]array.ChunkScan, len(ranges))
+	for ci, r := range ranges {
+		lo, hi := r[0], r[1]
+		out[ci] = func(visit func(coords []int64, vals []value.Value) bool) {
+			coords := make([]int64, len(s.dims))
+			vals := make([]value.Value, len(cols))
+			for p := lo; p < hi; p++ {
+				if s.isHole(int(p)) {
+					continue
+				}
+				s.coordsOf(p, coords)
+				for vi, ai := range cols {
+					vals[vi] = s.cols[ai].get(int(p))
+				}
+				if !visit(coords, vals) {
+					return
+				}
+			}
+		}
+	}
+	return out
+}
+
 func (s *linearStore) Bounds() (lo, hi []int64, ok bool) {
 	lo = make([]int64, len(s.dims))
 	hi = make([]int64, len(s.dims))

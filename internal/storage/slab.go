@@ -199,44 +199,82 @@ func (s *slabStore) posIsHole(blk *slabBlock, pos int) bool {
 	return true
 }
 
-func (s *slabStore) Scan(visit func(coords []int64, vals []value.Value) bool) {
-	// Deterministic order: sort slab keys.
+// sortedKeys returns the slab keys in the deterministic scan order.
+func (s *slabStore) sortedKeys() []string {
 	keys := make([]string, 0, len(s.blocks))
 	for k := range s.blocks {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	coords := make([]int64, len(s.dims))
-	vals := make([]value.Value, len(s.attrs))
+	return keys
+}
+
+// scanBlock visits the non-hole cells of one slab in position order,
+// materializing the attribute columns listed in cols; false return
+// from visit stops the walk (and is propagated).
+func (s *slabStore) scanBlock(blk *slabBlock, cols []int, coords []int64, vals []value.Value, visit func(coords []int64, vals []value.Value) bool) bool {
 	vol := 1
 	for range s.dims {
 		vol *= int(s.slabSize)
 	}
-	for _, k := range keys {
-		blk := s.blocks[k]
-		for pos := 0; pos < vol; pos++ {
-			if s.posIsHole(blk, pos) {
-				continue
+	for pos := 0; pos < vol; pos++ {
+		if s.posIsHole(blk, pos) {
+			continue
+		}
+		// Decode in-block position to coordinates.
+		p := int64(pos)
+		for i := len(s.dims) - 1; i >= 0; i-- {
+			within := p % s.slabSize
+			p /= s.slabSize
+			step := s.dims[i].Step
+			if step <= 0 {
+				step = 1
 			}
-			// Decode in-block position to coordinates.
-			p := int64(pos)
-			for i := len(s.dims) - 1; i >= 0; i-- {
-				within := p % s.slabSize
-				p /= s.slabSize
-				step := s.dims[i].Step
-				if step <= 0 {
-					step = 1
+			coords[i] = blk.origin[i] + within*step
+		}
+		for vi, ai := range cols {
+			vals[vi] = blk.cols[ai].get(pos)
+		}
+		if !visit(coords, vals) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *slabStore) Scan(visit func(coords []int64, vals []value.Value) bool) {
+	coords := make([]int64, len(s.dims))
+	vals := make([]value.Value, len(s.attrs))
+	cols := array.AllAttrs(nil, len(s.attrs))
+	for _, k := range s.sortedKeys() {
+		if !s.scanBlock(s.blocks[k], cols, coords, vals, visit) {
+			return
+		}
+	}
+}
+
+// ScanChunks splits the sorted slab list into contiguous groups — the
+// slab is the natural unit of parallelism (§2.2) — so concatenating
+// the chunks in order reproduces Scan exactly. Only the attribute
+// columns in attrs are materialized.
+func (s *slabStore) ScanChunks(target int, attrs []int) []array.ChunkScan {
+	cols := array.AllAttrs(attrs, len(s.attrs))
+	keys := s.sortedKeys()
+	ranges := chunkRanges(int64(len(keys)), target)
+	out := make([]array.ChunkScan, len(ranges))
+	for ci, r := range ranges {
+		group := keys[r[0]:r[1]]
+		out[ci] = func(visit func(coords []int64, vals []value.Value) bool) {
+			coords := make([]int64, len(s.dims))
+			vals := make([]value.Value, len(cols))
+			for _, k := range group {
+				if !s.scanBlock(s.blocks[k], cols, coords, vals, visit) {
+					return
 				}
-				coords[i] = blk.origin[i] + within*step
-			}
-			for ai := range blk.cols {
-				vals[ai] = blk.cols[ai].get(pos)
-			}
-			if !visit(coords, vals) {
-				return
 			}
 		}
 	}
+	return out
 }
 
 func (s *slabStore) Bounds() (lo, hi []int64, ok bool) {

@@ -355,3 +355,133 @@ func TestStepDimensions(t *testing.T) {
 		}
 	}
 }
+
+// chunkTestSchema has two attributes so pruning is observable.
+func chunkTestSchema(n int64) array.Schema {
+	return array.Schema{
+		Dims: []array.Dimension{
+			{Name: "x", Typ: value.Int, Start: 0, End: n, Step: 1},
+			{Name: "y", Typ: value.Int, Start: 0, End: n, Step: 1},
+		},
+		Attrs: []array.Attr{
+			{Name: "a", Typ: value.Float, Default: value.NewNull(value.Float)},
+			{Name: "b", Typ: value.Int, Default: value.NewNull(value.Int)},
+		},
+	}
+}
+
+// renderScan flattens a scan into "x,y:v0|v1|..." lines.
+func renderScan(scan array.ChunkScan) []string {
+	var out []string
+	scan(func(coords []int64, vals []value.Value) bool {
+		line := ""
+		for i, c := range coords {
+			if i > 0 {
+				line += ","
+			}
+			line += value.NewInt(c).String()
+		}
+		line += ":"
+		for i, v := range vals {
+			if i > 0 {
+				line += "|"
+			}
+			line += v.String()
+		}
+		out = append(out, line)
+		return true
+	})
+	return out
+}
+
+// TestScanChunksMatchScan pins the chunk contract on every scheme:
+// concatenating the chunks in order reproduces Scan exactly, for any
+// target chunk count, and attribute pruning never changes which cells
+// are visited (liveness is judged on all attributes).
+func TestScanChunksMatchScan(t *testing.T) {
+	const n = 9
+	sch := chunkTestSchema(n)
+	for name, st := range allSchemes(t, sch) {
+		// Sparse-ish fill; cell (2,3) is live only through attribute b,
+		// so a scan pruned to attribute a must still visit it (as NULL).
+		for x := int64(0); x < n; x++ {
+			for y := int64(0); y < n; y++ {
+				if (x+y)%3 == 0 {
+					continue // leave holes
+				}
+				if err := st.Set([]int64{x, y}, 0, value.NewFloat(float64(x*n+y))); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := st.Set([]int64{2, 3}, 1, value.NewInt(42)); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Set([]int64{2, 3}, 0, value.NewNull(value.Float)); err != nil {
+			t.Fatal(err)
+		}
+		cs, ok := st.(array.ChunkedScanner)
+		if !ok {
+			t.Fatalf("%s: store does not implement ChunkedScanner", name)
+		}
+		want := renderScan(st.Scan)
+		for _, target := range []int{1, 2, 5, 100} {
+			chunks := cs.ScanChunks(target, nil)
+			var got []string
+			for _, c := range chunks {
+				got = append(got, renderScan(c)...)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s target=%d: %d rows, want %d", name, target, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s target=%d row %d: %q != %q", name, target, i, got[i], want[i])
+				}
+			}
+		}
+		// Pruned to attribute b only: same cells, vals[0] = attribute 1.
+		var prunedCells, prunedB []string
+		for _, c := range cs.ScanChunks(3, []int{1}) {
+			c(func(coords []int64, vals []value.Value) bool {
+				prunedCells = append(prunedCells, value.NewInt(coords[0]).String()+","+value.NewInt(coords[1]).String())
+				prunedB = append(prunedB, vals[0].String())
+				return true
+			})
+		}
+		var wantCells, wantB []string
+		st.Scan(func(coords []int64, vals []value.Value) bool {
+			wantCells = append(wantCells, value.NewInt(coords[0]).String()+","+value.NewInt(coords[1]).String())
+			wantB = append(wantB, vals[1].String())
+			return true
+		})
+		if len(prunedCells) != len(wantCells) {
+			t.Fatalf("%s pruned: %d cells, want %d", name, len(prunedCells), len(wantCells))
+		}
+		for i := range wantCells {
+			if prunedCells[i] != wantCells[i] || prunedB[i] != wantB[i] {
+				t.Fatalf("%s pruned row %d: cell %s val %s, want cell %s val %s",
+					name, i, prunedCells[i], prunedB[i], wantCells[i], wantB[i])
+			}
+		}
+	}
+}
+
+// TestScanChunksEarlyStop: returning false stops only that chunk.
+func TestScanChunksEarlyStop(t *testing.T) {
+	sch := schema2D(8, 1, true)
+	for name, st := range allSchemes(t, sch) {
+		cs := st.(array.ChunkedScanner)
+		chunks := cs.ScanChunks(4, nil)
+		for _, c := range chunks {
+			count := 0
+			c(func([]int64, []value.Value) bool {
+				count++
+				return false
+			})
+			if count != 1 {
+				t.Fatalf("%s: early-stopped chunk visited %d cells", name, count)
+			}
+		}
+	}
+}

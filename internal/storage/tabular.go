@@ -221,6 +221,37 @@ func (s *tabularStore) Scan(visit func(coords []int64, vals []value.Value) bool)
 	}
 }
 
+// ScanChunks splits the row range into contiguous chunks; concatenated
+// in order they reproduce Scan exactly. Only the attribute columns in
+// attrs are materialized into vals.
+func (s *tabularStore) ScanChunks(target int, attrs []int) []array.ChunkScan {
+	cols := array.AllAttrs(attrs, len(s.attrs))
+	ranges := chunkRanges(int64(len(s.tomb)), target)
+	out := make([]array.ChunkScan, len(ranges))
+	for ci, r := range ranges {
+		lo, hi := int(r[0]), int(r[1])
+		out[ci] = func(visit func(coords []int64, vals []value.Value) bool) {
+			coords := make([]int64, len(s.dims))
+			vals := make([]value.Value, len(cols))
+			for row := lo; row < hi; row++ {
+				if s.tomb[row] {
+					continue
+				}
+				for i := range s.idx {
+					coords[i] = s.idx[i].get(row).I
+				}
+				for vi, ai := range cols {
+					vals[vi] = s.cols[ai].get(row)
+				}
+				if !visit(coords, vals) {
+					return
+				}
+			}
+		}
+	}
+	return out
+}
+
 // DimValues returns the sorted distinct coordinate values along
 // dimension di — the sparse-range expansion index. The result must be
 // treated as read-only.

@@ -24,6 +24,10 @@ var parallelQuerySet = []string{
 	`SELECT [x], [y], SUM(v), COUNT(*) FROM matrix GROUP BY DISTINCT matrix[x:x+4][y:y+4]`,
 	`SELECT [x], AVG(v) FROM matrix GROUP BY matrix[x][*]`,
 	`SELECT [x], [y], AVG(v) FROM matrix WHERE x < 6 GROUP BY DISTINCT matrix[x:x+2][y:y+2]`,
+	// Stepped FROM slices and pruned projections on the scan path.
+	`SELECT x, y, v FROM matrix[0:8:3][*] ORDER BY x, y`,
+	`SELECT x, w FROM matrix[1:8:2][0:8:4] ORDER BY x, y`,
+	`SELECT x, v FROM matrix WHERE MOD(y, 2) = 0 ORDER BY x, y`,
 	`SELECT count(*) FROM stripes`,
 	`SELECT x, y, v FROM diagonal ORDER BY x`,
 	`SELECT DISTINCT v FROM diagonal ORDER BY v`,

@@ -45,6 +45,9 @@ var walkthroughQueries = []string{
 	`SELECT x, v FROM matrix LIMIT 0`,
 	`SELECT matrix.v FROM matrix WHERE matrix.x = 1`,
 	`SELECT x, y, v FROM matrix WHERE x = 1 AND x = 2`,
+	`SELECT x, y, v FROM matrix[0:4:2][*]`,
+	`SELECT x, y FROM matrix[1:4:2][0:4:3]`,
+	`SELECT x, w FROM vmatrix[-1:5:3][*] WHERE w > 0`,
 	`SELECT count(*) FROM stripes`,
 	`SELECT x, AVG(v) FROM matrix GROUP BY x`,
 	`SELECT [x], [y], AVG(v) FROM matrix GROUP BY DISTINCT matrix[x:x+2][y:y+2]`,
