@@ -31,6 +31,7 @@ var (
 	only  = flag.String("only", "", "run only experiments whose id has this prefix")
 	par   = flag.Int("par", 4, "worker count for the parallel-execution experiments (P1, P3)")
 	p3out = flag.String("p3out", "", "write the P3 measurements as JSON to this file")
+	p4out = flag.String("p4out", "", "write the P4 measurements as JSON to this file")
 )
 
 func main() {
@@ -51,6 +52,7 @@ func main() {
 	runP1()
 	runP2()
 	runP3()
+	runP4()
 }
 
 func want(id string) bool {
@@ -620,5 +622,109 @@ func runP3() {
 			fail("P3", err)
 		}
 		fmt.Printf("(P3 measurements written to %s)\n\n", *p3out)
+	}
+}
+
+// p4Result is the recorded shape of the P4 experiment: vectorized
+// (bulk-kernel) execution vs the tree-walking interpreter on the P3
+// workload shape. -p4out writes the latest run (truncating);
+// committing BENCH_P4.json per change keeps the perf trajectory in
+// git history.
+type p4Result struct {
+	Experiment         string  `json:"experiment"`
+	Cells              int64   `json:"cells"`
+	GOMAXPROCS         int     `json:"gomaxprocs"`
+	InterpretedMs      float64 `json:"interpreted_scan_ms"`
+	VectorizedMs       float64 `json:"vectorized_scan_ms"`
+	Speedup            float64 `json:"vectorization_speedup"`
+	FullProjectionMs   float64 `json:"vectorized_full_projection_ms"`
+	PrunedProjectionMs float64 `json:"vectorized_pruned_projection_ms"`
+	PruneSpeedup       float64 `json:"prune_speedup"`
+	Rows               int     `json:"result_rows"`
+}
+
+// runP4 measures vectorized execution: the P3 filter-heavy 1M-cell
+// scan single-core with the expression interpreter vs the compiled
+// kernel pipeline (byte-identical results enforced), plus the full- vs
+// pruned-projection comparison under vectorization.
+func runP4() {
+	if !want("P4") {
+		return
+	}
+	n := int64(1024)
+	if *quick {
+		n = 512
+	}
+	header("P4", fmt.Sprintf("vectorized execution: BAT kernels vs tree-walking interpreter (%dx%d = %d cells, single core)",
+		n, n, n*n))
+	db := sciql.Open()
+	db.MustExec(fmt.Sprintf(`CREATE ARRAY vecscan (x INTEGER DIMENSION[%d], y INTEGER DIMENSION[%d],
+		a FLOAT DEFAULT 1.0, b FLOAT DEFAULT 2.0, c FLOAT DEFAULT 3.0)`, n, n))
+	filterQ := `SELECT x, y, a FROM vecscan WHERE MOD(x * 31 + y, 7) < 3 AND MOD(x + y, 5) <> 0 AND a > 0`
+	db.Parallelism(1)
+	var interpRows, vecRows int
+	var interpOut, vecOut string
+	dI, err := timeIt(func() error {
+		db.Vectorize(false)
+		rs, e := db.Query(filterQ)
+		if e == nil {
+			interpRows, interpOut = rs.NumRows(), rs.String()
+		}
+		return e
+	})
+	if err != nil {
+		fail("P4", err)
+	}
+	dV, err := timeIt(func() error {
+		db.Vectorize(true)
+		rs, e := db.Query(filterQ)
+		if e == nil {
+			vecRows, vecOut = rs.NumRows(), rs.String()
+		}
+		return e
+	})
+	if err != nil {
+		fail("P4", err)
+	}
+	if interpRows != vecRows || interpOut != vecOut {
+		fail("P4", fmt.Errorf("vectorized result differs from interpreter (%d vs %d rows)", vecRows, interpRows))
+	}
+	fullQ := `SELECT x, y, a, b, c FROM vecscan WHERE MOD(x * 31 + y, 7) = 0`
+	prunedQ := `SELECT x, y, a FROM vecscan WHERE MOD(x * 31 + y, 7) = 0`
+	dFull, err := timeIt(func() error { _, e := db.Query(fullQ); return e })
+	if err != nil {
+		fail("P4", err)
+	}
+	dPruned, err := timeIt(func() error { _, e := db.Query(prunedQ); return e })
+	if err != nil {
+		fail("P4", err)
+	}
+	res := p4Result{
+		Experiment:         "P4",
+		Cells:              n * n,
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		InterpretedMs:      float64(dI.Microseconds()) / 1000,
+		VectorizedMs:       float64(dV.Microseconds()) / 1000,
+		Speedup:            float64(dI.Nanoseconds()) / float64(dV.Nanoseconds()),
+		FullProjectionMs:   float64(dFull.Microseconds()) / 1000,
+		PrunedProjectionMs: float64(dPruned.Microseconds()) / 1000,
+		PruneSpeedup:       float64(dFull.Nanoseconds()) / float64(dPruned.Nanoseconds()),
+		Rows:               interpRows,
+	}
+	fmt.Printf("interpreted scan (row-at-a-time):  %8.1f ms  (%d rows)\n", res.InterpretedMs, interpRows)
+	fmt.Printf("vectorized scan (BAT kernels):     %8.1f ms\n", res.VectorizedMs)
+	fmt.Printf("vectorization speedup: %.2fx single-core (the paper's column-at-a-time argument)\n", res.Speedup)
+	fmt.Printf("vectorized full projection (5 cols):   %8.1f ms\n", res.FullProjectionMs)
+	fmt.Printf("vectorized pruned projection (3 cols): %8.1f ms\n", res.PrunedProjectionMs)
+	fmt.Printf("pruning speedup under vectorization: %.2fx\n\n", res.PruneSpeedup)
+	if *p4out != "" {
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fail("P4", err)
+		}
+		if err := os.WriteFile(*p4out, append(buf, '\n'), 0o644); err != nil {
+			fail("P4", err)
+		}
+		fmt.Printf("(P4 measurements written to %s)\n\n", *p4out)
 	}
 }

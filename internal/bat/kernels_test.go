@@ -1,0 +1,172 @@
+package bat
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func intVec(vals ...any) *IntVector {
+	v := New(value.Int, len(vals)).(*IntVector)
+	for _, x := range vals {
+		if x == nil {
+			v.Append(value.NewNull(value.Int))
+		} else {
+			v.Append(value.NewInt(int64(x.(int))))
+		}
+	}
+	return v
+}
+
+func floatVec(vals ...any) *FloatVector {
+	v := New(value.Float, len(vals)).(*FloatVector)
+	for _, x := range vals {
+		if x == nil {
+			v.Append(value.NewNull(value.Float))
+		} else {
+			v.Append(value.NewFloat(x.(float64)))
+		}
+	}
+	return v
+}
+
+func boolVec(vals ...any) *BoolVector {
+	v := New(value.Bool, len(vals)).(*BoolVector)
+	for _, x := range vals {
+		if x == nil {
+			v.Append(value.NewNull(value.Bool))
+		} else {
+			v.Append(value.NewBool(x.(bool)))
+		}
+	}
+	return v
+}
+
+func wantVals(t *testing.T, got Vector, want ...string) {
+	t.Helper()
+	if got.Len() != len(want) {
+		t.Fatalf("length %d, want %d", got.Len(), len(want))
+	}
+	for i, w := range want {
+		if s := got.Get(i).String(); s != w {
+			t.Errorf("element %d: got %s, want %s", i, s, w)
+		}
+	}
+}
+
+func TestIntArithNullsAndDivZero(t *testing.T) {
+	a := intVec(10, nil, 7, -9)
+	b := intVec(3, 4, 0, nil)
+	wantVals(t, AddInt64(a, b), "13", "NULL", "7", "NULL")
+	wantVals(t, SubInt64(a, b), "7", "NULL", "7", "NULL")
+	wantVals(t, MulInt64(a, b), "30", "NULL", "0", "NULL")
+	wantVals(t, DivInt64(a, b), "3", "NULL", "NULL", "NULL")
+	wantVals(t, ModInt64(a, b), "1", "NULL", "NULL", "NULL")
+	wantVals(t, DivInt64C(a, 0), "NULL", "NULL", "NULL", "NULL")
+	wantVals(t, ModCInt64(100, a), "0", "NULL", "2", "1")
+	wantVals(t, DivCInt64(100, intVec(0, 7)), "NULL", "14")
+}
+
+func TestFloatArithNullsAndDivZero(t *testing.T) {
+	a := floatVec(10.0, nil, 7.5)
+	b := floatVec(2.5, 4.0, 0.0)
+	wantVals(t, DivFloat64(a, b), "4", "NULL", "NULL")
+	wantVals(t, ModFloat64(a, b), "0", "NULL", "NULL")
+	wantVals(t, DivFloat64C(a, 0), "NULL", "NULL", "NULL")
+	wantVals(t, MulFloat64C(a, 2), "20", "NULL", "15")
+}
+
+func TestCmpNullsAndNaN(t *testing.T) {
+	a := intVec(1, nil, 5)
+	b := intVec(2, 2, 5)
+	wantVals(t, CmpInt64("<", a, b), "true", "NULL", "false")
+	wantVals(t, CmpInt64("=", a, b), "false", "NULL", "true")
+	wantVals(t, CmpInt64C(">=", a, 5), "false", "NULL", "true")
+	// NaN compares equal to everything, mirroring value.Compare.
+	nan := floatVec(math.NaN())
+	if got := CmpFloat64C("=", nan, 3).Get(0); !got.B {
+		t.Errorf("NaN = 3 should be true under value.Compare semantics, got %s", got)
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	// Truth tables over {true, false, NULL} x {true, false, NULL}.
+	l := boolVec(true, true, true, false, false, false, nil, nil, nil)
+	r := boolVec(true, false, nil, true, false, nil, true, false, nil)
+	wantVals(t, AndBool(l, r), "true", "false", "NULL", "false", "false", "false", "NULL", "false", "NULL")
+	wantVals(t, OrBool(l, r), "true", "true", "true", "true", "false", "NULL", "true", "NULL", "NULL")
+	wantVals(t, NotBool(boolVec(true, false, nil)), "false", "true", "NULL")
+}
+
+func TestSelectionVectors(t *testing.T) {
+	b := boolVec(true, false, nil, true)
+	sel := TruthSel(b)
+	if len(sel) != 2 || sel[0] != 0 || sel[1] != 3 {
+		t.Fatalf("TruthSel = %v, want [0 3]", sel)
+	}
+	// Numeric truthiness mirrors value.AsBool.
+	iv := intVec(0, 5, nil, -1)
+	sel = TruthSel(iv)
+	if len(sel) != 2 || sel[0] != 1 || sel[1] != 3 {
+		t.Fatalf("TruthSel(int) = %v, want [1 3]", sel)
+	}
+	refined := AndSel([]int{0, 3}, boolVec(true, false, false, nil))
+	if len(refined) != 1 || refined[0] != 0 {
+		t.Fatalf("AndSel = %v, want [0]", refined)
+	}
+}
+
+func TestIsNullVec(t *testing.T) {
+	v := floatVec(1.5, nil)
+	wantVals(t, IsNullVec(v, false), "false", "true")
+	wantVals(t, IsNullVec(v, true), "true", "false")
+}
+
+func TestConcatAndViewRange(t *testing.T) {
+	a := intVec(1, nil, 3)
+	b := intVec(4, nil)
+	out := Concat(New(value.Int, 0), a)
+	out = Concat(out, b)
+	wantVals(t, out, "1", "NULL", "3", "4", "NULL")
+	// A NULL-free range shares the backing array; a NULL-bearing one
+	// falls back to a copy — both read identically.
+	wantVals(t, ViewRange(a, 2, 3), "3")
+	wantVals(t, ViewRange(a, 0, 2), "1", "NULL")
+	if v := ViewRange(a, 0, 3); v != Vector(a) {
+		t.Error("full-range view should be the vector itself")
+	}
+}
+
+func TestBroadcastAndPromotion(t *testing.T) {
+	v := Broadcast(value.NewInt(7), value.Int, 3)
+	wantVals(t, v, "7", "7", "7")
+	nv := Broadcast(value.NewNull(value.Bool), value.Bool, 2)
+	wantVals(t, nv, "NULL", "NULL")
+	f := ToFloat64(intVec(2, nil))
+	wantVals(t, f, "2", "NULL")
+	if f.Type() != value.Float {
+		t.Errorf("promoted type = %s", f.Type())
+	}
+}
+
+func TestMapAndPowKernels(t *testing.T) {
+	wantVals(t, MapFloat64(math.Sqrt, floatVec(9.0, nil)), "3", "NULL")
+	wantVals(t, PowFloat64C(floatVec(2.0, nil), 3), "8", "NULL")
+	wantVals(t, PowCFloat64(2, floatVec(3.0)), "8")
+	wantVals(t, AbsInt64(intVec(-4, 4, nil)), "4", "4", "NULL")
+	wantVals(t, NegFloat64(floatVec(1.5, nil)), "-1.5", "NULL")
+}
+
+func TestNullCountHasNonNull(t *testing.T) {
+	v := intVec(1, nil, nil)
+	if NullCount(v) != 2 {
+		t.Errorf("NullCount = %d", NullCount(v))
+	}
+	if !HasNonNull(v) {
+		t.Error("HasNonNull should be true")
+	}
+	if HasNonNull(intVec(nil, nil)) {
+		t.Error("HasNonNull over all NULLs should be false")
+	}
+}

@@ -40,6 +40,17 @@ type Engine struct {
 	// AST) plan once, not once per row.
 	planMu    sync.Mutex
 	planCache map[*ast.Select]planDecision
+	// vectorized enables compiling filters/projections into bulk BAT
+	// kernels; off forces the row-at-a-time interpreter everywhere.
+	vectorized bool
+	// vecCache memoizes compiled kernel programs per (expression AST
+	// node, binding mode), alongside the plan cache (same invalidation
+	// points), so prepared statements compile kernels once. fusedSkip
+	// memoizes "the fused scan path has nothing to offer" verdicts per
+	// SELECT node so repeated executions skip the stream analysis.
+	vecMu     sync.Mutex
+	vecCache  map[vecCacheKey]*vecCacheEntry
+	fusedSkip map[*ast.Select]bool
 	// qctx is the context of the statement currently executing through
 	// ExecContext; helpers consult it (via canceled and the worker
 	// pool) so cancellation stops long scans. The engine executes one
@@ -87,6 +98,7 @@ func New() *Engine {
 		Ev:           expr.New(),
 		externals:    make(map[string]func([]value.Value) (value.Value, error)),
 		StorageHints: make(map[string]storage.Hints),
+		vectorized:   true,
 	}
 	e.Ev.Hooks = expr.Hooks{
 		Subquery: e.scalarSubquery,
@@ -128,7 +140,21 @@ func (e *Engine) SetParallelism(n int) {
 	e.planMu.Lock()
 	e.planCache = nil
 	e.planMu.Unlock()
+	e.invalidateVecCache()
 }
+
+// SetVectorized toggles vectorized (bulk-kernel) evaluation of
+// filters and projections; off forces the row-at-a-time interpreter.
+// Results are byte-identical either way — the knob exists for
+// benchmarking and the identity test suite.
+func (e *Engine) SetVectorized(on bool) {
+	e.vectorized = on
+	// Fused-path verdicts embed the old setting.
+	e.invalidateVecCache()
+}
+
+// Vectorized reports whether bulk-kernel evaluation is enabled.
+func (e *Engine) Vectorized() bool { return e.vectorized }
 
 // Parallelism reports the configured worker count (1 = serial).
 func (e *Engine) Parallelism() int {
@@ -198,6 +224,7 @@ func (e *Engine) ddl(err error) error {
 	e.planMu.Lock()
 	e.planCache = nil
 	e.planMu.Unlock()
+	e.invalidateVecCache()
 	return err
 }
 

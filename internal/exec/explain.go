@@ -48,8 +48,9 @@ func (e *Engine) execExplain(s *ast.Explain) (*Dataset, error) {
 // this directly, so EXPLAIN never re-enters the SQL string layer.
 func (e *Engine) ExplainSelect(sel *ast.Select) *Dataset {
 	pl := e.planSelect(sel)
+	rendered := pl.RenderAnnotated(e.vecAnnotator(sel, pl))
 	out := NewDataset([]Col{{Name: "plan", Typ: value.String}})
-	for _, line := range strings.Split(strings.TrimRight(pl.String(), "\n"), "\n") {
+	for _, line := range strings.Split(strings.TrimRight(rendered, "\n"), "\n") {
 		out.Append([]value.Value{value.NewString(line)})
 	}
 	mode := "execution: serial interpreter"
@@ -63,4 +64,82 @@ func (e *Engine) ExplainSelect(sel *ast.Select) *Dataset {
 	}
 	out.Append([]value.Value{value.NewString(mode)})
 	return out
+}
+
+// vecAnnotator builds the per-operator EXPLAIN annotation marking
+// which operators' expressions compile into bulk kernels. It applies
+// to single-array pipelines (the shapes the vectorized paths run);
+// nil disables annotation.
+func (e *Engine) vecAnnotator(sel *ast.Select, pl *plan.Plan) func(plan.Node) string {
+	if !e.vectorized {
+		return nil
+	}
+	// Annotation needs a unique scanned array to type the columns.
+	var scan *plan.Scan
+	scans := 0
+	var walk func(n plan.Node)
+	walk = func(n plan.Node) {
+		if s, ok := n.(*plan.Scan); ok {
+			scans++
+			if !s.Table {
+				scan = s
+			}
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(pl.Root)
+	if scans != 1 || scan == nil {
+		return nil
+	}
+	arr, ok := e.Cat.Array(scan.Name)
+	if !ok {
+		return nil
+	}
+	qual := scan.Qual
+	if qual == "" {
+		qual = scan.Name
+	}
+	// The pruned projection comes from the same memoized decision the
+	// executor binds kernels against, so the annotation cannot diverge
+	// from what actually runs.
+	attrs := e.selectDecision(sel).scanAttrs(arr, scan.Name)
+	cols := scanColsPruned(arr, qual, attrs)
+	const tag = " [vectorized]"
+	return func(n plan.Node) string {
+		switch t := n.(type) {
+		case *plan.Filter:
+			if compileVec(t.Cond, cols, false) != nil {
+				return tag
+			}
+		case *plan.Project:
+			items := expandStars(t.ItemList, cols)
+			if len(items) == 0 {
+				return ""
+			}
+			for _, it := range items {
+				if compileVec(it.Expr, cols, false) == nil {
+					return ""
+				}
+			}
+			return tag
+		case *plan.Aggregate:
+			for _, k := range t.KeyExprs {
+				if compileVec(k, cols, false) == nil {
+					return ""
+				}
+			}
+			for _, c := range t.AggCalls {
+				if c.Star {
+					continue
+				}
+				if len(c.Args) != 1 || compileVec(c.Args[0], cols, false) == nil {
+					return ""
+				}
+			}
+			return tag
+		}
+		return ""
+	}
 }

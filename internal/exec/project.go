@@ -320,6 +320,116 @@ func (e *Engine) execValueGroupBy(sel *ast.Select, items []ast.SelectItem, havin
 		}
 		return sb.String(), nil
 	}
+	// When every GROUP BY key and aggregate argument compiles into bulk
+	// kernels, each range evaluates them column-at-a-time and only the
+	// hash probe stays per-row; values (and so keys, group order and
+	// fold order) are identical to the interpreter.
+	keyProgs := make([]*vecProg, len(keyExprs))
+	argProgs := make([]*vecProg, len(ac.calls))
+	vecOK := true
+	for i, k := range keyExprs {
+		if p := e.vecCompile(k, ds.Cols, true); p != nil && p.validFor(ds.Vecs) {
+			keyProgs[i] = p
+		} else {
+			vecOK = false
+		}
+	}
+	for i, call := range ac.calls {
+		if call.Star {
+			continue
+		}
+		if p := e.vecCompile(call.Args[0], ds.Cols, true); p != nil && p.validFor(ds.Vecs) {
+			argProgs[i] = p
+		} else {
+			vecOK = false
+		}
+	}
+	// processRange folds rows [lo, hi) into wm, calling onNew for each
+	// first-encountered key; serial marks the cancellation-checking
+	// single-threaded caller.
+	processRange := func(wm map[string]*group, onNew func(string), lo, hi int, env *rowEnv, serial bool) error {
+		if vecOK {
+			var sb strings.Builder
+			keyVecs := make([]bat.Vector, len(keyProgs))
+			argVecs := make([]bat.Vector, len(argProgs))
+			for blo := lo; blo < hi; blo += vecBatchRows {
+				bhi := blo + vecBatchRows
+				if bhi > hi {
+					bhi = hi
+				}
+				if serial {
+					if err := e.canceled(); err != nil {
+						return err
+					}
+				}
+				for i, p := range keyProgs {
+					keyVecs[i] = p.eval(ds.Vecs, blo, bhi)
+				}
+				for i, p := range argProgs {
+					if p != nil {
+						argVecs[i] = p.eval(ds.Vecs, blo, bhi)
+					}
+				}
+				for r := blo; r < bhi; r++ {
+					rel := r - blo
+					sb.Reset()
+					for _, kv := range keyVecs {
+						sb.WriteString(kv.Get(rel).String())
+						sb.WriteByte('\x00')
+					}
+					key := sb.String()
+					g, ok := wm[key]
+					if !ok {
+						g = newGroup(r, ac.calls)
+						wm[key] = g
+						if onNew != nil {
+							onNew(key)
+						}
+					}
+					for i, call := range ac.calls {
+						if call.Star {
+							g.counts[i]++
+							continue
+						}
+						v := argVecs[i].Get(rel)
+						if call.Distinct {
+							k := v.String()
+							if g.distinct[i][k] {
+								continue
+							}
+							g.distinct[i][k] = true
+						}
+						g.aggs[i].Add(v)
+					}
+				}
+			}
+			return nil
+		}
+		for r := lo; r < hi; r++ {
+			if serial && r&1023 == 0 {
+				if err := e.canceled(); err != nil {
+					return err
+				}
+			}
+			env.row = r
+			key, err := rowKey(env)
+			if err != nil {
+				return err
+			}
+			g, ok := wm[key]
+			if !ok {
+				g = newGroup(r, ac.calls)
+				wm[key] = g
+				if onNew != nil {
+					onNew(key)
+				}
+			}
+			if err := e.accumulate(g, ac.calls, env); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	if par > 1 && e.pool != nil && n >= 2*e.pool.Workers() {
 		// Partials are indexed by morsel (not worker) and merged in
 		// morsel order, so the grouping of float additions is a pure
@@ -333,22 +443,7 @@ func (e *Engine) execValueGroupBy(sel *ast.Select, items []ast.SelectItem, havin
 			wm := make(map[string]*group)
 			partials[m.Lo/morsel] = wm
 			env := &rowEnv{d: ds, outer: outer}
-			for r := m.Lo; r < m.Hi; r++ {
-				env.row = r
-				key, err := rowKey(env)
-				if err != nil {
-					return err
-				}
-				g, ok := wm[key]
-				if !ok {
-					g = newGroup(r, ac.calls)
-					wm[key] = g
-				}
-				if err := e.accumulate(g, ac.calls, env); err != nil {
-					return err
-				}
-			}
-			return nil
+			return processRange(wm, nil, m.Lo, m.Hi, env, false)
 		})
 		if err != nil {
 			return nil, err
@@ -380,26 +475,8 @@ func (e *Engine) execValueGroupBy(sel *ast.Select, items []ast.SelectItem, havin
 		})
 	} else {
 		env := &rowEnv{d: ds, outer: outer}
-		for r := 0; r < n; r++ {
-			if r&1023 == 0 {
-				if err := e.canceled(); err != nil {
-					return nil, err
-				}
-			}
-			env.row = r
-			key, err := rowKey(env)
-			if err != nil {
-				return nil, err
-			}
-			g, ok := groups[key]
-			if !ok {
-				g = newGroup(r, ac.calls)
-				groups[key] = g
-				order = append(order, key)
-			}
-			if err := e.accumulate(g, ac.calls, env); err != nil {
-				return nil, err
-			}
+		if err := processRange(groups, func(key string) { order = append(order, key) }, 0, n, env, true); err != nil {
+			return nil, err
 		}
 	}
 	// Aggregates over zero rows with no GROUP BY still yield one row.
@@ -441,20 +518,13 @@ func (e *Engine) execValueGroupBy(sel *ast.Select, items []ast.SelectItem, havin
 		inter.Append(row)
 	}
 	if havingRw != nil {
-		var keep []int
-		for r := 0; r < inter.NumRows(); r++ {
-			env := &rowEnv{d: inter, row: r, outer: outer}
-			ok, err := e.Ev.EvalBool(havingRw, env)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				keep = append(keep, r)
-			}
+		keep, err := e.filterKeep(havingRw, inter, outer, 1)
+		if err != nil {
+			return nil, err
 		}
 		inter = inter.Gather(keep)
 	}
-	return e.project(rewritten, inter, outer)
+	return e.projectWith(rewritten, inter, outer, 1)
 }
 
 // --- NEXT() time-series rewriting ---------------------------------------------

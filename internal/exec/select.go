@@ -61,6 +61,14 @@ func (e *Engine) execSelectCore(sel *ast.Select, outer expr.Env) (*Dataset, erro
 	if len(sel.From) == 0 || e.fromIsVacuous(sel, outer) {
 		return e.projectRowless(sel, outer)
 	}
+	// Streamable scan→filter→project pipelines run fused per scan
+	// chunk on the materializing path too, when there is something to
+	// gain: compiled kernel batches, or LIMIT pushed into the scan.
+	if be, isBase := outer.(*baseEnv); isBase {
+		if ds, handled, err := e.fusedScanSelect(sel, be); handled || err != nil {
+			return ds, err
+		}
+	}
 	// The planner gates the morsel-driven path: dec.par is the worker
 	// count when the optimized plan shape and the expressions qualify,
 	// 1 (serial interpreter) otherwise. The decision also carries the
@@ -131,6 +139,47 @@ func (e *Engine) execSelectCore(sel *ast.Select, outer expr.Env) (*Dataset, erro
 		}
 	}
 	return e.finishSelectSorted(sel, out, outer, sorted)
+}
+
+// fusedScanSelect executes a streamable SELECT through the chunked
+// scan pipeline (filter + projection per scan batch) and materializes
+// the batches. handled is false when the statement's shape does not
+// qualify, or when the fused path has nothing to offer over the
+// generic scan (no compiled kernels and no LIMIT to push down) —
+// results are byte-identical either way, by the stream/materialize
+// identity contract.
+func (e *Engine) fusedScanSelect(sel *ast.Select, env *baseEnv) (*Dataset, bool, error) {
+	// The "nothing to offer" verdict is stable per statement (kernel
+	// eligibility is schema-dependent, LIMIT presence is syntactic), so
+	// it memoizes: repeated executions of a non-fusable shape skip the
+	// stream analysis entirely. Invalidated with the plan cache.
+	if sel.Limit == nil {
+		e.vecMu.Lock()
+		skip := e.fusedSkip[sel]
+		e.vecMu.Unlock()
+		if skip {
+			return nil, false, nil
+		}
+	}
+	sp, ok, err := e.compileStream(sel, env)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if sp.vec == nil && sp.limit < 0 {
+		e.vecMu.Lock()
+		if e.fusedSkip == nil || len(e.fusedSkip) >= planCacheMax {
+			e.fusedSkip = make(map[*ast.Select]bool)
+		}
+		e.fusedSkip[sel] = true
+		e.vecMu.Unlock()
+		return nil, false, nil
+	}
+	cur := e.streamCursorFor(e.ctx(), sp)
+	ds, err := cur.Materialize()
+	if err != nil {
+		return nil, true, err
+	}
+	return ds, true, nil
 }
 
 // resolveOrderCols maps ORDER BY keys onto dataset columns (by name or
@@ -924,10 +973,7 @@ func (e *Engine) scanChunksParallel(a *array.Array, cols []Col, eff []dimSel, ch
 	out := parts[0]
 	for _, p := range parts[1:] {
 		for c := range out.Vecs {
-			n := p.NumRows()
-			for r := 0; r < n; r++ {
-				out.Vecs[c].Append(p.Vecs[c].Get(r))
-			}
+			out.Vecs[c] = bat.Concat(out.Vecs[c], p.Vecs[c])
 		}
 	}
 	return out, nil
@@ -1083,6 +1129,10 @@ func (e *Engine) join(l, r *Dataset, j *ast.Join, outer expr.Env) (*Dataset, err
 	cols := append(append([]Col(nil), l.Cols...), r.Cols...)
 	out := NewDataset(cols)
 	row := make([]value.Value, len(cols))
+	// One environment serves every emitted row: it reads the shared row
+	// buffer, so allocating it per row (or per residual conjunct) would
+	// only feed the garbage collector.
+	env := &valuesEnv{cols: cols, vals: row, outer: outer}
 	emit := func(i, j2 int) error {
 		for c := range l.Cols {
 			row[c] = l.Vecs[c].Get(i)
@@ -1091,7 +1141,6 @@ func (e *Engine) join(l, r *Dataset, j *ast.Join, outer expr.Env) (*Dataset, err
 			row[len(l.Cols)+c] = r.Vecs[c].Get(j2)
 		}
 		for _, c := range residual {
-			env := &valuesEnv{cols: cols, vals: row, outer: outer}
 			ok, err := e.Ev.EvalBool(c, env)
 			if err != nil {
 				return err

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/array"
+	"repro/internal/bat"
 	"repro/internal/sql/ast"
 	"repro/internal/value"
 )
@@ -37,6 +38,15 @@ type cursorItem struct {
 	err error
 }
 
+// vecBatch is one step of a batch stream: the projected rows of one
+// scan batch as a dataset, or a terminal error. Vectorized cursors
+// produce batches; Next unpacks them row by row while Materialize
+// concatenates their columns wholesale.
+type vecBatch struct {
+	ds  *Dataset
+	err error
+}
+
 // Cursor is a pull-based row stream over a query result. It is not
 // safe for concurrent use; Close must be called when done (Materialize
 // and a drained Next loop close it implicitly).
@@ -49,12 +59,21 @@ type Cursor struct {
 	// ds backs fallback cursors (materialized execution).
 	ds  *Dataset
 	row int // next row of ds
-	// next/stop drive streaming cursors.
+	// next/stop drive row-streaming cursors.
 	next   func() (cursorItem, bool)
 	stop   func()
 	cancel context.CancelFunc
 	done   bool
 	err    error
+	// nextBatch/stopBatch drive vectorized (batch-streaming) cursors.
+	nextBatch func() (vecBatch, bool)
+	stopBatch func()
+	// batchCols is the static output column template of a vectorized
+	// cursor (kernel result types; all-NULL columns refine to Float at
+	// materialization, like the interpreter's type promotion).
+	batchCols []Col
+	batch     *Dataset
+	batchRow  int
 }
 
 // Cols describes the cursor's columns. For streaming cursors the
@@ -81,6 +100,24 @@ func (c *Cursor) Next() ([]value.Value, error) {
 		c.row++
 		return row, nil
 	}
+	if c.nextBatch != nil {
+		for c.batch == nil || c.batchRow >= c.batch.NumRows() {
+			b, ok := c.nextBatch()
+			if !ok {
+				c.done = true
+				return nil, nil
+			}
+			if b.err != nil {
+				c.err = b.err
+				c.Close()
+				return nil, b.err
+			}
+			c.batch, c.batchRow = b.ds, 0
+		}
+		row := c.batch.Row(c.batchRow)
+		c.batchRow++
+		return row, nil
+	}
 	it, ok := c.next()
 	if !ok {
 		c.done = true
@@ -105,6 +142,9 @@ func (c *Cursor) Close() {
 	if c.stop != nil {
 		c.stop()
 	}
+	if c.stopBatch != nil {
+		c.stopBatch()
+	}
 }
 
 // Materialize drains the cursor into a dataset with the same column
@@ -115,6 +155,37 @@ func (c *Cursor) Materialize() (*Dataset, error) {
 		return c.ds, nil
 	}
 	defer c.Close()
+	if c.nextBatch != nil {
+		// Vectorized cursors materialize by concatenating batch columns
+		// wholesale — no per-row boxing.
+		acc := make([]bat.Vector, len(c.batchCols))
+		for i, col := range c.batchCols {
+			acc[i] = bat.New(col.Typ, 0)
+		}
+		if c.batch != nil && c.batchRow < c.batch.NumRows() {
+			for i := range acc {
+				acc[i] = bat.Concat(acc[i], bat.ViewRange(c.batch.Vecs[i], c.batchRow, c.batch.NumRows()))
+			}
+		}
+		for !c.done && c.err == nil {
+			b, ok := c.nextBatch()
+			if !ok {
+				break
+			}
+			if b.err != nil {
+				return nil, b.err
+			}
+			for i := range acc {
+				acc[i] = bat.Concat(acc[i], b.ds.Vecs[i])
+			}
+		}
+		cols := append([]Col(nil), c.batchCols...)
+		for i := range acc {
+			v, t := finalizeVecOutput(acc[i])
+			acc[i], cols[i].Typ = v, t
+		}
+		return &Dataset{Cols: cols, Vecs: acc}, nil
+	}
 	colVals := make([][]value.Value, len(c.items))
 	for {
 		row, err := c.Next()
@@ -152,6 +223,116 @@ type streamPlan struct {
 	limit  int      // -1: none
 	par    int
 	outer  *baseEnv // host parameters
+	// vec holds the compiled kernel pipeline when filter, HAVING and
+	// every projection item vectorize; nil falls back to the row
+	// interpreter per cell.
+	vec *streamVec
+}
+
+// streamVec is the compiled vectorized pipeline of a streamable
+// SELECT: per scan batch, the filter program produces a selection
+// vector, the referenced columns gather through it, and the item
+// programs evaluate over the gathered batch.
+type streamVec struct {
+	srcCols []Col      // pruned scan columns the programs bind against
+	filter  *vecProg   // nil when every conjunct was pushed down
+	having  *vecProg   // nil without HAVING
+	items   []*vecProg // one per projection item
+	gather  []int      // batch columns the item programs reference
+	outCols []Col      // static output column template
+}
+
+// compileStreamVec compiles the stream plan's expressions into kernel
+// programs; nil when any of them falls outside the vectorizable
+// surface (the caller keeps the row pipeline).
+func (e *Engine) compileStreamVec(sp *streamPlan) *streamVec {
+	if !e.vectorized {
+		return nil
+	}
+	srcCols := scanColsPruned(sp.arr, sp.qual, sp.attrs)
+	sv := &streamVec{srcCols: srcCols}
+	if sp.where != nil {
+		if sv.filter = e.vecCompile(sp.where, srcCols, false); sv.filter == nil {
+			return nil
+		}
+	}
+	if sp.having != nil {
+		if sv.having = e.vecCompile(sp.having, srcCols, false); sv.having == nil {
+			return nil
+		}
+	}
+	used := map[int]bool{}
+	sv.items = make([]*vecProg, len(sp.items))
+	sv.outCols = make([]Col, len(sp.items))
+	for i, it := range sp.items {
+		p := e.vecCompile(it.Expr, srcCols, false)
+		if p == nil {
+			return nil
+		}
+		sv.items[i] = p
+		for _, ci := range p.used {
+			used[ci] = true
+		}
+		sv.outCols[i] = Col{Name: itemName(it, i), Typ: p.typ, IsDim: it.DimQual}
+		if id, ok := it.Expr.(*ast.Ident); ok {
+			sv.outCols[i].Qual = id.Table
+		}
+	}
+	for ci := range used {
+		sv.gather = append(sv.gather, ci)
+	}
+	return sv
+}
+
+// vecProcessBatch runs the compiled pipeline over one input batch:
+// filter → selection vector → gather → projection kernels. max caps
+// the number of output rows (LIMIT pushdown; -1 for none).
+func (e *Engine) vecProcessBatch(sp *streamPlan, in *Dataset, max int) *Dataset {
+	sv := sp.vec
+	n := in.NumRows()
+	out := &Dataset{Cols: sv.outCols, Vecs: make([]bat.Vector, len(sv.outCols))}
+	var sel []int
+	all := true
+	if sv.filter != nil {
+		sel = sv.filter.filterSel(in.Vecs, 0, n)
+		all = false
+	}
+	if sv.having != nil {
+		hv := sv.having.eval(in.Vecs, 0, n)
+		if all {
+			sel = make([]int, n)
+			for i := range sel {
+				sel[i] = i
+			}
+			all = false
+		}
+		sel = bat.AndSel(sel, hv)
+	}
+	m := n
+	if !all {
+		m = len(sel)
+	}
+	if max >= 0 && m > max {
+		m = max
+		if !all {
+			sel = sel[:m]
+		}
+	}
+	gin := in.Vecs
+	if !all || m < n {
+		gin = make([]bat.Vector, len(in.Vecs))
+		for _, ci := range sv.gather {
+			if all {
+				gin[ci] = bat.ViewRange(in.Vecs[ci], 0, m)
+			} else {
+				gin[ci] = in.Vecs[ci].Gather(sel)
+			}
+		}
+	}
+	for i, p := range sv.items {
+		out.Vecs[i] = p.eval(gin, 0, m)
+	}
+	return out
 }
 
 // QueryStream executes a SELECT as a row stream. Statements whose
@@ -177,11 +358,19 @@ func (e *Engine) QueryStream(ctx context.Context, sel *ast.Select, params map[st
 		}
 		return datasetCursor(ds), nil
 	}
+	return e.streamCursorFor(ctx, sp), nil
+}
+
+// streamCursorFor picks the execution strategy for a compiled stream
+// plan: vectorized batch cursors when the pipeline compiled into
+// kernels, row cursors otherwise; parallel over scan chunks when the
+// morsel pool and store support it.
+func (e *Engine) streamCursorFor(ctx context.Context, sp *streamPlan) *Cursor {
 	cols := streamColumns(sp.items, sp.arr, sp.qual)
 	if effProvablyEmpty(sp.eff) {
 		// Disjoint slice ∩ predicate: an empty stream, no store walk.
 		next, stop := iter.Pull(func(func(cursorItem) bool) {})
-		return &Cursor{cols: cols, items: sp.items, next: next, stop: stop}, nil
+		return &Cursor{cols: cols, items: sp.items, next: next, stop: stop}
 	}
 	if sp.par > 1 && e.pool != nil && sp.arr.Store.Len() >= minParallelScanCells {
 		// Fan the scan itself out: chunks of the store are the morsel
@@ -189,11 +378,17 @@ func (e *Engine) QueryStream(ctx context.Context, sel *ast.Select, params map[st
 		// scan — nothing is materialized up front.
 		if cs, ok := sp.arr.Store.(array.ChunkedScanner); ok {
 			if chunks := cs.ScanChunks(sp.par*scanChunksPerWorker, sp.attrs); len(chunks) >= 2 {
-				return e.parallelStreamCursor(ctx, sp, chunks, cols), nil
+				if sp.vec != nil {
+					return e.parallelVecCursor(ctx, sp, chunks, cols)
+				}
+				return e.parallelStreamCursor(ctx, sp, chunks, cols)
 			}
 		}
 	}
-	return e.serialStreamCursor(ctx, sp, cols), nil
+	if sp.vec != nil {
+		return e.serialVecCursor(ctx, sp, cols)
+	}
+	return e.serialStreamCursor(ctx, sp, cols)
 }
 
 // compileStream vets the SELECT's shape and compiles the stream plan.
@@ -288,6 +483,7 @@ func (e *Engine) compileStream(sel *ast.Select, env *baseEnv) (*streamPlan, bool
 	dec := e.selectDecision(sel)
 	sp.par = dec.par
 	sp.attrs = dec.scanAttrs(arr, tr.Name)
+	sp.vec = e.compileStreamVec(sp)
 	return sp, true, nil
 }
 
@@ -444,6 +640,12 @@ func (e *Engine) parallelStreamCursor(ctx context.Context, sp *streamPlan, chunk
 						}
 						if keep {
 							rows = append(rows, row)
+							// LIMIT pushdown: the final result takes at
+							// most limit rows from any one chunk, so the
+							// chunk scan can stop early.
+							if sp.limit >= 0 && len(rows) >= sp.limit {
+								return false
+							}
 						}
 						return true
 					})
@@ -503,3 +705,195 @@ func (e *Engine) parallelStreamCursor(ctx context.Context, sp *streamPlan, chunk
 	return &Cursor{cols: cols, items: sp.items, next: next, stop: stop, cancel: cancel}
 }
 
+
+// vecScanBatches drives one scan sequence through the batch buffer:
+// cells passing the effective dimension restriction accumulate into
+// srcCols column batches; flush runs at every vecBatchRows boundary
+// and once at the end, and returning false from flush stops the scan
+// (LIMIT satisfied or consumer gone). The context is polled every
+// 1024 visited cells; its error is returned. Both vectorized cursors
+// share this loop so their batch semantics cannot drift apart.
+func vecScanBatches(ctx context.Context, sp *streamPlan, scan func(visit func(coords []int64, vals []value.Value) bool), flush func(in *Dataset) bool) error {
+	sv := sp.vec
+	nd := len(sp.arr.Schema.Dims)
+	in := NewDataset(sv.srcCols)
+	var ctxErr error
+	stopped := false
+	visited := 0
+	doFlush := func() bool {
+		ok := flush(in)
+		// Fresh buffers every flush: kernel outputs may hold zero-copy
+		// views of the batch columns.
+		in = NewDataset(sv.srcCols)
+		return ok
+	}
+	scan(func(coords []int64, vals []value.Value) bool {
+		visited++
+		if visited&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				ctxErr = err
+				return false
+			}
+		}
+		if !effMatch(sp.eff, coords) {
+			return true
+		}
+		for i, c := range coords {
+			in.Vecs[i].(*bat.IntVector).AppendInt64(c)
+		}
+		for vi, v := range vals {
+			in.Vecs[nd+vi].Append(v)
+		}
+		if in.NumRows() >= vecBatchRows && !doFlush() {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if ctxErr != nil {
+		return ctxErr
+	}
+	if !stopped {
+		doFlush()
+	}
+	return nil
+}
+
+// serialVecCursor walks the array store serially, buffering matching
+// cells into column batches of vecBatchRows and running the compiled
+// kernel pipeline per batch. LIMIT short-circuits mid-chunk: once
+// enough rows have surfaced the store walk stops.
+func (e *Engine) serialVecCursor(ctx context.Context, sp *streamPlan, cols []Col) *Cursor {
+	sv := sp.vec
+	seq := func(yield func(vecBatch) bool) {
+		emitted := 0
+		err := vecScanBatches(ctx, sp, func(visit func(coords []int64, vals []value.Value) bool) {
+			storeScanPruned(sp.arr.Store, sp.attrs, visit)
+		}, func(in *Dataset) bool {
+			if in.NumRows() == 0 {
+				return sp.limit < 0 || emitted < sp.limit
+			}
+			max := -1
+			if sp.limit >= 0 {
+				max = sp.limit - emitted
+			}
+			out := e.vecProcessBatch(sp, in, max)
+			emitted += out.NumRows()
+			if out.NumRows() > 0 && !yield(vecBatch{ds: out}) {
+				return false
+			}
+			return sp.limit < 0 || emitted < sp.limit
+		})
+		if err != nil {
+			yield(vecBatch{err: err})
+		}
+	}
+	next, stop := iter.Pull(seq)
+	return &Cursor{cols: cols, items: sp.items, nextBatch: next, stopBatch: stop, batchCols: sv.outCols}
+}
+
+// parallelVecCursor fans the scan out over the morsel pool with the
+// kernel pipeline running per batch inside each chunk. Per-chunk
+// output is capped at LIMIT rows (the final result takes at most that
+// many from any chunk), and the consumer stops pulling — canceling the
+// workers, so no further chunks are scheduled — once enough rows have
+// surfaced across the ordered prefix.
+func (e *Engine) parallelVecCursor(ctx context.Context, sp *streamPlan, chunks []array.ChunkScan, cols []Col) *Cursor {
+	sv := sp.vec
+	ictx, cancel := context.WithCancel(ctx)
+	type chunkBatch struct {
+		idx int
+		ds  *Dataset
+		err error
+	}
+	ch := make(chan chunkBatch, 2*e.pool.Workers())
+	started := false
+	start := func() {
+		started = true
+		go func() {
+			defer close(ch)
+			err := e.pool.ForEachCtx(ictx, len(chunks), 1, func(m parallelMorsel) error {
+				for ci := m.Lo; ci < m.Hi; ci++ {
+					out := &Dataset{Cols: sv.outCols, Vecs: make([]bat.Vector, len(sv.outCols))}
+					for i, c := range sv.outCols {
+						out.Vecs[i] = bat.New(c.Typ, 0)
+					}
+					err := vecScanBatches(ictx, sp, chunks[ci], func(in *Dataset) bool {
+						if in.NumRows() == 0 {
+							return true
+						}
+						max := -1
+						if sp.limit >= 0 {
+							max = sp.limit - out.NumRows()
+						}
+						b := e.vecProcessBatch(sp, in, max)
+						for i := range out.Vecs {
+							out.Vecs[i] = bat.Concat(out.Vecs[i], b.Vecs[i])
+						}
+						return sp.limit < 0 || out.NumRows() < sp.limit
+					})
+					if err != nil {
+						return err
+					}
+					select {
+					case ch <- chunkBatch{idx: ci, ds: out}:
+					case <-ictx.Done():
+						return ictx.Err()
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				select {
+				case ch <- chunkBatch{err: err}:
+				case <-ictx.Done():
+				}
+			}
+		}()
+	}
+	seq := func(yield func(vecBatch) bool) {
+		defer cancel()
+		if !started {
+			start()
+		}
+		pending := make(map[int]*Dataset)
+		nextIdx := 0
+		emitted := 0
+		for b := range ch {
+			if b.err != nil {
+				yield(vecBatch{err: b.err})
+				return
+			}
+			pending[b.idx] = b.ds
+			for {
+				ds, have := pending[nextIdx]
+				if !have {
+					break
+				}
+				delete(pending, nextIdx)
+				nextIdx++
+				if sp.limit >= 0 && emitted+ds.NumRows() > sp.limit {
+					ds = headRows(ds, sp.limit-emitted)
+				}
+				emitted += ds.NumRows()
+				if ds.NumRows() > 0 && !yield(vecBatch{ds: ds}) {
+					return
+				}
+				if sp.limit >= 0 && emitted >= sp.limit {
+					return
+				}
+			}
+		}
+	}
+	next, stop := iter.Pull(seq)
+	return &Cursor{cols: cols, items: sp.items, nextBatch: next, stopBatch: stop, batchCols: sv.outCols, cancel: cancel}
+}
+
+// headRows returns the first k rows of ds as a fresh dataset.
+func headRows(ds *Dataset, k int) *Dataset {
+	out := &Dataset{Cols: ds.Cols, Vecs: make([]bat.Vector, len(ds.Vecs))}
+	for i, v := range ds.Vecs {
+		out.Vecs[i] = v.Slice(0, k)
+	}
+	return out
+}

@@ -1,0 +1,223 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/bat"
+	"repro/internal/expr"
+	"repro/internal/sql/ast"
+	"repro/internal/sql/parser"
+	"repro/internal/value"
+)
+
+// parseExprT parses a scalar expression through the real SQL parser,
+// so compiler tests see production AST shapes.
+func parseExprT(t *testing.T, s string) ast.Expr {
+	t.Helper()
+	x, err := parser.ParseExpr(s)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return x
+}
+
+// vecTestDataset builds a small typed dataset with NULLs sprinkled in.
+func vecTestDataset() *Dataset {
+	cols := []Col{
+		{Name: "x", Qual: "m", Typ: value.Int, IsDim: true},
+		{Name: "v", Qual: "m", Typ: value.Float},
+		{Name: "w", Qual: "m", Typ: value.Float},
+		{Name: "s", Qual: "m", Typ: value.String},
+	}
+	ds := NewDataset(cols)
+	null := value.NewNull(value.Float)
+	rows := [][]value.Value{
+		{value.NewInt(0), value.NewFloat(1.5), null, value.NewString("a")},
+		{value.NewInt(5), value.NewFloat(-2), value.NewFloat(8), value.NewString("b")},
+		{value.NewInt(10), value.NewFloat(0), null, value.NewString("c")},
+	}
+	for _, r := range rows {
+		ds.Append(r)
+	}
+	return ds
+}
+
+// evalInterp evaluates x per row through the interpreter, the
+// reference the kernels must match exactly.
+func evalInterp(t *testing.T, x ast.Expr, ds *Dataset) []value.Value {
+	t.Helper()
+	ev := expr.New()
+	out := make([]value.Value, ds.NumRows())
+	for r := range out {
+		v, err := ev.Eval(x, &rowEnv{d: ds, row: r})
+		if err != nil {
+			t.Fatalf("interp eval: %v", err)
+		}
+		out[r] = v
+	}
+	return out
+}
+
+// TestCompileVecMatchesInterpreter compiles a spread of expressions and
+// checks element-by-element agreement with the interpreter, including
+// value types of non-NULL results.
+func TestCompileVecMatchesInterpreter(t *testing.T) {
+	ds := vecTestDataset()
+	exprs := []string{
+		`x + 1`, `1 + x`, `x - 3`, `3 - x`, `x * 2`, `x / 3`, `x / 0`, `MOD(x, 3)`, `MOD(3, x)`,
+		`v + x`, `v * 2.0`, `v / w`, `MOD(v, 2)`, `-x`, `-v`,
+		`x > 4`, `x = 5`, `x <> 5`, `4 < x`, `v >= 0`, `v < w`, `w <= 8`,
+		`v > 0 AND x < 8`, `w > 0 OR v > 0`, `NOT (v > 0)`,
+		`w IS NULL`, `w IS NOT NULL`, `s IS NULL`,
+		`x BETWEEN 2 AND 8`, `x NOT BETWEEN 2 AND 8`, `v BETWEEN 0.0 AND 2.0`,
+		`x IN (0, 10)`, `x NOT IN (0, 10)`,
+		`ABS(v)`, `ABS(x - 7)`, `SQRT(v + 3)`, `POWER(x, 2)`, `FLOOR(v)`, `MOD(x * 31 + 1, 7) < 3`,
+		`x`, `v`, `w`, `s`,
+		`1 + 2 * 3`, `10 / 0`, `1 = 1 AND 2 > 3`,
+	}
+	for _, src := range exprs {
+		x := parseExprT(t, src)
+		prog := compileVec(x, ds.Cols, true)
+		if prog == nil {
+			t.Errorf("%s: expected to compile", src)
+			continue
+		}
+		if !prog.validFor(ds.Vecs) {
+			t.Errorf("%s: program invalid for its own layout", src)
+			continue
+		}
+		want := evalInterp(t, x, ds)
+		got := prog.eval(ds.Vecs, 0, ds.NumRows())
+		for r, w := range want {
+			g := got.Get(r)
+			if g.String() != w.String() {
+				t.Errorf("%s row %d: kernel %s, interpreter %s", src, r, g, w)
+			}
+			if !w.Null && g.Typ != w.Typ {
+				t.Errorf("%s row %d: kernel type %s, interpreter %s", src, r, g.Typ, w.Typ)
+			}
+		}
+	}
+}
+
+// TestCompileVecUnsupportedFallsBack checks constructs outside the
+// kernel surface are rejected (the caller then uses the interpreter).
+func TestCompileVecUnsupportedFallsBack(t *testing.T) {
+	ds := vecTestDataset()
+	for _, src := range []string{
+		`CASE WHEN x > 1 THEN 1 ELSE 0 END`, // CASE
+		`s || 'x'`,                          // string operator
+		`CAST(x AS FLOAT)`,                  // cast
+		`x + s`,                             // non-numeric arithmetic
+		`s = 'a'`,                           // non-numeric comparison
+		`RAND()`,                            // stateful builtin
+		`COALESCE(w, v)`,                    // unsupported builtin
+		`nosuchcol + 1`,                     // unbound name
+		`?p + 1`,                            // host parameter
+		`x BETWEEN 1 AND v`,                 // non-constant bound
+		`x IN (1, v)`,                       // non-constant element
+		`SUM(v)`,                            // aggregate
+	} {
+		if compileVec(parseExprT(t, src), ds.Cols, true) != nil {
+			t.Errorf("%s: expected compile to fail", src)
+		}
+	}
+}
+
+// TestCompileVecBindingModes checks strict binding rejects ambiguous
+// names (where the interpreter would error) while loose binding takes
+// the first match (valuesEnv semantics).
+func TestCompileVecBindingModes(t *testing.T) {
+	cols := []Col{
+		{Name: "v", Qual: "a", Typ: value.Int},
+		{Name: "v", Qual: "b", Typ: value.Int},
+	}
+	x := parseExprT(t, `v + 1`)
+	if compileVec(x, cols, true) != nil {
+		t.Error("strict binding should reject the ambiguous name")
+	}
+	prog := compileVec(x, cols, false)
+	if prog == nil {
+		t.Fatal("loose binding should take the first match")
+	}
+	batch := []bat.Vector{bat.NewIntVector([]int64{41}), bat.NewIntVector([]int64{0})}
+	if got := prog.eval(batch, 0, 1).Get(0); got.I != 42 {
+		t.Errorf("loose binding evaluated %s, want 42", got)
+	}
+	// Qualified references disambiguate in both modes.
+	qx := parseExprT(t, `b.v + 1`)
+	sp := compileVec(qx, cols, true)
+	if sp == nil {
+		t.Fatal("qualified name should compile strictly")
+	}
+	if got := sp.eval(batch, 0, 1).Get(0); got.I != 1 {
+		t.Errorf("qualified binding evaluated %s, want 1", got)
+	}
+}
+
+// TestVecFilterSel checks predicate truthiness over batches, including
+// the numeric-truthiness path of WHERE <numeric>.
+func TestVecFilterSel(t *testing.T) {
+	ds := vecTestDataset()
+	prog := compileVec(parseExprT(t, `v > 0 OR w > 0`), ds.Cols, true)
+	if prog == nil {
+		t.Fatal("predicate should compile")
+	}
+	sel := prog.filterSel(ds.Vecs, 0, ds.NumRows())
+	if len(sel) != 2 || sel[0] != 0 || sel[1] != 1 {
+		t.Fatalf("filterSel = %v, want [0 1]", sel)
+	}
+	num := compileVec(parseExprT(t, `x`), ds.Cols, true)
+	sel = num.filterSel(ds.Vecs, 0, ds.NumRows())
+	if len(sel) != 2 || sel[0] != 1 || sel[1] != 2 {
+		t.Fatalf("numeric truthiness sel = %v, want [1 2]", sel)
+	}
+}
+
+// TestVecCacheInvalidation checks the program cache keys on the column
+// signature: the same AST bound against a different layout recompiles
+// instead of reusing stale column indexes.
+func TestVecCacheInvalidation(t *testing.T) {
+	e := New()
+	x := parseExprT(t, `x + 1`)
+	colsA := []Col{{Name: "x", Typ: value.Int}}
+	colsB := []Col{{Name: "pad", Typ: value.Float}, {Name: "x", Typ: value.Int}}
+	p1 := e.vecCompile(x, colsA, true)
+	if p1 == nil {
+		t.Fatal("compile against layout A failed")
+	}
+	p2 := e.vecCompile(x, colsB, true)
+	if p2 == nil {
+		t.Fatal("compile against layout B failed")
+	}
+	batch := []bat.Vector{bat.NewFloatVector([]float64{0}), bat.NewIntVector([]int64{9})}
+	if got := p2.eval(batch, 0, 1).Get(0); got.I != 10 {
+		t.Errorf("recompiled program evaluated %s, want 10", got)
+	}
+	// Disabling vectorization turns compilation off entirely.
+	e.SetVectorized(false)
+	if e.vecCompile(x, colsA, true) != nil {
+		t.Error("vecCompile should return nil when vectorization is off")
+	}
+}
+
+// TestFinalizeVecOutput checks the all-NULL column refinement matches
+// the interpreter's promoteType fallback.
+func TestFinalizeVecOutput(t *testing.T) {
+	iv := bat.New(value.Int, 2)
+	iv.Append(value.NewNull(value.Int))
+	iv.Append(value.NewNull(value.Int))
+	v, typ := finalizeVecOutput(iv)
+	if typ != value.Float {
+		t.Errorf("all-NULL column type = %s, want FLOAT", typ)
+	}
+	if v.Len() != 2 || !v.IsNull(0) || !v.IsNull(1) {
+		t.Error("all-NULL column lost its NULLs")
+	}
+	iv2 := bat.New(value.Int, 1)
+	iv2.Append(value.NewInt(3))
+	_, typ = finalizeVecOutput(iv2)
+	if typ != value.Int {
+		t.Errorf("non-NULL column type = %s, want INTEGER", typ)
+	}
+}

@@ -50,11 +50,12 @@ func (p *Plan) compileCore(sel *ast.Select, cat Catalog) Node {
 		}
 		n = t
 	case (sel.GroupBy != nil && len(sel.GroupBy.Exprs) > 0) || len(aggs) > 0:
-		a := &Aggregate{Aggs: aggs, Child: n}
+		a := &Aggregate{Aggs: aggs, AggCalls: collectAggCalls(sel), Child: n}
 		if sel.GroupBy != nil {
 			for _, k := range sel.GroupBy.Exprs {
 				a.Keys = append(a.Keys, ast.Format(k))
 			}
+			a.KeyExprs = sel.GroupBy.Exprs
 		}
 		n = a
 	}
@@ -65,7 +66,7 @@ func (p *Plan) compileCore(sel *ast.Select, cat Catalog) Node {
 	for i, it := range sel.Items {
 		items[i] = formatItem(it)
 	}
-	n = &Project{Items: items, Child: n}
+	n = &Project{Items: items, ItemList: sel.Items, Child: n}
 	if sel.Distinct {
 		n = &Distinct{Child: n}
 	}
@@ -153,6 +154,25 @@ func applyIndexer(d *DimSel, ix ast.Indexer) {
 		}
 		d.Sliced = d.Lo != "" || d.Hi != ""
 	}
+}
+
+// collectAggCalls lists the aggregate call nodes of the target list
+// and HAVING clause.
+func collectAggCalls(sel *ast.Select) []*ast.FuncCall {
+	var out []*ast.FuncCall
+	add := func(x ast.Expr) {
+		ast.Walk(x, func(n ast.Expr) bool {
+			if f, ok := n.(*ast.FuncCall); ok && f.IsAggregate() {
+				out = append(out, f)
+			}
+			return true
+		})
+	}
+	for _, it := range sel.Items {
+		add(it.Expr)
+	}
+	add(sel.Having)
+	return out
 }
 
 // collectAggs lists the aggregate calls of the target list and HAVING

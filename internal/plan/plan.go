@@ -47,12 +47,20 @@ type Plan struct {
 }
 
 // String renders the plan as an indented operator tree.
-func (p *Plan) String() string {
+func (p *Plan) String() string { return p.RenderAnnotated(nil) }
+
+// RenderAnnotated renders the operator tree with an optional per-node
+// annotation suffix (the executor uses it to mark operators whose
+// expressions compile into vectorized kernels).
+func (p *Plan) RenderAnnotated(annot func(Node) string) string {
 	var sb strings.Builder
 	var walk func(n Node, depth int)
 	walk = func(n Node, depth int) {
 		sb.WriteString(strings.Repeat("  ", depth))
 		sb.WriteString(n.Label())
+		if annot != nil {
+			sb.WriteString(annot(n))
+		}
 		sb.WriteByte('\n')
 		for _, c := range n.Children() {
 			walk(c, depth+1)
@@ -215,11 +223,15 @@ func (f *Filter) Label() string {
 func (f *Filter) Children() []Node { return []Node{f.Child} }
 
 // Aggregate is value-based grouping (GROUP BY exprs, or one implicit
-// group when aggregates appear without keys).
+// group when aggregates appear without keys). KeyExprs and AggCalls
+// keep the underlying expressions so the executor can annotate the
+// rendered plan with per-operator execution modes.
 type Aggregate struct {
-	Keys  []string
-	Aggs  []string
-	Child Node
+	Keys     []string
+	Aggs     []string
+	KeyExprs []ast.Expr
+	AggCalls []*ast.FuncCall
+	Child    Node
 }
 
 func (a *Aggregate) Label() string {
@@ -237,10 +249,12 @@ func (a *Aggregate) Label() string {
 }
 func (a *Aggregate) Children() []Node { return []Node{a.Child} }
 
-// Project evaluates the target list.
+// Project evaluates the target list. ItemList keeps the source select
+// items for per-operator execution-mode annotation.
 type Project struct {
-	Items []string
-	Child Node
+	Items    []string
+	ItemList []ast.SelectItem
+	Child    Node
 }
 
 func (p *Project) Label() string    { return "Project " + strings.Join(p.Items, ", ") }

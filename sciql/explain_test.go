@@ -29,15 +29,52 @@ func assertExplain(t *testing.T, db *DB, sql, want string) {
 
 // TestExplainBoundedSelect is the paper's bounded array select: the
 // dimension predicates leave the WHERE clause and become point/slice
-// restrictions on the scan, and the unused attribute w is pruned.
+// restrictions on the scan, the unused attribute w is pruned, and the
+// filter and projection are marked as compiling into bulk kernels.
 func TestExplainBoundedSelect(t *testing.T) {
 	db := explainDB(t)
 	assertExplain(t, db,
 		`SELECT v FROM matrix WHERE x = 1 AND y >= 1 AND y < 3 AND v > 1 + 1`,
 		`
-Project v
-  Filter (v > 2)
+Project v [vectorized]
+  Filter (v > 2) [vectorized]
     Scan matrix dims[x=1 (pushed), y=[1:3) (pushed)] attrs[v]
+execution: parallelizable (morsel-driven)
+`)
+}
+
+// TestExplainVectorizedAnnotation checks the per-operator vectorized
+// annotation: kernel-compilable filters/projections/aggregations are
+// tagged, unsupported expressions (CASE) are not, and turning the knob
+// off drops every tag.
+func TestExplainVectorizedAnnotation(t *testing.T) {
+	db := explainDB(t)
+	assertExplain(t, db,
+		`SELECT MOD(x, 3) AS k, AVG(v) FROM matrix WHERE v > 1 GROUP BY MOD(x, 3)`,
+		`
+Project MOD(x, 3) AS k, AVG(v)
+  Aggregate keys[MOD(x, 3)] aggs[AVG(v)] [vectorized]
+    Filter (v > 1) [vectorized]
+      Scan matrix attrs[v]
+execution: parallelizable (morsel-driven)
+`)
+	// CASE is outside the kernel surface: the projection loses its tag
+	// (it falls back to the row interpreter), the filter keeps its own.
+	assertExplain(t, db,
+		`SELECT CASE WHEN v > 2 THEN 1 ELSE 0 END AS c FROM matrix WHERE v > 1`,
+		`
+Project CASE WHEN (v > 2) THEN 1 ELSE 0 END AS c
+  Filter (v > 1) [vectorized]
+    Scan matrix attrs[v]
+execution: parallelizable (morsel-driven)
+`)
+	db.Vectorize(false)
+	assertExplain(t, db,
+		`SELECT v FROM matrix WHERE v > 1`,
+		`
+Project v
+  Filter (v > 1)
+    Scan matrix attrs[v]
 execution: parallelizable (morsel-driven)
 `)
 }

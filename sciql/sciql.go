@@ -223,6 +223,18 @@ func (db *DB) Parallelism(n int) {
 	db.engine.SetParallelism(n)
 }
 
+// Vectorize toggles vectorized execution: filters and projections
+// whose expressions fit the kernel surface (arithmetic, comparisons,
+// three-valued logic, IS NULL, BETWEEN/IN over constants, numeric
+// builtins) compile into bulk column-at-a-time kernels over scan
+// batches instead of walking the expression tree per cell. On by
+// default; unsupported expressions fall back to the interpreter per
+// item, and results are byte-identical either way. The knob exists
+// for benchmarking and the identity test suite.
+func (db *DB) Vectorize(on bool) {
+	db.engine.SetVectorized(on)
+}
+
 // Explain compiles sql through the query planner (parse → plan →
 // optimize) and returns the rendered operator tree plus an execution-
 // mode line, without running anything. sql may be a SELECT or an
