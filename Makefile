@@ -17,4 +17,4 @@ test:
 	$(GO) test ./...
 
 bench:
-	$(GO) test -bench 'BenchmarkParallel|BenchmarkPreparedVsAdhoc|BenchmarkVectorizedScan' -benchtime 2x -run '^$$' .
+	$(GO) test -bench 'BenchmarkParallel|BenchmarkPreparedVsAdhoc|BenchmarkVectorizedScan|BenchmarkConcurrentReaders' -benchtime 2x -run '^$$' .

@@ -8,7 +8,9 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/experiments"
@@ -626,4 +628,54 @@ func BenchmarkPreparedVsAdhoc(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkConcurrentReaders measures connection scaling on the
+// 1M-cell scan: the same aggregate query drained by 1 vs 4 concurrent
+// sciql.Conn sessions. With snapshot-pinned reads and no shared
+// statement mutex, N connections do N scans in roughly the wall time
+// of one on an N-core machine (single-core containers show the
+// overhead floor instead). The P5 experiment in cmd/sciqlbench
+// records the same shape with wall-clock timing.
+func BenchmarkConcurrentReaders(b *testing.B) {
+	const n = 1024 // 1024x1024 = 1,048,576 cells
+	db := sciql.Open()
+	db.MustExec(fmt.Sprintf(`CREATE ARRAY conc (x INTEGER DIMENSION[%d], y INTEGER DIMENSION[%d],
+		a FLOAT DEFAULT 1.0, b FLOAT DEFAULT 2.0)`, n, n))
+	const q = `SELECT x, y, a FROM conc WHERE MOD(x * 31 + y, 7) < 3`
+	for _, conns := range []int{1, 4} {
+		b.Run(fmt.Sprintf("conns-%d", conns), func(b *testing.B) {
+			sessions := make([]*sciql.Conn, conns)
+			for i := range sessions {
+				c, err := db.Conn(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				sessions[i] = c
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for _, c := range sessions {
+					wg.Add(1)
+					go func(c *sciql.Conn) {
+						defer wg.Done()
+						rows, err := c.QueryContext(context.Background(), q)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						defer rows.Close()
+						for rows.Next() {
+						}
+						if err := rows.Err(); err != nil {
+							b.Error(err)
+						}
+					}(c)
+				}
+				wg.Wait()
+			}
+		})
+	}
 }

@@ -13,12 +13,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/experiments"
@@ -32,6 +34,7 @@ var (
 	par   = flag.Int("par", 4, "worker count for the parallel-execution experiments (P1, P3)")
 	p3out = flag.String("p3out", "", "write the P3 measurements as JSON to this file")
 	p4out = flag.String("p4out", "", "write the P4 measurements as JSON to this file")
+	p5out = flag.String("p5out", "", "write the P5 measurements as JSON to this file")
 )
 
 func main() {
@@ -53,6 +56,7 @@ func main() {
 	runP2()
 	runP3()
 	runP4()
+	runP5()
 }
 
 func want(id string) bool {
@@ -726,5 +730,176 @@ func runP4() {
 			fail("P4", err)
 		}
 		fmt.Printf("(P4 measurements written to %s)\n\n", *p4out)
+	}
+}
+
+// p5Result is the recorded shape of the P5 experiment: concurrent
+// connection scaling on the 1M-cell filter scan — the same total work
+// (4 scans) done by one connection sequentially vs 4 connections
+// concurrently over the shared, versioned catalog. -p5out writes the
+// latest run (truncating); committing BENCH_P5.json per change keeps
+// the trajectory in git history.
+type p5Result struct {
+	Experiment      string  `json:"experiment"`
+	Cells           int64   `json:"cells"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	Scans           int     `json:"scans"`
+	SequentialMs    float64 `json:"one_conn_sequential_ms"`
+	ConcurrentMs    float64 `json:"four_conns_concurrent_ms"`
+	ConnScaling     float64 `json:"conn_scaling"`
+	RowsPerScan     int     `json:"rows_per_scan"`
+	SnapshotsStable bool    `json:"snapshots_stable_under_writer"`
+}
+
+// runP5 measures concurrent connections: 4 full filter scans executed
+// back-to-back on one sciql.Conn vs fanned out over 4 Conns, then a
+// consistency probe — readers streaming while a transaction commits
+// must each see exactly one version. Connection scaling needs >= 4
+// cores to show; single-core containers record the overhead floor.
+func runP5() {
+	if !want("P5") {
+		return
+	}
+	n := int64(1024)
+	if *quick {
+		n = 256
+	}
+	header("P5", fmt.Sprintf("concurrent connections: 1 vs 4 sessions on the %dx%d = %d cell scan", n, n, n*n))
+	db := sciql.Open()
+	db.MustExec(fmt.Sprintf(`CREATE ARRAY conc (x INTEGER DIMENSION[%d], y INTEGER DIMENSION[%d],
+		a FLOAT DEFAULT 1.0, b FLOAT DEFAULT 2.0)`, n, n))
+	const scans = 4
+	q := `SELECT x, y, a FROM conc WHERE MOD(x * 31 + y, 7) < 3`
+
+	drain := func(c *sciql.Conn) (int, error) {
+		rows, err := c.QueryContext(context.Background(), q)
+		if err != nil {
+			return 0, err
+		}
+		defer rows.Close()
+		cnt := 0
+		for rows.Next() {
+			cnt++
+		}
+		return cnt, rows.Err()
+	}
+
+	one, err := db.Conn(context.Background())
+	if err != nil {
+		fail("P5", err)
+	}
+	var rowsPerScan int
+	dSeq, err := timeIt(func() error {
+		for i := 0; i < scans; i++ {
+			cnt, err := drain(one)
+			if err != nil {
+				return err
+			}
+			rowsPerScan = cnt
+		}
+		return nil
+	})
+	if err != nil {
+		fail("P5", err)
+	}
+
+	conns := make([]*sciql.Conn, scans)
+	for i := range conns {
+		if conns[i], err = db.Conn(context.Background()); err != nil {
+			fail("P5", err)
+		}
+	}
+	dConc, err := timeIt(func() error {
+		var wg sync.WaitGroup
+		errCh := make(chan error, scans)
+		for _, c := range conns {
+			wg.Add(1)
+			go func(c *sciql.Conn) {
+				defer wg.Done()
+				if cnt, err := drain(c); err != nil {
+					errCh <- err
+				} else if cnt != rowsPerScan {
+					errCh <- fmt.Errorf("concurrent scan saw %d rows, want %d", cnt, rowsPerScan)
+				}
+			}(c)
+		}
+		wg.Wait()
+		close(errCh)
+		return <-errCh
+	})
+	if err != nil {
+		fail("P5", err)
+	}
+
+	// Consistency probe: a reader streams while a transaction rewrites
+	// every cell; the drained result must be one version, not a tear.
+	stable := true
+	probe, err := db.Conn(context.Background())
+	if err != nil {
+		fail("P5", err)
+	}
+	rows, err := probe.QueryContext(context.Background(), `SELECT a FROM conc`)
+	if err != nil {
+		fail("P5", err)
+	}
+	if !rows.Next() {
+		fail("P5", fmt.Errorf("no rows from probe scan"))
+	}
+	writer, err := db.Conn(context.Background())
+	if err != nil {
+		fail("P5", err)
+	}
+	tx, err := writer.Begin()
+	if err != nil {
+		fail("P5", err)
+	}
+	if _, err := tx.Exec(`UPDATE conc SET a = 9.0`); err != nil {
+		fail("P5", err)
+	}
+	if err := tx.Commit(); err != nil {
+		fail("P5", err)
+	}
+	var v sciql.Value
+	if err := rows.Scan(&v); err != nil {
+		fail("P5", err)
+	}
+	seen := v.AsFloat()
+	for rows.Next() {
+		if err := rows.Scan(&v); err != nil {
+			fail("P5", err)
+		}
+		if v.AsFloat() != seen {
+			stable = false
+		}
+	}
+	rows.Close()
+	if !stable {
+		fail("P5", fmt.Errorf("open cursor observed a mix of versions (snapshot tear)"))
+	}
+
+	res := p5Result{
+		Experiment:      "P5",
+		Cells:           n * n,
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Scans:           scans,
+		SequentialMs:    float64(dSeq.Microseconds()) / 1000,
+		ConcurrentMs:    float64(dConc.Microseconds()) / 1000,
+		ConnScaling:     float64(dSeq.Nanoseconds()) / float64(dConc.Nanoseconds()),
+		RowsPerScan:     rowsPerScan,
+		SnapshotsStable: stable,
+	}
+	fmt.Printf("%d scans, 1 conn sequential:   %8.1f ms  (%d rows/scan)\n", scans, res.SequentialMs, rowsPerScan)
+	fmt.Printf("%d scans, %d conns concurrent: %8.1f ms\n", scans, scans, res.ConcurrentMs)
+	fmt.Printf("connection scaling: %.2fx (needs >= %d cores to show; snapshot reads never block on the writer)\n", res.ConnScaling, scans)
+	fmt.Printf("snapshot stability under a committing writer: %v\n\n", res.SnapshotsStable)
+	if *p5out != "" {
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fail("P5", err)
+		}
+		if err := os.WriteFile(*p5out, append(buf, '\n'), 0o644); err != nil {
+			fail("P5", err)
+		}
+		fmt.Printf("(P5 measurements written to %s)\n\n", *p5out)
 	}
 }

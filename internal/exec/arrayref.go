@@ -44,7 +44,7 @@ func (e *Engine) resolveArrayBase(base ast.Expr, env expr.Env) (*array.Array, er
 				}
 			}
 		}
-		if a, ok := e.Cat.Array(b.Name); ok {
+		if a, ok := e.cat().Array(b.Name); ok {
 			return a, nil
 		}
 		// A qualified name (alias.attr) can name a row's nested array.
@@ -462,7 +462,7 @@ func (e *Engine) rebaseForParam(src *array.Array, paramSchema *array.Schema) (*a
 // callUDF resolves a non-builtin function call: catalog white-box
 // (PSM) and black-box (EXTERNAL NAME) functions.
 func (e *Engine) callUDF(name string, args []value.Value, env expr.Env) (value.Value, error) {
-	f, ok := e.Cat.Function(name)
+	f, ok := e.cat().Function(name)
 	if !ok {
 		if strings.EqualFold(name, "NEXT") {
 			return value.Value{}, fmt.Errorf("next() requires a scanned time-series source")

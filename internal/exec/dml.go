@@ -130,10 +130,10 @@ func (e *Engine) makeCellEnv(a *array.Array, coords []int64, vals []value.Value,
 // --- UPDATE ------------------------------------------------------------------
 
 func (e *Engine) execUpdate(s *ast.Update, outer expr.Env) error {
-	if a, ok := e.Cat.Array(s.Table); ok {
+	if a, ok := e.mut.ArrayForWrite(s.Table); ok {
 		return e.updateArray(a, s, outer)
 	}
-	if t, ok := e.Cat.Table(s.Table); ok {
+	if t, ok := e.mut.TableForWrite(s.Table); ok {
 		return e.updateTable(t, s, outer)
 	}
 	return fmt.Errorf("UPDATE: no such table or array %s", s.Table)
@@ -247,16 +247,24 @@ func (e *Engine) resolveAssignTarget(a *array.Array, target ast.Expr, cur []int6
 
 // updateNestedArray handles SET <nested>[i][j] = expr over an
 // array-valued attribute: the free index variables range over the
-// nested array's cells (§3.2's payload example).
+// nested array's cells (§3.2's payload example). The nested array is
+// cloned before mutation and written back into the (already private)
+// outer cell: boxed array values are shared across catalog versions
+// by the store's shallow clone, so writing in place would leak the
+// update into snapshots pinned by concurrent readers.
 func (e *Engine) updateNestedArray(a *array.Array, ai int, ref *ast.ArrayRef, s *ast.Update, outer expr.Env) error {
 	return e.forEachCoveredCell(a, nil, func(coords []int64, vals []value.Value) error {
 		nv := vals[ai]
 		if nv.Null || nv.Typ != value.Array {
 			return nil
 		}
-		nested, ok := nv.A.(*array.Array)
+		shared, ok := nv.A.(*array.Array)
 		if !ok {
 			return nil
+		}
+		nested := shared.Clone()
+		if err := a.Store.Set(append([]int64(nil), coords...), ai, value.NewArray(nested)); err != nil {
+			return err
 		}
 		outerCell := e.makeCellEnv(a, coords, vals, outer)
 		nd := len(nested.Schema.Dims)
@@ -295,6 +303,21 @@ func (e *Engine) updateTable(t *catalogTable, s *ast.Update, outer expr.Env) err
 
 // --- SET statement -------------------------------------------------------------
 
+// arrayForSet resolves the target array of a standalone SET: catalog
+// arrays come back as this statement's private copy-on-write version;
+// environment-bound arrays (PSM locals and parameters are private
+// values already) resolve like any array base.
+func (e *Engine) arrayForSet(base ast.Expr, env expr.Env) (*array.Array, error) {
+	if id, ok := base.(*ast.Ident); ok && id.Table == "" {
+		if _, bound := env.Lookup("", id.Name); !bound {
+			if a, ok := e.mut.ArrayForWrite(id.Name); ok {
+				return a, nil
+			}
+		}
+	}
+	return e.resolveArrayBase(base, env)
+}
+
 // execSetStmt implements the standalone guarded SET form (§4.2):
 // SET vector[x].v = CASE ... END. Free dimension variables in the
 // target's indexers range over all valid dimension values; a guarded
@@ -304,7 +327,7 @@ func (e *Engine) execSetStmt(s *ast.SetStmt, outer expr.Env) error {
 	if !ok {
 		return fmt.Errorf("SET requires an array reference target")
 	}
-	a, err := e.resolveArrayBase(ref.Base, outer)
+	a, err := e.arrayForSet(ref.Base, outer)
 	if err != nil {
 		return err
 	}
@@ -404,10 +427,10 @@ func (e *Engine) execSetStmt(s *ast.SetStmt, outer expr.Env) error {
 // --- INSERT ---------------------------------------------------------------------
 
 func (e *Engine) execInsert(s *ast.Insert, outer expr.Env) error {
-	if a, ok := e.Cat.Array(s.Table); ok {
+	if a, ok := e.mut.ArrayForWrite(s.Table); ok {
 		return e.insertArray(a, s, outer)
 	}
-	if t, ok := e.Cat.Table(s.Table); ok {
+	if t, ok := e.mut.TableForWrite(s.Table); ok {
 		return e.insertTable(t, s, outer)
 	}
 	return fmt.Errorf("INSERT: no such table or array %s", s.Table)
@@ -535,10 +558,10 @@ func (e *Engine) insertTable(t *catalogTable, s *ast.Insert, outer expr.Env) err
 // --- DELETE ---------------------------------------------------------------------
 
 func (e *Engine) execDelete(s *ast.Delete, outer expr.Env) error {
-	if a, ok := e.Cat.Array(s.Table); ok {
+	if a, ok := e.mut.ArrayForWrite(s.Table); ok {
 		return e.deleteArray(a, s, outer)
 	}
-	if t, ok := e.Cat.Table(s.Table); ok {
+	if t, ok := e.mut.TableForWrite(s.Table); ok {
 		return e.deleteTableImpl(t, s, outer)
 	}
 	return fmt.Errorf("DELETE: no such table or array %s", s.Table)

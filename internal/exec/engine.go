@@ -15,12 +15,17 @@ import (
 	"repro/internal/value"
 )
 
-// Engine executes SciQL statements against a catalog. It owns the
-// expression evaluator (wired with hooks for subqueries, array
-// references and UDF calls) and the black-box function registry.
-type Engine struct {
+// Shared is the state one database's sessions have in common: the
+// versioned catalog, the black-box registry, storage hints, the
+// parallelism/vectorization configuration and the memoization caches.
+// Catalog access is snapshot-based and the caches are mutex-guarded
+// (with entries validated against the catalog version), so any number
+// of sessions may execute statements concurrently. The configuration
+// knobs (SetParallelism, SetVectorized, hints, externals) are
+// setup-time calls: change them before running statements
+// concurrently, as with database/sql drivers.
+type Shared struct {
 	Cat *catalog.Catalog
-	Ev  *expr.Evaluator
 	// externals maps EXTERNAL NAME strings to Go implementations
 	// (§6.2 black-box functions).
 	externals map[string]func(args []value.Value) (value.Value, error)
@@ -32,31 +37,59 @@ type Engine struct {
 	// parallelism is the worker count for morsel-driven SELECT
 	// execution; <= 1 runs the serial interpreter.
 	parallelism int
-	// pool is the shared worker pool, sized to parallelism.
+	// pool is the shared worker pool, sized to parallelism. It is
+	// stateless, so concurrent sessions share it freely.
 	pool *parallel.Pool
 	// planCache memoizes the parallel-eligibility decision (and the
 	// array names to prewarm) per SELECT AST node, so re-executed
 	// statements (and per-row correlated subqueries, which reuse one
-	// AST) plan once, not once per row.
+	// AST) plan once, not once per row. Entries are stamped with the
+	// catalog version they were planned under: a DDL committed by any
+	// session makes every other session's cached decision stale, and
+	// the next execution re-resolves instead of running stale bindings.
 	planMu    sync.Mutex
 	planCache map[*ast.Select]planDecision
 	// vectorized enables compiling filters/projections into bulk BAT
 	// kernels; off forces the row-at-a-time interpreter everywhere.
 	vectorized bool
 	// vecCache memoizes compiled kernel programs per (expression AST
-	// node, binding mode), alongside the plan cache (same invalidation
-	// points), so prepared statements compile kernels once. fusedSkip
-	// memoizes "the fused scan path has nothing to offer" verdicts per
-	// SELECT node so repeated executions skip the stream analysis.
+	// node, binding mode), alongside the plan cache, so prepared
+	// statements compile kernels once; entries validate against the
+	// column signature they were compiled for, which re-checks after
+	// any DDL. fusedSkip memoizes "the fused scan path has nothing to
+	// offer" verdicts per SELECT node (stamped with the catalog
+	// version) so repeated executions skip the stream analysis.
 	vecMu     sync.Mutex
 	vecCache  map[vecCacheKey]*vecCacheEntry
-	fusedSkip map[*ast.Select]bool
+	fusedSkip map[*ast.Select]int64
+}
+
+// Engine is one session executing SciQL statements against the shared
+// catalog. It owns the expression evaluator (wired with hooks for
+// subqueries, array references and UDF calls) and the session's
+// snapshot/transaction state. A session executes one statement at a
+// time — it is not safe for concurrent use — but any number of
+// sessions of one Shared run concurrently: reads pin an immutable
+// catalog snapshot, writers build new versions copy-on-write.
+type Engine struct {
+	*Shared
+	Ev *expr.Evaluator
 	// qctx is the context of the statement currently executing through
 	// ExecContext; helpers consult it (via canceled and the worker
-	// pool) so cancellation stops long scans. The engine executes one
-	// statement at a time — it is not safe for concurrent use — so a
-	// single field suffices.
+	// pool) so cancellation stops long scans. The session executes one
+	// statement at a time, so a single field suffices.
 	qctx context.Context
+	// snap is the catalog snapshot pinned for the in-flight statement
+	// (or open cursor); nil between statements. Inside a transaction
+	// the mutation's working view takes precedence.
+	snap *catalog.Snapshot
+	// mut is the active catalog mutation: the transaction's private
+	// version between BEGIN and COMMIT/ROLLBACK, or the autocommit
+	// mutation wrapping a single write statement.
+	mut *catalog.Mutation
+	// inTx marks an explicit BEGIN..COMMIT transaction (mut outlives
+	// the statement).
+	inTx bool
 }
 
 // planDecision is one memoized routing decision: the worker count,
@@ -65,6 +98,12 @@ type Engine struct {
 type planDecision struct {
 	par  int
 	warm []string
+	// catVer is the catalog schema version the decision was planned
+	// under; a lookup at any other schema version re-plans (prepared
+	// statements re-resolve after DDL from any session instead of
+	// executing stale bindings), while DML commits — which change data
+	// versions only — leave memoized plans intact.
+	catVer int64
 	// scans maps lowercased array names to the pruned attribute-name
 	// projection of their Scan nodes; an absent entry keeps every
 	// attribute. Name-based pruning is safe for any array bound to the
@@ -91,15 +130,25 @@ func (d planDecision) scanAttrs(a *array.Array, name string) []int {
 	return out
 }
 
-// New creates an engine with an empty catalog.
+// New creates an engine session with an empty catalog.
 func New() *Engine {
-	e := &Engine{
+	sh := &Shared{
 		Cat:          catalog.New(),
-		Ev:           expr.New(),
 		externals:    make(map[string]func([]value.Value) (value.Value, error)),
 		StorageHints: make(map[string]storage.Hints),
 		vectorized:   true,
 	}
+	return sh.newSession()
+}
+
+// NewSession opens another session over the same shared database:
+// same catalog, externals, hints, pool and caches, but private
+// evaluator and snapshot/transaction state. Sessions run statements
+// concurrently with each other.
+func (e *Engine) NewSession() *Engine { return e.Shared.newSession() }
+
+func (sh *Shared) newSession() *Engine {
+	e := &Engine{Shared: sh, Ev: expr.New()}
 	e.Ev.Hooks = expr.Hooks{
 		Subquery: e.scalarSubquery,
 		ArrayRef: e.evalArrayRef,
@@ -107,6 +156,95 @@ func New() *Engine {
 	}
 	return e
 }
+
+// cat returns the catalog view of the in-flight statement: the
+// transaction's (or autocommit write's) working view when a mutation
+// is active, else the snapshot pinned at statement start, else the
+// current catalog root.
+func (e *Engine) cat() *catalog.Snapshot {
+	if e.mut != nil {
+		return e.mut.View()
+	}
+	if e.snap != nil {
+		return e.snap
+	}
+	return e.Cat.Snapshot()
+}
+
+// runWrite executes a writing statement. Inside an explicit
+// transaction the active mutation accumulates the writes (published
+// only at COMMIT). Otherwise the statement runs as its own exclusive
+// mutation: the writer lock is held for the statement — writers are
+// serialized only against other writers; readers stream on unaffected
+// — and the new catalog version is swapped in atomically at the end,
+// or discarded entirely on error.
+func (e *Engine) runWrite(fn func() error) error {
+	if e.mut != nil {
+		// Explicit transaction: the statement runs against the open
+		// mutation under a savepoint, so a statement that fails
+		// mid-execution leaves no partial effects in the transaction
+		// (statement atomicity — a later COMMIT publishes only the
+		// statements that succeeded).
+		sp := e.mut.Savepoint()
+		if err := fn(); err != nil {
+			e.mut.RollbackTo(sp)
+			return err
+		}
+		return nil
+	}
+	m := e.Cat.BeginExclusive()
+	e.mut = m
+	committed := false
+	defer func() {
+		// Abort on error — and on panic, so the writer lock is never
+		// left held by a failed statement.
+		e.mut = nil
+		if !committed {
+			m.Abort()
+		}
+	}()
+	if err := fn(); err != nil {
+		return err
+	}
+	committed = true
+	return m.Commit()
+}
+
+// Begin starts an explicit transaction: reads pin the current catalog
+// snapshot, writes accumulate in a private version until Commit.
+func (e *Engine) Begin() error {
+	if e.inTx {
+		return fmt.Errorf("already in a transaction")
+	}
+	e.mut = e.Cat.BeginTx()
+	e.inTx = true
+	return nil
+}
+
+// Commit publishes the transaction. Returns catalog.ErrConflict when
+// another transaction committed a conflicting object version first
+// (first committer wins); the transaction is over either way.
+func (e *Engine) Commit() error {
+	if !e.inTx {
+		return fmt.Errorf("COMMIT outside a transaction")
+	}
+	m := e.mut
+	e.mut, e.inTx = nil, false
+	return m.Commit()
+}
+
+// Rollback discards the transaction.
+func (e *Engine) Rollback() error {
+	if !e.inTx {
+		return fmt.Errorf("ROLLBACK outside a transaction")
+	}
+	e.mut.Abort()
+	e.mut, e.inTx = nil, false
+	return nil
+}
+
+// InTx reports whether an explicit transaction is open.
+func (e *Engine) InTx() bool { return e.inTx }
 
 // RegisterExternal binds an EXTERNAL NAME to a Go implementation.
 func (e *Engine) RegisterExternal(name string, fn func(args []value.Value) (value.Value, error)) {
@@ -193,8 +331,14 @@ func (e *Engine) ExecContext(ctx context.Context, stmt ast.Statement, params map
 		ctx = context.Background()
 	}
 	prev := e.qctx
+	prevSnap := e.snap
 	e.qctx = ctx
-	defer func() { e.qctx = prev }()
+	if e.mut == nil {
+		// Pin one catalog snapshot for the whole statement; inside a
+		// transaction the mutation view is already pinned.
+		e.snap = e.Cat.Snapshot()
+	}
+	defer func() { e.qctx = prev; e.snap = prevSnap }()
 	return e.execStmt(stmt, params)
 }
 
@@ -216,49 +360,54 @@ func (e *Engine) canceled() error {
 	return e.qctx.Err()
 }
 
-// ddl wraps a DDL execution: schema changes invalidate the memoized
-// per-AST planning decisions, since a statement prepared (or cached by
-// text) before a CREATE/ALTER/DROP may now plan differently — e.g.
-// become parallel-eligible once its array exists.
-func (e *Engine) ddl(err error) error {
-	e.planMu.Lock()
-	e.planCache = nil
-	e.planMu.Unlock()
-	e.invalidateVecCache()
-	return err
-}
-
 func (e *Engine) execStmt(stmt ast.Statement, params map[string]value.Value) (*Dataset, error) {
 	norm := make(map[string]value.Value, len(params))
 	for k, v := range params {
 		norm[strings.ToLower(k)] = v
 	}
 	env := &baseEnv{params: norm}
+	// Writing statements run under a catalog mutation (the open
+	// transaction's, or an autocommit one wrapping this statement):
+	// every touched object is cloned before its first write, and the
+	// new versions publish atomically at commit. Plan-cache entries
+	// are stamped with the catalog version (selectDecision), so no
+	// explicit invalidation is needed here — a committed DDL bumps the
+	// version and every session re-plans on next use.
 	switch s := stmt.(type) {
 	case *ast.Select:
 		return e.execSelect(s, env)
 	case *ast.Explain:
 		return e.execExplain(s)
+	case *ast.TxStmt:
+		switch s.Kind {
+		case ast.TxBegin:
+			return nil, e.Begin()
+		case ast.TxCommit:
+			return nil, e.Commit()
+		case ast.TxRollback:
+			return nil, e.Rollback()
+		}
+		return nil, fmt.Errorf("unknown transaction statement %q", s.Kind)
 	case *ast.CreateTable:
-		return nil, e.ddl(e.execCreateTable(s))
+		return nil, e.runWrite(func() error { return e.execCreateTable(s) })
 	case *ast.CreateArray:
-		return nil, e.ddl(e.execCreateArray(s, env))
+		return nil, e.runWrite(func() error { return e.execCreateArray(s, env) })
 	case *ast.CreateSequence:
-		return nil, e.ddl(e.execCreateSequence(s, env))
+		return nil, e.runWrite(func() error { return e.execCreateSequence(s, env) })
 	case *ast.CreateFunction:
-		return nil, e.ddl(e.execCreateFunction(s))
+		return nil, e.runWrite(func() error { return e.execCreateFunction(s) })
 	case *ast.AlterArray:
-		return nil, e.ddl(e.execAlterArray(s, env))
+		return nil, e.runWrite(func() error { return e.execAlterArray(s, env) })
 	case *ast.Drop:
-		return nil, e.ddl(e.Cat.Drop(s.Kind, s.Name))
+		return nil, e.runWrite(func() error { return e.mut.Drop(s.Kind, s.Name) })
 	case *ast.Insert:
-		return nil, e.execInsert(s, env)
+		return nil, e.runWrite(func() error { return e.execInsert(s, env) })
 	case *ast.Update:
-		return nil, e.execUpdate(s, env)
+		return nil, e.runWrite(func() error { return e.execUpdate(s, env) })
 	case *ast.SetStmt:
-		return nil, e.execSetStmt(s, env)
+		return nil, e.runWrite(func() error { return e.execSetStmt(s, env) })
 	case *ast.Delete:
-		return nil, e.execDelete(s, env)
+		return nil, e.runWrite(func() error { return e.execDelete(s, env) })
 	default:
 		return nil, fmt.Errorf("unsupported statement %T", stmt)
 	}
@@ -287,7 +436,7 @@ func (e *Engine) execCreateTable(s *ast.CreateTable) error {
 		}
 		cols = append(cols, tc)
 	}
-	return e.Cat.PutTable(catalog.NewTable(s.Name, cols))
+	return e.mut.PutTable(catalog.NewTable(s.Name, cols))
 }
 
 // --- CREATE ARRAY ----------------------------------------------------------
@@ -423,7 +572,7 @@ func (e *Engine) compileDimension(c ast.ColDef, env expr.Env) (*array.Dimension,
 		return d, nil
 	}
 	if spec.SeqName != "" {
-		seq, ok := e.Cat.Sequence(spec.SeqName)
+		seq, ok := e.cat().Sequence(spec.SeqName)
 		if !ok {
 			return nil, fmt.Errorf("dimension %s: no such sequence %s", c.Name, spec.SeqName)
 		}
@@ -519,7 +668,7 @@ func (e *Engine) compileCoordDefault(def ast.Expr, dimNames []string, t value.Ty
 func (e *Engine) execCreateArray(s *ast.CreateArray, env expr.Env) error {
 	cols := s.Cols
 	if s.Like != "" {
-		src, ok := e.Cat.Array(s.Like)
+		src, ok := e.cat().Array(s.Like)
 		if !ok {
 			return fmt.Errorf("CREATE ARRAY %s LIKE: no such array %s", s.Name, s.Like)
 		}
@@ -529,7 +678,7 @@ func (e *Engine) execCreateArray(s *ast.CreateArray, env expr.Env) error {
 			return err
 		}
 		a.Store = st
-		return e.Cat.PutArray(a)
+		return e.mut.PutArray(a)
 	}
 	sch, err := e.compileSchema(cols, env)
 	if err != nil {
@@ -540,7 +689,7 @@ func (e *Engine) execCreateArray(s *ast.CreateArray, env expr.Env) error {
 		return fmt.Errorf("CREATE ARRAY %s: %w", s.Name, err)
 	}
 	a := &array.Array{Name: s.Name, Schema: *sch, Store: st}
-	if err := e.Cat.PutArray(a); err != nil {
+	if err := e.mut.PutArray(a); err != nil {
 		return err
 	}
 	if s.AsSelect != nil {
@@ -582,7 +731,7 @@ func (e *Engine) execCreateSequence(s *ast.CreateSequence, env expr.Env) error {
 		}
 		seq.MaxValue = v.AsInt()
 	}
-	return e.Cat.PutSequence(seq)
+	return e.mut.PutSequence(seq)
 }
 
 func (e *Engine) execCreateFunction(s *ast.CreateFunction) error {
@@ -594,14 +743,14 @@ func (e *Engine) execCreateFunction(s *ast.CreateFunction) error {
 		}
 		f.External = impl
 	}
-	e.Cat.PutFunction(f)
+	e.mut.PutFunction(f)
 	return nil
 }
 
 // --- ALTER ARRAY -----------------------------------------------------------
 
 func (e *Engine) execAlterArray(s *ast.AlterArray, env expr.Env) error {
-	a, ok := e.Cat.Array(s.Name)
+	a, ok := e.cat().Array(s.Name)
 	if !ok {
 		return fmt.Errorf("ALTER ARRAY: no such array %s", s.Name)
 	}
@@ -651,7 +800,7 @@ func (e *Engine) alterDimension(a *array.Array, dimName string, spec *ast.DimSpe
 		}
 		return true
 	})
-	e.Cat.ReplaceArray(nb)
+	e.mut.ReplaceArray(nb)
 	return nil
 }
 
@@ -706,6 +855,6 @@ func (e *Engine) addAttribute(a *array.Array, col *ast.ColDef, env expr.Env) err
 	if evalErr != nil {
 		return fmt.Errorf("ALTER ARRAY %s ADD %s: %w", a.Name, col.Name, evalErr)
 	}
-	e.Cat.ReplaceArray(nb)
+	e.mut.ReplaceArray(nb)
 	return nil
 }

@@ -12,7 +12,7 @@ import (
 type planCatalog struct{ e *Engine }
 
 func (pc planCatalog) ArrayInfo(name string) (dims, attrs []string, ok bool) {
-	a, found := pc.e.Cat.Array(name)
+	a, found := pc.e.cat().Array(name)
 	if !found {
 		return nil, nil, false
 	}
@@ -26,7 +26,7 @@ func (pc planCatalog) ArrayInfo(name string) (dims, attrs []string, ok bool) {
 }
 
 func (pc planCatalog) IsTable(name string) bool {
-	_, ok := pc.e.Cat.Table(name)
+	_, ok := pc.e.cat().Table(name)
 	return ok
 }
 
@@ -93,7 +93,7 @@ func (e *Engine) vecAnnotator(sel *ast.Select, pl *plan.Plan) func(plan.Node) st
 	if scans != 1 || scan == nil {
 		return nil
 	}
-	arr, ok := e.Cat.Array(scan.Name)
+	arr, ok := e.cat().Array(scan.Name)
 	if !ok {
 		return nil
 	}

@@ -39,11 +39,16 @@ const planCacheMax = 4096
 // values, bounding boxes) — on every execution, since DML invalidates
 // them — so workers only ever read shared state.
 func (e *Engine) selectDecision(sel *ast.Select) planDecision {
+	ver := e.cat().SchemaVersion()
 	e.planMu.Lock()
 	dec, cached := e.planCache[sel]
 	e.planMu.Unlock()
-	if !cached {
-		dec = planDecision{par: 1}
+	if !cached || dec.catVer != ver {
+		// Not cached, or planned under a different catalog version
+		// (DDL committed by any session, or this session's pinned
+		// transaction snapshot): re-resolve against the current view
+		// instead of executing stale bindings.
+		dec = planDecision{par: 1, catVer: ver}
 		pl := e.planSelect(sel)
 		if e.parallelism > 1 && e.pool != nil && pl.Parallel && parSafeSelect(sel) {
 			dec.par = e.parallelism
@@ -61,7 +66,7 @@ func (e *Engine) selectDecision(sel *ast.Select) planDecision {
 	// executions invalidates the lazy store indexes. The name list is
 	// cached; re-touching a built index is a cheap early return.
 	for _, name := range dec.warm {
-		if a, ok := e.Cat.Array(name); ok {
+		if a, ok := e.cat().Array(name); ok {
 			e.prewarmArray(a)
 		}
 	}

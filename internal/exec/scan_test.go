@@ -11,9 +11,9 @@ import (
 
 // --- intersectSel -----------------------------------------------------------
 
-func rng(lo, hi, step int64) dimSel  { return dimSel{lo: lo, hi: hi, step: step} }
-func pt(v int64) dimSel              { return dimSel{point: true, val: v} }
-func fullSel() dimSel                { return dimSel{full: true} }
+func rng(lo, hi, step int64) dimSel { return dimSel{lo: lo, hi: hi, step: step} }
+func pt(v int64) dimSel             { return dimSel{point: true, val: v} }
+func fullSel() dimSel               { return dimSel{full: true} }
 func selValues(s dimSel, n int64) []int64 {
 	var out []int64
 	for v := int64(0); v < n; v++ {

@@ -153,11 +153,14 @@ func (e *Engine) fusedScanSelect(sel *ast.Select, env *baseEnv) (*Dataset, bool,
 	// eligibility is schema-dependent, LIMIT presence is syntactic), so
 	// it memoizes: repeated executions of a non-fusable shape skip the
 	// stream analysis entirely. Invalidated with the plan cache.
+	ver := e.cat().SchemaVersion()
 	if sel.Limit == nil {
 		e.vecMu.Lock()
-		skip := e.fusedSkip[sel]
+		skipVer, skip := e.fusedSkip[sel]
 		e.vecMu.Unlock()
-		if skip {
+		// Verdicts are schema-dependent; one stamped with another
+		// catalog version is stale and re-analyzes.
+		if skip && skipVer == ver {
 			return nil, false, nil
 		}
 	}
@@ -168,9 +171,9 @@ func (e *Engine) fusedScanSelect(sel *ast.Select, env *baseEnv) (*Dataset, bool,
 	if sp.vec == nil && sp.limit < 0 {
 		e.vecMu.Lock()
 		if e.fusedSkip == nil || len(e.fusedSkip) >= planCacheMax {
-			e.fusedSkip = make(map[*ast.Select]bool)
+			e.fusedSkip = make(map[*ast.Select]int64)
 		}
-		e.fusedSkip[sel] = true
+		e.fusedSkip[sel] = ver
 		e.vecMu.Unlock()
 		return nil, false, nil
 	}
@@ -253,7 +256,7 @@ func (e *Engine) fromIsVacuous(sel *ast.Select, outer expr.Env) bool {
 		if !ok || tr.Subquery != nil || tr.Alias != "" || len(tr.Indexers) > 0 {
 			return false
 		}
-		if _, ok := e.Cat.Array(tr.Name); !ok {
+		if _, ok := e.cat().Array(tr.Name); !ok {
 			if v, ok2 := outer.Lookup("", tr.Name); !ok2 || v.Typ != value.Array {
 				return false
 			}
@@ -549,7 +552,7 @@ func (e *Engine) buildTableRef(t *ast.TableRef, conjs []ast.Expr, consumed []boo
 		fromEnv = arr != nil
 	}
 	if arr == nil {
-		if a, ok := e.Cat.Array(t.Name); ok {
+		if a, ok := e.cat().Array(t.Name); ok {
 			arr = a
 		}
 	}
@@ -578,7 +581,7 @@ func (e *Engine) buildTableRef(t *ast.TableRef, conjs []ast.Expr, consumed []boo
 		}
 		return ds, []*source{src}, nil
 	}
-	if tbl, ok := e.Cat.Table(t.Name); ok {
+	if tbl, ok := e.cat().Table(t.Name); ok {
 		qual := t.Alias
 		if qual == "" {
 			qual = t.Name

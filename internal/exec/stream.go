@@ -68,6 +68,9 @@ type Cursor struct {
 	// nextBatch/stopBatch drive vectorized (batch-streaming) cursors.
 	nextBatch func() (vecBatch, bool)
 	stopBatch func()
+	// onClose releases resources held for the cursor's lifetime (the
+	// session's pinned catalog snapshot); run once, on first Close.
+	onClose func()
 	// batchCols is the static output column template of a vectorized
 	// cursor (kernel result types; all-NULL columns refine to Float at
 	// materialization, like the interpreter's type promotion).
@@ -144,6 +147,10 @@ func (c *Cursor) Close() {
 	}
 	if c.stopBatch != nil {
 		c.stopBatch()
+	}
+	if c.onClose != nil {
+		c.onClose()
+		c.onClose = nil
 	}
 }
 
@@ -342,6 +349,23 @@ func (e *Engine) QueryStream(ctx context.Context, sel *ast.Select, params map[st
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	var release func()
+	if e.mut == nil {
+		// Pin one catalog snapshot for the life of the cursor: it stays
+		// the session's view until the cursor closes, so expression
+		// hooks that resolve arrays mid-iteration (m[x-1].v) read the
+		// same version the scan does, no matter what concurrent
+		// sessions commit. Close releases the pin so an idle session
+		// doesn't retain superseded object versions. Inside a
+		// transaction the mutation view is the pin.
+		pinned := e.Cat.Snapshot()
+		e.snap = pinned
+		release = func() {
+			if e.snap == pinned {
+				e.snap = nil
+			}
+		}
+	}
 	norm := make(map[string]value.Value, len(params))
 	for k, v := range params {
 		norm[strings.ToLower(k)] = v
@@ -349,16 +373,24 @@ func (e *Engine) QueryStream(ctx context.Context, sel *ast.Select, params map[st
 	env := &baseEnv{params: norm}
 	sp, ok, err := e.compileStream(sel, env)
 	if err != nil {
+		if release != nil {
+			release()
+		}
 		return nil, err
 	}
 	if !ok {
 		ds, err := e.ExecContext(ctx, sel, params)
+		if release != nil {
+			release()
+		}
 		if err != nil {
 			return nil, err
 		}
 		return datasetCursor(ds), nil
 	}
-	return e.streamCursorFor(ctx, sp), nil
+	cur := e.streamCursorFor(ctx, sp)
+	cur.onClose = release
+	return cur, nil
 }
 
 // streamCursorFor picks the execution strategy for a compiled stream
@@ -421,7 +453,7 @@ func (e *Engine) compileStream(sel *ast.Select, env *baseEnv) (*streamPlan, bool
 	if _, envBound := env.Lookup("", tr.Name); envBound {
 		return nil, false, nil
 	}
-	arr, found := e.Cat.Array(tr.Name)
+	arr, found := e.cat().Array(tr.Name)
 	if !found {
 		return nil, false, nil
 	}
@@ -704,7 +736,6 @@ func (e *Engine) parallelStreamCursor(ctx context.Context, sp *streamPlan, chunk
 	next, stop := iter.Pull(seq)
 	return &Cursor{cols: cols, items: sp.items, next: next, stop: stop, cancel: cancel}
 }
-
 
 // vecScanBatches drives one scan sequence through the batch buffer:
 // cells passing the effective dimension restriction accumulate into

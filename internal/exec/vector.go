@@ -896,8 +896,10 @@ func (ent *vecCacheEntry) sigMatchesEntry(cols []Col, strict bool) bool {
 }
 
 // invalidateVecCache drops compiled programs and fused-path verdicts
-// (DDL may change column types; parallelism or the vectorization knob
-// change what the fused path offers).
+// (parallelism or the vectorization knob change what the fused path
+// offers; DDL needs no explicit drop — programs validate against the
+// current column signature and fused verdicts carry a catalog-version
+// stamp).
 func (e *Engine) invalidateVecCache() {
 	e.vecMu.Lock()
 	e.vecCache = nil

@@ -397,6 +397,28 @@ func (*AlterArray) stmt()     {}
 func (*Drop) stmt()           {}
 
 // ---------------------------------------------------------------------------
+// Transactions
+
+// TxKind discriminates transaction-control statements.
+type TxKind string
+
+// Transaction statement kinds.
+const (
+	TxBegin    TxKind = "BEGIN"
+	TxCommit   TxKind = "COMMIT"
+	TxRollback TxKind = "ROLLBACK"
+)
+
+// TxStmt is BEGIN [TRANSACTION] / START TRANSACTION, COMMIT or
+// ROLLBACK: explicit snapshot-isolated transaction control.
+type TxStmt struct {
+	Kind TxKind
+}
+
+func (*TxStmt) node() {}
+func (*TxStmt) stmt() {}
+
+// ---------------------------------------------------------------------------
 // DML
 
 // Insert adds rows/cells. The spreadsheet shifting semantics of §3.2

@@ -61,6 +61,10 @@ var keywords = map[string]bool{
 	"DEFAULT": true, "CHECK": true, "SEQUENCE": true, "FUNCTION": true,
 	"RETURNS": true, "RETURN": true, "BEGIN": true, "DECLARE": true,
 	"IF": true, "EXTERNAL": true, "START": true, "EXPLAIN": true,
+	// COMMIT/ROLLBACK are reserved (SQL standard); TRANSACTION and
+	// WORK stay ordinary identifiers, accepted contextually after
+	// BEGIN/START/COMMIT/ROLLBACK.
+	"COMMIT": true, "ROLLBACK": true,
 	"WITH": true, "INCREMENT": true, "MAXVALUE": true, "INSERT": true,
 	"INTO": true, "VALUES": true, "UPDATE": true, "SET": true,
 	"DELETE": true, "ALTER": true, "ADD": true, "DROP": true,

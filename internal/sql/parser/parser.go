@@ -203,9 +203,50 @@ func (p *Parser) parseStatement() (ast.Statement, error) {
 		return p.parseAlter()
 	case "DROP":
 		return p.parseDrop()
+	case "BEGIN", "START", "COMMIT", "ROLLBACK":
+		return p.parseTxStmt()
 	default:
 		return nil, p.errf("unexpected statement keyword %s", t.Text)
 	}
+}
+
+// parseTxStmt parses transaction control: BEGIN [TRANSACTION|WORK],
+// START TRANSACTION, COMMIT [WORK], ROLLBACK [WORK]. TRANSACTION and
+// WORK are not reserved — they lex as identifiers and are accepted
+// contextually here, so columns may still carry those names.
+func (p *Parser) parseTxStmt() (ast.Statement, error) {
+	t := p.advance()
+	switch t.Text {
+	case "BEGIN":
+		if !p.acceptWord("TRANSACTION") {
+			p.acceptWord("WORK")
+		}
+		return &ast.TxStmt{Kind: ast.TxBegin}, nil
+	case "START":
+		if !p.acceptWord("TRANSACTION") {
+			return nil, p.errf("expected TRANSACTION after START, found %s", p.cur())
+		}
+		return &ast.TxStmt{Kind: ast.TxBegin}, nil
+	case "COMMIT":
+		p.acceptWord("WORK")
+		return &ast.TxStmt{Kind: ast.TxCommit}, nil
+	case "ROLLBACK":
+		p.acceptWord("WORK")
+		return &ast.TxStmt{Kind: ast.TxRollback}, nil
+	}
+	return nil, p.errf("unexpected transaction keyword %s", t.Text)
+}
+
+// acceptWord consumes the next token when it spells the given word,
+// whether it lexed as a keyword or a plain identifier (contextual
+// keywords like TRANSACTION/WORK).
+func (p *Parser) acceptWord(w string) bool {
+	t := p.cur()
+	if (t.Kind == lexer.Keyword || t.Kind == lexer.Ident) && strings.EqualFold(t.Text, w) {
+		p.advance()
+		return true
+	}
+	return false
 }
 
 // --- DDL --------------------------------------------------------------------

@@ -1,0 +1,229 @@
+package sciql
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/sql/ast"
+)
+
+// ErrTxConflict is returned by Tx.Commit (and COMMIT statements) when
+// another transaction committed a conflicting version of an object
+// this one wrote: first committer wins. Retry the transaction.
+var ErrTxConflict = catalog.ErrConflict
+
+// Conn is one session of the database: private prepared-statement and
+// snapshot/transaction state over the shared, versioned catalog.
+//
+// Connections run statements truly concurrently with each other —
+// there is no shared statement mutex. Each statement (and each open
+// Rows cursor) pins one immutable catalog snapshot; writers build new
+// object versions copy-on-write and publish them atomically, so a
+// reader never blocks on a writer and never observes a half-applied
+// statement. A single Conn is not safe for concurrent use (like a
+// database/sql driver connection): run one statement at a time, and
+// treat an open Rows as in-flight.
+type Conn struct {
+	db     *DB
+	eng    *exec.Engine
+	closed bool
+}
+
+// Conn opens a new connection. The context covers connection setup
+// only (kept for database/sql symmetry; nil is tolerated like the
+// other entry points); connections are cheap, in-process session
+// states.
+func (db *DB) Conn(ctx context.Context) (*Conn, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return &Conn{db: db, eng: db.engine.NewSession()}, nil
+}
+
+// Close releases the connection, rolling back any open transaction.
+// The connection is unusable afterwards; closing twice is a no-op.
+func (c *Conn) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.eng.InTx() {
+		return c.eng.Rollback()
+	}
+	return nil
+}
+
+func (c *Conn) check() error {
+	if c.closed {
+		return fmt.Errorf("sciql: connection is closed")
+	}
+	return nil
+}
+
+// Exec runs one or more semicolon-separated statements on this
+// connection, returning the result of the last one (nil for DDL/DML).
+func (c *Conn) Exec(sql string, args ...Arg) (*Result, error) {
+	return c.ExecContext(context.Background(), sql, args...)
+}
+
+// ExecContext is Exec bound to a context: cancellation stops long
+// scans and the call returns ctx.Err().
+func (c *Conn) ExecContext(ctx context.Context, sql string, args ...Arg) (*Result, error) {
+	if err := c.check(); err != nil {
+		return nil, err
+	}
+	stmts, err := c.db.compile(sql)
+	if err != nil {
+		return nil, err
+	}
+	return execAll(ctx, c.eng, stmts, args)
+}
+
+// Query runs a single SELECT on this connection, materialized.
+func (c *Conn) Query(sql string, args ...Arg) (*Result, error) {
+	rows, err := c.QueryContext(context.Background(), sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	return rows.materialize()
+}
+
+// QueryContext runs a single SELECT as a streaming cursor against the
+// snapshot pinned when the query starts: concurrent commits (from
+// other connections) do not affect the rows this cursor returns.
+// Always Close the returned Rows.
+func (c *Conn) QueryContext(ctx context.Context, sql string, args ...Arg) (*Rows, error) {
+	if err := c.check(); err != nil {
+		return nil, err
+	}
+	sel, err := c.db.compileSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := c.eng.QueryStream(ctx, sel, collectArgs(args))
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{cur: cur}, nil
+}
+
+// Prepare parses sql once and returns a statement handle bound to
+// this connection; re-executions skip parsing, and the engine's
+// version-stamped plan cache re-resolves automatically after DDL from
+// any connection instead of executing stale bindings.
+func (c *Conn) Prepare(sql string) (*Stmt, error) {
+	if err := c.check(); err != nil {
+		return nil, err
+	}
+	stmts, err := c.db.compile(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{db: c.db, conn: c, text: sql, stmts: stmts}, nil
+}
+
+// Begin starts a snapshot-isolated transaction on this connection:
+// reads see the catalog exactly as of Begin (plus the transaction's
+// own writes); writes accumulate in a private version published
+// atomically by Commit. Concurrent transactions writing the same
+// object resolve first-committer-wins: the later Commit returns
+// ErrTxConflict.
+func (c *Conn) Begin() (*Tx, error) {
+	if err := c.check(); err != nil {
+		return nil, err
+	}
+	if err := c.eng.Begin(); err != nil {
+		return nil, err
+	}
+	return &Tx{c: c}, nil
+}
+
+// InTx reports whether the connection has an open transaction (also
+// reachable through BEGIN/COMMIT/ROLLBACK statements via Exec).
+func (c *Conn) InTx() bool { return c.eng.InTx() }
+
+// Tx is an open transaction on a Conn. Statements may equivalently
+// run through the Tx or through the owning Conn — a transaction is
+// connection state, as in SQL.
+type Tx struct {
+	c    *Conn
+	done bool
+}
+
+func (t *Tx) check() error {
+	if t.done {
+		return fmt.Errorf("sciql: transaction has already been committed or rolled back")
+	}
+	return t.c.check()
+}
+
+// Exec runs statements inside the transaction.
+func (t *Tx) Exec(sql string, args ...Arg) (*Result, error) {
+	return t.ExecContext(context.Background(), sql, args...)
+}
+
+// ExecContext is Exec bound to a context.
+func (t *Tx) ExecContext(ctx context.Context, sql string, args ...Arg) (*Result, error) {
+	if err := t.check(); err != nil {
+		return nil, err
+	}
+	return t.c.ExecContext(ctx, sql, args...)
+}
+
+// Query runs a SELECT inside the transaction, materialized.
+func (t *Tx) Query(sql string, args ...Arg) (*Result, error) {
+	rows, err := t.QueryContext(context.Background(), sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	return rows.materialize()
+}
+
+// QueryContext runs a SELECT inside the transaction as a streaming
+// cursor: rows come from the transaction's snapshot plus its own
+// uncommitted writes.
+func (t *Tx) QueryContext(ctx context.Context, sql string, args ...Arg) (*Rows, error) {
+	if err := t.check(); err != nil {
+		return nil, err
+	}
+	return t.c.QueryContext(ctx, sql, args...)
+}
+
+// Commit publishes the transaction's writes as one new catalog
+// version. Returns ErrTxConflict if a concurrent transaction
+// committed a conflicting object version first; the transaction is
+// over either way.
+func (t *Tx) Commit() error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	t.done = true
+	return t.c.eng.Commit()
+}
+
+// Rollback discards the transaction's writes.
+func (t *Tx) Rollback() error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	t.done = true
+	return t.c.eng.Rollback()
+}
+
+// execAll runs parsed statements sequentially on one session.
+func execAll(ctx context.Context, eng *exec.Engine, stmts []ast.Statement, args []Arg) (*Result, error) {
+	params := collectArgs(args)
+	var last *Result
+	for _, s := range stmts {
+		ds, err := eng.ExecContext(ctx, s, params)
+		if err != nil {
+			return nil, err
+		}
+		last = ds
+	}
+	return last, nil
+}

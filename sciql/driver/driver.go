@@ -18,13 +18,17 @@
 // ?name binds sql.Named("name", v), and plain positional arguments
 // bind ?1, ?2, ... by ordinal.
 //
-// database/sql may use connections from multiple goroutines, while the
-// embedded engine is single-threaded by contract; the driver therefore
-// serializes statements on a per-database mutex and buffers each
-// result set before returning it, so no lock is held while the caller
-// iterates rows. Query execution itself honors the context — canceling
-// it aborts a running scan — and the native sciql API remains the way
-// to stream cursors incrementally. Transactions are not supported.
+// Each driver connection is a real sciql.Conn: its own session over
+// the shared, versioned catalog. database/sql's pool therefore maps
+// onto genuinely concurrent sessions — queries on different
+// connections run in parallel with no shared statement mutex — and
+// result sets stream row by row straight from the engine cursor
+// instead of being buffered. Every query reads one pinned catalog
+// snapshot, so an open *sql.Rows is immune to concurrent DML.
+// Transactions are supported: db.BeginTx starts a snapshot-isolated
+// transaction (reads pinned at BEGIN, writes private until COMMIT,
+// first-committer-wins conflicts surface from Commit as
+// sciql.ErrTxConflict).
 package driver
 
 import (
@@ -33,6 +37,7 @@ import (
 	stddriver "database/sql/driver"
 	"fmt"
 	"io"
+	"reflect"
 	"strconv"
 	"sync"
 	"time"
@@ -50,79 +55,129 @@ type Driver struct{}
 
 var (
 	registryMu sync.Mutex
-	registry   = make(map[string]*shared)
+	registry   = make(map[string]*sciql.DB)
 )
 
-// shared is one registered database plus the mutex serializing the
-// connections that point at it.
-type shared struct {
-	db *sciql.DB
-	mu sync.Mutex
-}
-
-// getShared resolves a DSN to its shared database, creating it on
-// first use.
-func getShared(dsn string) *shared {
+// getDB resolves a DSN to its shared database, creating it on first
+// use.
+func getDB(dsn string) *sciql.DB {
 	registryMu.Lock()
 	defer registryMu.Unlock()
-	s, ok := registry[dsn]
+	db, ok := registry[dsn]
 	if !ok {
-		s = &shared{db: sciql.Open()}
-		registry[dsn] = s
+		db = sciql.Open()
+		registry[dsn] = db
 	}
-	return s
+	return db
 }
 
-// Open returns a connection to the database named by dsn, creating it
-// on first use.
+// Open returns a new connection (session) on the database named by
+// dsn, creating the database on first use.
 func (Driver) Open(dsn string) (stddriver.Conn, error) {
-	return &conn{s: getShared(dsn)}, nil
+	return openConn(getDB(dsn))
 }
 
 // DB returns the sciql.DB behind a data source name (creating it on
 // first use), for tests and mixed native/database-sql access.
 func DB(dsn string) *sciql.DB {
-	return getShared(dsn).db
+	return getDB(dsn)
 }
 
 // NewConnector wraps an existing sciql.DB as a driver.Connector for
 // sql.OpenDB, bypassing the DSN registry.
 func NewConnector(db *sciql.DB) stddriver.Connector {
-	return &connector{s: &shared{db: db}}
+	return &connector{db: db}
 }
 
-type connector struct{ s *shared }
+type connector struct{ db *sciql.DB }
 
-func (c *connector) Connect(context.Context) (stddriver.Conn, error) { return &conn{s: c.s}, nil }
+func (c *connector) Connect(context.Context) (stddriver.Conn, error) { return openConn(c.db) }
 func (c *connector) Driver() stddriver.Driver                        { return &Driver{} }
 
-// conn is one database/sql connection. All conns on a DSN share the
-// engine; the shared mutex serializes their statements.
-type conn struct{ s *shared }
+func openConn(db *sciql.DB) (stddriver.Conn, error) {
+	sc, err := db.Conn(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return &conn{c: sc}, nil
+}
+
+// conn is one database/sql connection backed by its own sciql.Conn
+// session. database/sql serializes use of a single conn; different
+// conns execute concurrently against the shared catalog.
+type conn struct{ c *sciql.Conn }
 
 var (
 	_ stddriver.Conn              = (*conn)(nil)
 	_ stddriver.QueryerContext    = (*conn)(nil)
 	_ stddriver.ExecerContext     = (*conn)(nil)
+	_ stddriver.ConnBeginTx       = (*conn)(nil)
 	_ stddriver.NamedValueChecker = (*conn)(nil)
+	_ stddriver.SessionResetter   = (*conn)(nil)
 )
 
-func (c *conn) Close() error { return nil }
+func (c *conn) Close() error { return c.c.Close() }
 
-func (c *conn) Begin() (stddriver.Tx, error) {
-	return nil, fmt.Errorf("sciql: transactions are not supported")
+// ResetSession runs when database/sql returns the connection to its
+// pool. A transaction opened by a raw `BEGIN` statement (db.Exec
+// rather than db.Begin) would otherwise ride along on the pooled
+// connection and silently swallow every later write handed to it;
+// roll it back instead — SQL-level transaction scripts belong on a
+// dedicated sql.Conn (or db.Begin), not the shared pool.
+func (c *conn) ResetSession(ctx context.Context) error {
+	if c.c.InTx() {
+		if _, err := c.c.ExecContext(ctx, `ROLLBACK`); err != nil {
+			return stddriver.ErrBadConn
+		}
+	}
+	return nil
 }
 
-// Prepare parses the statement once; re-executions reuse the cached
-// AST and optimized plan.
-func (c *conn) Prepare(query string) (stddriver.Stmt, error) {
-	c.s.mu.Lock()
-	defer c.s.mu.Unlock()
-	ps, err := c.s.db.Prepare(query)
+// Begin starts a snapshot-isolated transaction on this connection.
+func (c *conn) Begin() (stddriver.Tx, error) {
+	t, err := c.c.Begin()
 	if err != nil {
 		return nil, err
 	}
-	return &stmt{s: c.s, ps: ps}, nil
+	return &tx{t: t}, nil
+}
+
+// BeginTx validates the options: SciQL transactions are snapshot
+// isolated, so any isolation level at or below snapshot is satisfied;
+// serializable is refused rather than silently weakened.
+func (c *conn) BeginTx(ctx context.Context, opts stddriver.TxOptions) (stddriver.Tx, error) {
+	switch sql.IsolationLevel(opts.Isolation) {
+	case sql.LevelDefault, sql.LevelReadUncommitted, sql.LevelReadCommitted,
+		sql.LevelRepeatableRead, sql.LevelSnapshot:
+	default:
+		return nil, fmt.Errorf("sciql: isolation level %s not supported (transactions are snapshot isolated)",
+			sql.IsolationLevel(opts.Isolation))
+	}
+	if opts.ReadOnly {
+		// Not enforced by the engine; refuse rather than hand back a
+		// "read-only" transaction that accepts writes.
+		return nil, fmt.Errorf("sciql: read-only transactions are not supported")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.Begin()
+}
+
+type tx struct{ t *sciql.Tx }
+
+func (t *tx) Commit() error   { return t.t.Commit() }
+func (t *tx) Rollback() error { return t.t.Rollback() }
+
+// Prepare parses the statement once; re-executions reuse the cached
+// AST, and the engine's version-stamped plan cache re-resolves after
+// DDL from any connection.
+func (c *conn) Prepare(query string) (stddriver.Stmt, error) {
+	ps, err := c.c.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return &stmt{ps: ps}, nil
 }
 
 // CheckNamedValue converts arguments to engine values; named and
@@ -137,13 +192,11 @@ func (c *conn) QueryContext(ctx context.Context, query string, nvs []stddriver.N
 	if err != nil {
 		return nil, err
 	}
-	c.s.mu.Lock()
-	defer c.s.mu.Unlock()
-	r, err := c.s.db.QueryContext(ctx, query, args...)
+	r, err := c.c.QueryContext(ctx, query, args...)
 	if err != nil {
 		return nil, err
 	}
-	return bufferRows(r)
+	return newRows(r), nil
 }
 
 func (c *conn) ExecContext(ctx context.Context, query string, nvs []stddriver.NamedValue) (stddriver.Result, error) {
@@ -151,17 +204,14 @@ func (c *conn) ExecContext(ctx context.Context, query string, nvs []stddriver.Na
 	if err != nil {
 		return nil, err
 	}
-	c.s.mu.Lock()
-	defer c.s.mu.Unlock()
-	if _, err := c.s.db.ExecContext(ctx, query, args...); err != nil {
+	if _, err := c.c.ExecContext(ctx, query, args...); err != nil {
 		return nil, err
 	}
 	return stddriver.ResultNoRows, nil
 }
 
-// stmt is a prepared statement handle.
+// stmt is a prepared statement handle bound to its connection.
 type stmt struct {
-	s  *shared
 	ps *sciql.Stmt
 }
 
@@ -196,8 +246,6 @@ func (s *stmt) ExecContext(ctx context.Context, nvs []stddriver.NamedValue) (std
 	if err != nil {
 		return nil, err
 	}
-	s.s.mu.Lock()
-	defer s.s.mu.Unlock()
 	if _, err := s.ps.ExecContext(ctx, args...); err != nil {
 		return nil, err
 	}
@@ -209,13 +257,11 @@ func (s *stmt) QueryContext(ctx context.Context, nvs []stddriver.NamedValue) (st
 	if err != nil {
 		return nil, err
 	}
-	s.s.mu.Lock()
-	defer s.s.mu.Unlock()
 	r, err := s.ps.QueryContext(ctx, args...)
 	if err != nil {
 		return nil, err
 	}
-	return bufferRows(r)
+	return newRows(r), nil
 }
 
 func ordinalValues(vals []stddriver.Value) []stddriver.NamedValue {
@@ -226,45 +272,73 @@ func ordinalValues(vals []stddriver.Value) []stddriver.NamedValue {
 	return nvs
 }
 
-// rows adapts a drained sciql.Rows to driver.Rows. Buffering happens
-// under the database mutex (bufferRows), so iteration here needs no
-// lock and other connections are free to run statements.
+// rows streams straight from the engine cursor: each driver Next call
+// pulls one row from the sciql.Rows, which reads the catalog snapshot
+// pinned at query start — no pre-buffering, no lock held while the
+// caller iterates, and the first row is available before a long scan
+// finishes.
 type rows struct {
-	cols []string
-	data [][]any
-	pos  int
+	r     *sciql.Rows
+	cols  []string
+	types []string
 }
 
-// bufferRows drains r into memory, converting values to driver types.
-func bufferRows(r *sciql.Rows) (stddriver.Rows, error) {
-	defer r.Close()
-	out := &rows{cols: r.Columns()}
-	for r.Next() {
-		vals := r.Values()
-		row := make([]any, len(vals))
-		for i, v := range vals {
-			row[i] = driverValue(v)
-		}
-		out.data = append(out.data, row)
-	}
-	if err := r.Err(); err != nil {
-		return nil, err
-	}
-	return out, nil
+var (
+	_ stddriver.Rows                           = (*rows)(nil)
+	_ stddriver.RowsColumnTypeScanType         = (*rows)(nil)
+	_ stddriver.RowsColumnTypeDatabaseTypeName = (*rows)(nil)
+)
+
+func newRows(r *sciql.Rows) *rows {
+	return &rows{r: r, cols: r.Columns(), types: r.ColumnTypeNames()}
 }
 
 func (r *rows) Columns() []string { return r.cols }
-func (r *rows) Close() error      { return nil }
+func (r *rows) Close() error      { return r.r.Close() }
 
 func (r *rows) Next(dest []stddriver.Value) error {
-	if r.pos >= len(r.data) {
+	if !r.r.Next() {
+		if err := r.r.Err(); err != nil {
+			return err
+		}
 		return io.EOF
 	}
-	for i, v := range r.data[r.pos] {
-		dest[i] = v
+	for i, v := range r.r.Values() {
+		dest[i] = driverValue(v)
 	}
-	r.pos++
 	return nil
+}
+
+// ColumnTypeDatabaseTypeName reports the SciQL type of a column
+// ("INTEGER", "FLOAT", "VARCHAR", "BOOLEAN", "TIMESTAMP", "ARRAY");
+// empty when a streamed computed expression's type is not yet known.
+func (r *rows) ColumnTypeDatabaseTypeName(index int) string { return r.types[index] }
+
+var (
+	scanTypeInt64  = reflect.TypeOf(int64(0))
+	scanTypeFloat  = reflect.TypeOf(float64(0))
+	scanTypeString = reflect.TypeOf("")
+	scanTypeBool   = reflect.TypeOf(false)
+	scanTypeTime   = reflect.TypeOf(time.Time{})
+	scanTypeAny    = reflect.TypeOf((*any)(nil)).Elem()
+)
+
+// ColumnTypeScanType reports the Go type a column scans into.
+func (r *rows) ColumnTypeScanType(index int) reflect.Type {
+	switch r.types[index] {
+	case "INTEGER":
+		return scanTypeInt64
+	case "FLOAT":
+		return scanTypeFloat
+	case "VARCHAR":
+		return scanTypeString
+	case "BOOLEAN":
+		return scanTypeBool
+	case "TIMESTAMP":
+		return scanTypeTime
+	default:
+		return scanTypeAny
+	}
 }
 
 // driverValue maps an engine value onto driver.Value's allowed set.

@@ -4,7 +4,10 @@ import (
 	"context"
 	"database/sql"
 	"errors"
+	"fmt"
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -117,15 +120,61 @@ func TestContextCancelAborts(t *testing.T) {
 	}
 }
 
-// TestTransactionsUnsupported pins the explicit Begin error.
-func TestTransactionsUnsupported(t *testing.T) {
+// TestTransactions drives snapshot-isolated transactions through the
+// standard database/sql surface: writes are invisible until Commit
+// and discarded by Rollback.
+func TestTransactions(t *testing.T) {
 	db, err := sql.Open("sciql", "tx-test")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer db.Close()
-	if _, err := db.Begin(); err == nil || !strings.Contains(err.Error(), "transactions") {
-		t.Fatalf("Begin error = %v, want transactions-unsupported", err)
+	mustExec(t, db, `CREATE ARRAY txm (x INTEGER DIMENSION[4], v FLOAT DEFAULT 0.0)`)
+
+	count := func(where string) int {
+		t.Helper()
+		var n int
+		if err := db.QueryRow(`SELECT COUNT(*) FROM txm WHERE v > ?1`, 0.5).Scan(&n); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`UPDATE txm SET v = 1.0`); err != nil {
+		t.Fatal(err)
+	}
+	if n := count(""); n != 0 {
+		t.Fatalf("uncommitted write visible outside the tx: %d rows", n)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if n := count(""); n != 4 {
+		t.Fatalf("after commit: %d rows, want 4", n)
+	}
+
+	tx, err = db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`UPDATE txm SET v = 0.0`); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if n := count(""); n != 4 {
+		t.Fatalf("rollback leaked: %d rows, want 4", n)
+	}
+
+	// Serializable is refused rather than silently weakened.
+	if _, err := db.BeginTx(context.Background(), &sql.TxOptions{Isolation: sql.LevelSerializable}); err == nil ||
+		!strings.Contains(err.Error(), "isolation") {
+		t.Fatalf("BeginTx(serializable) error = %v, want isolation-level refusal", err)
 	}
 }
 
@@ -133,5 +182,171 @@ func mustExec(t *testing.T, db *sql.DB, q string) {
 	t.Helper()
 	if _, err := db.Exec(q); err != nil {
 		t.Fatalf("%v\nSQL: %s", err, q)
+	}
+}
+
+// TestColumnTypes pins the driver's sql.ColumnType support: database
+// type names and scan types report real SciQL types.
+func TestColumnTypes(t *testing.T) {
+	db, err := sql.Open("sciql", "coltypes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	mustExec(t, db, `CREATE ARRAY ct (x INTEGER DIMENSION[2], v FLOAT DEFAULT 1.5)`)
+	rows, err := db.Query(`SELECT x, v FROM ct`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	cts, err := rows.ColumnTypes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cts) != 2 {
+		t.Fatalf("got %d column types", len(cts))
+	}
+	if got := cts[0].DatabaseTypeName(); got != "INTEGER" {
+		t.Fatalf("col 0 type name = %q, want INTEGER", got)
+	}
+	if got := cts[1].DatabaseTypeName(); got != "FLOAT" {
+		t.Fatalf("col 1 type name = %q, want FLOAT", got)
+	}
+	if got := cts[0].ScanType(); got != reflect.TypeOf(int64(0)) {
+		t.Fatalf("col 0 scan type = %v, want int64", got)
+	}
+	if got := cts[1].ScanType(); got != reflect.TypeOf(float64(0)) {
+		t.Fatalf("col 1 scan type = %v, want float64", got)
+	}
+}
+
+// TestUnbufferedStreaming pins the tentpole's driver claim: rows are
+// served from a live cursor, not a pre-buffered slice — the first row
+// arrives while the connection keeps streaming, and a second
+// connection can run statements while the first result set is open.
+func TestUnbufferedStreaming(t *testing.T) {
+	db, err := sql.Open("sciql", "streaming")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.SetMaxOpenConns(4)
+	mustExec(t, db, `CREATE ARRAY big (x INTEGER DIMENSION[128], y INTEGER DIMENSION[64], v FLOAT DEFAULT 1.0)`)
+
+	rows, err := db.Query(`SELECT x, y, v FROM big`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if !rows.Next() {
+		t.Fatalf("no first row: %v", rows.Err())
+	}
+	// With the result set open (holding its pool connection), another
+	// pool connection runs a write — impossible under the old
+	// per-database statement mutex + full buffering design.
+	mustExec(t, db, `UPDATE big SET v = 2.0 WHERE x = 0 AND y = 0`)
+	// The open cursor still serves its pinned snapshot to the end.
+	n := 1
+	var sum float64
+	var x, y int64
+	var v float64
+	if err := rows.Scan(&x, &y, &v); err != nil {
+		t.Fatal(err)
+	}
+	sum += v
+	for rows.Next() {
+		if err := rows.Scan(&x, &y, &v); err != nil {
+			t.Fatal(err)
+		}
+		sum += v
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 128*64 || sum != float64(n) {
+		t.Fatalf("snapshot scan: %d rows sum %v, want %d rows sum %d (pinned pre-update version)", n, sum, 128*64, 128*64)
+	}
+	// A fresh query sees the committed update.
+	var v2 float64
+	if err := db.QueryRow(`SELECT v FROM big WHERE x = 0 AND y = 0`).Scan(&v2); err != nil {
+		t.Fatal(err)
+	}
+	if v2 != 2.0 {
+		t.Fatalf("post-update read = %v, want 2.0", v2)
+	}
+}
+
+// TestConcurrentPoolQueries exercises the pool with parallel readers
+// and a writer (race detector coverage for the driver path).
+func TestConcurrentPoolQueries(t *testing.T) {
+	db, err := sql.Open("sciql", "poolconc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.SetMaxOpenConns(8)
+	mustExec(t, db, `CREATE ARRAY pc (x INTEGER DIMENSION[64], y INTEGER DIMENSION[64], v FLOAT DEFAULT 1.0)`)
+	var wg sync.WaitGroup
+	errs := make(chan error, 9)
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if r == 0 {
+					if _, err := db.Exec(`UPDATE pc SET v = v + 1 WHERE x = 1 AND y = 1`); err != nil {
+						errs <- err
+						return
+					}
+					continue
+				}
+				var n int
+				if err := db.QueryRow(`SELECT COUNT(*) FROM pc WHERE v > 0`).Scan(&n); err != nil {
+					errs <- err
+					return
+				}
+				if n != 64*64 {
+					errs <- fmt.Errorf("count = %d, want %d", n, 64*64)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestRawBeginDoesNotLeakTx: a BEGIN issued as plain SQL through the
+// pool is rolled back when the connection returns to the pool
+// (ResetSession), so later writes on pooled connections are never
+// silently swallowed by a zombie transaction.
+func TestRawBeginDoesNotLeakTx(t *testing.T) {
+	db, err := sql.Open("sciql", "rawbegin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.SetMaxOpenConns(1) // force every statement onto the same conn
+	mustExec(t, db, `CREATE ARRAY rb (x INTEGER DIMENSION[2], v FLOAT DEFAULT 0.0)`)
+	mustExec(t, db, `BEGIN`)
+	mustExec(t, db, `UPDATE rb SET v = 5.0`)
+	// The update must be visible to a fresh reader: either it ran
+	// autocommit (the BEGIN was reset with the pooled conn) or not at
+	// all — never held hostage by an unreachable open transaction.
+	var n int
+	if err := db.QueryRow(`SELECT COUNT(*) FROM rb WHERE v = 5.0`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("write after raw BEGIN invisible (zombie tx): %d rows, want 2", n)
+	}
+	// ReadOnly transactions are refused, not silently writable.
+	if _, err := db.BeginTx(context.Background(), &sql.TxOptions{ReadOnly: true}); err == nil ||
+		!strings.Contains(err.Error(), "read-only") {
+		t.Fatalf("BeginTx(ReadOnly) error = %v, want refusal", err)
 	}
 }

@@ -24,8 +24,11 @@ import (
 // rows are pulled incrementally from the executor — the first row is
 // available before the scan finishes, and Close stops the scan early.
 // Other shapes execute fully and stream from the completed result.
-// A Rows cursor counts as an in-flight operation on its DB: run DML
-// that mutates the scanned array only after Close.
+// The cursor reads the catalog snapshot pinned when the query
+// started, so DML committed by other connections never changes (or
+// tears) the rows an open cursor returns. A Rows cursor does count as
+// the in-flight statement of its own connection: run the next
+// statement on that connection after Close.
 type Rows struct {
 	cur    *exec.Cursor
 	row    []Value
@@ -39,6 +42,25 @@ func (r *Rows) Columns() []string {
 	out := make([]string, len(cols))
 	for i, c := range cols {
 		out[i] = c.Name
+	}
+	return out
+}
+
+// ColumnTypeNames returns the engine type of each result column as a
+// SciQL type name ("INTEGER", "FLOAT", "VARCHAR", "BOOLEAN",
+// "TIMESTAMP", "ARRAY"). For streaming cursors the type of a computed
+// expression may not be known before rows flow; such columns report
+// "" and refine during iteration. The database/sql driver surfaces
+// these through sql.ColumnType.
+func (r *Rows) ColumnTypeNames() []string {
+	cols := r.cur.Cols()
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		if c.Typ == value.Unknown {
+			out[i] = ""
+			continue
+		}
+		out[i] = c.Typ.String()
 	}
 	return out
 }

@@ -30,14 +30,23 @@ import (
 	"repro/internal/value"
 )
 
-// DB is an embedded SciQL database. It is not safe for concurrent use;
-// wrap with your own synchronization (or go through the sciql/driver
-// package, which serializes connections) if needed. An open Rows
-// cursor counts as an in-flight operation.
+// DB is an embedded SciQL database. DB methods are safe for
+// concurrent use: each Exec/Query opens an implicit connection (a
+// private session over the shared, versioned catalog), runs its
+// statements against one pinned catalog snapshot, and discards the
+// session. For session state that must persist across statements —
+// transactions, or a prepared workload on one cursor — open an
+// explicit connection with Conn; connections execute concurrently
+// with each other and with DB-level calls. The configuration knobs
+// (Parallelism, Vectorize, SetStorageHint, RegisterExternal,
+// SetPlanCacheSize) are setup-time calls: settle them before issuing
+// concurrent statements.
 type DB struct {
+	// engine is the root session: it carries the shared state
+	// (catalog, caches, config) every connection derives from, and
+	// serves the read-only helpers (Explain, LookupArray).
 	engine *exec.Engine
-	// mu guards the statement cache only; execution itself is
-	// single-threaded by contract.
+	// mu guards the statement cache; execution never holds it.
 	mu    sync.Mutex
 	cache *stmtCache
 }
@@ -68,22 +77,16 @@ func (db *DB) Exec(sql string, args ...Arg) (*Result, error) {
 
 // ExecContext is Exec bound to a context: cancellation stops long
 // scans — serial loops check periodically, the morsel pool checks in
-// its worker loop — and the call returns ctx.Err().
+// its worker loop — and the call returns ctx.Err(). The statements
+// run on an implicit connection: a multi-statement script (including
+// BEGIN; ...; COMMIT) shares one session, and concurrent ExecContext
+// calls do not serialize against each other.
 func (db *DB) ExecContext(ctx context.Context, sql string, args ...Arg) (*Result, error) {
 	stmts, err := db.compile(sql)
 	if err != nil {
 		return nil, err
 	}
-	params := collectArgs(args)
-	var last *Result
-	for _, s := range stmts {
-		ds, err := db.engine.ExecContext(ctx, s, params)
-		if err != nil {
-			return nil, err
-		}
-		last = ds
-	}
-	return last, nil
+	return execAll(ctx, db.engine.NewSession(), stmts, args)
 }
 
 // MustExec is Exec that panics on error; for setup code and examples.
@@ -110,12 +113,15 @@ func (db *DB) Query(sql string, args ...Arg) (*Result, error) {
 // pulled incrementally from the executor (for eligible plans the scan
 // itself is incremental; other shapes execute fully first), and
 // canceling ctx aborts the query. Always Close the returned Rows.
+// The cursor runs on an implicit connection against the catalog
+// snapshot pinned when the query starts, so concurrent DML commits
+// never change (or tear) the rows an open cursor returns.
 func (db *DB) QueryContext(ctx context.Context, sql string, args ...Arg) (*Rows, error) {
 	sel, err := db.compileSelect(sql)
 	if err != nil {
 		return nil, err
 	}
-	cur, err := db.engine.QueryStream(ctx, sel, collectArgs(args))
+	cur, err := db.engine.NewSession().QueryStream(ctx, sel, collectArgs(args))
 	if err != nil {
 		return nil, err
 	}

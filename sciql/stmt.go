@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/exec"
 	"repro/internal/sql/ast"
 	"repro/internal/sql/parser"
 )
@@ -12,15 +13,33 @@ import (
 // Stmt is a prepared statement: the SQL text is parsed once and the
 // engine's per-node plan memoization means the optimized plan is
 // computed once too — re-executions bind ?name parameters and run,
-// skipping parse and plan entirely.
+// skipping parse and plan entirely. Plan-cache entries are stamped
+// with the catalog version: DDL committed by any connection makes the
+// statement re-resolve on its next execution instead of running
+// against stale bindings.
 //
-// A Stmt is bound to its DB and shares the DB's (lack of) concurrency
-// guarantees. Close is optional (statements hold no external
-// resources) but keeps the API parallel to database/sql.
+// A Stmt prepared on a Conn executes on that connection (and inside
+// its transaction, if one is open). A Stmt prepared on the DB
+// executes each call on its own implicit connection, so DB-level
+// statements are safe for concurrent use. Close is optional
+// (statements hold no external resources) but keeps the API parallel
+// to database/sql.
 type Stmt struct {
 	db    *DB
+	conn  *Conn // nil for DB-level statements
 	text  string
 	stmts []ast.Statement
+}
+
+// session returns the engine session one execution runs on.
+func (s *Stmt) session() (*exec.Engine, error) {
+	if s.conn != nil {
+		if err := s.conn.check(); err != nil {
+			return nil, err
+		}
+		return s.conn.eng, nil
+	}
+	return s.db.engine.NewSession(), nil
 }
 
 // Prepare parses sql (one or more semicolon-separated statements)
@@ -47,16 +66,11 @@ func (s *Stmt) Exec(args ...Arg) (*Result, error) {
 // ExecContext is Exec bound to a context; cancellation aborts long
 // scans and returns ctx.Err().
 func (s *Stmt) ExecContext(ctx context.Context, args ...Arg) (*Result, error) {
-	params := collectArgs(args)
-	var last *Result
-	for _, st := range s.stmts {
-		ds, err := s.db.engine.ExecContext(ctx, st, params)
-		if err != nil {
-			return nil, err
-		}
-		last = ds
+	eng, err := s.session()
+	if err != nil {
+		return nil, err
 	}
-	return last, nil
+	return execAll(ctx, eng, s.stmts, args)
 }
 
 // Query runs a prepared single-SELECT statement, materializing the
@@ -71,13 +85,17 @@ func (s *Stmt) Query(args ...Arg) (*Result, error) {
 }
 
 // QueryContext runs a prepared single-SELECT statement as a streaming
-// cursor.
+// cursor against the snapshot pinned when the query starts.
 func (s *Stmt) QueryContext(ctx context.Context, args ...Arg) (*Rows, error) {
 	sel, err := s.selectStmt()
 	if err != nil {
 		return nil, err
 	}
-	cur, err := s.db.engine.QueryStream(ctx, sel, collectArgs(args))
+	eng, err := s.session()
+	if err != nil {
+		return nil, err
+	}
+	cur, err := eng.QueryStream(ctx, sel, collectArgs(args))
 	if err != nil {
 		return nil, err
 	}
