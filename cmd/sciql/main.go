@@ -10,7 +10,9 @@
 // Statements run under a cancelable context: Ctrl-C aborts the
 // statement in flight (long scans stop promptly) without killing the
 // shell; a second Ctrl-C at the prompt exits. REPL meta commands:
-// \d lists catalog objects, \q quits.
+// \d lists catalog objects, \timing toggles per-statement wall-time
+// reporting (like psql's), \q quits. EXPLAIN ANALYZE <select> renders
+// the executed plan with per-operator statistics.
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 )
@@ -73,11 +76,12 @@ func runScript(s *core.Session, sql string) error {
 }
 
 func repl(s *core.Session) {
-	fmt.Println("SciQL shell — arrays as first class citizens. \\d lists objects, \\q quits, Ctrl-C cancels.")
+	fmt.Println("SciQL shell — arrays as first class citizens. \\d lists objects, \\timing toggles timing, \\q quits, Ctrl-C cancels.")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
 	prompt := "sciql> "
+	timing := false
 	for {
 		fmt.Print(prompt)
 		if !sc.Scan() {
@@ -96,8 +100,15 @@ func repl(s *core.Session) {
 						fmt.Printf("%-9s %s\n", strings.ToLower(kind), n)
 					}
 				}
+			case trimmed == "\\timing":
+				timing = !timing
+				if timing {
+					fmt.Println("Timing is on.")
+				} else {
+					fmt.Println("Timing is off.")
+				}
 			default:
-				fmt.Println("unknown meta command; try \\d or \\q")
+				fmt.Println("unknown meta command; try \\d, \\timing or \\q")
 			}
 			continue
 		}
@@ -113,7 +124,9 @@ func repl(s *core.Session) {
 		// Each statement batch runs under its own interrupt-cancelable
 		// context, so Ctrl-C aborts the query, not the shell.
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		start := time.Now()
 		ds, err := s.RunContext(ctx, sql, nil)
+		elapsed := time.Since(start)
 		stop()
 		switch {
 		case errors.Is(err, context.Canceled):
@@ -124,6 +137,9 @@ func repl(s *core.Session) {
 			fmt.Print(ds)
 		default:
 			fmt.Println("ok")
+		}
+		if timing && err == nil {
+			fmt.Printf("Time: %s\n", elapsed.Round(time.Microsecond))
 		}
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"repro/internal/array"
 	"repro/internal/bat"
 	"repro/internal/sql/ast"
+	"repro/internal/telemetry"
 	"repro/internal/value"
 )
 
@@ -271,6 +272,19 @@ type Catalog struct {
 	root    atomic.Pointer[Snapshot]
 	writeMu sync.Mutex
 	ver     atomic.Int64
+	// cloneCount/cloneBytes count copy-on-write object privatizations
+	// (ArrayForWrite, TableForWrite). Both are optional — telemetry
+	// instruments no-op on nil receivers — and cloneBytes is a
+	// documented estimate: 16 bytes per cell value, dimensions and
+	// attributes alike.
+	cloneCount *telemetry.Counter
+	cloneBytes *telemetry.Counter
+}
+
+// SetMetrics wires the catalog's copy-on-write clone counters; a
+// setup-time call made once per database.
+func (c *Catalog) SetMetrics(count, bytes *telemetry.Counter) {
+	c.cloneCount, c.cloneBytes = count, bytes
 }
 
 // New returns an empty catalog.
@@ -450,6 +464,8 @@ func (m *Mutation) ArrayForWrite(name string) (*array.Array, bool) {
 		m.work.arrays[k] = a
 		m.cloned[k] = true
 		m.touch(k, false)
+		m.c.cloneCount.Inc()
+		m.c.cloneBytes.Add(int64(a.Store.Len()) * int64(len(a.Schema.Dims)+len(a.Schema.Attrs)) * 16)
 	}
 	return a, true
 }
@@ -467,6 +483,8 @@ func (m *Mutation) TableForWrite(name string) (*Table, bool) {
 		m.work.tables[k] = t
 		m.cloned[ck] = true
 		m.touch(k, false)
+		m.c.cloneCount.Inc()
+		m.c.cloneBytes.Add(int64(t.NumRows()) * int64(len(t.Cols)) * 16)
 	}
 	return t, true
 }

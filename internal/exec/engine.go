@@ -2,9 +2,11 @@ package exec
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/array"
 	"repro/internal/catalog"
@@ -12,6 +14,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/sql/ast"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 	"repro/internal/value"
 )
 
@@ -62,6 +65,22 @@ type Shared struct {
 	vecMu     sync.Mutex
 	vecCache  map[vecCacheKey]*vecCacheEntry
 	fusedSkip map[*ast.Select]int64
+	// met holds the database's pre-resolved telemetry instruments
+	// (engine counters, latency histograms, gauges); nil only when the
+	// Shared was constructed without New — metrics() falls back to a
+	// no-op sink then.
+	met *engineMetrics
+	// pins ledgers outstanding catalog-snapshot pins (statements and
+	// open cursors) behind the snapshots_pinned gauge; see pinSnap.
+	pinMu  sync.Mutex
+	pins   map[int64]time.Time
+	pinSeq int64
+	// curRel holds the release hooks of every session's open streaming
+	// cursors (the per-session view lives in Engine.curPins), so
+	// DB.Close can free pins abandoned on implicit sessions; ledger
+	// membership doubles as the hooks' idempotency token.
+	curMu  sync.Mutex
+	curRel map[int64]func()
 }
 
 // Engine is one session executing SciQL statements against the shared
@@ -90,6 +109,16 @@ type Engine struct {
 	// inTx marks an explicit BEGIN..COMMIT transaction (mut outlives
 	// the statement).
 	inTx bool
+	// prof is the per-query profile collector EXPLAIN ANALYZE arms for
+	// exactly one statement; nil (the overwhelmingly common case) skips
+	// every collection site on a single pointer test.
+	prof *telemetry.Profile
+	// curPins holds the release hooks of this session's open streaming
+	// cursors, keyed by pin token; the connection layer drains it on
+	// teardown (ReleaseCursorPins) so a Rows abandoned without Close
+	// cannot retain superseded catalog versions past its connection's
+	// lifetime.
+	curPins map[int64]func()
 }
 
 // planDecision is one memoized routing decision: the worker count,
@@ -132,12 +161,20 @@ func (d planDecision) scanAttrs(a *array.Array, name string) []int {
 
 // New creates an engine session with an empty catalog.
 func New() *Engine {
+	reg := telemetry.NewRegistry()
 	sh := &Shared{
 		Cat:          catalog.New(),
 		externals:    make(map[string]func([]value.Value) (value.Value, error)),
 		StorageHints: make(map[string]storage.Hints),
 		vectorized:   true,
+		met:          newEngineMetrics(reg),
+		pins:         make(map[int64]time.Time),
 	}
+	sh.Cat.SetMetrics(reg.Counter("catalog_cow_clone_total"), reg.Counter("catalog_cow_clone_bytes_total"))
+	reg.RegisterFunc("snapshot_pin_age_seconds", sh.oldestPinAgeSeconds)
+	reg.RegisterFunc("catalog_version", sh.Cat.Version)
+	reg.RegisterFunc("catalog_schema_version", func() int64 { return sh.Cat.Snapshot().SchemaVersion() })
+	reg.Gauge("pool_workers").Set(1)
 	return sh.newSession()
 }
 
@@ -218,6 +255,7 @@ func (e *Engine) Begin() error {
 	}
 	e.mut = e.Cat.BeginTx()
 	e.inTx = true
+	e.metrics().txBegin.Inc()
 	return nil
 }
 
@@ -230,7 +268,13 @@ func (e *Engine) Commit() error {
 	}
 	m := e.mut
 	e.mut, e.inTx = nil, false
-	return m.Commit()
+	err := m.Commit()
+	if errors.Is(err, catalog.ErrConflict) {
+		e.metrics().txConflict.Inc()
+	} else if err == nil {
+		e.metrics().txCommit.Inc()
+	}
+	return err
 }
 
 // Rollback discards the transaction.
@@ -240,6 +284,7 @@ func (e *Engine) Rollback() error {
 	}
 	e.mut.Abort()
 	e.mut, e.inTx = nil, false
+	e.metrics().txRollback.Inc()
 	return nil
 }
 
@@ -269,6 +314,14 @@ func (e *Engine) StorageHint(arrayName string) storage.Hints {
 func (e *Engine) SetParallelism(n int) {
 	p := parallel.NewPool(n)
 	e.parallelism = p.Workers()
+	if m := e.metrics(); m.reg != nil {
+		m.reg.Gauge("pool_workers").Set(int64(e.parallelism))
+		p.SetMetrics(parallel.Metrics{
+			Queue:    m.reg.Gauge("pool_queue_depth"),
+			InFlight: m.reg.Gauge("pool_inflight"),
+			Morsels:  m.reg.Counter("pool_morsels_total"),
+		})
+	}
 	if e.parallelism > 1 {
 		e.pool = p
 	} else {
@@ -337,8 +390,15 @@ func (e *Engine) ExecContext(ctx context.Context, stmt ast.Statement, params map
 		// Pin one catalog snapshot for the whole statement; inside a
 		// transaction the mutation view is already pinned.
 		e.snap = e.Cat.Snapshot()
+		pin := e.pinSnap()
+		defer e.unpinSnap(pin)
 	}
-	defer func() { e.qctx = prev; e.snap = prevSnap }()
+	start := time.Now()
+	defer func() {
+		e.qctx = prev
+		e.snap = prevSnap
+		e.metrics().statement(stmtKind(stmt), time.Since(start))
+	}()
 	return e.execStmt(stmt, params)
 }
 
@@ -377,7 +437,7 @@ func (e *Engine) execStmt(stmt ast.Statement, params map[string]value.Value) (*D
 	case *ast.Select:
 		return e.execSelect(s, env)
 	case *ast.Explain:
-		return e.execExplain(s)
+		return e.execExplain(s, env)
 	case *ast.TxStmt:
 		switch s.Kind {
 		case ast.TxBegin:

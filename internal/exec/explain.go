@@ -35,13 +35,6 @@ func (e *Engine) planSelect(sel *ast.Select) *plan.Plan {
 	return plan.PlanSelect(sel, planCatalog{e})
 }
 
-// execExplain renders the optimized plan of the wrapped SELECT as a
-// one-column dataset, one row per tree line, followed by an execution-
-// mode line stating whether the morsel-driven parallel path applies.
-func (e *Engine) execExplain(s *ast.Explain) (*Dataset, error) {
-	return e.ExplainSelect(s.Select), nil
-}
-
 // ExplainSelect compiles sel through the planner (plan → optimize)
 // without executing it and renders the operator tree plus the
 // execution-mode line as a one-column dataset. The public API calls
@@ -49,10 +42,24 @@ func (e *Engine) execExplain(s *ast.Explain) (*Dataset, error) {
 func (e *Engine) ExplainSelect(sel *ast.Select) *Dataset {
 	pl := e.planSelect(sel)
 	rendered := pl.RenderAnnotated(e.vecAnnotator(sel, pl))
+	out := planLinesDataset(rendered)
+	out.Append([]value.Value{value.NewString(e.executionModeLine(sel, pl))})
+	return out
+}
+
+// planLinesDataset packs a rendered plan tree into the one-column
+// dataset EXPLAIN statements return.
+func planLinesDataset(rendered string) *Dataset {
 	out := NewDataset([]Col{{Name: "plan", Typ: value.String}})
 	for _, line := range strings.Split(strings.TrimRight(rendered, "\n"), "\n") {
 		out.Append([]value.Value{value.NewString(line)})
 	}
+	return out
+}
+
+// executionModeLine states whether the morsel-driven parallel path
+// applies to sel, and why not otherwise.
+func (e *Engine) executionModeLine(sel *ast.Select, pl *plan.Plan) string {
 	mode := "execution: serial interpreter"
 	switch {
 	case !pl.Parallel:
@@ -62,8 +69,7 @@ func (e *Engine) ExplainSelect(sel *ast.Select) *Dataset {
 	default:
 		mode = "execution: parallelizable (morsel-driven)"
 	}
-	out.Append([]value.Value{value.NewString(mode)})
-	return out
+	return mode
 }
 
 // vecAnnotator builds the per-operator EXPLAIN annotation marking

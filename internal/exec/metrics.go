@@ -1,0 +1,169 @@
+package exec
+
+import (
+	"time"
+
+	"repro/internal/sql/ast"
+	"repro/internal/telemetry"
+)
+
+// engineMetrics holds the pre-resolved instrument pointers of one
+// database. Lookups against the registry happen once, at New; the hot
+// paths touch only the atomics behind these pointers. Every field is
+// nil-safe (telemetry instruments no-op on nil receivers), so a
+// zero-valued engineMetrics is a valid "metrics off" sink.
+type engineMetrics struct {
+	reg *telemetry.Registry
+
+	// Per-kind statement counts and latencies (stmt_<kind>_total,
+	// stmt_<kind>_seconds). Kinds are the values stmtKind returns.
+	stmtCount map[string]*telemetry.Counter
+	stmtLat   map[string]*telemetry.Histogram
+
+	planHit, planMiss      *telemetry.Counter
+	vecHit, vecMiss        *telemetry.Counter
+	vecKernel, vecFallback *telemetry.Counter
+	txBegin, txCommit      *telemetry.Counter
+	txRollback, txConflict *telemetry.Counter
+	scanChunks, scanCells  *telemetry.Counter
+	scanRows               *telemetry.Counter
+	snapPinned             *telemetry.Gauge
+}
+
+// stmtKinds are the statement-kind labels engineMetrics pre-resolves.
+var stmtKinds = []string{"select", "explain", "insert", "update", "delete", "set", "ddl", "tx", "other"}
+
+func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
+	m := &engineMetrics{
+		reg:         reg,
+		stmtCount:   make(map[string]*telemetry.Counter, len(stmtKinds)),
+		stmtLat:     make(map[string]*telemetry.Histogram, len(stmtKinds)),
+		planHit:     reg.Counter("plan_cache_hit_total"),
+		planMiss:    reg.Counter("plan_cache_miss_total"),
+		vecHit:      reg.Counter("vec_cache_hit_total"),
+		vecMiss:     reg.Counter("vec_cache_miss_total"),
+		vecKernel:   reg.Counter("vec_kernel_total"),
+		vecFallback: reg.Counter("vec_fallback_total"),
+		txBegin:     reg.Counter("tx_begin_total"),
+		txCommit:    reg.Counter("tx_commit_total"),
+		txRollback:  reg.Counter("tx_rollback_total"),
+		txConflict:  reg.Counter("tx_conflict_total"),
+		scanChunks:  reg.Counter("scan_chunks_total"),
+		scanCells:   reg.Counter("scan_cells_total"),
+		scanRows:    reg.Counter("scan_rows_total"),
+		snapPinned:  reg.Gauge("snapshots_pinned"),
+	}
+	for _, k := range stmtKinds {
+		m.stmtCount[k] = reg.Counter("stmt_" + k + "_total")
+		m.stmtLat[k] = reg.Histogram("stmt_" + k + "_seconds")
+	}
+	return m
+}
+
+// statement records one finished statement of the given kind.
+func (m *engineMetrics) statement(kind string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.stmtCount[kind].Inc()
+	m.stmtLat[kind].Observe(d)
+}
+
+// metricsOff is the sink sessions fall back to when a Shared was
+// built without New (tests constructing the struct directly).
+var metricsOff = &engineMetrics{}
+
+// metrics returns the database's instrument set; never nil.
+func (sh *Shared) metrics() *engineMetrics {
+	if sh.met == nil {
+		return metricsOff
+	}
+	return sh.met
+}
+
+// Registry exposes the database's metrics registry (the public
+// sciql.Metrics / Prometheus surface reads through it); nil when the
+// Shared was constructed without New.
+func (e *Engine) Registry() *telemetry.Registry {
+	if e.met == nil {
+		return nil
+	}
+	return e.met.reg
+}
+
+// stmtKind maps a statement onto its metric label.
+func stmtKind(stmt ast.Statement) string {
+	switch stmt.(type) {
+	case *ast.Select:
+		return "select"
+	case *ast.Explain:
+		return "explain"
+	case *ast.Insert:
+		return "insert"
+	case *ast.Update:
+		return "update"
+	case *ast.Delete:
+		return "delete"
+	case *ast.SetStmt:
+		return "set"
+	case *ast.TxStmt:
+		return "tx"
+	case *ast.CreateTable, *ast.CreateArray, *ast.CreateSequence,
+		*ast.CreateFunction, *ast.AlterArray, *ast.Drop:
+		return "ddl"
+	default:
+		return "other"
+	}
+}
+
+// StatementKind is stmtKind for the public layer (trace events label
+// statements with it).
+func StatementKind(stmt ast.Statement) string { return stmtKind(stmt) }
+
+// --- snapshot pin accounting -------------------------------------------------
+
+// pinSnap registers one pinned catalog snapshot (a statement or an
+// open cursor) and returns its token. The snapshots_pinned gauge and
+// the snapshot_pin_age_seconds derived gauge read from this ledger;
+// the retention satellite tests assert it returns to baseline after
+// cursors are abandoned on every error path.
+func (sh *Shared) pinSnap() int64 {
+	sh.pinMu.Lock()
+	sh.pinSeq++
+	id := sh.pinSeq
+	if sh.pins == nil {
+		sh.pins = make(map[int64]time.Time)
+	}
+	sh.pins[id] = time.Now()
+	n := len(sh.pins)
+	sh.pinMu.Unlock()
+	sh.metrics().snapPinned.Set(int64(n))
+	return id
+}
+
+// unpinSnap releases a pin token; safe to call with an already
+// released token.
+func (sh *Shared) unpinSnap(id int64) {
+	sh.pinMu.Lock()
+	delete(sh.pins, id)
+	n := len(sh.pins)
+	sh.pinMu.Unlock()
+	sh.metrics().snapPinned.Set(int64(n))
+}
+
+// oldestPinAgeSeconds computes the age of the oldest outstanding pin
+// for the snapshot_pin_age_seconds derived gauge (0 when idle).
+func (sh *Shared) oldestPinAgeSeconds() int64 {
+	sh.pinMu.Lock()
+	defer sh.pinMu.Unlock()
+	var oldest time.Time
+	for _, at := range sh.pins {
+		if oldest.IsZero() || at.Before(oldest) {
+			oldest = at
+		}
+	}
+	if oldest.IsZero() {
+		return 0
+	}
+	return int64(time.Since(oldest).Seconds())
+}

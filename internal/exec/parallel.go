@@ -48,6 +48,7 @@ func (e *Engine) selectDecision(sel *ast.Select) planDecision {
 		// (DDL committed by any session, or this session's pinned
 		// transaction snapshot): re-resolve against the current view
 		// instead of executing stale bindings.
+		e.metrics().planMiss.Inc()
 		dec = planDecision{par: 1, catVer: ver}
 		pl := e.planSelect(sel)
 		if e.parallelism > 1 && e.pool != nil && pl.Parallel && parSafeSelect(sel) {
@@ -61,6 +62,8 @@ func (e *Engine) selectDecision(sel *ast.Select) planDecision {
 		}
 		e.planCache[sel] = dec
 		e.planMu.Unlock()
+	} else {
+		e.metrics().planHit.Inc()
 	}
 	// Prewarm on every execution (not just the first): DML between
 	// executions invalidates the lazy store indexes. The name list is
@@ -76,6 +79,14 @@ func (e *Engine) selectDecision(sel *ast.Select) planDecision {
 // selectParallelism is the worker-count view of selectDecision.
 func (e *Engine) selectParallelism(sel *ast.Select) int {
 	return e.selectDecision(sel).par
+}
+
+// PrimePlan resolves (and memoizes) the routing decision for sel
+// without executing it. The public layer calls it to time the planning
+// phase for trace hooks; the decision is cached per AST node, so the
+// following execution does not plan twice.
+func (e *Engine) PrimePlan(sel *ast.Select) {
+	e.selectDecision(sel)
 }
 
 // prunedScanAttrs collects the optimizer's projection pruning per

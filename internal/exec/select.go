@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/array"
 	"repro/internal/bat"
@@ -76,13 +77,43 @@ func (e *Engine) execSelectCore(sel *ast.Select, outer expr.Env) (*Dataset, erro
 	dec := e.selectDecision(sel)
 	par := dec.par
 	conjs := splitConjuncts(sel.Where)
+	pf := e.prof
+	var t0 time.Time
+	if pf != nil {
+		t0 = time.Now()
+	}
 	ds, sources, remaining, err := e.buildFrom(sel.From, conjs, outer, dec)
 	if err != nil {
 		return nil, err
 	}
+	if pf != nil {
+		pf.Scan.AddNanos(time.Since(t0))
+		pf.Scan.RowsOut.Add(int64(ds.NumRows()))
+		pf.Scan.Chunks.Add(1)
+		pf.Scan.Cells.Add(int64(ds.NumRows()))
+		pf.Scan.RowBatches.Add(1)
+		if len(sel.From) > 1 {
+			// buildFrom materializes the join product in the same pass.
+			pf.Join.RowsOut.Add(int64(ds.NumRows()))
+			pf.Join.RowBatches.Add(1)
+		}
+	}
 	// Structural (tiling) grouping takes its own path.
 	if sel.GroupBy != nil && len(sel.GroupBy.Tiles) > 0 {
-		return e.execTiling(sel, ds, sources, remaining, outer, par)
+		if pf == nil {
+			return e.execTiling(sel, ds, sources, remaining, outer, par)
+		}
+		in := ds.NumRows()
+		t0 = time.Now()
+		out, err := e.execTiling(sel, ds, sources, remaining, outer, par)
+		if err != nil {
+			return nil, err
+		}
+		pf.Tiled.AddNanos(time.Since(t0))
+		pf.Tiled.RowsIn.Add(int64(in))
+		pf.Tiled.RowsOut.Add(int64(out.NumRows()))
+		pf.Tiled.RowBatches.Add(1)
+		return out, nil
 	}
 	// NEXT(col) rewriting requires an ordered view of the source.
 	items, where, having, rewrote, err := e.rewriteNextCalls(sel, ds, remaining)
@@ -92,11 +123,20 @@ func (e *Engine) execSelectCore(sel *ast.Select, outer expr.Env) (*Dataset, erro
 	_ = rewrote
 	// Row filter.
 	if where != nil {
+		if pf != nil {
+			t0 = time.Now()
+			pf.Filter.RowsIn.Add(int64(ds.NumRows()))
+		}
 		keep, err := e.filterKeep(where, ds, outer, par)
 		if err != nil {
 			return nil, err
 		}
 		ds = ds.Gather(keep)
+		if pf != nil {
+			pf.Filter.AddNanos(time.Since(t0))
+			pf.Filter.RowsOut.Add(int64(ds.NumRows()))
+			pf.Filter.RowBatches.Add(1)
+		}
 	}
 	// Value grouping / plain aggregation.
 	hasAgg := false
@@ -112,30 +152,66 @@ func (e *Engine) execSelectCore(sel *ast.Select, outer expr.Env) (*Dataset, erro
 	var out *Dataset
 	sorted := false
 	if (sel.GroupBy != nil && len(sel.GroupBy.Exprs) > 0) || hasAgg {
+		if pf != nil {
+			t0 = time.Now()
+			pf.Aggregate.RowsIn.Add(int64(ds.NumRows()))
+		}
 		out, err = e.execValueGroupBy(sel, items, having, ds, outer, par)
 		if err != nil {
 			return nil, err
+		}
+		if pf != nil {
+			pf.Aggregate.AddNanos(time.Since(t0))
+			pf.Aggregate.RowsOut.Add(int64(out.NumRows()))
+			pf.Aggregate.RowBatches.Add(1)
 		}
 	} else {
 		// ORDER BY may name source columns that the projection drops;
 		// sort the source first when every key resolves there.
 		if len(sel.OrderBy) > 0 {
 			if cols, desc, ok := resolveOrderCols(sel.OrderBy, ds); ok {
+				if pf != nil {
+					t0 = time.Now()
+				}
 				ds.SortBy(cols, desc)
+				if pf != nil {
+					pf.Sort.AddNanos(time.Since(t0))
+					pf.Sort.RowsIn.Add(int64(ds.NumRows()))
+					pf.Sort.RowsOut.Add(int64(ds.NumRows()))
+					pf.Sort.RowBatches.Add(1)
+				}
 				sorted = true
 			}
+		}
+		if pf != nil {
+			t0 = time.Now()
+			pf.Project.RowsIn.Add(int64(ds.NumRows()))
 		}
 		out, err = e.projectWith(items, ds, outer, par)
 		if err != nil {
 			return nil, err
 		}
+		if pf != nil {
+			pf.Project.AddNanos(time.Since(t0))
+			pf.Project.RowsOut.Add(int64(out.NumRows()))
+			pf.Project.RowBatches.Add(1)
+		}
 		// HAVING without grouping post-filters (the paper's gap query).
 		if having != nil {
+			if pf != nil {
+				t0 = time.Now()
+				pf.Having.RowsIn.Add(int64(out.NumRows()))
+			}
 			keep, err := e.filterKeep(having, ds, outer, par)
 			if err != nil {
 				return nil, err
 			}
 			out = out.Gather(keep)
+			if pf != nil {
+				pf.Having.AddNanos(time.Since(t0))
+				pf.Having.RowsOut.Add(int64(out.NumRows()))
+				pf.Having.RowBatches.Add(1)
+			}
 		}
 	}
 	return e.finishSelectSorted(sel, out, outer, sorted)
@@ -214,15 +290,35 @@ func (e *Engine) finishSelect(sel *ast.Select, out *Dataset, outer expr.Env) (*D
 }
 
 func (e *Engine) finishSelectSorted(sel *ast.Select, out *Dataset, outer expr.Env, sorted bool) (*Dataset, error) {
+	pf := e.prof
+	var t0 time.Time
 	if sel.Distinct {
+		if pf != nil {
+			t0 = time.Now()
+			pf.Distinct.RowsIn.Add(int64(out.NumRows()))
+		}
 		out = out.dedupe()
+		if pf != nil {
+			pf.Distinct.AddNanos(time.Since(t0))
+			pf.Distinct.RowsOut.Add(int64(out.NumRows()))
+			pf.Distinct.RowBatches.Add(1)
+		}
 	}
 	if len(sel.OrderBy) > 0 && !sorted {
 		cols, desc, ok := resolveOrderCols(sel.OrderBy, out)
 		if !ok {
 			return nil, fmt.Errorf("ORDER BY expression must name an output column")
 		}
+		if pf != nil {
+			t0 = time.Now()
+		}
 		out.SortBy(cols, desc)
+		if pf != nil {
+			pf.Sort.AddNanos(time.Since(t0))
+			pf.Sort.RowsIn.Add(int64(out.NumRows()))
+			pf.Sort.RowsOut.Add(int64(out.NumRows()))
+			pf.Sort.RowBatches.Add(1)
+		}
 	}
 	if sel.Limit != nil {
 		lv, err := e.Ev.Eval(sel.Limit, outer)
@@ -230,12 +326,19 @@ func (e *Engine) finishSelectSorted(sel *ast.Select, out *Dataset, outer expr.En
 			return nil, err
 		}
 		n := int(lv.AsInt())
+		if pf != nil {
+			pf.Limit.RowsIn.Add(int64(out.NumRows()))
+		}
 		if n < out.NumRows() {
 			idx := make([]int, n)
 			for i := range idx {
 				idx[i] = i
 			}
 			out = out.Gather(idx)
+		}
+		if pf != nil {
+			pf.Limit.RowsOut.Add(int64(out.NumRows()))
+			pf.Limit.RowBatches.Add(1)
 		}
 	}
 	return out, nil

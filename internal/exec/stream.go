@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"iter"
 	"strings"
+	"time"
 
 	"repro/internal/array"
 	"repro/internal/bat"
 	"repro/internal/sql/ast"
+	"repro/internal/telemetry"
 	"repro/internal/value"
 )
 
@@ -216,6 +218,10 @@ func (c *Cursor) Streaming() bool { return c.ds == nil }
 // datasetCursor wraps an already-materialized result.
 func datasetCursor(ds *Dataset) *Cursor { return &Cursor{cols: ds.Cols, ds: ds} }
 
+// DatasetCursor exposes the dataset-backed cursor to the public layer
+// (EXPLAIN results stream through it like any other query).
+func DatasetCursor(ds *Dataset) *Cursor { return datasetCursor(ds) }
+
 // streamPlan is a compiled streamable SELECT: one array scan with
 // per-row filter and projection.
 type streamPlan struct {
@@ -234,6 +240,57 @@ type streamPlan struct {
 	// every projection item vectorize; nil falls back to the row
 	// interpreter per cell.
 	vec *streamVec
+	// prof is the profile collector of the arming EXPLAIN ANALYZE,
+	// copied from the session at compile time so parallel workers never
+	// read session state; nil on unprofiled statements.
+	prof *telemetry.Profile
+}
+
+// streamCounts accumulates one scan segment's row-flow locally (plain
+// ints — no atomics inside the cell loop); flushStreamCounts publishes
+// it with a handful of atomic adds per chunk.
+type streamCounts struct {
+	visited   int64 // cells walked
+	matched   int64 // cells passing the effective dimension restriction
+	postWhere int64 // rows surviving the residual WHERE
+	emitted   int64 // rows surviving HAVING, projected and emitted
+}
+
+// flushStreamCounts publishes one scan segment (a chunk, or a whole
+// serial scan) to the engine counters — and to the armed profile, when
+// there is one — attributing the segment's wall time to the fused
+// scan pipeline's root operator.
+func (e *Engine) flushStreamCounts(sp *streamPlan, c *streamCounts, el time.Duration) {
+	m := e.metrics()
+	m.scanChunks.Inc()
+	m.scanCells.Add(c.visited)
+	m.scanRows.Add(c.emitted)
+	p := sp.prof
+	if p == nil {
+		return
+	}
+	p.Scan.Chunks.Add(1)
+	p.Scan.Cells.Add(c.visited)
+	p.Scan.RowsOut.Add(c.matched)
+	p.Scan.AddNanos(el)
+	p.Scan.RowBatches.Add(1)
+	if sp.where != nil {
+		p.Filter.RowsIn.Add(c.matched)
+		p.Filter.RowsOut.Add(c.postWhere)
+		p.Filter.RowBatches.Add(1)
+	}
+	if sp.having != nil {
+		p.Having.RowsIn.Add(c.postWhere)
+		p.Having.RowsOut.Add(c.emitted)
+		p.Having.RowBatches.Add(1)
+	}
+	p.Project.RowsIn.Add(c.emitted)
+	p.Project.RowsOut.Add(c.emitted)
+	p.Project.RowBatches.Add(1)
+	if sp.limit >= 0 {
+		p.Limit.RowsOut.Add(c.emitted)
+		p.Limit.RowBatches.Add(1)
+	}
 }
 
 // streamVec is the compiled vectorized pipeline of a streamable
@@ -296,15 +353,29 @@ func (e *Engine) compileStreamVec(sp *streamPlan) *streamVec {
 // the number of output rows (LIMIT pushdown; -1 for none).
 func (e *Engine) vecProcessBatch(sp *streamPlan, in *Dataset, max int) *Dataset {
 	sv := sp.vec
+	pf := sp.prof
 	n := in.NumRows()
 	out := &Dataset{Cols: sv.outCols, Vecs: make([]bat.Vector, len(sv.outCols))}
 	var sel []int
 	all := true
+	var t0 time.Time
 	if sv.filter != nil {
+		if pf != nil {
+			t0 = time.Now()
+		}
 		sel = sv.filter.filterSel(in.Vecs, 0, n)
+		if pf != nil {
+			pf.Filter.AddNanos(time.Since(t0))
+			pf.Filter.RowsIn.Add(int64(n))
+			pf.Filter.RowsOut.Add(int64(len(sel)))
+			pf.Filter.VecBatches.Add(1)
+		}
 		all = false
 	}
 	if sv.having != nil {
+		if pf != nil {
+			t0 = time.Now()
+		}
 		hv := sv.having.eval(in.Vecs, 0, n)
 		if all {
 			sel = make([]int, n)
@@ -313,7 +384,14 @@ func (e *Engine) vecProcessBatch(sp *streamPlan, in *Dataset, max int) *Dataset 
 			}
 			all = false
 		}
+		pre := len(sel)
 		sel = bat.AndSel(sel, hv)
+		if pf != nil {
+			pf.Having.AddNanos(time.Since(t0))
+			pf.Having.RowsIn.Add(int64(pre))
+			pf.Having.RowsOut.Add(int64(len(sel)))
+			pf.Having.VecBatches.Add(1)
+		}
 	}
 	m := n
 	if !all {
@@ -324,6 +402,9 @@ func (e *Engine) vecProcessBatch(sp *streamPlan, in *Dataset, max int) *Dataset 
 		if !all {
 			sel = sel[:m]
 		}
+	}
+	if pf != nil {
+		t0 = time.Now()
 	}
 	gin := in.Vecs
 	if !all || m < n {
@@ -339,6 +420,17 @@ func (e *Engine) vecProcessBatch(sp *streamPlan, in *Dataset, max int) *Dataset 
 	for i, p := range sv.items {
 		out.Vecs[i] = p.eval(gin, 0, m)
 	}
+	if pf != nil {
+		pf.Project.AddNanos(time.Since(t0))
+		pf.Project.RowsIn.Add(int64(m))
+		pf.Project.RowsOut.Add(int64(m))
+		pf.Project.VecBatches.Add(1)
+		if sp.limit >= 0 {
+			pf.Limit.RowsOut.Add(int64(m))
+			pf.Limit.VecBatches.Add(1)
+		}
+	}
+	e.metrics().scanRows.Add(int64(m))
 	return out
 }
 
@@ -349,6 +441,7 @@ func (e *Engine) QueryStream(ctx context.Context, sel *ast.Select, params map[st
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	start := time.Now()
 	var release func()
 	if e.mut == nil {
 		// Pin one catalog snapshot for the life of the cursor: it stays
@@ -357,14 +450,41 @@ func (e *Engine) QueryStream(ctx context.Context, sel *ast.Select, params map[st
 		// same version the scan does, no matter what concurrent
 		// sessions commit. Close releases the pin so an idle session
 		// doesn't retain superseded object versions. Inside a
-		// transaction the mutation view is the pin.
+		// transaction the mutation view is the pin. The pin is entered
+		// in the snapshots_pinned ledger and in the session's release
+		// map, so connection teardown can free cursors abandoned
+		// without Close (ReleaseCursorPins).
 		pinned := e.Cat.Snapshot()
 		e.snap = pinned
+		pin := e.pinSnap()
+		sh := e.Shared
 		release = func() {
+			// Membership in the shared ledger is the idempotency token:
+			// the first caller (cursor Close, connection teardown, or
+			// DB.Close) removes it; later callers find nothing to do.
+			sh.curMu.Lock()
+			if _, ok := sh.curRel[pin]; !ok {
+				sh.curMu.Unlock()
+				return
+			}
+			delete(sh.curRel, pin)
+			sh.curMu.Unlock()
+			e.unpinSnap(pin)
+			delete(e.curPins, pin)
 			if e.snap == pinned {
 				e.snap = nil
 			}
 		}
+		if e.curPins == nil {
+			e.curPins = make(map[int64]func())
+		}
+		e.curPins[pin] = release
+		sh.curMu.Lock()
+		if sh.curRel == nil {
+			sh.curRel = make(map[int64]func())
+		}
+		sh.curRel[pin] = release
+		sh.curMu.Unlock()
 	}
 	norm := make(map[string]value.Value, len(params))
 	for k, v := range params {
@@ -376,9 +496,12 @@ func (e *Engine) QueryStream(ctx context.Context, sel *ast.Select, params map[st
 		if release != nil {
 			release()
 		}
+		e.metrics().statement("select", time.Since(start))
 		return nil, err
 	}
 	if !ok {
+		// The materializing fallback runs through ExecContext, which
+		// does its own statement accounting and snapshot pinning.
 		ds, err := e.ExecContext(ctx, sel, params)
 		if release != nil {
 			release()
@@ -389,8 +512,43 @@ func (e *Engine) QueryStream(ctx context.Context, sel *ast.Select, params map[st
 		return datasetCursor(ds), nil
 	}
 	cur := e.streamCursorFor(ctx, sp)
-	cur.onClose = release
+	met := e.metrics()
+	cur.onClose = func() {
+		if release != nil {
+			release()
+		}
+		met.statement("select", time.Since(start))
+	}
 	return cur, nil
+}
+
+// ReleaseCursorPins frees the catalog snapshots pinned by this
+// session's still-open streaming cursors: the connection layer's
+// teardown safety net for Rows abandoned without Close (context
+// cancellation, a panicking consumer, a driver connection closed
+// mid-iteration). Releasing is idempotent per cursor, so a later
+// Cursor.Close finds nothing left to do.
+func (e *Engine) ReleaseCursorPins() {
+	for _, rel := range e.curPins {
+		rel()
+	}
+}
+
+// ReleaseAllCursorPins frees the cursor-held snapshot pins of every
+// session of this database — DB.Close's safety net for Rows abandoned
+// on implicit (per-call) sessions, which no connection teardown ever
+// reaches. Like ReleaseCursorPins, it is a teardown call: run it after
+// in-flight statements have finished.
+func (sh *Shared) ReleaseAllCursorPins() {
+	sh.curMu.Lock()
+	rels := make([]func(), 0, len(sh.curRel))
+	for _, rel := range sh.curRel {
+		rels = append(rels, rel)
+	}
+	sh.curMu.Unlock()
+	for _, rel := range rels {
+		rel()
+	}
 }
 
 // streamCursorFor picks the execution strategy for a compiled stream
@@ -460,7 +618,7 @@ func (e *Engine) compileStream(sel *ast.Select, env *baseEnv) (*streamPlan, bool
 	if e.fromIsVacuous(sel, env) {
 		return nil, false, nil
 	}
-	sp := &streamPlan{arr: arr, qual: tr.Name, limit: -1, outer: env}
+	sp := &streamPlan{arr: arr, qual: tr.Name, limit: -1, outer: env, prof: e.prof}
 	if tr.Alias != "" {
 		sp.qual = tr.Alias
 	}
@@ -551,10 +709,12 @@ func (e *Engine) serialStreamCursor(ctx context.Context, sp *streamPlan, cols []
 		srcRow := make([]value.Value, len(srcCols))
 		venv := &valuesEnv{cols: srcCols, vals: srcRow, outer: sp.outer}
 		emitted := 0
-		visited := 0
+		var cnt streamCounts
+		scanStart := time.Now()
+		defer func() { e.flushStreamCounts(sp, &cnt, time.Since(scanStart)) }()
 		storeScanPruned(sp.arr.Store, sp.attrs, func(coords []int64, vals []value.Value) bool {
-			visited++
-			if visited&255 == 0 {
+			cnt.visited++
+			if cnt.visited&255 == 0 {
 				if err := ctx.Err(); err != nil {
 					yield(cursorItem{err: err})
 					return false
@@ -566,11 +726,12 @@ func (e *Engine) serialStreamCursor(ctx context.Context, sp *streamPlan, cols []
 			if !effMatch(sp.eff, coords) {
 				return true
 			}
+			cnt.matched++
 			for i, c := range coords {
 				srcRow[i] = value.Value{Typ: sp.arr.Schema.Dims[i].Typ, I: c}
 			}
 			copy(srcRow[nd:], vals)
-			row, keep, err := e.streamEvalRow(sp, venv)
+			row, keep, err := e.streamEvalRow(sp, venv, &cnt)
 			if err != nil {
 				yield(cursorItem{err: err})
 				return false
@@ -582,6 +743,7 @@ func (e *Engine) serialStreamCursor(ctx context.Context, sp *streamPlan, cols []
 				return false
 			}
 			emitted++
+			cnt.emitted++
 			return sp.limit < 0 || emitted < sp.limit
 		})
 	}
@@ -590,14 +752,15 @@ func (e *Engine) serialStreamCursor(ctx context.Context, sp *streamPlan, cols []
 }
 
 // streamEvalRow applies residual filter, HAVING and projection to one
-// source row bound in env.
-func (e *Engine) streamEvalRow(sp *streamPlan, env *valuesEnv) ([]value.Value, bool, error) {
+// source row bound in env, recording stage survivors in cnt.
+func (e *Engine) streamEvalRow(sp *streamPlan, env *valuesEnv, cnt *streamCounts) ([]value.Value, bool, error) {
 	if sp.where != nil {
 		ok, err := e.Ev.EvalBool(sp.where, env)
 		if err != nil || !ok {
 			return nil, false, err
 		}
 	}
+	cnt.postWhere++
 	if sp.having != nil {
 		ok, err := e.Ev.EvalBool(sp.having, env)
 		if err != nil || !ok {
@@ -649,10 +812,11 @@ func (e *Engine) parallelStreamCursor(ctx context.Context, sp *streamPlan, chunk
 					venv := &valuesEnv{cols: srcCols, vals: srcRow, outer: sp.outer}
 					var rows [][]value.Value
 					var evalErr error
-					visited := 0
+					var cnt streamCounts
+					chunkStart := time.Now()
 					chunks[ci](func(coords []int64, vals []value.Value) bool {
-						visited++
-						if visited&1023 == 0 {
+						cnt.visited++
+						if cnt.visited&1023 == 0 {
 							if err := ictx.Err(); err != nil {
 								evalErr = err
 								return false
@@ -661,17 +825,19 @@ func (e *Engine) parallelStreamCursor(ctx context.Context, sp *streamPlan, chunk
 						if !effMatch(sp.eff, coords) {
 							return true
 						}
+						cnt.matched++
 						for i, c := range coords {
 							srcRow[i] = value.Value{Typ: sp.arr.Schema.Dims[i].Typ, I: c}
 						}
 						copy(srcRow[nd:], vals)
-						row, keep, err := e.streamEvalRow(sp, venv)
+						row, keep, err := e.streamEvalRow(sp, venv, &cnt)
 						if err != nil {
 							evalErr = err
 							return false
 						}
 						if keep {
 							rows = append(rows, row)
+							cnt.emitted++
 							// LIMIT pushdown: the final result takes at
 							// most limit rows from any one chunk, so the
 							// chunk scan can stop early.
@@ -681,6 +847,7 @@ func (e *Engine) parallelStreamCursor(ctx context.Context, sp *streamPlan, chunk
 						}
 						return true
 					})
+					e.flushStreamCounts(sp, &cnt, time.Since(chunkStart))
 					if evalErr != nil {
 						return evalErr
 					}
@@ -743,24 +910,38 @@ func (e *Engine) parallelStreamCursor(ctx context.Context, sp *streamPlan, chunk
 // and once at the end, and returning false from flush stops the scan
 // (LIMIT satisfied or consumer gone). The context is polled every
 // 1024 visited cells; its error is returned. Both vectorized cursors
-// share this loop so their batch semantics cannot drift apart.
-func vecScanBatches(ctx context.Context, sp *streamPlan, scan func(visit func(coords []int64, vals []value.Value) bool), flush func(in *Dataset) bool) error {
+// share this loop so their batch semantics cannot drift apart. The
+// segment's cell/survivor counts publish once at the end; when a
+// profile is armed, time spent inside flush (the kernel pipeline,
+// timed per operator in vecProcessBatch) is subtracted from the scan's
+// attribution.
+func (e *Engine) vecScanBatches(ctx context.Context, sp *streamPlan, scan func(visit func(coords []int64, vals []value.Value) bool), flush func(in *Dataset) bool) error {
 	sv := sp.vec
 	nd := len(sp.arr.Schema.Dims)
 	in := NewDataset(sv.srcCols)
 	var ctxErr error
 	stopped := false
-	visited := 0
+	var cnt streamCounts
+	profiled := sp.prof != nil
+	scanStart := time.Now()
+	var flushed time.Duration
 	doFlush := func() bool {
+		var t0 time.Time
+		if profiled {
+			t0 = time.Now()
+		}
 		ok := flush(in)
+		if profiled {
+			flushed += time.Since(t0)
+		}
 		// Fresh buffers every flush: kernel outputs may hold zero-copy
 		// views of the batch columns.
 		in = NewDataset(sv.srcCols)
 		return ok
 	}
 	scan(func(coords []int64, vals []value.Value) bool {
-		visited++
-		if visited&1023 == 0 {
+		cnt.visited++
+		if cnt.visited&1023 == 0 {
 			if err := ctx.Err(); err != nil {
 				ctxErr = err
 				return false
@@ -769,6 +950,7 @@ func vecScanBatches(ctx context.Context, sp *streamPlan, scan func(visit func(co
 		if !effMatch(sp.eff, coords) {
 			return true
 		}
+		cnt.matched++
 		for i, c := range coords {
 			in.Vecs[i].(*bat.IntVector).AppendInt64(c)
 		}
@@ -781,13 +963,20 @@ func vecScanBatches(ctx context.Context, sp *streamPlan, scan func(visit func(co
 		}
 		return true
 	})
-	if ctxErr != nil {
-		return ctxErr
-	}
-	if !stopped {
+	if ctxErr == nil && !stopped {
 		doFlush()
 	}
-	return nil
+	m := e.metrics()
+	m.scanChunks.Inc()
+	m.scanCells.Add(cnt.visited)
+	if p := sp.prof; p != nil {
+		p.Scan.Chunks.Add(1)
+		p.Scan.Cells.Add(cnt.visited)
+		p.Scan.RowsOut.Add(cnt.matched)
+		p.Scan.AddNanos(time.Since(scanStart) - flushed)
+		p.Scan.VecBatches.Add(1)
+	}
+	return ctxErr
 }
 
 // serialVecCursor walks the array store serially, buffering matching
@@ -798,7 +987,7 @@ func (e *Engine) serialVecCursor(ctx context.Context, sp *streamPlan, cols []Col
 	sv := sp.vec
 	seq := func(yield func(vecBatch) bool) {
 		emitted := 0
-		err := vecScanBatches(ctx, sp, func(visit func(coords []int64, vals []value.Value) bool) {
+		err := e.vecScanBatches(ctx, sp, func(visit func(coords []int64, vals []value.Value) bool) {
 			storeScanPruned(sp.arr.Store, sp.attrs, visit)
 		}, func(in *Dataset) bool {
 			if in.NumRows() == 0 {
@@ -849,7 +1038,7 @@ func (e *Engine) parallelVecCursor(ctx context.Context, sp *streamPlan, chunks [
 					for i, c := range sv.outCols {
 						out.Vecs[i] = bat.New(c.Typ, 0)
 					}
-					err := vecScanBatches(ictx, sp, chunks[ci], func(in *Dataset) bool {
+					err := e.vecScanBatches(ictx, sp, chunks[ci], func(in *Dataset) bool {
 						if in.NumRows() == 0 {
 							return true
 						}

@@ -852,9 +852,16 @@ func (e *Engine) vecCompile(x ast.Expr, cols []Col, strict bool) *vecProg {
 	ent, hit := e.vecCache[key]
 	e.vecMu.Unlock()
 	if hit && ent.sigMatchesEntry(cols, strict) {
+		e.metrics().vecHit.Inc()
 		return ent.prog
 	}
+	e.metrics().vecMiss.Inc()
 	prog := compileVec(x, cols, strict)
+	if prog != nil {
+		e.metrics().vecKernel.Inc()
+	} else {
+		e.metrics().vecFallback.Inc()
+	}
 	ent = &vecCacheEntry{prog: prog, cols: append([]Col(nil), cols...), strict: strict}
 	e.vecMu.Lock()
 	if e.vecCache == nil || len(e.vecCache) >= planCacheMax {

@@ -13,6 +13,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // DefaultMorsel is the default morsel size in rows. Large enough to
@@ -28,8 +30,28 @@ type Morsel struct {
 	Worker int
 }
 
+// Metrics is the pool's instrument set. All fields are optional
+// (telemetry instruments no-op on nil receivers): Queue gauges the
+// morsels scheduled but not yet claimed, InFlight the morsels
+// currently executing, Morsels counts every morsel ever executed.
+// Queue and InFlight are delta-correct across concurrent ForEach
+// calls — both return to zero when the pool quiesces, which the
+// goroutine-leak tests assert after cancellation and teardown.
+type Metrics struct {
+	Queue    *telemetry.Gauge
+	InFlight *telemetry.Gauge
+	Morsels  *telemetry.Counter
+}
+
 // Pool is a reusable worker pool of fixed width.
-type Pool struct{ workers int }
+type Pool struct {
+	workers int
+	met     Metrics
+}
+
+// SetMetrics wires the pool's instruments; a setup-time call, like
+// sizing the pool itself.
+func (p *Pool) SetMetrics(m Metrics) { p.met = m }
 
 // NewPool returns a pool of n workers; n <= 0 selects GOMAXPROCS.
 func NewPool(n int) *Pool {
@@ -67,8 +89,24 @@ func (p *Pool) ForEachCtx(ctx context.Context, n, morsel int, fn func(m Morsel) 
 		morsel = DefaultMorsel
 	}
 	nw := p.workers
-	if nw > (n+morsel-1)/morsel {
-		nw = (n + morsel - 1) / morsel
+	total := (n + morsel - 1) / morsel
+	if nw > total {
+		nw = total
+	}
+	// Queue depth accounting: the whole domain enqueues up front, each
+	// claimed morsel decrements, and the final adjustment removes
+	// whatever was never claimed (error or cancellation) — so the gauge
+	// returns to its prior level on every exit path.
+	p.met.Queue.Add(int64(total))
+	var claimed atomic.Int64
+	defer func() { p.met.Queue.Add(claimed.Load() - int64(total)) }()
+	runMorsel := func(m Morsel) error {
+		claimed.Add(1)
+		p.met.Queue.Add(-1)
+		p.met.Morsels.Inc()
+		p.met.InFlight.Add(1)
+		defer p.met.InFlight.Add(-1)
+		return fn(m)
 	}
 	if nw <= 1 {
 		// Degenerate single-worker domain: run inline, no goroutines.
@@ -80,7 +118,7 @@ func (p *Pool) ForEachCtx(ctx context.Context, n, morsel int, fn func(m Morsel) 
 			if hi > n {
 				hi = n
 			}
-			if err := fn(Morsel{Lo: lo, Hi: hi, Worker: 0}); err != nil {
+			if err := runMorsel(Morsel{Lo: lo, Hi: hi, Worker: 0}); err != nil {
 				return err
 			}
 		}
@@ -114,7 +152,7 @@ func (p *Pool) ForEachCtx(ctx context.Context, n, morsel int, fn func(m Morsel) 
 				if hi > n {
 					hi = n
 				}
-				if err := fn(Morsel{Lo: lo, Hi: hi, Worker: worker}); err != nil {
+				if err := runMorsel(Morsel{Lo: lo, Hi: hi, Worker: worker}); err != nil {
 					fail(err)
 					return
 				}

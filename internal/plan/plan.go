@@ -70,6 +70,14 @@ func (p *Plan) RenderAnnotated(annot func(Node) string) string {
 	return sb.String()
 }
 
+// RenderAnalyzed renders the operator tree annotated with the runtime
+// statistics of a profiled execution: EXPLAIN ANALYZE's view of the
+// same tree EXPLAIN prints, with per-operator wall time, row counts
+// and execution mode appended by the executor's stats callback.
+func (p *Plan) RenderAnalyzed(stats func(Node) string) string {
+	return p.RenderAnnotated(stats)
+}
+
 // disqualify records the first reason the plan cannot take the
 // parallel path.
 func (p *Plan) disqualify(reason string) {

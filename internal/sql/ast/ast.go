@@ -265,8 +265,13 @@ func (*Select) stmt() {}
 
 // Explain wraps a SELECT: the engine compiles and optimizes the query
 // through the logical planner and returns the rendered plan tree
-// instead of executing it.
-type Explain struct{ Select *Select }
+// instead of executing it. With Analyze (EXPLAIN ANALYZE) the
+// statement additionally executes, and the tree is annotated with the
+// per-operator runtime statistics of that execution.
+type Explain struct {
+	Select  *Select
+	Analyze bool
+}
 
 func (*Explain) node() {}
 func (*Explain) stmt() {}

@@ -184,11 +184,14 @@ func (p *Parser) parseStatement() (ast.Statement, error) {
 		return p.parseSelect()
 	case "EXPLAIN":
 		p.advance()
+		// ANALYZE is contextual (not reserved): EXPLAIN ANALYZE SELECT
+		// profiles the execution, while columns named analyze still work.
+		analyze := p.acceptSoft("ANALYZE")
 		sel, err := p.parseSelect()
 		if err != nil {
 			return nil, err
 		}
-		return &ast.Explain{Select: sel}, nil
+		return &ast.Explain{Select: sel, Analyze: analyze}, nil
 	case "CREATE":
 		return p.parseCreate()
 	case "INSERT":

@@ -1,0 +1,287 @@
+// Package telemetry is the engine's dependency-free metrics core:
+// atomic counters, gauges and bounded-bucket latency histograms behind
+// a named registry, with expvar publishing and Prometheus-text
+// rendering, plus the per-query Profile collector EXPLAIN ANALYZE
+// threads through execution and the TraceEvent type the public
+// trace-hook/slow-query-log surface is built on.
+//
+// Design constraints (mirrored from MonetDB's TRACE/stethoscope
+// lineage): instruments are always compiled in, so the hot-path cost
+// budget is one atomic add per scan chunk — never per row — and a
+// query's results are byte-identical with profiling on or off.
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add moves the value by n (negative deltas decrement).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBounds are the histogram's upper bucket bounds in nanoseconds:
+// a bounded log scale from 10µs to 10s (×~3.16 per step) plus an
+// implicit +Inf bucket. Fixed at compile time so Observe is one
+// branch-scan and one atomic add.
+var histBounds = [...]int64{
+	10_000, 31_600, 100_000, 316_000, // 10µs .. 316µs
+	1_000_000, 3_160_000, 10_000_000, 31_600_000, // 1ms .. 31.6ms
+	100_000_000, 316_000_000, 1_000_000_000, 3_160_000_000, // 100ms .. 3.16s
+	10_000_000_000, // 10s
+}
+
+// Histogram is a bounded-bucket latency histogram (nanosecond scale).
+type Histogram struct {
+	buckets [len(histBounds) + 1]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := d.Nanoseconds()
+	i := 0
+	for ; i < len(histBounds); i++ {
+		if ns <= histBounds[i] {
+			break
+		}
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total observed time.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Registry is a named set of instruments. Instruments are get-or-
+// create: the first lookup under a name allocates, later lookups
+// return the same instrument, so callers resolve pointers once at
+// setup and touch only atomics on the hot path.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	funcs    map[string]func() int64
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		funcs:    map[string]func() int64{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// RegisterFunc registers a computed gauge: fn is called at snapshot
+// and render time (derived values like pinned-snapshot age).
+func (r *Registry) RegisterFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = fn
+}
+
+// Snapshot returns a point-in-time view of every instrument: counters
+// and gauges under their names, computed gauges likewise, histograms
+// as <name>_count and <name>_sum_ns.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters)+len(r.gauges)+len(r.funcs)+2*len(r.hists))
+	for n, c := range r.counters {
+		out[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		out[n] = g.Value()
+	}
+	for n, fn := range r.funcs {
+		out[n] = fn()
+	}
+	for n, h := range r.hists {
+		out[n+"_count"] = h.count.Load()
+		out[n+"_sum_ns"] = h.sum.Load()
+	}
+	return out
+}
+
+// Publish exposes the registry as one expvar variable under the given
+// name (a JSON map of Snapshot). Publishing the same name twice
+// panics, per the expvar contract, so callers pick distinct prefixes
+// per database.
+func (r *Registry) Publish(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// WritePrometheus renders every instrument in the Prometheus text
+// exposition format. Metric names have non-alphanumeric runes mapped
+// to '_'; histograms render as cumulative <name>_bucket{le="..."}
+// series with seconds-scale bounds.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fprint := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	for _, n := range sortedKeys(r.counters) {
+		m := promName(n)
+		fprint("# TYPE %s counter\n%s %d\n", m, m, r.counters[n].Value())
+	}
+	for _, n := range sortedKeys(r.gauges) {
+		m := promName(n)
+		fprint("# TYPE %s gauge\n%s %d\n", m, m, r.gauges[n].Value())
+	}
+	for _, n := range sortedKeys(r.funcs) {
+		m := promName(n)
+		fprint("# TYPE %s gauge\n%s %d\n", m, m, r.funcs[n]())
+	}
+	for _, n := range sortedKeys(r.hists) {
+		h := r.hists[n]
+		m := promName(n)
+		fprint("# TYPE %s histogram\n", m)
+		cum := int64(0)
+		for i, ub := range histBounds {
+			cum += h.buckets[i].Load()
+			fprint("%s_bucket{le=\"%g\"} %d\n", m, float64(ub)/1e9, cum)
+		}
+		cum += h.buckets[len(histBounds)].Load()
+		fprint("%s_bucket{le=\"+Inf\"} %d\n", m, cum)
+		fprint("%s_sum %g\n", m, float64(h.sum.Load())/1e9)
+		fprint("%s_count %d\n", m, h.count.Load())
+	}
+}
+
+// Handler returns an http.Handler serving WritePrometheus — the
+// /metrics endpoint of a scrape target.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// promName maps a registry name onto the Prometheus metric charset.
+func promName(n string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			return r
+		}
+		return '_'
+	}, n)
+}

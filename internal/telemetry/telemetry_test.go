@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("scan_cells_total")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if r.Counter("scan_cells_total") != c {
+		t.Fatal("get-or-create returned a different counter")
+	}
+	g := r.Gauge("snapshots_pinned")
+	g.Add(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %d, want 2", got)
+	}
+	g.Set(7)
+	if got := r.Snapshot()["snapshots_pinned"]; got != 7 {
+		t.Fatalf("snapshot gauge = %d, want 7", got)
+	}
+	// Nil instruments are safe no-ops (unset optional metrics).
+	var nc *Counter
+	nc.Inc()
+	var ng *Gauge
+	ng.Add(1)
+	var nh *Histogram
+	nh.Observe(time.Second)
+}
+
+func TestHistogramBucketsAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("stmt_select_seconds")
+	h.Observe(5 * time.Microsecond) // first bucket
+	h.Observe(2 * time.Millisecond) // mid bucket
+	h.Observe(20 * time.Second)     // +Inf bucket
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	if h.Sum() < 20*time.Second {
+		t.Fatalf("sum = %v, want >= 20s", h.Sum())
+	}
+	snap := r.Snapshot()
+	if snap["stmt_select_seconds_count"] != 3 {
+		t.Fatalf("snapshot count = %d", snap["stmt_select_seconds_count"])
+	}
+	if snap["stmt_select_seconds_sum_ns"] < int64(20*time.Second) {
+		t.Fatalf("snapshot sum = %d", snap["stmt_select_seconds_sum_ns"])
+	}
+}
+
+func TestRegisterFunc(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterFunc("snapshot_pin_age_seconds", func() int64 { return 12 })
+	if got := r.Snapshot()["snapshot_pin_age_seconds"]; got != 12 {
+		t.Fatalf("func gauge = %d, want 12", got)
+	}
+}
+
+func TestPrometheusRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tx_commit_total").Add(5)
+	r.Gauge("pool_workers").Set(4)
+	r.Histogram("stmt_select_seconds").Observe(2 * time.Millisecond)
+	r.RegisterFunc("derived.value", func() int64 { return 9 })
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE tx_commit_total counter\ntx_commit_total 5",
+		"# TYPE pool_workers gauge\npool_workers 4",
+		"# TYPE stmt_select_seconds histogram",
+		`stmt_select_seconds_bucket{le="+Inf"} 1`,
+		"stmt_select_seconds_count 1",
+		"derived_value 9", // non-alphanumeric runes map to '_'
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, body)
+		}
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	// Bucket series must be cumulative.
+	if strings.Index(body, `le="0.001"`) > strings.Index(body, `le="+Inf"`) {
+		t.Fatal("bucket ordering is not ascending")
+	}
+}
+
+func TestConcurrentRegistryAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h").Observe(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h").Count(); got != 8000 {
+		t.Fatalf("hist count = %d, want 8000", got)
+	}
+}
+
+func TestOpStatsModeAndRender(t *testing.T) {
+	var o OpStats
+	if o.Mode() != "" || o.Ran() {
+		t.Fatal("fresh OpStats should be idle")
+	}
+	if got := RenderOp(&o, false); got != " (not executed)" {
+		t.Fatalf("idle render = %q", got)
+	}
+	o.VecBatches.Add(2)
+	if o.Mode() != "vectorized" {
+		t.Fatalf("mode = %q", o.Mode())
+	}
+	o.RowBatches.Add(1)
+	if o.Mode() != "mixed" {
+		t.Fatalf("mode = %q", o.Mode())
+	}
+	o.RowsIn.Store(100)
+	o.RowsOut.Store(40)
+	o.Chunks.Store(4)
+	o.Cells.Store(1000)
+	o.AddNanos(1500 * time.Microsecond)
+	got := RenderOp(&o, true)
+	for _, want := range []string{"time=1.5ms", "rows_in=100", "rows=40", "chunks=4", "cells=1000", "[mixed]"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("render %q missing %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package sciql
+
+import (
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// analyzeRowsRe matches the summary line EXPLAIN ANALYZE appends under
+// the operator tree.
+var analyzeRowsRe = regexp.MustCompile(`^analyze: rows=(\d+) elapsed=`)
+
+// analyzeRows extracts the executed row count from a rendered EXPLAIN
+// ANALYZE result.
+func analyzeRows(t *testing.T, rs *Result) int {
+	t.Helper()
+	for r := 0; r < rs.NumRows(); r++ {
+		if m := analyzeRowsRe.FindStringSubmatch(rs.Get(r, 0).S); m != nil {
+			n, err := strconv.Atoi(m[1])
+			if err != nil {
+				t.Fatalf("bad analyze row count %q: %v", m[1], err)
+			}
+			return n
+		}
+	}
+	t.Fatalf("no 'analyze: rows=' line in EXPLAIN ANALYZE output:\n%s", rs)
+	return 0
+}
+
+// TestExplainAnalyzeAgreesWithQuery is the identity suite of the
+// profiler: for every query in the vectorized walkthrough set, at
+// vectorization off/on and parallelism 1/4, the row count EXPLAIN
+// ANALYZE reports must equal the row count Query returns — the profiled
+// execution is the real execution, not an estimate.
+func TestExplainAnalyzeAgreesWithQuery(t *testing.T) {
+	db := setupVectorDB(t)
+	for _, q := range vectorQuerySet {
+		for _, vec := range []bool{false, true} {
+			for _, par := range []int{1, 4} {
+				db.Vectorize(vec)
+				db.Parallelism(par)
+				want, err := db.Query(q)
+				if err != nil {
+					t.Fatalf("vec=%v par=%d %s: %v", vec, par, q, err)
+				}
+				got, err := db.Query("EXPLAIN ANALYZE " + q)
+				if err != nil {
+					t.Fatalf("EXPLAIN ANALYZE vec=%v par=%d %s: %v", vec, par, q, err)
+				}
+				if n := analyzeRows(t, got); n != want.NumRows() {
+					t.Errorf("vec=%v par=%d %s:\nanalyze reports %d rows, Query returned %d\n%s",
+						vec, par, q, n, want.NumRows(), got)
+				}
+			}
+		}
+	}
+}
+
+// TestProfiledResultsByteIdentical pins the profiler's zero-observer-
+// effect contract: query results with the trace/slow-query path armed,
+// and after an EXPLAIN ANALYZE has run (arming and disarming the
+// per-operator profile), render byte-identically to the unarmed
+// reference.
+func TestProfiledResultsByteIdentical(t *testing.T) {
+	db := setupVectorDB(t)
+	for _, q := range vectorQuerySet {
+		for _, par := range []int{1, 4} {
+			db.Parallelism(par)
+			want, err := db.Query(q)
+			if err != nil {
+				t.Fatalf("reference par=%d %s: %v", par, q, err)
+			}
+			db.SetTraceHook(func(TraceEvent) {})
+			db.SetSlowQueryThreshold(1, io.Discard)
+			armed, err := db.Query(q)
+			db.SetTraceHook(nil)
+			db.SetSlowQueryThreshold(0, nil)
+			if err != nil {
+				t.Fatalf("armed par=%d %s: %v", par, q, err)
+			}
+			if armed.String() != want.String() {
+				t.Errorf("armed result differs par=%d %s:\ngot:\n%s\nwant:\n%s",
+					par, q, armed.String(), want.String())
+			}
+			if _, err := db.Query("EXPLAIN ANALYZE " + q); err != nil {
+				t.Fatalf("EXPLAIN ANALYZE par=%d %s: %v", par, q, err)
+			}
+			after, err := db.Query(q)
+			if err != nil {
+				t.Fatalf("post-analyze par=%d %s: %v", par, q, err)
+			}
+			if after.String() != want.String() {
+				t.Errorf("post-analyze result differs par=%d %s:\ngot:\n%s\nwant:\n%s",
+					par, q, after.String(), want.String())
+			}
+		}
+	}
+}
+
+// TestExplainAnalyzeRendersOperatorStats checks the rendered tree
+// itself: every executed operator carries wall time and row counts, the
+// scan reports chunk and cell volume, and vectorized execution is
+// annotated as such.
+func TestExplainAnalyzeRendersOperatorStats(t *testing.T) {
+	db := setupVectorDB(t)
+	q := `EXPLAIN ANALYZE SELECT x, y, v FROM nmatrix WHERE v > 100 ORDER BY x, y LIMIT 10`
+	for _, par := range []int{1, 4} {
+		db.Parallelism(par)
+		rs, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		out := rs.String()
+		for _, want := range []string{
+			"Scan nmatrix", "time=", "rows=", "chunks=", "cells=",
+			"Filter", "rows_in=", "Sort", "Limit", "analyze: rows=10",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("par=%d: EXPLAIN ANALYZE output missing %q:\n%s", par, want, out)
+			}
+		}
+	}
+	db.Parallelism(1)
+	db.Vectorize(true)
+	rs, err := db.Query(`EXPLAIN ANALYZE SELECT x, y FROM nmatrix WHERE v > 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rs.String(), "[vectorized]") {
+		t.Errorf("vectorized EXPLAIN ANALYZE missing [vectorized] annotation:\n%s", rs)
+	}
+}
+
+// TestExplainAnalyzePerScheme profiles the same filter scan over every
+// physical storage scheme, serial and morsel-parallel: the reported
+// row count must match the query's result regardless of how the store
+// chunks its cells. The CI concurrency-stress step re-runs this under
+// -race so the per-chunk profile flushes are vetted against the chunk
+// fan-out.
+func TestExplainAnalyzePerScheme(t *testing.T) {
+	const q = `SELECT x, y, a FROM grid WHERE MOD(x + y, 5) = 0 AND a > 100`
+	for _, scheme := range []string{"virtual", "tabular", "dorder", "slab"} {
+		t.Run(scheme, func(t *testing.T) {
+			db := scanDB(t, scheme)
+			for _, par := range []int{1, 4} {
+				db.Parallelism(par)
+				want, err := db.Query(q)
+				if err != nil {
+					t.Fatalf("par=%d: %v", par, err)
+				}
+				got, err := db.Query("EXPLAIN ANALYZE " + q)
+				if err != nil {
+					t.Fatalf("EXPLAIN ANALYZE par=%d: %v", par, err)
+				}
+				if n := analyzeRows(t, got); n != want.NumRows() {
+					t.Errorf("scheme=%s par=%d: analyze reports %d rows, Query returned %d\n%s",
+						scheme, par, n, want.NumRows(), got)
+				}
+			}
+		})
+	}
+}
+
+// TestExplainAnalyzeThroughAllSurfaces runs EXPLAIN ANALYZE through
+// Exec, Query, QueryContext (streaming) and a prepared statement; each
+// surface must return the rendered tree.
+func TestExplainAnalyzeThroughAllSurfaces(t *testing.T) {
+	db := setupVectorDB(t)
+	const q = `EXPLAIN ANALYZE SELECT COUNT(*) FROM nmatrix WHERE v > 100`
+	check := func(surface string, rs *Result, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", surface, err)
+		}
+		if !strings.Contains(rs.String(), "analyze: rows=1") {
+			t.Errorf("%s: missing analyze summary:\n%s", surface, rs)
+		}
+	}
+	rs, err := db.Exec(q)
+	check("Exec", rs, err)
+	rs, err = db.Query(q)
+	check("Query", rs, err)
+	st, err := db.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err = st.Query()
+	check("prepared Query", rs, err)
+	conn, err := db.Conn(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rows, err := conn.QueryContext(t.Context(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawSummary bool
+	for rows.Next() {
+		var line string
+		if err := rows.Scan(&line); err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(line, "analyze: rows=1") {
+			sawSummary = true
+		}
+	}
+	rows.Close()
+	if !sawSummary {
+		t.Error("Conn.QueryContext: missing analyze summary in streamed plan")
+	}
+}

@@ -44,13 +44,17 @@ func (db *DB) Conn(ctx context.Context) (*Conn, error) {
 	return &Conn{db: db, eng: db.engine.NewSession()}, nil
 }
 
-// Close releases the connection, rolling back any open transaction.
-// The connection is unusable afterwards; closing twice is a no-op.
+// Close releases the connection, rolling back any open transaction
+// and freeing the catalog snapshots of any Rows cursors abandoned
+// without Close (so a dropped connection cannot retain superseded
+// object versions). The connection is unusable afterwards; closing
+// twice is a no-op.
 func (c *Conn) Close() error {
 	if c.closed {
 		return nil
 	}
 	c.closed = true
+	c.eng.ReleaseCursorPins()
 	if c.eng.InTx() {
 		return c.eng.Rollback()
 	}
@@ -80,7 +84,7 @@ func (c *Conn) ExecContext(ctx context.Context, sql string, args ...Arg) (*Resul
 	if err != nil {
 		return nil, err
 	}
-	return execAll(ctx, c.eng, stmts, args)
+	return c.db.execTraced(ctx, c.eng, sql, stmts, args)
 }
 
 // Query runs a single SELECT on this connection, materialized.
@@ -104,11 +108,7 @@ func (c *Conn) QueryContext(ctx context.Context, sql string, args ...Arg) (*Rows
 	if err != nil {
 		return nil, err
 	}
-	cur, err := c.eng.QueryStream(ctx, sel, collectArgs(args))
-	if err != nil {
-		return nil, err
-	}
-	return &Rows{cur: cur}, nil
+	return c.db.queryTraced(ctx, c.eng, sql, sel, args)
 }
 
 // Prepare parses sql once and returns a statement handle bound to

@@ -34,6 +34,9 @@ type Rows struct {
 	row    []Value
 	err    error
 	closed bool
+	// tr is the per-cursor trace state when the owning DB has a trace
+	// hook or slow-query threshold armed; nil otherwise.
+	tr *rowsTrace
 }
 
 // Columns returns the result column names in order.
@@ -82,6 +85,13 @@ func (r *Rows) Next() bool {
 		return false
 	}
 	r.row = row
+	if t := r.tr; t != nil {
+		t.n++
+		if !t.first {
+			t.first = true
+			t.db.fire(TraceEvent{Phase: TraceFirstRow, Query: t.query, Kind: t.kind, D: time.Since(t.start), When: time.Now()})
+		}
+	}
 	return true
 }
 
@@ -120,6 +130,10 @@ func (r *Rows) close() {
 	if !r.closed {
 		r.closed = true
 		r.cur.Close()
+		if t := r.tr; t != nil {
+			r.tr = nil
+			t.db.noteClose(t.query, t.kind, t.start, t.n, r.err)
+		}
 	}
 }
 
@@ -127,7 +141,13 @@ func (r *Rows) close() {
 // the other view of the same execution.
 func (r *Rows) materialize() (*Result, error) {
 	defer r.close()
-	return r.cur.Materialize()
+	ds, err := r.cur.Materialize()
+	if t := r.tr; t != nil && err == nil && ds != nil {
+		// Materialization bypasses Next, so record the row count here
+		// for the TraceClose event fired by the deferred close.
+		t.n = int64(ds.NumRows())
+	}
+	return ds, err
 }
 
 // scanValue converts one engine value into a Go destination.

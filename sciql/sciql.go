@@ -49,6 +49,8 @@ type DB struct {
 	// mu guards the statement cache; execution never holds it.
 	mu    sync.Mutex
 	cache *stmtCache
+	// tel is the tracing/slow-query-log state (see telemetry.go).
+	tel dbTelemetry
 }
 
 // Result is a materialized query result.
@@ -59,14 +61,30 @@ type Value = value.Value
 
 // Open creates an empty database.
 func Open() *DB {
-	return &DB{engine: exec.New(), cache: newStmtCache(defaultPlanCacheSize)}
+	db := &DB{engine: exec.New(), cache: newStmtCache(defaultPlanCacheSize)}
+	db.initTelemetry()
+	return db
 }
 
 // Wrap exposes an existing engine through the public API (the
 // integration session in internal/core uses it to serve the examples
 // and tools without a second catalog).
 func Wrap(e *exec.Engine) *DB {
-	return &DB{engine: e, cache: newStmtCache(defaultPlanCacheSize)}
+	db := &DB{engine: e, cache: newStmtCache(defaultPlanCacheSize)}
+	db.initTelemetry()
+	return db
+}
+
+// Close releases the database's session-level resources: catalog
+// snapshots still pinned by abandoned cursors — of any session,
+// including the implicit per-call ones — are freed, so the
+// snapshots_pinned gauge returns to zero. The in-memory catalog itself
+// needs no teardown; Close exists for resource-hygiene symmetry with
+// database/sql and is safe to call more than once. Call it after
+// in-flight statements have finished.
+func (db *DB) Close() error {
+	db.engine.ReleaseAllCursorPins()
+	return nil
 }
 
 // Exec runs one or more semicolon-separated statements, returning the
@@ -86,7 +104,7 @@ func (db *DB) ExecContext(ctx context.Context, sql string, args ...Arg) (*Result
 	if err != nil {
 		return nil, err
 	}
-	return execAll(ctx, db.engine.NewSession(), stmts, args)
+	return db.execTraced(ctx, db.engine.NewSession(), sql, stmts, args)
 }
 
 // MustExec is Exec that panics on error; for setup code and examples.
@@ -121,16 +139,13 @@ func (db *DB) QueryContext(ctx context.Context, sql string, args ...Arg) (*Rows,
 	if err != nil {
 		return nil, err
 	}
-	cur, err := db.engine.NewSession().QueryStream(ctx, sel, collectArgs(args))
-	if err != nil {
-		return nil, err
-	}
-	return &Rows{cur: cur}, nil
+	return db.queryTraced(ctx, db.engine.NewSession(), sql, sel, args)
 }
 
 // compileSelect parses (through the statement cache) and requires a
-// single SELECT.
-func (db *DB) compileSelect(sql string) (*ast.Select, error) {
+// single SELECT — or an EXPLAIN [ANALYZE] SELECT, whose rendered plan
+// is itself a one-column result.
+func (db *DB) compileSelect(sql string) (ast.Statement, error) {
 	stmts, err := db.compile(sql)
 	if err != nil {
 		return nil, err
@@ -138,11 +153,11 @@ func (db *DB) compileSelect(sql string) (*ast.Select, error) {
 	if len(stmts) != 1 {
 		return nil, fmt.Errorf("Query requires a single SELECT; got %d statements", len(stmts))
 	}
-	sel, ok := stmts[0].(*ast.Select)
-	if !ok {
-		return nil, fmt.Errorf("Query requires a SELECT; use Exec for %T", stmts[0])
+	switch stmts[0].(type) {
+	case *ast.Select, *ast.Explain:
+		return stmts[0], nil
 	}
-	return sel, nil
+	return nil, fmt.Errorf("Query requires a SELECT; use Exec for %T", stmts[0])
 }
 
 // MustQuery is Query that panics on error.

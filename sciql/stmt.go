@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/exec"
 	"repro/internal/sql/ast"
@@ -70,7 +71,7 @@ func (s *Stmt) ExecContext(ctx context.Context, args ...Arg) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return execAll(ctx, eng, s.stmts, args)
+	return s.db.execTraced(ctx, eng, s.text, s.stmts, args)
 }
 
 // Query runs a prepared single-SELECT statement, materializing the
@@ -95,22 +96,18 @@ func (s *Stmt) QueryContext(ctx context.Context, args ...Arg) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	cur, err := eng.QueryStream(ctx, sel, collectArgs(args))
-	if err != nil {
-		return nil, err
-	}
-	return &Rows{cur: cur}, nil
+	return s.db.queryTraced(ctx, eng, s.text, sel, args)
 }
 
-func (s *Stmt) selectStmt() (*ast.Select, error) {
+func (s *Stmt) selectStmt() (ast.Statement, error) {
 	if len(s.stmts) != 1 {
 		return nil, fmt.Errorf("Query requires a single SELECT; statement has %d statements", len(s.stmts))
 	}
-	sel, ok := s.stmts[0].(*ast.Select)
-	if !ok {
-		return nil, fmt.Errorf("Query requires a SELECT; use Exec for %T", s.stmts[0])
+	switch s.stmts[0].(type) {
+	case *ast.Select, *ast.Explain:
+		return s.stmts[0], nil
 	}
-	return sel, nil
+	return nil, fmt.Errorf("Query requires a SELECT; use Exec for %T", s.stmts[0])
 }
 
 // --- statement cache -------------------------------------------------------
@@ -165,19 +162,30 @@ func (c *stmtCache) put(text string, stmts []ast.Statement) {
 
 // compile parses sql through the DB's statement cache: a hit reuses
 // the parsed AST (and thereby the engine's memoized plan); a miss
-// parses and caches.
+// parses and caches. Hits and misses count into the
+// stmt_cache_hit_total / stmt_cache_miss_total metrics, and an armed
+// trace hook observes the parse phase with its duration.
 func (db *DB) compile(sql string) ([]ast.Statement, error) {
+	start := time.Now()
 	db.mu.Lock()
 	if db.cache != nil {
 		if stmts, ok := db.cache.get(sql); ok {
 			db.mu.Unlock()
+			db.tel.stmtHit.Inc()
+			if db.traceArmed() {
+				db.fire(TraceEvent{Phase: TraceParse, Query: sql, Kind: scriptKind(stmts), D: time.Since(start), When: time.Now()})
+			}
 			return stmts, nil
 		}
 	}
 	db.mu.Unlock()
+	db.tel.stmtMiss.Inc()
 	stmts, err := parser.Parse(sql)
 	if err != nil {
 		return nil, err
+	}
+	if db.traceArmed() {
+		db.fire(TraceEvent{Phase: TraceParse, Query: sql, Kind: scriptKind(stmts), D: time.Since(start), When: time.Now()})
 	}
 	db.mu.Lock()
 	if db.cache != nil {

@@ -1,0 +1,240 @@
+package sciql
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/sql/ast"
+	"repro/internal/telemetry"
+)
+
+// TraceEvent is one observation delivered to a trace hook: which
+// lifecycle phase a statement reached, when, and how long it took.
+type TraceEvent = telemetry.TraceEvent
+
+// TracePhase identifies the lifecycle point of a TraceEvent.
+type TracePhase = telemetry.TracePhase
+
+// Trace phases, in statement-lifecycle order.
+const (
+	TraceParse     = telemetry.TraceParse
+	TracePlan      = telemetry.TracePlan
+	TraceExecStart = telemetry.TraceExecStart
+	TraceFirstRow  = telemetry.TraceFirstRow
+	TraceClose     = telemetry.TraceClose
+)
+
+// dbTelemetry is the DB's tracing and slow-query-log state. The armed
+// checks on the statement path are two atomic loads; with no hook and
+// no threshold set, tracing costs nothing else.
+type dbTelemetry struct {
+	hook   atomic.Pointer[func(TraceEvent)]
+	slowNS atomic.Int64
+	// slowMu serializes slow-log writes (concurrent connections may
+	// cross a threshold simultaneously) and guards slowOut.
+	slowMu  sync.Mutex
+	slowOut io.Writer
+	// Pre-resolved instruments (nil-safe no-ops when the engine carries
+	// no registry).
+	slowTotal *telemetry.Counter
+	stmtHit   *telemetry.Counter
+	stmtMiss  *telemetry.Counter
+}
+
+func (db *DB) initTelemetry() {
+	reg := db.engine.Registry()
+	if reg == nil {
+		return
+	}
+	db.tel.slowTotal = reg.Counter("slow_query_total")
+	db.tel.stmtHit = reg.Counter("stmt_cache_hit_total")
+	db.tel.stmtMiss = reg.Counter("stmt_cache_miss_total")
+}
+
+// Metrics returns a point-in-time snapshot of every engine counter and
+// gauge: statement counts and latencies by kind, plan/kernel/statement
+// cache hits and misses, transaction outcomes, scan volumes, worker
+// pool utilization, pinned snapshots and copy-on-write clone volume.
+// Histograms appear as <name>_count and <name>_sum_ns pairs. The
+// snapshot is a copy; mutating it does not affect the registry.
+func (db *DB) Metrics() map[string]int64 {
+	reg := db.engine.Registry()
+	if reg == nil {
+		return map[string]int64{}
+	}
+	return reg.Snapshot()
+}
+
+// MetricsHandler returns an http.Handler rendering the registry in
+// Prometheus text exposition format:
+//
+//	http.Handle("/metrics", db.MetricsHandler())
+func (db *DB) MetricsHandler() http.Handler {
+	reg := db.engine.Registry()
+	if reg == nil {
+		return http.NotFoundHandler()
+	}
+	return reg.Handler()
+}
+
+// PublishExpvar publishes the registry as one expvar map variable
+// under the given name (for the standard /debug/vars endpoint).
+// Publishing twice with one name panics, per expvar semantics.
+func (db *DB) PublishExpvar(name string) {
+	if reg := db.engine.Registry(); reg != nil {
+		reg.Publish(name)
+	}
+}
+
+// SetTraceHook installs fn to observe statement lifecycle events:
+// parse, plan, exec-start, first-row and close, each with its phase
+// duration. fn runs synchronously on the statement's goroutine — keep
+// it fast, and do not call back into the DB from it. nil removes the
+// hook. With no hook installed the statement path pays one atomic load.
+func (db *DB) SetTraceHook(fn func(TraceEvent)) {
+	if fn == nil {
+		db.tel.hook.Store(nil)
+		return
+	}
+	db.tel.hook.Store(&fn)
+}
+
+// SetSlowQueryThreshold arms the slow-query log: statements (and
+// cursors) whose total wall time reaches d write one structured line
+// to w and increment slow_query_total. w nil logs to os.Stderr; d <= 0
+// disarms. The log line is tab-separated:
+//
+//	slow_query	dur=12.3ms	kind=select	rows=420	err=<nil>	query="SELECT ..."
+func (db *DB) SetSlowQueryThreshold(d time.Duration, w io.Writer) {
+	db.tel.slowMu.Lock()
+	db.tel.slowOut = w
+	db.tel.slowMu.Unlock()
+	if d <= 0 {
+		db.tel.slowNS.Store(0)
+		return
+	}
+	db.tel.slowNS.Store(int64(d))
+}
+
+// traceArmed reports whether any statement-lifecycle consumer exists.
+func (db *DB) traceArmed() bool {
+	return db.tel.hook.Load() != nil || db.tel.slowNS.Load() > 0
+}
+
+// fire delivers one event to the installed hook, if any.
+func (db *DB) fire(ev TraceEvent) {
+	if fn := db.tel.hook.Load(); fn != nil {
+		(*fn)(ev)
+	}
+}
+
+// noteClose finishes one traced statement: the TraceClose event plus
+// the slow-query log check.
+func (db *DB) noteClose(query, kind string, start time.Time, rows int64, err error) {
+	d := time.Since(start)
+	db.fire(TraceEvent{Phase: TraceClose, Query: query, Kind: kind, D: d, Rows: rows, Err: err, When: time.Now()})
+	th := db.tel.slowNS.Load()
+	if th <= 0 || int64(d) < th {
+		return
+	}
+	db.tel.slowTotal.Inc()
+	db.tel.slowMu.Lock()
+	w := db.tel.slowOut
+	if w == nil {
+		w = os.Stderr
+	}
+	fmt.Fprintf(w, "slow_query\tdur=%s\tkind=%s\trows=%d\terr=%v\tquery=%q\n", d, kind, rows, err, query)
+	db.tel.slowMu.Unlock()
+}
+
+// scriptKind labels a statement batch for trace events and the
+// slow-query log: the statement kind when there is exactly one,
+// "script" for multi-statement batches.
+func scriptKind(stmts []ast.Statement) string {
+	if len(stmts) == 1 {
+		return exec.StatementKind(stmts[0])
+	}
+	return "script"
+}
+
+// execTraced runs parsed statements on one session, wrapped in trace
+// events and the slow-query log when armed; unarmed it is execAll plus
+// two atomic loads.
+func (db *DB) execTraced(ctx context.Context, eng *exec.Engine, query string, stmts []ast.Statement, args []Arg) (*Result, error) {
+	if !db.traceArmed() {
+		return execAll(ctx, eng, stmts, args)
+	}
+	kind := scriptKind(stmts)
+	start := time.Now()
+	db.fire(TraceEvent{Phase: TraceExecStart, Query: query, Kind: kind, When: start})
+	last, err := execAll(ctx, eng, stmts, args)
+	var rows int64
+	if last != nil {
+		rows = int64(last.NumRows())
+	}
+	db.noteClose(query, kind, start, rows, err)
+	return last, err
+}
+
+// queryTraced opens a streaming cursor on one session, wrapped in
+// trace events: TracePlan (timed against the engine's memoized plan
+// decision — near zero on a plan-cache hit), TraceExecStart, and — via
+// the rowsTrace handed to the cursor — TraceFirstRow and TraceClose
+// with the slow-query check at Close. An EXPLAIN [ANALYZE] statement
+// executes materialized and streams its rendered plan lines.
+func (db *DB) queryTraced(ctx context.Context, eng *exec.Engine, query string, stmt ast.Statement, args []Arg) (*Rows, error) {
+	sel, isSel := stmt.(*ast.Select)
+	kind := exec.StatementKind(stmt)
+	if !db.traceArmed() {
+		cur, err := db.queryCursor(ctx, eng, stmt, sel, isSel, args)
+		if err != nil {
+			return nil, err
+		}
+		return &Rows{cur: cur}, nil
+	}
+	if isSel {
+		t0 := time.Now()
+		eng.PrimePlan(sel)
+		db.fire(TraceEvent{Phase: TracePlan, Query: query, Kind: kind, D: time.Since(t0), When: time.Now()})
+	}
+	start := time.Now()
+	db.fire(TraceEvent{Phase: TraceExecStart, Query: query, Kind: kind, When: start})
+	cur, err := db.queryCursor(ctx, eng, stmt, sel, isSel, args)
+	if err != nil {
+		db.noteClose(query, kind, start, 0, err)
+		return nil, err
+	}
+	return &Rows{cur: cur, tr: &rowsTrace{db: db, query: query, kind: kind, start: start}}, nil
+}
+
+// queryCursor opens the cursor behind a Query call: the streaming
+// pipeline for SELECT, a dataset-backed cursor over the rendered plan
+// lines for EXPLAIN [ANALYZE].
+func (db *DB) queryCursor(ctx context.Context, eng *exec.Engine, stmt ast.Statement, sel *ast.Select, isSel bool, args []Arg) (*exec.Cursor, error) {
+	if isSel {
+		return eng.QueryStream(ctx, sel, collectArgs(args))
+	}
+	ds, err := eng.ExecContext(ctx, stmt, collectArgs(args))
+	if err != nil {
+		return nil, err
+	}
+	return exec.DatasetCursor(ds), nil
+}
+
+// rowsTrace carries the per-cursor trace state of an armed query; nil
+// on unarmed cursors.
+type rowsTrace struct {
+	db    *DB
+	query string
+	kind  string
+	start time.Time
+	first bool
+	n     int64
+}

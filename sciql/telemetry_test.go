@@ -1,0 +1,293 @@
+package sciql
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// setupTelemetryDB builds an array big enough that streaming cursors
+// stay open across many Next calls and parallel scans schedule real
+// morsel batches.
+func setupTelemetryDB(t testing.TB) *DB {
+	t.Helper()
+	db := Open()
+	db.MustExec(`
+		CREATE ARRAY tmatrix (x INTEGER DIMENSION[256], y INTEGER DIMENSION[256], v FLOAT DEFAULT 0.0);
+		UPDATE tmatrix SET v = x * 31 + y;
+	`)
+	return db
+}
+
+// pinned reads the snapshots_pinned gauge.
+func pinned(db *DB) int64 { return db.Metrics()["snapshots_pinned"] }
+
+// TestSnapshotPinsReturnToBaseline is the snapshot-retention
+// regression suite: every way a streaming cursor can end — full drain,
+// early Close, context cancellation mid-iteration, abandonment followed
+// by connection teardown, abandonment followed by DB.Close — must
+// return the snapshots_pinned gauge to zero, so no abandoned Rows can
+// retain superseded catalog versions.
+func TestSnapshotPinsReturnToBaseline(t *testing.T) {
+	db := setupTelemetryDB(t)
+	const q = `SELECT x, y, v FROM tmatrix WHERE v > 10`
+	if got := pinned(db); got != 0 {
+		t.Fatalf("baseline snapshots_pinned = %d, want 0", got)
+	}
+
+	// Full drain through materialization.
+	if _, err := db.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if got := pinned(db); got != 0 {
+		t.Errorf("after materialized query: snapshots_pinned = %d, want 0", got)
+	}
+
+	// Early Close on a streaming cursor.
+	rows, err := db.QueryContext(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows.Next()
+	if got := pinned(db); got != 1 {
+		t.Errorf("open cursor: snapshots_pinned = %d, want 1", got)
+	}
+	rows.Close()
+	if got := pinned(db); got != 0 {
+		t.Errorf("after Close: snapshots_pinned = %d, want 0", got)
+	}
+
+	// Context cancellation mid-iteration: Next reports the error and
+	// the cursor self-closes, releasing the pin.
+	for _, par := range []int{1, 4} {
+		db.Parallelism(par)
+		ctx, cancel := context.WithCancel(context.Background())
+		rows, err := db.QueryContext(ctx, q)
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		rows.Next()
+		cancel()
+		for rows.Next() {
+		}
+		rows.Close()
+		if got := pinned(db); got != 0 {
+			t.Errorf("par=%d after cancel: snapshots_pinned = %d, want 0", par, got)
+		}
+	}
+	db.Parallelism(1)
+
+	// Rows abandoned without Close on an explicit connection:
+	// Conn.Close drains the session's cursor pins.
+	conn, err := db.Conn(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	abandoned, err := conn.QueryContext(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abandoned.Next()
+	if got := pinned(db); got != 1 {
+		t.Errorf("abandoned conn cursor: snapshots_pinned = %d, want 1", got)
+	}
+	conn.Close()
+	if got := pinned(db); got != 0 {
+		t.Errorf("after Conn.Close with abandoned Rows: snapshots_pinned = %d, want 0", got)
+	}
+
+	// Rows abandoned on an implicit (per-call) session: no connection
+	// teardown ever sees it, so DB.Close is the safety net.
+	leaked, err := db.QueryContext(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaked.Next()
+	if got := pinned(db); got != 1 {
+		t.Errorf("abandoned implicit-session cursor: snapshots_pinned = %d, want 1", got)
+	}
+	db.Close()
+	if got := pinned(db); got != 0 {
+		t.Errorf("after DB.Close with abandoned Rows: snapshots_pinned = %d, want 0", got)
+	}
+	// The release must be idempotent: a late Close on the drained
+	// cursor finds nothing to do.
+	leaked.Close()
+	if got := pinned(db); got != 0 {
+		t.Errorf("after late Close: snapshots_pinned = %d, want 0", got)
+	}
+
+	// The database stays fully usable after Close.
+	if _, err := db.Query(q); err != nil {
+		t.Fatalf("query after Close: %v", err)
+	}
+}
+
+// waitForZero polls the named gauges until all read zero or the
+// deadline passes, returning the last snapshot.
+func waitForZero(db *DB, names ...string) map[string]int64 {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m := db.Metrics()
+		done := true
+		for _, n := range names {
+			if m[n] != 0 {
+				done = false
+			}
+		}
+		if done || time.Now().After(deadline) {
+			return m
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPoolQuiescence is the goroutine-leak counterpart: after a
+// canceled parallel query, after completed queries, and after DB.Close,
+// the pool's queue-depth and in-flight gauges must drop to zero and no
+// worker goroutines may linger, at parallelism 1 and 4.
+func TestPoolQuiescence(t *testing.T) {
+	db := setupTelemetryDB(t)
+	const q = `SELECT x, y, v FROM tmatrix WHERE MOD(x * 31 + y, 7) < 5`
+	baseline := runtime.NumGoroutine()
+	for _, par := range []int{1, 4} {
+		db.Parallelism(par)
+
+		// Completed query.
+		if _, err := db.Query(q); err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		m := waitForZero(db, "pool_queue_depth", "pool_inflight")
+		if m["pool_queue_depth"] != 0 || m["pool_inflight"] != 0 {
+			t.Errorf("par=%d after query: queue=%d inflight=%d, want 0/0",
+				par, m["pool_queue_depth"], m["pool_inflight"])
+		}
+
+		// Canceled mid-iteration.
+		ctx, cancel := context.WithCancel(context.Background())
+		rows, err := db.QueryContext(ctx, q)
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		rows.Next()
+		cancel()
+		for rows.Next() {
+		}
+		rows.Close()
+		m = waitForZero(db, "pool_queue_depth", "pool_inflight")
+		if m["pool_queue_depth"] != 0 || m["pool_inflight"] != 0 {
+			t.Errorf("par=%d after cancel: queue=%d inflight=%d, want 0/0",
+				par, m["pool_queue_depth"], m["pool_inflight"])
+		}
+	}
+
+	db.Close()
+	m := waitForZero(db, "pool_queue_depth", "pool_inflight")
+	if m["pool_queue_depth"] != 0 || m["pool_inflight"] != 0 {
+		t.Errorf("after DB.Close: queue=%d inflight=%d, want 0/0",
+			m["pool_queue_depth"], m["pool_inflight"])
+	}
+
+	// Worker goroutines are per-query and joined before the query
+	// returns; give the runtime a moment to retire exiting ones.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline+2 {
+		t.Errorf("goroutines leaked: %d running, baseline %d", n, baseline)
+	}
+}
+
+// TestTraceHookAndSlowQueryLog exercises the statement-lifecycle
+// surface end to end: an installed hook observes parse, plan,
+// exec-start, first-row and close in order for a streamed SELECT, and a
+// 1ns slow-query threshold logs every statement with its kind, row
+// count and text.
+func TestTraceHookAndSlowQueryLog(t *testing.T) {
+	db := setupTelemetryDB(t)
+	var (
+		mu     sync.Mutex
+		phases []TracePhase
+	)
+	db.SetTraceHook(func(ev TraceEvent) {
+		mu.Lock()
+		phases = append(phases, ev.Phase)
+		mu.Unlock()
+	})
+	var slow bytes.Buffer
+	db.SetSlowQueryThreshold(time.Nanosecond, &slow)
+
+	const q = `SELECT x, y FROM tmatrix WHERE v > 100 LIMIT 5`
+	rows, err := db.QueryContext(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	rows.Close()
+	db.SetTraceHook(nil)
+	db.SetSlowQueryThreshold(0, nil)
+	if n != 5 {
+		t.Fatalf("drained %d rows, want 5", n)
+	}
+
+	mu.Lock()
+	got := append([]TracePhase(nil), phases...)
+	mu.Unlock()
+	want := []TracePhase{TraceParse, TracePlan, TraceExecStart, TraceFirstRow, TraceClose}
+	if len(got) != len(want) {
+		t.Fatalf("observed %d trace events (%v), want %v", len(got), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("trace event %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	line := slow.String()
+	for _, frag := range []string{"slow_query\t", "kind=select", "rows=5", "query=\"SELECT x, y"} {
+		if !strings.Contains(line, frag) {
+			t.Errorf("slow-query log missing %q:\n%s", frag, line)
+		}
+	}
+	if m := db.Metrics(); m["slow_query_total"] < 1 {
+		t.Errorf("slow_query_total = %d, want >= 1", m["slow_query_total"])
+	}
+}
+
+// TestMetricsAccounting spot-checks the always-on engine counters: one
+// streamed SELECT over the 64k-cell array accounts its scanned cells
+// and produced rows, statement totals advance by kind, and the
+// statement cache reports its hit.
+func TestMetricsAccounting(t *testing.T) {
+	db := setupTelemetryDB(t)
+	const q = `SELECT x, y FROM tmatrix WHERE v >= 0`
+	before := db.Metrics()
+	rs := db.MustQuery(q)
+	rs2 := db.MustQuery(q)
+	after := db.Metrics()
+	if rs.NumRows() != rs2.NumRows() {
+		t.Fatalf("row counts differ: %d vs %d", rs.NumRows(), rs2.NumRows())
+	}
+	cells := after["scan_cells_total"] - before["scan_cells_total"]
+	if cells != 2*256*256 {
+		t.Errorf("scan_cells_total advanced by %d, want %d", cells, 2*256*256)
+	}
+	rowsOut := after["scan_rows_total"] - before["scan_rows_total"]
+	if rowsOut != int64(2*rs.NumRows()) {
+		t.Errorf("scan_rows_total advanced by %d, want %d", rowsOut, 2*rs.NumRows())
+	}
+	if d := after["stmt_select_total"] - before["stmt_select_total"]; d != 2 {
+		t.Errorf("stmt_select_total advanced by %d, want 2", d)
+	}
+	if d := after["stmt_cache_hit_total"] - before["stmt_cache_hit_total"]; d < 1 {
+		t.Errorf("stmt_cache_hit_total advanced by %d, want >= 1 (second query reuses the AST)", d)
+	}
+}
