@@ -1,14 +1,30 @@
-# Tier-1 verification in one command: vet, build, race-enabled tests.
+# Tier-1 verification in one command: vet, lint, build, race-enabled tests.
 GO ?= go
 
-.PHONY: all check build test bench
+.PHONY: all check build test bench lint fuzz-smoke
 
 all: check
 
-check:
-	$(GO) vet ./...
+check: lint
 	$(GO) build ./...
 	$(GO) test -race ./...
+
+# lint runs stock go vet plus the sciql-lint engine-invariant suite
+# (catalogaccess, hotloopflush, ctxpoll, lockorder) as a vettool.
+# The vettool path must be absolute: go vet execs it from each
+# package's directory.
+lint:
+	$(GO) vet ./...
+	$(GO) build -o bin/sciql-lint ./cmd/sciql-lint
+	$(GO) vet -vettool=$(CURDIR)/bin/sciql-lint ./...
+
+# fuzz-smoke gives each fuzz target a short budget; crash artifacts
+# land in testdata/fuzz/ and become regression seeds.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzLexer -fuzztime=30s -run '^$$' ./internal/sql/lexer/
+	$(GO) test -fuzz=FuzzLexerAll -fuzztime=15s -run '^$$' ./internal/sql/lexer/
+	$(GO) test -fuzz=FuzzParseRoundTrip -fuzztime=30s -run '^$$' ./internal/sql/parser/
+	$(GO) test -fuzz=FuzzParseNoCrash -fuzztime=15s -run '^$$' ./internal/sql/parser/
 
 build:
 	$(GO) build ./...

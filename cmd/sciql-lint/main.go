@@ -1,0 +1,223 @@
+// Command sciql-lint runs the engine-invariant analyzer suite
+// (internal/analyzers) over Go packages. It speaks the go vet vettool
+// protocol, so the intended invocation is through the build system:
+//
+//	go build -o bin/sciql-lint ./cmd/sciql-lint
+//	go vet -vettool=$PWD/bin/sciql-lint ./...
+//
+// which is what `make lint` does. Run directly with package patterns
+// (`sciql-lint ./...`) it re-executes go vet against itself, so both
+// spellings behave identically.
+//
+// The vettool protocol, implemented here without x/tools (the build
+// has no module proxy): cmd/go probes the tool with -V=full (the
+// printed line becomes the tool ID for vet result caching, so it
+// embeds a content hash of the binary) and -flags (JSON list of extra
+// flags; none here), then invokes it once per package with a single
+// argument, the path to a JSON vet.cfg describing the package's files
+// and the export data of its dependencies. Dependency packages arrive
+// with VetxOnly set — they exist only to propagate analysis facts,
+// which this suite does not use — and are skipped wholesale, which is
+// also what keeps GOROOT and os/exec-lookalike packages out of the
+// analyzers' way.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+
+	"repro/internal/analyzers"
+	"repro/internal/analyzers/analysis"
+)
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+func run(args []string) int {
+	cfgPath := ""
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			printVersion()
+			return 0
+		case arg == "-flags" || arg == "--flags":
+			// No tool-specific flags: an empty JSON flag list.
+			fmt.Println("[]")
+			return 0
+		case strings.HasSuffix(arg, ".cfg"):
+			cfgPath = arg
+		}
+	}
+	if cfgPath != "" {
+		return runUnit(cfgPath)
+	}
+	return runStandalone(args)
+}
+
+// printVersion answers the cmd/go -V=full probe. The whole line is the
+// vet tool ID: three fields, second "version", third not "devel", and
+// a content hash so rebuilding the tool invalidates cached vet
+// results.
+func printVersion() {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			id = fmt.Sprintf("%x", sum[:8])
+		}
+	}
+	fmt.Printf("sciql-lint version v0.1.0-%s\n", id)
+}
+
+// runStandalone handles direct invocation with package patterns by
+// re-executing go vet with this binary as the vettool.
+func runStandalone(args []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sciql-lint: %v\n", err)
+		return 1
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, args...)...)
+	cmd.Stdin = os.Stdin
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "sciql-lint: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// vetConfig mirrors the JSON cmd/go writes to <objdir>/vet.cfg
+// (cmd/go/internal/work.vetConfig).
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ImportMap   map[string]string // source import path -> canonical path
+	PackageFile map[string]string // canonical path -> export data file
+	Standard    map[string]bool
+
+	ModulePath    string
+	ModuleVersion string
+
+	PackageVetx map[string]string // canonical path -> vetx (facts) file
+	VetxOnly    bool
+	VetxOutput  string
+
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+var goVersionRE = regexp.MustCompile(`^go\d+\.\d+(\.\d+)?$`)
+
+func runUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sciql-lint: reading vet config: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "sciql-lint: parsing vet config %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// cmd/go caches the vetx (facts) output when present; this suite
+	// produces no facts, so publish an empty one unconditionally.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "sciql-lint: writing vetx output: %v\n", err)
+			return 1
+		}
+	}
+	// A dependency visited only for fact propagation: nothing to do.
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	// Imports resolve through the export data cmd/go already built:
+	// source path -> canonical (ImportMap) -> export file (PackageFile).
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		canonical := path
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			canonical = mapped
+		}
+		file, ok := cfg.PackageFile[canonical]
+		if !ok {
+			return nil, fmt.Errorf("no export data for import %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var tcErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { tcErrs = append(tcErrs, err) },
+		Sizes:    types.SizesFor(compiler, build.Default.GOARCH),
+	}
+	if goVersionRE.MatchString(cfg.GoVersion) {
+		conf.GoVersion = cfg.GoVersion
+	}
+	info := analysis.NewInfo()
+	pkg, _ := conf.Check(cfg.ImportPath, fset, files, info)
+	if len(tcErrs) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		for _, e := range tcErrs {
+			fmt.Fprintln(os.Stderr, e)
+		}
+		return 1
+	}
+
+	diags, err := analyzers.Run(fset, files, pkg, info, analyzers.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sciql-lint: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Category)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

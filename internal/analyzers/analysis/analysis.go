@@ -1,0 +1,77 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API surface the sciql-lint suite
+// needs. The container this repository builds in has no module proxy,
+// so x/tools cannot be vendored; analyzers are written against this
+// shim with the same shape (Analyzer, Pass, Diagnostic, Reportf) so
+// that switching to the real framework later is a mechanical import
+// swap, not a rewrite.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker: a name (used in
+// diagnostics and //lint:allow suppressions), documentation, and the
+// Run function applied once per type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, suppression
+	// comments and the multichecker's -<name>=false flags. It must be
+	// a valid identifier.
+	Name string
+	// Doc is the help text: first line is a one-sentence summary.
+	Doc string
+	// Run applies the analyzer to one package. It reports findings
+	// through pass.Report/Reportf; the result value is unused by this
+	// shim (kept for API compatibility).
+	Run func(*Pass) (any, error)
+}
+
+// Pass carries one package's syntax and type information to an
+// analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos token.Pos
+	// Category is the reporting analyzer's name (filled by the
+	// runner; used by suppression matching and output formatting).
+	Category string
+	Message  string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of expression e (through TypesInfo), or nil
+// when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// NewInfo allocates a types.Info with every map analyzers consult
+// filled in; both drivers (the vettool and the test harness) type
+// check through it so Pass contents cannot drift between them.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}

@@ -1,0 +1,53 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers"
+	"repro/internal/analyzers/analysis"
+	"repro/internal/analyzers/analyzertest"
+)
+
+func one(a *analysis.Analyzer) []*analysis.Analyzer { return []*analysis.Analyzer{a} }
+
+func TestCatalogAccess(t *testing.T) {
+	analyzertest.Run(t, "testdata", one(analyzers.CatalogAccess), "catalogaccess/internal/exec")
+}
+
+func TestHotLoopFlush(t *testing.T) {
+	analyzertest.Run(t, "testdata", one(analyzers.HotLoopFlush), "hotloopflush/internal/exec")
+}
+
+func TestCtxPoll(t *testing.T) {
+	analyzertest.Run(t, "testdata", one(analyzers.CtxPoll), "ctxpoll/internal/exec")
+}
+
+func TestLockOrder(t *testing.T) {
+	analyzertest.Run(t, "testdata", one(analyzers.LockOrder), "lockorder/internal/exec")
+}
+
+// TestSuiteRegistered pins the acceptance floor: at least four
+// analyzers, every name a valid identifier, no duplicates.
+func TestSuiteRegistered(t *testing.T) {
+	all := analyzers.All()
+	if len(all) < 4 {
+		t.Fatalf("suite has %d analyzers, want >= 4", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing name, doc, or run function", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}
+
+// TestScopedPackagesIgnored checks the analyzers stay quiet on
+// packages outside their scope (e.g. os/exec-like paths must not match
+// the internal/exec suffix).
+func TestScopedPackagesIgnored(t *testing.T) {
+	analyzertest.Run(t, "testdata", analyzers.All(), "osexeclike/exec")
+}

@@ -1,0 +1,83 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"repro/internal/analyzers/analysis"
+)
+
+// CatalogAccess enforces the snapshot-isolation convention PR 5
+// introduced: inside internal/exec, every catalog read of an in-flight
+// statement goes through e.cat() (mutation view → pinned snapshot →
+// root), and every write goes through a mutation write handle
+// (ArrayForWrite / TableForWrite) inside runWrite. Only engine.go —
+// where cat(), runWrite and the snapshot-pinning helpers live — may
+// touch the raw machinery:
+//
+//   - the Shared.Cat field (the catalog root: reading it mid-statement
+//     sees versions the statement's snapshot must not),
+//   - the Engine.snap field (pin bookkeeping),
+//   - Mutation methods outside the write-handle surface
+//     (PutArray, ReplaceArray, Drop, ... publish without cloning).
+//
+// Test files are exempt: tests reach into the catalog to assert on
+// storage internals, which is not a statement execution path.
+var CatalogAccess = &analysis.Analyzer{
+	Name: "catalogaccess",
+	Doc: "catalog reads outside engine.go must go through e.cat() or a write handle, " +
+		"never the Shared.Cat root or the raw snapshot/mutation fields",
+	Run: runCatalogAccess,
+}
+
+// mutationWriteSurface lists the catalog.Mutation methods statement
+// code may call directly: the clone-on-first-write handles plus the
+// statement-savepoint pair runWrite wraps failing statements in.
+var mutationWriteSurface = map[string]bool{
+	"ArrayForWrite": true,
+	"TableForWrite": true,
+	"View":          true,
+	"Savepoint":     true,
+	"RollbackTo":    true,
+}
+
+func runCatalogAccess(pass *analysis.Pass) (any, error) {
+	if !pkgPathHasSuffix(pass.Pkg, "internal/exec") {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if fileBase(pass.Fset, f.Pos()) == "engine.go" || isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				// A mutation method call: allowed only on the
+				// write-handle surface. The SelectorExpr case below
+				// never sees call.Fun (we return into children
+				// explicitly), so flag it here.
+				if recv, method, ok := methodCall(x); ok {
+					if isNamedType(pass.TypeOf(recv), "internal/catalog", "Mutation") && !mutationWriteSurface[method] {
+						pass.Reportf(x.Pos(),
+							"direct catalog mutation call %s outside engine.go: write through ArrayForWrite/TableForWrite under runWrite", method)
+					}
+				}
+			case *ast.SelectorExpr:
+				recvType := pass.TypeOf(x.X)
+				switch x.Sel.Name {
+				case "Cat":
+					if isNamedType(recvType, "internal/exec", "Shared") || isNamedType(recvType, "internal/exec", "Engine") {
+						pass.Reportf(x.Sel.Pos(),
+							"direct access to the catalog root (Shared.Cat) outside engine.go: read through e.cat() so the statement sees its pinned snapshot")
+					}
+				case "snap":
+					if isNamedType(recvType, "internal/exec", "Engine") {
+						pass.Reportf(x.Sel.Pos(),
+							"direct access to the pinned-snapshot field (Engine.snap) outside engine.go: use e.cat() for reads or the pinning helpers in engine.go")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

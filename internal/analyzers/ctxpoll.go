@@ -1,0 +1,97 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"repro/internal/analyzers/analysis"
+)
+
+// CtxPoll enforces the cancellation convention PR 2 established for
+// the exec scan paths: any loop that can iterate over chunk-scale data
+// must poll the statement context periodically, so a canceled query
+// (Ctrl-C in the REPL, a closed driver connection, a fired deadline)
+// stops the scan instead of walking millions of cells to completion.
+//
+// In internal/exec the per-cell iteration is almost never a for
+// statement — it is a store-scan visitor literal (func(coords []int64,
+// vals []value.Value) bool) handed to Store.Scan, a chunk scanner, or
+// storeScanPruned. The analyzer requires every such literal to contain
+// one of:
+//
+//   - a ctx.Err() / ctx.Done() call on a context.Context value
+//     (the `visited&1023 == 0` periodic-poll pattern),
+//   - a call to Engine.canceled(), the serial interpreter's poll,
+//   - a call forwarding to another visitor value (a wrapper like the
+//     ones in storeScanPruned: its callee polls, it must not).
+//
+// Visitors over provably tiny domains can be suppressed with
+// //lint:allow ctxpoll <reason>.
+var CtxPoll = &analysis.Analyzer{
+	Name: "ctxpoll",
+	Doc: "store-scan visitor literals in internal/exec must poll ctx.Err()/Done() or " +
+		"Engine.canceled() so cancellation stops chunk-scale scans",
+	Run: runCtxPoll,
+}
+
+func runCtxPoll(pass *analysis.Pass) (any, error) {
+	if !pkgPathHasSuffix(pass.Pkg, "internal/exec") {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.FuncLit)
+			if !ok || !isCellVisitor(pass.TypeOf(lit)) {
+				return true
+			}
+			if !visitorPolls(pass, lit) {
+				pass.Reportf(lit.Pos(),
+					"store-scan visitor without a cancellation poll: check ctx.Err()/Done() or e.canceled() periodically (e.g. every visited&1023 cells)")
+			}
+			// Nested visitors (a visitor building another scan) are
+			// still inspected independently.
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// visitorPolls reports whether the literal's body contains a
+// cancellation poll or forwards to another visitor.
+func visitorPolls(pass *analysis.Pass, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if recv, method, ok := methodCall(call); ok {
+			switch method {
+			case "Err", "Done":
+				if isContextType(pass.TypeOf(recv)) {
+					found = true
+					return false
+				}
+			case "canceled":
+				if isNamedType(pass.TypeOf(recv), "internal/exec", "Engine") {
+					found = true
+					return false
+				}
+			}
+			return true
+		}
+		// Forwarding wrapper: calling a value that is itself a cell
+		// visitor delegates per-cell control to a polling callee.
+		if isCellVisitor(pass.TypeOf(call.Fun)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,198 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"repro/internal/analyzers/analysis"
+)
+
+// LockOrder enforces the documented acquisition order of exec.Shared's
+// four mutexes — planMu → vecMu → pinMu → curMu — and catches the
+// critical-section shapes that deadlock or leak a lock:
+//
+//   - acquiring a mutex while already holding a later one (any two
+//     sessions taking the pair in opposite orders deadlock),
+//   - re-locking a mutex already held (sync.Mutex self-deadlocks),
+//   - a return statement inside a critical section that has not
+//     unlocked (a defer-less unlock path: the early return leaves the
+//     mutex held forever),
+//   - a function ending while still holding a lock it took.
+//
+// The analysis is intra-procedural and syntactic: it tracks Lock and
+// Unlock calls on the straight-line statement walk of each function
+// body, descending into if/else, switch, select, for and block
+// statements with a copy of the held set. A deferred Unlock releases
+// on every subsequent path, so `mu.Lock(); defer mu.Unlock()` is
+// always clean. Function literals are separate scopes (a closure runs
+// when called, not where it is written), each walked once.
+var LockOrder = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "Shared's mutexes acquire in planMu -> vecMu -> pinMu -> curMu order, and " +
+		"no path may return while holding one",
+	Run: runLockOrder,
+}
+
+// sharedLockRank orders exec.Shared's mutex fields.
+var sharedLockRank = map[string]int{
+	"planMu": 0, "vecMu": 1, "pinMu": 2, "curMu": 3,
+}
+
+const lockRankNames = "planMu -> vecMu -> pinMu -> curMu"
+
+func runLockOrder(pass *analysis.Pass) (any, error) {
+	if !pkgPathHasSuffix(pass.Pkg, "internal/exec") {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		// Every function body — declarations and literals alike — is
+		// one independent scope, walked exactly once.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if x.Body != nil {
+					finishLockWalk(pass, x.Body, walkLockBlock(pass, x.Body.List, nil))
+				}
+			case *ast.FuncLit:
+				finishLockWalk(pass, x.Body, walkLockBlock(pass, x.Body.List, nil))
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// finishLockWalk reports locks still held when a body's straight-line
+// walk falls off the end.
+func finishLockWalk(pass *analysis.Pass, body *ast.BlockStmt, h held) {
+	for _, m := range h {
+		pass.Reportf(body.Rbrace, "function ends while holding %s: unlock on every path or defer the unlock", m)
+	}
+}
+
+// lockCall matches a <recv>.<mutexField>.Lock/Unlock() statement on
+// one of Shared's ranked mutexes and returns the field name.
+func lockCall(pass *analysis.Pass, call *ast.CallExpr) (mutex, op string, ok bool) {
+	recv, method, isMethod := methodCall(call)
+	if !isMethod || (method != "Lock" && method != "Unlock") {
+		return "", "", false
+	}
+	field, isField := recv.(*ast.SelectorExpr)
+	if !isField {
+		return "", "", false
+	}
+	if _, ranked := sharedLockRank[field.Sel.Name]; !ranked {
+		return "", "", false
+	}
+	owner := pass.TypeOf(field.X)
+	if !isNamedType(owner, "internal/exec", "Shared") && !isNamedType(owner, "internal/exec", "Engine") {
+		return "", "", false
+	}
+	return field.Sel.Name, method, true
+}
+
+// held is the ordered set of mutexes the straight-line walk currently
+// holds.
+type held []string
+
+func (h held) has(m string) bool {
+	for _, x := range h {
+		if x == m {
+			return true
+		}
+	}
+	return false
+}
+
+func (h held) without(m string) held {
+	out := make(held, 0, len(h))
+	for _, x := range h {
+		if x != m {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func (h held) copy() held { return append(held(nil), h...) }
+
+// walkLockBlock walks one statement list with the given held set and
+// returns the set held after it. Branch bodies get copies: holding
+// state does not leak across sibling branches, and a branch that both
+// locks and fully unlocks is clean on any shape. Function literals
+// encountered here are NOT descended into — the top-level inspection
+// walks each as its own scope.
+func walkLockBlock(pass *analysis.Pass, stmts []ast.Stmt, h held) held {
+	for _, s := range stmts {
+		h = walkLockStmt(pass, s, h)
+	}
+	return h
+}
+
+func walkLockStmt(pass *analysis.Pass, s ast.Stmt, h held) held {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := x.X.(*ast.CallExpr); ok {
+			if m, op, ok := lockCall(pass, call); ok {
+				switch op {
+				case "Lock":
+					if h.has(m) {
+						pass.Reportf(call.Pos(), "%s.Lock() while already holding %s: sync.Mutex self-deadlocks", m, m)
+						return h
+					}
+					for _, prior := range h {
+						if sharedLockRank[prior] > sharedLockRank[m] {
+							pass.Reportf(call.Pos(), "lock order violation: %s acquired while holding %s (documented order: %s)", m, prior, lockRankNames)
+						}
+					}
+					return append(h, m)
+				case "Unlock":
+					return h.without(m)
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		if m, op, ok := lockCall(pass, x.Call); ok && op == "Unlock" {
+			// A deferred unlock covers every path from here on.
+			return h.without(m)
+		}
+	case *ast.ReturnStmt:
+		for _, m := range h {
+			pass.Reportf(x.Pos(), "return while holding %s: unlock before returning or defer the unlock", m)
+		}
+	case *ast.IfStmt:
+		if x.Init != nil {
+			h = walkLockStmt(pass, x.Init, h)
+		}
+		walkLockBlock(pass, x.Body.List, h.copy())
+		if x.Else != nil {
+			walkLockStmt(pass, x.Else, h.copy())
+		}
+	case *ast.BlockStmt:
+		h = walkLockBlock(pass, x.List, h)
+	case *ast.ForStmt:
+		walkLockBlock(pass, x.Body.List, h.copy())
+	case *ast.RangeStmt:
+		walkLockBlock(pass, x.Body.List, h.copy())
+	case *ast.SwitchStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				walkLockBlock(pass, cc.Body, h.copy())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				walkLockBlock(pass, cc.Body, h.copy())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				walkLockBlock(pass, cc.Body, h.copy())
+			}
+		}
+	case *ast.LabeledStmt:
+		return walkLockStmt(pass, x.Stmt, h)
+	}
+	return h
+}

@@ -1,0 +1,27 @@
+package exec
+
+func readPaths(e *Engine) {
+	_ = e.Cat        // want `direct access to the catalog root \(Shared\.Cat\) outside engine\.go`
+	_ = e.snap       // want `direct access to the pinned-snapshot field \(Engine\.snap\) outside engine\.go`
+	_ = e.Shared.Cat // want `direct access to the catalog root`
+	_ = e.cat()      // sanctioned read path: never flagged
+}
+
+func writePaths(e *Engine) {
+	e.mut.PutArray("a", nil)     // want `direct catalog mutation call PutArray outside engine\.go`
+	e.mut.Drop("a")              // want `direct catalog mutation call Drop outside engine\.go`
+	_ = e.mut.ArrayForWrite("a") // sanctioned write handle: never flagged
+	_ = e.mut.TableForWrite("t") // sanctioned write handle: never flagged
+	sp := e.mut.Savepoint()
+	e.mut.RollbackTo(sp)
+}
+
+func suppressed(e *Engine) {
+	//lint:allow catalogaccess fixture exercises the suppression path
+	_ = e.Cat
+}
+
+func reasonlessDirectiveStillFlags(e *Engine) {
+	//lint:allow catalogaccess
+	_ = e.Cat // want `direct access to the catalog root`
+}

@@ -1,0 +1,22 @@
+// engine.go is the exempt file: cat(), runWrite and the pinning
+// helpers live here and may touch the raw catalog machinery.
+package exec
+
+import "internal/catalog"
+
+type Shared struct {
+	Cat *catalog.Catalog
+}
+
+type Engine struct {
+	*Shared
+	snap *catalog.Snapshot
+	mut  *catalog.Mutation
+}
+
+func (e *Engine) cat() *catalog.Snapshot {
+	if e.snap != nil {
+		return e.snap
+	}
+	return e.Cat.Snapshot()
+}

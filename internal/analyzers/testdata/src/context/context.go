@@ -1,0 +1,10 @@
+// Package context shadows the standard context package for fixtures,
+// keeping analyzer tests hermetic (no GOROOT typechecking). The
+// ctxpoll analyzer matches by the exact package path "context" and the
+// type name Context, which this stub satisfies.
+package context
+
+type Context interface {
+	Err() error
+	Done() <-chan struct{}
+}

@@ -1,0 +1,11 @@
+package exec
+
+import "context"
+
+type Engine struct {
+	qctx context.Context
+}
+
+func (e *Engine) canceled() bool {
+	return e.qctx.Err() != nil
+}

@@ -1,0 +1,69 @@
+package exec
+
+import (
+	"context"
+	"value"
+)
+
+type store struct{}
+
+func (s *store) Scan(visit func(coords []int64, vals []value.Value) bool) {}
+
+func scanNoPoll(s *store) {
+	s.Scan(func(coords []int64, vals []value.Value) bool { // want `store-scan visitor without a cancellation poll`
+		return len(vals) > 0
+	})
+}
+
+// The periodic-poll pattern: check ctx every 1024 cells.
+func scanPollsDone(ctx context.Context, s *store) {
+	visited := 0
+	s.Scan(func(coords []int64, vals []value.Value) bool {
+		visited++
+		if visited&1023 == 0 {
+			select {
+			case <-ctx.Done():
+				return false
+			default:
+			}
+		}
+		return true
+	})
+}
+
+func scanPollsErr(ctx context.Context, s *store) {
+	visited := 0
+	s.Scan(func(coords []int64, vals []value.Value) bool {
+		visited++
+		if visited&1023 == 0 && ctx.Err() != nil {
+			return false
+		}
+		return true
+	})
+}
+
+// The serial interpreter's poll: Engine.canceled().
+func scanPollsEngine(e *Engine, s *store) {
+	s.Scan(func(coords []int64, vals []value.Value) bool {
+		return !e.canceled()
+	})
+}
+
+// A forwarding wrapper delegates per-cell control to a callee that is
+// itself a visitor — the callee polls, the wrapper must not.
+func forwarding(s *store, inner func(coords []int64, vals []value.Value) bool) {
+	s.Scan(func(coords []int64, vals []value.Value) bool {
+		if coords[0] < 0 {
+			return true
+		}
+		return inner(coords, vals)
+	})
+}
+
+// Provably tiny domains opt out with a reasoned suppression.
+func boundedSuppressed(s *store) {
+	//lint:allow ctxpoll bounded 3x3 neighborhood, never chunk-scale
+	s.Scan(func(coords []int64, vals []value.Value) bool {
+		return true
+	})
+}

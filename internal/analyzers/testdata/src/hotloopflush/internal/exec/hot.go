@@ -1,0 +1,65 @@
+package exec
+
+import (
+	"telemetry"
+	"value"
+)
+
+type metrics struct {
+	cells *telemetry.Counter
+	rows  *telemetry.Gauge
+	lat   *telemetry.Histogram
+	op    *telemetry.OpStats
+}
+
+// Flagging cases: instrument atomics reached inside per-cell contexts.
+
+func perCellCounter(m *metrics, n int) {
+	for i := 0; i < n; i++ {
+		m.cells.Inc() // want `telemetry Counter\.Inc\(\) inside a per-cell loop`
+	}
+}
+
+func perCellRange(m *metrics, rows []value.Value) {
+	for range rows {
+		m.lat.Observe(1) // want `telemetry Histogram\.Observe\(\) inside a per-cell loop`
+	}
+}
+
+// A store-scan visitor literal is a per-cell loop even with no for
+// keyword in sight.
+func visitorStats(m *metrics) func(coords []int64, vals []value.Value) bool {
+	return func(coords []int64, vals []value.Value) bool {
+		m.op.AddNanos(1) // want `telemetry OpStats\.AddNanos\(\) inside a per-cell loop`
+		return true
+	}
+}
+
+// The canonical PR 6 shape: accumulate into plain locals per cell and
+// publish through a once-per-chunk flush helper. Clean.
+func perChunk(m *metrics, chunks [][]value.Value) {
+	for _, ch := range chunks {
+		var cells int64
+		for range ch {
+			cells++
+		}
+		flushCounts(m, cells)
+	}
+}
+
+func flushCounts(m *metrics, cells int64) {
+	m.cells.Add(cells)
+	m.rows.Set(cells)
+}
+
+// A non-visitor literal starts cold even when written inside a loop:
+// it runs when called, not where it is defined.
+func coldLiteral(m *metrics, n int) {
+	var flushers []func()
+	for i := 0; i < n; i++ {
+		flushers = append(flushers, func() {
+			m.cells.Inc()
+		})
+	}
+	_ = flushers
+}

@@ -1,0 +1,32 @@
+// Package catalog is a fixture stand-in for the engine's catalog: the
+// catalogaccess analyzer matches the Mutation write surface by type
+// name and package path suffix ("internal/catalog").
+package catalog
+
+import "value"
+
+type Catalog struct{}
+
+func (c *Catalog) Snapshot() *Snapshot { return &Snapshot{} }
+
+type Snapshot struct{}
+
+func (s *Snapshot) Array(name string) (*Array, bool) { return nil, false }
+
+type Array struct {
+	Store Store
+}
+
+type Store interface {
+	Scan(visit func(coords []int64, vals []value.Value) bool)
+}
+
+type Mutation struct{}
+
+func (m *Mutation) ArrayForWrite(name string) *Array { return nil }
+func (m *Mutation) TableForWrite(name string) *Array { return nil }
+func (m *Mutation) View() *Snapshot                  { return nil }
+func (m *Mutation) Savepoint() int                   { return 0 }
+func (m *Mutation) RollbackTo(sp int)                {}
+func (m *Mutation) PutArray(name string, a *Array)   {}
+func (m *Mutation) Drop(name string)                 {}

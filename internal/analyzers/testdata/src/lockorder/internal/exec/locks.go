@@ -1,0 +1,82 @@
+package exec
+
+import "sync"
+
+type Shared struct {
+	planMu sync.Mutex
+	vecMu  sync.Mutex
+	pinMu  sync.Mutex
+	curMu  sync.Mutex
+}
+
+type Engine struct {
+	*Shared
+}
+
+// Clean shapes.
+
+func orderOK(s *Shared) {
+	s.planMu.Lock()
+	s.vecMu.Lock()
+	s.vecMu.Unlock()
+	s.planMu.Unlock()
+}
+
+func deferOK(s *Shared) bool {
+	s.pinMu.Lock()
+	defer s.pinMu.Unlock()
+	return true
+}
+
+func branchOK(s *Shared, cond bool) {
+	s.vecMu.Lock()
+	if cond {
+		s.vecMu.Unlock()
+		return
+	}
+	s.vecMu.Unlock()
+}
+
+// A closure is its own scope: it runs when called, not where written.
+func closureScopes(s *Shared) {
+	s.planMu.Lock()
+	go func() {
+		s.vecMu.Lock()
+		defer s.vecMu.Unlock()
+	}()
+	s.planMu.Unlock()
+}
+
+// Violations.
+
+func orderViolation(s *Shared) {
+	s.curMu.Lock()
+	s.pinMu.Lock() // want `lock order violation: pinMu acquired while holding curMu \(documented order: planMu -> vecMu -> pinMu -> curMu\)`
+	s.pinMu.Unlock()
+	s.curMu.Unlock()
+}
+
+func embeddedOrderViolation(e *Engine) {
+	e.vecMu.Lock()
+	e.planMu.Lock() // want `lock order violation: planMu acquired while holding vecMu`
+	e.planMu.Unlock()
+	e.vecMu.Unlock()
+}
+
+func selfDeadlock(s *Shared) {
+	s.planMu.Lock()
+	s.planMu.Lock() // want `planMu\.Lock\(\) while already holding planMu`
+	s.planMu.Unlock()
+}
+
+func returnWhileHeld(s *Shared, cond bool) {
+	s.vecMu.Lock()
+	if cond {
+		return // want `return while holding vecMu`
+	}
+	s.vecMu.Unlock()
+}
+
+func endsWhileHeld(s *Shared) {
+	s.curMu.Lock()
+} // want `function ends while holding curMu`

@@ -1,0 +1,10 @@
+// Package exec has the same package name as internal/exec but an
+// import path ("osexeclike/exec") that does not end in internal/exec —
+// like os/exec in a real build. No analyzer may report anything here.
+package exec
+
+type Shared struct{ Cat int }
+
+func touchesLookalikes(s *Shared) int {
+	return s.Cat
+}

@@ -1,0 +1,11 @@
+// Package sync shadows the standard sync package for fixtures. The
+// lockorder analyzer matches mutex field names on exec.Shared, not the
+// mutex type, so Lock/Unlock shapes are all that matter here.
+package sync
+
+type Mutex struct{ locked bool }
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}
+
+type RWMutex struct{ Mutex }

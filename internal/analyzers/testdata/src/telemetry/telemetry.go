@@ -1,0 +1,23 @@
+// Package telemetry is a fixture stand-in for the engine's telemetry
+// instruments. The hotloopflush analyzer matches mutator calls by
+// receiver type name and package path suffix ("telemetry"), so the
+// stubs only need matching shapes.
+package telemetry
+
+type Counter struct{ v int64 }
+
+func (c *Counter) Inc()        {}
+func (c *Counter) Add(d int64) {}
+
+type Gauge struct{ v int64 }
+
+func (g *Gauge) Set(v int64) {}
+func (g *Gauge) Add(d int64) {}
+
+type Histogram struct{ sum float64 }
+
+func (h *Histogram) Observe(v float64) {}
+
+type OpStats struct{ nanos int64 }
+
+func (o *OpStats) AddNanos(n int64) {}

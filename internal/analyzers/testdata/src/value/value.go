@@ -1,0 +1,10 @@
+// Package value is a fixture stand-in for the engine's value package:
+// the analyzers recognize the store-scan visitor signature by the
+// element type's package path suffix ("value") and type name, so this
+// stub only needs the name to line up.
+package value
+
+type Value struct {
+	I int64
+	F float64
+}

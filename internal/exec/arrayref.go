@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -222,10 +223,16 @@ func (e *Engine) evalArrayRef(ref *ast.ArrayRef, env expr.Env) (value.Value, err
 // timestamp dimension walks existing samples instead of every
 // microsecond between the bounds.
 type dimValuesCache struct {
+	// ctx is the in-flight statement's context: the distinct-value
+	// scan below is chunk-scale on large arrays, so it polls like any
+	// other scan. May be nil (bounds known without scanning).
+	ctx  context.Context
 	vals map[int][]int64
 }
 
-func newDimValuesCache() *dimValuesCache { return &dimValuesCache{vals: make(map[int][]int64)} }
+func newDimValuesCache(ctx context.Context) *dimValuesCache {
+	return &dimValuesCache{ctx: ctx, vals: make(map[int][]int64)}
+}
 
 // dimValuesProvider is implemented by stores that maintain their own
 // sorted per-dimension value index (the tabular scheme).
@@ -233,35 +240,50 @@ type dimValuesProvider interface {
 	DimValues(di int) []int64
 }
 
-func (c *dimValuesCache) values(a *array.Array, di int) []int64 {
+func (c *dimValuesCache) values(a *array.Array, di int) ([]int64, error) {
 	if v, ok := c.vals[di]; ok {
-		return v
+		return v, nil
 	}
 	if p, ok := a.Store.(dimValuesProvider); ok {
 		v := p.DimValues(di)
 		c.vals[di] = v
-		return v
+		return v, nil
 	}
 	set := make(map[int64]struct{})
+	visited := 0
+	var scanErr error
 	a.Store.Scan(func(coords []int64, _ []value.Value) bool {
+		visited++
+		if visited&1023 == 0 && c.ctx != nil {
+			if err := c.ctx.Err(); err != nil {
+				scanErr = err
+				return false
+			}
+		}
 		set[coords[di]] = struct{}{}
 		return true
 	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
 	out := make([]int64, 0, len(set))
 	for v := range set {
 		out = append(out, v)
 	}
 	sortInt64s(out)
 	c.vals[di] = out
-	return out
+	return out, nil
 }
 
 // inRange returns the cached values within [lo, hi).
-func (c *dimValuesCache) inRange(a *array.Array, di int, lo, hi int64) []int64 {
-	vals := c.values(a, di)
+func (c *dimValuesCache) inRange(a *array.Array, di int, lo, hi int64) ([]int64, error) {
+	vals, err := c.values(a, di)
+	if err != nil {
+		return nil, err
+	}
 	i := searchInt64s(vals, lo)
 	j := searchInt64s(vals, hi)
-	return vals[i:j]
+	return vals[i:j], nil
 }
 
 func sortInt64s(xs []int64) {
@@ -284,7 +306,11 @@ func forEachSelCoord(s dimSel, a *array.Array, di int, cache *dimValuesCache, fn
 		return fn(s.val)
 	}
 	if s.sparse {
-		for _, v := range cache.inRange(a, di, s.lo, s.hi) {
+		vs, err := cache.inRange(a, di, s.lo, s.hi)
+		if err != nil {
+			return err
+		}
+		for _, v := range vs {
 			if err := fn(v); err != nil {
 				return err
 			}
@@ -382,7 +408,7 @@ func (e *Engine) sliceArray(a *array.Array, sels []dimSel, attr string) (*array.
 	// out-of-bounds positions arrive as NULL (holes in the slice).
 	// Sparse (order-only) dimensions expand over existing coordinate
 	// values, never over the raw index range.
-	cache := newDimValuesCache()
+	cache := newDimValuesCache(e.ctx())
 	src := make([]int64, len(sels))
 	dst := make([]int64, len(dims))
 	var walk func(di int) error
@@ -440,7 +466,16 @@ func (e *Engine) rebaseForParam(src *array.Array, paramSchema *array.Schema) (*a
 		return out, nil // empty source: all holes
 	}
 	nAttrs := len(paramSchema.Attrs)
+	visited := 0
+	var scanErr error
 	src.Store.Scan(func(coords []int64, vals []value.Value) bool {
+		visited++
+		if visited&1023 == 0 {
+			if err := e.canceled(); err != nil {
+				scanErr = err
+				return false
+			}
+		}
 		for i, d := range paramSchema.Dims {
 			step := src.Schema.Dims[i].Step
 			if step <= 0 {
@@ -456,6 +491,9 @@ func (e *Engine) rebaseForParam(src *array.Array, paramSchema *array.Schema) (*a
 		}
 		return true
 	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
 	return out, nil
 }
 

@@ -55,7 +55,15 @@ func (e *Engine) forEachCoveredCell(a *array.Array, restrict map[int]dimSel, vis
 	}
 	if !bounded {
 		var err error
+		visited := 0
 		a.Store.Scan(func(coords []int64, vals []value.Value) bool {
+			visited++
+			if visited&1023 == 0 {
+				if cerr := e.canceled(); cerr != nil {
+					err = cerr
+					return false
+				}
+			}
 			for di, s := range restrict {
 				if s.point && coords[di] != s.val {
 					return true
@@ -521,7 +529,15 @@ func (e *Engine) shiftForInsert(a *array.Array, at []int64) error {
 	}
 	moved := make([]int64, len(at))
 	var werr error
+	visited := 0
 	a.Store.Scan(func(coords []int64, vals []value.Value) bool {
+		visited++
+		if visited&1023 == 0 {
+			if err := e.canceled(); err != nil {
+				werr = err
+				return false
+			}
+		}
 		copy(moved, coords)
 		for d := range moved {
 			step := a.Schema.Dims[d].Step
@@ -642,7 +658,15 @@ func (e *Engine) deleteArray(a *array.Array, s *ast.Delete, outer expr.Env) erro
 	}
 	nc := make([]int64, nd)
 	var werr error
+	visited := 0
 	a.Store.Scan(func(coords []int64, vals []value.Value) bool {
+		visited++
+		if visited&1023 == 0 {
+			if err := e.canceled(); err != nil {
+				werr = err
+				return false
+			}
+		}
 		if matched[coordKey(coords)] {
 			return true
 		}

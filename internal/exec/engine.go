@@ -27,6 +27,14 @@ import (
 // knobs (SetParallelism, SetVectorized, hints, externals) are
 // setup-time calls: change them before running statements
 // concurrently, as with database/sql drivers.
+//
+// Lock order: the four mutexes below acquire in declaration order —
+// planMu → vecMu → pinMu → curMu — and a goroutine holding a later
+// one must not take an earlier one. Today no code path nests them at
+// all (each guards an independent map and critical sections are a few
+// lines), but the order is the contract new code is held to: the
+// lockorder analyzer in internal/analyzers flags any acquisition
+// against it, plus returns that leak a held mutex.
 type Shared struct {
 	Cat *catalog.Catalog
 	// externals maps EXTERNAL NAME strings to Go implementations
@@ -418,6 +426,54 @@ func (e *Engine) canceled() error {
 		return nil
 	}
 	return e.qctx.Err()
+}
+
+// pinCursorSnapshot pins one catalog snapshot for the life of a
+// cursor: it stays the session's view until the cursor closes, so
+// expression hooks that resolve arrays mid-iteration (m[x-1].v) read
+// the same version the scan does, no matter what concurrent sessions
+// commit. The returned release func drops the pin so an idle session
+// doesn't retain superseded object versions; it is entered in the
+// snapshots_pinned ledger and in the session's release map, so
+// connection teardown can free cursors abandoned without Close
+// (ReleaseCursorPins). Inside a transaction the mutation view is
+// already the pin and release is nil.
+func (e *Engine) pinCursorSnapshot() (release func()) {
+	if e.mut != nil {
+		return nil
+	}
+	pinned := e.Cat.Snapshot()
+	e.snap = pinned
+	pin := e.pinSnap()
+	sh := e.Shared
+	release = func() {
+		// Membership in the shared ledger is the idempotency token:
+		// the first caller (cursor Close, connection teardown, or
+		// DB.Close) removes it; later callers find nothing to do.
+		sh.curMu.Lock()
+		if _, ok := sh.curRel[pin]; !ok {
+			sh.curMu.Unlock()
+			return
+		}
+		delete(sh.curRel, pin)
+		sh.curMu.Unlock()
+		e.unpinSnap(pin)
+		delete(e.curPins, pin)
+		if e.snap == pinned {
+			e.snap = nil
+		}
+	}
+	if e.curPins == nil {
+		e.curPins = make(map[int64]func())
+	}
+	e.curPins[pin] = release
+	sh.curMu.Lock()
+	if sh.curRel == nil {
+		sh.curRel = make(map[int64]func())
+	}
+	sh.curRel[pin] = release
+	sh.curMu.Unlock()
+	return release
 }
 
 func (e *Engine) execStmt(stmt ast.Statement, params map[string]value.Value) (*Dataset, error) {
@@ -849,7 +905,16 @@ func (e *Engine) alterDimension(a *array.Array, dimName string, spec *ast.DimSpe
 		return err
 	}
 	nb := &array.Array{Name: a.Name, Schema: newSchema, Store: st}
+	visited := 0
+	var scanErr error
 	a.Store.Scan(func(coords []int64, vals []value.Value) bool {
+		visited++
+		if visited&1023 == 0 {
+			if err := e.canceled(); err != nil {
+				scanErr = err
+				return false
+			}
+		}
 		nc := append([]int64(nil), coords...)
 		nc[di] += delta
 		if !nb.ValidCoords(nc) {
@@ -860,6 +925,9 @@ func (e *Engine) alterDimension(a *array.Array, dimName string, spec *ast.DimSpe
 		}
 		return true
 	})
+	if scanErr != nil {
+		return scanErr
+	}
 	e.mut.ReplaceArray(nb)
 	return nil
 }
@@ -884,7 +952,15 @@ func (e *Engine) addAttribute(a *array.Array, col *ast.ColDef, env expr.Env) err
 	nb := &array.Array{Name: a.Name, Schema: newSchema, Store: st}
 	nAttrs := len(a.Schema.Attrs)
 	var evalErr error
+	visited := 0
 	a.Store.Scan(func(coords []int64, vals []value.Value) bool {
+		visited++
+		if visited&1023 == 0 {
+			if err := e.canceled(); err != nil {
+				evalErr = err
+				return false
+			}
+		}
 		for ai, v := range vals {
 			_ = st.Set(coords, ai, v)
 		}

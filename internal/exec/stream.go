@@ -442,50 +442,7 @@ func (e *Engine) QueryStream(ctx context.Context, sel *ast.Select, params map[st
 		ctx = context.Background()
 	}
 	start := time.Now()
-	var release func()
-	if e.mut == nil {
-		// Pin one catalog snapshot for the life of the cursor: it stays
-		// the session's view until the cursor closes, so expression
-		// hooks that resolve arrays mid-iteration (m[x-1].v) read the
-		// same version the scan does, no matter what concurrent
-		// sessions commit. Close releases the pin so an idle session
-		// doesn't retain superseded object versions. Inside a
-		// transaction the mutation view is the pin. The pin is entered
-		// in the snapshots_pinned ledger and in the session's release
-		// map, so connection teardown can free cursors abandoned
-		// without Close (ReleaseCursorPins).
-		pinned := e.Cat.Snapshot()
-		e.snap = pinned
-		pin := e.pinSnap()
-		sh := e.Shared
-		release = func() {
-			// Membership in the shared ledger is the idempotency token:
-			// the first caller (cursor Close, connection teardown, or
-			// DB.Close) removes it; later callers find nothing to do.
-			sh.curMu.Lock()
-			if _, ok := sh.curRel[pin]; !ok {
-				sh.curMu.Unlock()
-				return
-			}
-			delete(sh.curRel, pin)
-			sh.curMu.Unlock()
-			e.unpinSnap(pin)
-			delete(e.curPins, pin)
-			if e.snap == pinned {
-				e.snap = nil
-			}
-		}
-		if e.curPins == nil {
-			e.curPins = make(map[int64]func())
-		}
-		e.curPins[pin] = release
-		sh.curMu.Lock()
-		if sh.curRel == nil {
-			sh.curRel = make(map[int64]func())
-		}
-		sh.curRel[pin] = release
-		sh.curMu.Unlock()
-	}
+	release := e.pinCursorSnapshot()
 	norm := make(map[string]value.Value, len(params))
 	for k, v := range params {
 		norm[strings.ToLower(k)] = v

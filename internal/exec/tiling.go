@@ -283,7 +283,7 @@ func (j *tileJob) newWorker() *tileWorker {
 		aggs:      make([]*bat.AggState, len(j.calls)),
 		counts:    make([]int64, len(j.calls)),
 		preFolded: make([]bool, len(j.calls)),
-		cache:     newDimValuesCache(),
+		cache:     newDimValuesCache(j.e.ctx()),
 	}
 	for i, c := range j.calls {
 		ws.aggs[i] = bat.NewAggState(c.Name)
@@ -310,6 +310,7 @@ func (j *tileJob) evalAnchor(ws *tileWorker, a tileAnchor, row []value.Value) er
 		// folded once per anchor over its cells.
 		if v, err := j.e.Ev.Eval(c.Args[0], ws.anchorEnv); err == nil && v.Typ == value.Array && !v.Null {
 			if sub, ok := v.A.(*array.Array); ok && len(sub.Schema.Attrs) > 0 {
+				//lint:allow ctxpoll bounded tile-window sub-array (a few cells per anchor), never chunk-scale
 				sub.Store.Scan(func(_ []int64, vals []value.Value) bool {
 					ws.aggs[i].Add(vals[0])
 					return true

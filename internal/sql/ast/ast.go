@@ -8,6 +8,7 @@ package ast
 import (
 	"strings"
 
+	"repro/internal/sql/lexer"
 	"repro/internal/value"
 )
 
@@ -38,12 +39,22 @@ type Ident struct {
 	Name  string
 }
 
-// String renders the qualified name.
+// String renders the qualified name as the lexer will read it back:
+// bare when a part lexes as one plain identifier token, delimited
+// ("...") when it is empty, reserved, or contains other characters —
+// the round-trip property covers names that arrived quoted.
 func (id *Ident) String() string {
 	if id.Table != "" {
-		return id.Table + "." + id.Name
+		return quoteIdent(id.Table) + "." + quoteIdent(id.Name)
 	}
-	return id.Name
+	return quoteIdent(id.Name)
+}
+
+func quoteIdent(name string) string {
+	if lexer.IsPlainIdent(name) && !lexer.IsReserved(name) {
+		return name
+	}
+	return `"` + name + `"`
 }
 
 // Param is a named host parameter (?name) bound at execution time.

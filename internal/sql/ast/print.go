@@ -124,41 +124,16 @@ func formatExpr(sb *strings.Builder, e Expr) {
 		sb.WriteByte(')')
 	case *Star:
 		if x.Table != "" {
-			sb.WriteString(x.Table)
+			sb.WriteString(quoteIdent(x.Table))
 			sb.WriteByte('.')
 		}
 		sb.WriteByte('*')
 	case *ArrayRef:
 		formatExpr(sb, x.Base)
-		for _, ix := range x.Indexers {
-			sb.WriteByte('[')
-			switch {
-			case ix.Star:
-				sb.WriteByte('*')
-			case ix.Point != nil:
-				formatExpr(sb, ix.Point)
-			default:
-				if ix.Start != nil {
-					formatExpr(sb, ix.Start)
-				} else {
-					sb.WriteByte('*')
-				}
-				sb.WriteByte(':')
-				if ix.Stop != nil {
-					formatExpr(sb, ix.Stop)
-				} else {
-					sb.WriteByte('*')
-				}
-				if ix.Step != nil {
-					sb.WriteByte(':')
-					formatExpr(sb, ix.Step)
-				}
-			}
-			sb.WriteByte(']')
-		}
+		formatIndexers(sb, x.Indexers)
 		if x.Attr != "" {
 			sb.WriteByte('.')
-			sb.WriteString(x.Attr)
+			sb.WriteString(quoteIdent(x.Attr))
 		}
 	case *ArrayLit:
 		sb.WriteString("ARRAY(")
@@ -290,7 +265,7 @@ func formatSelectCore(sb *strings.Builder, s *Select) {
 		}
 		if it.Alias != "" {
 			sb.WriteString(" AS ")
-			sb.WriteString(it.Alias)
+			sb.WriteString(quoteIdent(it.Alias))
 		}
 	}
 	if len(s.From) > 0 {
@@ -348,6 +323,38 @@ func formatSelectCore(sb *strings.Builder, s *Select) {
 	}
 }
 
+// formatIndexers renders [point], [lo:hi], [lo:hi:step] and [*]
+// suffixes; both expression-position array references and FROM-clause
+// slices print through here.
+func formatIndexers(sb *strings.Builder, ixs []Indexer) {
+	for _, ix := range ixs {
+		sb.WriteByte('[')
+		switch {
+		case ix.Star:
+			sb.WriteByte('*')
+		case ix.Point != nil:
+			formatExpr(sb, ix.Point)
+		default:
+			if ix.Start != nil {
+				formatExpr(sb, ix.Start)
+			} else {
+				sb.WriteByte('*')
+			}
+			sb.WriteByte(':')
+			if ix.Stop != nil {
+				formatExpr(sb, ix.Stop)
+			} else {
+				sb.WriteByte('*')
+			}
+			if ix.Step != nil {
+				sb.WriteByte(':')
+				formatExpr(sb, ix.Step)
+			}
+		}
+		sb.WriteByte(']')
+	}
+}
+
 func formatFromItem(sb *strings.Builder, fi FromItem) {
 	switch t := fi.(type) {
 	case *TableRef:
@@ -356,17 +363,12 @@ func formatFromItem(sb *strings.Builder, fi FromItem) {
 			sb.WriteString(FormatSelect(t.Subquery))
 			sb.WriteByte(')')
 		} else {
-			sb.WriteString(t.Name)
-			for _, ix := range t.Indexers {
-				ref := &ArrayRef{Base: &Ident{Name: ""}, Indexers: []Indexer{ix}}
-				var tmp strings.Builder
-				formatExpr(&tmp, ref)
-				sb.WriteString(tmp.String())
-			}
+			sb.WriteString(quoteIdent(t.Name))
+			formatIndexers(sb, t.Indexers)
 		}
 		if t.Alias != "" {
 			sb.WriteString(" AS ")
-			sb.WriteString(t.Alias)
+			sb.WriteString(quoteIdent(t.Alias))
 		}
 	case *Join:
 		formatFromItem(sb, t.Left)

@@ -1,0 +1,86 @@
+package lexer
+
+import "testing"
+
+// FuzzLexer checks the scanner's two liveness invariants on arbitrary
+// bytes: Next never panics, and the token stream always terminates —
+// every non-EOF token consumes at least one byte, so input of n bytes
+// yields at most n tokens before EOF. A lexer that returns a token
+// without advancing would loop the parser forever on adversarial
+// input; this is the oracle that catches it.
+func FuzzLexer(f *testing.F) {
+	seeds := []string{
+		`SELECT [x], [y], AVG(v) FROM landsat GROUP BY landsat[x-1:x+2][y-1:y+2]`,
+		`'it''s' || 'fine'`,
+		`TIMESTAMP '2010-09-03 16:30:00'`,
+		`?lo + ?hi`, `1e9 .5 0.25 42`, `a<>b <= >= != ||`,
+		`-- comment`, `/* block */ x`, `"quoted ident"`,
+		`'unterminated`, `/*unterminated`, "\x00\xff\xfe", `?`, ``,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			return
+		}
+		l := New(src)
+		prevPos := -1
+		for i := 0; i <= len(src); i++ {
+			tok, err := l.Next()
+			if err != nil {
+				return // lexical error ends the stream; that's fine
+			}
+			if tok.Kind == EOF {
+				return
+			}
+			if tok.Pos <= prevPos {
+				t.Fatalf("lexer did not advance: token %q at pos %d after pos %d in %q", tok.Text, tok.Pos, prevPos, src)
+			}
+			prevPos = tok.Pos
+		}
+		t.Fatalf("lexer produced more than %d tokens without reaching EOF on %q", len(src), src)
+	})
+}
+
+// FuzzLexerAll pins All() to Next(): draining through All must agree
+// with the incremental scan on token count and kinds.
+func FuzzLexerAll(f *testing.F) {
+	f.Add(`SELECT x FROM m WHERE v > 2`)
+	f.Add(`a[0:2][*].v`)
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			return
+		}
+		all, err := New(src).All()
+		inc := New(src)
+		for i := 0; ; i++ {
+			tok, ierr := inc.Next()
+			if ierr != nil {
+				if err == nil {
+					t.Fatalf("Next errored (%v) but All did not on %q", ierr, src)
+				}
+				return
+			}
+			if tok.Kind == EOF {
+				if err != nil {
+					t.Fatalf("All errored (%v) but Next reached EOF on %q", err, src)
+				}
+				// All drops the EOF token or keeps it; accept either,
+				// but everything before must match.
+				if len(all) != i && !(len(all) == i+1 && all[i].Kind == EOF) {
+					t.Fatalf("All returned %d tokens, Next produced %d before EOF on %q", len(all), i, src)
+				}
+				return
+			}
+			if err != nil {
+				// All failed somewhere; the incremental scan must fail
+				// too once it reaches that point. Keep scanning.
+				continue
+			}
+			if i >= len(all) || all[i].Kind != tok.Kind || all[i].Text != tok.Text {
+				t.Fatalf("All/Next diverge at token %d on %q", i, src)
+			}
+		}
+	})
+}

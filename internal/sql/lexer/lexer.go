@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Kind classifies a token.
@@ -77,6 +78,25 @@ var keywords = map[string]bool{
 	"BOOLEAN": true, "COUNT": false, // COUNT stays an Ident-like function name
 }
 
+// IsReserved reports whether word lexes as a reserved keyword rather
+// than an identifier.
+func IsReserved(word string) bool { return keywords[strings.ToUpper(word)] }
+
+// IsPlainIdent reports whether s lexes as a single bare identifier
+// token, so a printer may emit it unquoted.
+func IsPlainIdent(s string) bool {
+	for i, r := range s {
+		if i == 0 {
+			if !isIdentStart(r) {
+				return false
+			}
+		} else if !isIdentPart(r) {
+			return false
+		}
+	}
+	return s != ""
+}
+
 // Lexer scans SciQL text into tokens with one-token lookahead handled
 // by the parser.
 type Lexer struct {
@@ -96,11 +116,18 @@ func (l *Lexer) Next() (Token, error) {
 	}
 	start, line := l.pos, l.line
 	c := l.src[l.pos]
+	r, rsize := utf8.DecodeRuneInString(l.src[l.pos:])
 	switch {
-	case isIdentStart(rune(c)):
-		l.pos++
-		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
-			l.pos++
+	case isIdentStart(r):
+		// Identifiers decode rune-wise: a multibyte letter (π, Ϳ) is
+		// one character, not a run of mystery bytes.
+		l.pos += rsize
+		for l.pos < len(l.src) {
+			r2, s2 := utf8.DecodeRuneInString(l.src[l.pos:])
+			if !isIdentPart(r2) {
+				break
+			}
+			l.pos += s2
 		}
 		word := l.src[start:l.pos]
 		up := strings.ToUpper(word)

@@ -1,0 +1,244 @@
+package sciql
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// diffSchemes is the full storage matrix the differential oracle runs
+// over: adaptive (no hint) plus every forced scheme.
+var diffSchemes = []string{"", "virtual", "slab", "tabular", "dorder"}
+
+// diffDB builds a 96x96 grid (9216 cells, above the chunked-parallel
+// gate) with two dense float attributes and one mostly-NULL integer
+// attribute, so generated queries exercise promotion, NULL semantics
+// and holes under every storage scheme.
+func diffDB(t testing.TB, scheme string) *DB {
+	t.Helper()
+	db := Open()
+	if scheme != "" {
+		db.SetStorageHint("grid", scheme, 16)
+	}
+	db.MustExec(`CREATE ARRAY grid (x INTEGER DIMENSION[96], y INTEGER DIMENSION[96],
+		a FLOAT DEFAULT 0.0, b FLOAT DEFAULT 1.0, c INTEGER)`)
+	db.MustExec(`UPDATE grid SET a = x * 96 + y`)
+	db.MustExec(`UPDATE grid SET b = x - y`)
+	db.MustExec(`UPDATE grid SET c = MOD(x * 7 + y * 3, 13) WHERE MOD(x + y, 4) = 0`)
+	return db
+}
+
+// queryGen derives SciQL SELECTs from a fixed-seed PRNG. Every query
+// it emits is valid over the diffDB grid; the shapes cover arithmetic
+// and NULL-bearing projections, slice + predicate scans, BETWEEN/IN,
+// value grouping with the full aggregate set, ORDER BY and LIMIT.
+type queryGen struct{ r *rand.Rand }
+
+func (g *queryGen) pick(ss ...string) string { return ss[g.r.Intn(len(ss))] }
+
+// scalar yields an expression over the grid's columns. Division and
+// MOD keep randomly chosen nonzero literals on the right so NULLs come
+// from the c attribute, not from accidental /0 everywhere.
+func (g *queryGen) scalar(depth int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(6) {
+		case 0:
+			return "x"
+		case 1:
+			return "y"
+		case 2:
+			return "a"
+		case 3:
+			return "b"
+		case 4:
+			return "c"
+		default:
+			return fmt.Sprintf("%d", g.r.Intn(97))
+		}
+	}
+	l, r := g.scalar(depth-1), g.scalar(depth-1)
+	switch g.r.Intn(5) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", l, r)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", l, r)
+	case 2:
+		return fmt.Sprintf("(%s * %s)", l, r)
+	case 3:
+		return fmt.Sprintf("(%s / %d)", l, 1+g.r.Intn(9))
+	default:
+		return fmt.Sprintf("MOD(%s, %d)", l, 2+g.r.Intn(11))
+	}
+}
+
+// predicate yields a WHERE-clause boolean over the grid.
+func (g *queryGen) predicate(depth int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(5) {
+		case 0:
+			return fmt.Sprintf("%s %s %s", g.scalar(1), g.pick("<", "<=", ">", ">=", "=", "<>"), g.scalar(1))
+		case 1:
+			lo := g.r.Intn(60)
+			return fmt.Sprintf("%s BETWEEN %d AND %d", g.pick("x", "y", "a", "c"), lo, lo+g.r.Intn(40))
+		case 2:
+			return fmt.Sprintf("%s IN (%d, %d, %d)", g.pick("x", "y", "c"), g.r.Intn(16), g.r.Intn(16), g.r.Intn(16))
+		case 3:
+			return fmt.Sprintf("c IS %sNULL", g.pick("", "NOT "))
+		default:
+			return fmt.Sprintf("MOD(x * %d + y, %d) = %d", 1+g.r.Intn(31), 3+g.r.Intn(9), g.r.Intn(3))
+		}
+	}
+	switch g.r.Intn(3) {
+	case 0:
+		return fmt.Sprintf("(%s AND %s)", g.predicate(depth-1), g.predicate(depth-1))
+	case 1:
+		return fmt.Sprintf("(%s OR %s)", g.predicate(depth-1), g.predicate(depth-1))
+	default:
+		return fmt.Sprintf("NOT (%s)", g.predicate(depth-1))
+	}
+}
+
+// from yields the FROM item: the whole grid or a random (possibly
+// stepped) slice of it.
+func (g *queryGen) from() string {
+	if g.r.Intn(2) == 0 {
+		return "grid"
+	}
+	dim := func() string {
+		switch g.r.Intn(3) {
+		case 0:
+			return "[*]"
+		case 1:
+			lo := g.r.Intn(48)
+			return fmt.Sprintf("[%d:%d]", lo, lo+1+g.r.Intn(48))
+		default:
+			lo := g.r.Intn(32)
+			return fmt.Sprintf("[%d:%d:%d]", lo, lo+8+g.r.Intn(64), 2+g.r.Intn(6))
+		}
+	}
+	return "grid" + dim() + dim()
+}
+
+// query yields one complete SELECT. Scan-shaped queries project x and
+// y first (so cross-scheme sorting has a stable key) plus random
+// expressions; aggregate-shaped queries group on MOD keys and order by
+// the key. LIMIT only rides on fully ordered queries, so the chosen
+// rows cannot depend on scan order.
+func (g *queryGen) query() string {
+	if g.r.Intn(4) == 0 { // aggregate shape
+		k := 2 + g.r.Intn(7)
+		aggs := []string{"COUNT(*)"}
+		for i, n := 0, 1+g.r.Intn(3); i < n; i++ {
+			aggs = append(aggs, fmt.Sprintf("%s(%s)", g.pick("SUM", "AVG", "MIN", "MAX", "COUNT"), g.scalar(1)))
+		}
+		q := fmt.Sprintf("SELECT MOD(x, %d) AS k0, %s FROM %s", k, strings.Join(aggs, ", "), g.from())
+		if g.r.Intn(2) == 0 {
+			q += " WHERE " + g.predicate(2)
+		}
+		return q + fmt.Sprintf(" GROUP BY MOD(x, %d) ORDER BY k0", k)
+	}
+	items := []string{"x", "y"}
+	for i, n := 0, 1+g.r.Intn(3); i < n; i++ {
+		items = append(items, fmt.Sprintf("%s AS e%d", g.scalar(2), i))
+	}
+	q := fmt.Sprintf("SELECT %s FROM %s", strings.Join(items, ", "), g.from())
+	if g.r.Intn(4) != 0 {
+		q += " WHERE " + g.predicate(2)
+	}
+	if g.r.Intn(3) == 0 {
+		q += " ORDER BY x, y"
+		if g.r.Intn(2) == 0 {
+			q += fmt.Sprintf(" LIMIT %d", 1+g.r.Intn(50))
+		}
+	}
+	return q
+}
+
+// diffQueries is the deterministic random query set: a fixed seed, so
+// every run, every scheme and every engine configuration sees exactly
+// the same SQL.
+func diffQueries() []string {
+	g := &queryGen{r: rand.New(rand.NewSource(0x5c191))}
+	out := make([]string, 0, 24)
+	for len(out) < 24 {
+		out = append(out, g.query())
+	}
+	return out
+}
+
+// sortedLines renders a result and sorts the rows, giving an
+// order-insensitive fingerprint for cross-scheme comparison (schemes
+// agree on the row set; ordering is only pinned within a scheme).
+func sortedLines(rs *Result) string {
+	lines := renderResult(rs)
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// TestDifferentialRandomQueries is the engine's differential oracle:
+// every generated query must render byte-identically across vectorized
+// on/off × parallelism 1/4 within each storage scheme (the serial
+// interpreted run is the reference), and the sorted row sets must
+// agree across all four schemes. Run under -race in CI this also vets
+// the chunk fan-out and kernel paths for data races.
+func TestDifferentialRandomQueries(t *testing.T) {
+	queries := diffQueries()
+	crossScheme := make(map[int]map[string]string) // query index -> scheme -> sorted rows
+	for i := range queries {
+		crossScheme[i] = make(map[string]string)
+	}
+	for _, scheme := range diffSchemes {
+		name := scheme
+		if name == "" {
+			name = "adaptive"
+		}
+		t.Run(name, func(t *testing.T) {
+			db := diffDB(t, scheme)
+			for qi, q := range queries {
+				db.Vectorize(false)
+				db.Parallelism(1)
+				ref, err := db.Query(q)
+				if err != nil {
+					t.Fatalf("reference %s: %v", q, err)
+				}
+				want := ref.String()
+				for _, vec := range []bool{false, true} {
+					for _, par := range []int{1, 4} {
+						db.Vectorize(vec)
+						db.Parallelism(par)
+						got, err := db.Query(q)
+						if err != nil {
+							t.Fatalf("vec=%v par=%d %s: %v", vec, par, q, err)
+						}
+						if got.String() != want {
+							t.Errorf("vec=%v par=%d differs for %s:\ngot:\n%s\nwant:\n%s",
+								vec, par, q, got.String(), want)
+						}
+					}
+				}
+				crossScheme[qi][scheme] = sortedLines(ref)
+			}
+		})
+	}
+	// Cross-scheme: the row set of every query is a property of the
+	// data, not of the physical layout.
+	base := diffSchemes[0]
+	for qi, q := range queries {
+		want, ok := crossScheme[qi][base]
+		if !ok {
+			continue // scheme subtest failed before recording
+		}
+		for _, scheme := range diffSchemes[1:] {
+			got, ok := crossScheme[qi][scheme]
+			if !ok {
+				continue
+			}
+			if got != want {
+				t.Errorf("scheme %q disagrees with %q for %s:\ngot:\n%s\nwant:\n%s",
+					scheme, base, q, got, want)
+			}
+		}
+	}
+}
