@@ -37,6 +37,7 @@ var (
 	p4out = flag.String("p4out", "", "write the P4 measurements as JSON to this file")
 	p5out = flag.String("p5out", "", "write the P5 measurements as JSON to this file")
 	p6out = flag.String("p6out", "", "write the P6 measurements as JSON to this file")
+	p8out = flag.String("p8out", "", "write the P8 measurements as JSON to this file")
 )
 
 func main() {
@@ -60,6 +61,7 @@ func main() {
 	runP4()
 	runP5()
 	runP6()
+	runP8()
 }
 
 func want(id string) bool {
@@ -1065,5 +1067,161 @@ func runP6() {
 			fail("P6", err)
 		}
 		fmt.Printf("(P6 measurements written to %s)\n\n", *p6out)
+	}
+}
+
+// p8SkipPoint is one selectivity point of the P8 chunk-skip sweep.
+type p8SkipPoint struct {
+	SelectivityPct int     `json:"selectivity_pct"`
+	Rows           int     `json:"rows"`
+	SkipOffMs      float64 `json:"skip_off_ms"`
+	SkipOnMs       float64 `json:"skip_on_ms"`
+	Speedup        float64 `json:"skip_speedup"`
+	ChunksSkipped  int64   `json:"chunks_skipped"`
+}
+
+// p8Result is the recorded shape of the P8 experiment: zone-map chunk
+// skipping on the vectorized 1M-cell filter scan at three
+// selectivities, and the partitioned hash join at 1 vs 4 workers.
+// -p8out writes the latest run (truncating); committing BENCH_P8.json
+// per change keeps the trajectory in git history.
+type p8Result struct {
+	Experiment     string        `json:"experiment"`
+	Cells          int64         `json:"cells"`
+	GOMAXPROCS     int           `json:"gomaxprocs"`
+	SkipScan       []p8SkipPoint `json:"skip_scan"`
+	JoinRows       int           `json:"join_rows"`
+	JoinSerialMs   float64       `json:"join_serial_ms"`
+	JoinParallelMs float64       `json:"join_parallel_ms"`
+	JoinWorkers    int           `json:"join_workers"`
+	JoinSpeedup    float64       `json:"join_speedup"`
+}
+
+// runP8 measures statistics-driven execution. Part one: the P4
+// vectorized filter scan over a monotone attribute (v = x*n + y, so
+// chunk zone maps are tight) with chunk skipping off vs on at 1%, 34%
+// and 100% selectivity — at 100% every chunk overlaps the predicate
+// and skipping must cost nothing. Part two: the partitioned hash join
+// of the 1M-cell array against a small array, serial vs morsel-driven
+// (byte-identical results enforced).
+func runP8() {
+	if !want("P8") {
+		return
+	}
+	n := int64(1024)
+	iters := 3
+	if *quick {
+		n = 512
+	}
+	workers := *par
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	header("P8", fmt.Sprintf("zone-map chunk skipping + partitioned hash join (%dx%d = %d cells, GOMAXPROCS=%d)",
+		n, n, n*n, runtime.GOMAXPROCS(0)))
+	db := sciql.Open()
+	db.MustExec(fmt.Sprintf(`CREATE ARRAY zscan (x INTEGER DIMENSION[%d], y INTEGER DIMENSION[%d],
+		v FLOAT DEFAUL`+`T 0.0, w FLOAT DEFAULT 1.0)`, n, n))
+	db.MustExec(`UPDATE zscan SET v = x * ` + fmt.Sprint(n) + ` + y`)
+	db.Parallelism(1)
+	db.Vectorize(true)
+
+	cells := n * n
+	best := func(q string) (time.Duration, int) {
+		bd, rows := time.Duration(0), 0
+		for i := 0; i < iters; i++ {
+			var cnt int
+			d, err := timeIt(func() error {
+				rs, e := db.Query(q)
+				if e == nil {
+					cnt = rs.NumRows()
+				}
+				return e
+			})
+			if err != nil {
+				fail("P8", err)
+			}
+			if bd == 0 || d < bd {
+				bd = d
+			}
+			rows = cnt
+		}
+		return bd, rows
+	}
+
+	res := p8Result{Experiment: "P8", Cells: cells, GOMAXPROCS: runtime.GOMAXPROCS(0), JoinWorkers: workers}
+	fmt.Printf("%-6s %12s %12s %9s %15s %10s\n", "sel", "skip off ms", "skip on ms", "speedup", "chunks skipped", "rows")
+	for _, pctSel := range []int{1, 34, 100} {
+		threshold := cells * int64(pctSel) / 100
+		q := fmt.Sprintf(`SELECT x, y, v FROM zscan WHERE v < %d`, threshold)
+		db.ChunkSkip(false)
+		dOff, rowsOff := best(q)
+		db.ChunkSkip(true)
+		skippedBefore := db.Metrics()["scan_chunks_skipped_total"]
+		dOn, rowsOn := best(q)
+		skipped := (db.Metrics()["scan_chunks_skipped_total"] - skippedBefore) / int64(iters)
+		if rowsOn != rowsOff {
+			fail("P8", fmt.Errorf("skip on returned %d rows, off %d", rowsOn, rowsOff))
+		}
+		pt := p8SkipPoint{
+			SelectivityPct: pctSel,
+			Rows:           rowsOn,
+			SkipOffMs:      float64(dOff.Microseconds()) / 1000,
+			SkipOnMs:       float64(dOn.Microseconds()) / 1000,
+			Speedup:        float64(dOff.Nanoseconds()) / float64(dOn.Nanoseconds()),
+			ChunksSkipped:  skipped,
+		}
+		res.SkipScan = append(res.SkipScan, pt)
+		fmt.Printf("%-6s %12.1f %12.1f %8.2fx %15d %10d\n",
+			fmt.Sprintf("%d%%", pctSel), pt.SkipOffMs, pt.SkipOnMs, pt.Speedup, pt.ChunksSkipped, pt.Rows)
+	}
+
+	// Partitioned hash join: the 1M-cell array probes against a small
+	// build side; the morsel pool fans key extraction, partition build
+	// and probe.
+	db.MustExec(`CREATE ARRAY zdim (x INTEGER DIMENSION[64], y INTEGER DIMENSION[64], s FLOAT DEFAULT 3.0)`)
+	joinQ := `SELECT l.x, l.y, (l.v + r.s) AS e FROM zscan AS l JOIN zdim AS r ON l.x = r.x AND l.y = r.y`
+	var serialOut, parOut string
+	db.Parallelism(1)
+	dJS, err := timeIt(func() error {
+		rs, e := db.Query(joinQ)
+		if e == nil {
+			serialOut = rs.String()
+			res.JoinRows = rs.NumRows()
+		}
+		return e
+	})
+	if err != nil {
+		fail("P8", err)
+	}
+	db.Parallelism(workers)
+	dJP, err := timeIt(func() error {
+		rs, e := db.Query(joinQ)
+		if e == nil {
+			parOut = rs.String()
+		}
+		return e
+	})
+	if err != nil {
+		fail("P8", err)
+	}
+	if serialOut != parOut {
+		fail("P8", fmt.Errorf("parallel join result differs from serial"))
+	}
+	res.JoinSerialMs = float64(dJS.Microseconds()) / 1000
+	res.JoinParallelMs = float64(dJP.Microseconds()) / 1000
+	res.JoinSpeedup = float64(dJS.Nanoseconds()) / float64(dJP.Nanoseconds())
+	fmt.Printf("hash join, serial:      %8.1f ms  (%d rows, byte-identical)\n", res.JoinSerialMs, res.JoinRows)
+	fmt.Printf("hash join, %d workers:  %8.1f ms\n", workers, res.JoinParallelMs)
+	fmt.Printf("join speedup: %.2fx (scaling requires >= %d cores)\n\n", res.JoinSpeedup, workers)
+	if *p8out != "" {
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fail("P8", err)
+		}
+		if err := os.WriteFile(*p8out, append(buf, '\n'), 0o644); err != nil {
+			fail("P8", err)
+		}
+		fmt.Printf("(P8 measurements written to %s)\n\n", *p8out)
 	}
 }

@@ -1,0 +1,54 @@
+package exec
+
+import (
+	"context"
+	"value"
+)
+
+// PR 8's partitioned hash join streams both sides through store-scan
+// visitors: one collecting the build side into a hash table, one
+// probing it. Both walk chunk-scale data and must poll cancellation
+// like any other scan visitor.
+
+// Flagging case: a build-side collector that never polls would keep
+// hashing millions of rows after the statement is canceled.
+func joinBuildNoPoll(s *store, ht map[int64][]value.Value) {
+	s.Scan(func(coords []int64, vals []value.Value) bool { // want `store-scan visitor without a cancellation poll`
+		ht[coords[0]] = vals
+		return true
+	})
+}
+
+// The periodic-poll build collector: check ctx every 1024 rows. Clean.
+func joinBuildPolls(ctx context.Context, s *store, ht map[int64][]value.Value) {
+	visited := 0
+	s.Scan(func(coords []int64, vals []value.Value) bool {
+		ht[coords[0]] = vals
+		visited++
+		if visited&1023 == 0 && ctx.Err() != nil {
+			return false
+		}
+		return true
+	})
+}
+
+// Flagging case: the probe visitor is chunk-scale too — matching rows
+// against the table does not exempt it.
+func joinProbeNoPoll(s *store, ht map[int64][]value.Value, out *int) {
+	s.Scan(func(coords []int64, vals []value.Value) bool { // want `store-scan visitor without a cancellation poll`
+		if _, ok := ht[coords[0]]; ok {
+			*out++
+		}
+		return true
+	})
+}
+
+// The serial interpreter's probe polls through Engine.canceled(). Clean.
+func joinProbeEnginePoll(e *Engine, s *store, ht map[int64][]value.Value, out *int) {
+	s.Scan(func(coords []int64, vals []value.Value) bool {
+		if _, ok := ht[coords[0]]; ok {
+			*out++
+		}
+		return !e.canceled()
+	})
+}

@@ -1,0 +1,68 @@
+package exec
+
+import (
+	"telemetry"
+	"value"
+)
+
+// The PR 8 partitioned hash join: a build loop inserts one side into a
+// hash table, probe visitors stream the other side against it. Both are
+// per-cell contexts — instrument atomics belong in a per-partition
+// flush, never in the row loops.
+
+type joinMetrics struct {
+	buildRows *telemetry.Counter
+	probeRows *telemetry.Counter
+	matches   *telemetry.Counter
+}
+
+// Flagging case: the build loop ticking a counter per inserted row.
+func buildPerRowCounter(m *joinMetrics, keys []string, rows []value.Value) map[string][]value.Value {
+	ht := make(map[string][]value.Value, len(rows))
+	for i, k := range keys {
+		ht[k] = append(ht[k], rows[i])
+		m.buildRows.Inc() // want `telemetry Counter\.Inc\(\) inside a per-cell loop`
+	}
+	return ht
+}
+
+// Flagging case: the probe side is a store-scan visitor — per-cell even
+// without a for keyword — and must not touch shared atomics per match.
+func probeVisitorCounter(m *joinMetrics, ht map[string][]value.Value, key func([]int64) string) func(coords []int64, vals []value.Value) bool {
+	return func(coords []int64, vals []value.Value) bool {
+		if _, ok := ht[key(coords)]; ok {
+			m.matches.Inc() // want `telemetry Counter\.Inc\(\) inside a per-cell loop`
+		}
+		return true
+	}
+}
+
+// The sanctioned shape: build and probe accumulate into plain locals,
+// one flush per partition publishes the totals. Clean.
+func buildPartition(m *joinMetrics, keys []string, rows []value.Value) map[string][]value.Value {
+	ht := make(map[string][]value.Value, len(rows))
+	var built int64
+	for i, k := range keys {
+		ht[k] = append(ht[k], rows[i])
+		built++
+	}
+	flushJoinCounts(m, built, 0, 0)
+	return ht
+}
+
+func probePartition(m *joinMetrics, ht map[string][]value.Value, keys []string) {
+	var probed, matched int64
+	for _, k := range keys {
+		probed++
+		if _, ok := ht[k]; ok {
+			matched++
+		}
+	}
+	flushJoinCounts(m, 0, probed, matched)
+}
+
+func flushJoinCounts(m *joinMetrics, built, probed, matched int64) {
+	m.buildRows.Add(built)
+	m.probeRows.Add(probed)
+	m.matches.Add(matched)
+}

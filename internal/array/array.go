@@ -211,6 +211,39 @@ type ChunkedScanner interface {
 	ScanChunks(target int, attrs []int) []ChunkScan
 }
 
+// AttrStats is the zone map of one attribute over one chunk: the
+// number of live cells whose value is NULL, and the minimum/maximum
+// non-NULL value under value.Compare ordering. When every live cell's
+// value is NULL (or the chunk is empty) Min and Max are typed NULLs —
+// a NULL bound means "no usable range", never "range includes NULL",
+// since NULL cells can only satisfy IS NULL predicates.
+type AttrStats struct {
+	Nulls    int64
+	Min, Max value.Value
+}
+
+// ChunkStats is the zone map of one scan chunk: the live-cell count,
+// the inclusive per-dimension coordinate bounding box of those cells,
+// and per-attribute statistics indexed by schema attribute position.
+// A chunk with Rows == 0 has meaningless bounds and can always be
+// skipped.
+type ChunkStats struct {
+	Rows         int64
+	DimLo, DimHi []int64
+	Attrs        []AttrStats
+}
+
+// StatsProvider is implemented by stores that maintain per-chunk zone
+// maps. ChunkStats(target) returns statistics index-aligned with the
+// chunks ScanChunks(target, attrs) yields for the same target on the
+// same (unmutated) store: stats[i] exactly describes the live cells
+// chunk i visits. Implementations recompute lazily after mutations, so
+// the stats are always exact; callers must still verify
+// len(stats) == len(chunks) before pairing them.
+type StatsProvider interface {
+	ChunkStats(target int) []ChunkStats
+}
+
 // AllAttrs expands ChunkedScanner's nil attribute selection to the
 // identity list over n attributes; a non-nil selection passes through.
 func AllAttrs(attrs []int, n int) []int {

@@ -13,6 +13,7 @@ package bat
 import (
 	"math"
 	"math/bits"
+	"slices"
 
 	"repro/internal/value"
 )
@@ -746,6 +747,27 @@ func allNulls(n int) nullset {
 		b[words-1] = (uint64(1) << uint(rem)) - 1
 	}
 	return nullset{bits: b}
+}
+
+// Grow reserves capacity for at least extra more elements in v, so a
+// caller merging many pieces (the parallel chunk-scan collectors)
+// reallocates once up front instead of geometrically inside Concat.
+// Vector implementations without a reservable backing slice are left
+// untouched.
+func Grow(v Vector, extra int) Vector {
+	switch d := v.(type) {
+	case *IntVector:
+		d.data = slices.Grow(d.data, extra)
+	case *FloatVector:
+		d.data = slices.Grow(d.data, extra)
+	case *BoolVector:
+		d.data = slices.Grow(d.data, extra)
+	case *StringVector:
+		d.data = slices.Grow(d.data, extra)
+	case *AnyVector:
+		d.data = slices.Grow(d.data, extra)
+	}
+	return v
 }
 
 // Concat appends src's elements to dst and returns dst. Same-type

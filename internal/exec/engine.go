@@ -63,6 +63,12 @@ type Shared struct {
 	// vectorized enables compiling filters/projections into bulk BAT
 	// kernels; off forces the row-at-a-time interpreter everywhere.
 	vectorized bool
+	// chunkSkip enables zone-map chunk skipping: scans consult per-chunk
+	// min/max statistics to drop chunks that cannot satisfy the residual
+	// WHERE conjuncts or the dimension restriction. Results are
+	// byte-identical either way; the knob exists for benchmarking and
+	// the identity test suite.
+	chunkSkip bool
 	// vecCache memoizes compiled kernel programs per (expression AST
 	// node, binding mode), alongside the plan cache, so prepared
 	// statements compile kernels once; entries validate against the
@@ -175,6 +181,7 @@ func New() *Engine {
 		externals:    make(map[string]func([]value.Value) (value.Value, error)),
 		StorageHints: make(map[string]storage.Hints),
 		vectorized:   true,
+		chunkSkip:    true,
 		met:          newEngineMetrics(reg),
 		pins:         make(map[int64]time.Time),
 	}
@@ -354,6 +361,14 @@ func (e *Engine) SetVectorized(on bool) {
 
 // Vectorized reports whether bulk-kernel evaluation is enabled.
 func (e *Engine) Vectorized() bool { return e.vectorized }
+
+// SetChunkSkip toggles zone-map chunk skipping on scans. Results are
+// byte-identical either way — the knob exists for benchmarking and the
+// identity test suite.
+func (e *Engine) SetChunkSkip(on bool) { e.chunkSkip = on }
+
+// ChunkSkipping reports whether zone-map chunk skipping is enabled.
+func (e *Engine) ChunkSkipping() bool { return e.chunkSkip }
 
 // Parallelism reports the configured worker count (1 = serial).
 func (e *Engine) Parallelism() int {

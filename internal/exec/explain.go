@@ -1,8 +1,10 @@
 package exec
 
 import (
+	"math"
 	"strings"
 
+	"repro/internal/array"
 	"repro/internal/plan"
 	"repro/internal/sql/ast"
 	"repro/internal/value"
@@ -30,6 +32,57 @@ func (pc planCatalog) IsTable(name string) bool {
 	return ok
 }
 
+// ArrayStats implements plan.StatsCatalog: it folds the storage
+// layer's zone maps (plus dimension bounding boxes and table row
+// counts) into the column summaries the cost model consumes.
+func (pc planCatalog) ArrayStats(name string) (plan.Stats, bool) {
+	snap := pc.e.cat()
+	if a, ok := snap.Array(name); ok {
+		st := plan.Stats{Rows: int64(a.Store.Len()), Cols: map[string]plan.ColStats{}}
+		if lo, hi, err := a.BoundingBox(); err == nil {
+			for i, d := range a.Schema.Dims {
+				st.Cols[strings.ToLower(d.Name)] = plan.ColStats{
+					Min: float64(lo[i]), Max: float64(hi[i]), HasRange: true,
+				}
+			}
+		}
+		if sp, isSP := a.Store.(array.StatsProvider); isSP && st.Rows > 0 {
+			// A single-chunk zone map is the whole-array summary.
+			for ai, at := range a.Schema.Attrs {
+				var nulls int64
+				minV, maxV := math.Inf(1), math.Inf(-1)
+				have := false
+				for _, cs := range sp.ChunkStats(1) {
+					if ai >= len(cs.Attrs) {
+						continue
+					}
+					as := cs.Attrs[ai]
+					nulls += as.Nulls
+					if !as.Min.Null && as.Min.Typ.Numeric() {
+						have = true
+						minV = math.Min(minV, as.Min.AsFloat())
+						maxV = math.Max(maxV, as.Max.AsFloat())
+					}
+				}
+				col := plan.ColStats{NullFrac: float64(nulls) / float64(st.Rows)}
+				if have {
+					col.Min, col.Max, col.HasRange = minV, maxV, true
+				}
+				st.Cols[strings.ToLower(at.Name)] = col
+			}
+		}
+		return st, true
+	}
+	if t, ok := snap.Table(name); ok {
+		st := plan.Stats{Cols: map[string]plan.ColStats{}}
+		if len(t.Vecs) > 0 {
+			st.Rows = int64(t.Vecs[0].Len())
+		}
+		return st, true
+	}
+	return plan.Stats{}, false
+}
+
 // planSelect compiles and optimizes the logical plan for a SELECT.
 func (e *Engine) planSelect(sel *ast.Select) *plan.Plan {
 	return plan.PlanSelect(sel, planCatalog{e})
@@ -41,7 +94,20 @@ func (e *Engine) planSelect(sel *ast.Select) *plan.Plan {
 // this directly, so EXPLAIN never re-enters the SQL string layer.
 func (e *Engine) ExplainSelect(sel *ast.Select) *Dataset {
 	pl := e.planSelect(sel)
-	rendered := pl.RenderAnnotated(e.vecAnnotator(sel, pl))
+	costs := plan.EstimateCosts(pl, planCatalog{e})
+	vec := e.vecAnnotator(sel, pl)
+	annot := func(n plan.Node) string {
+		s := ""
+		if nc, ok := costs[n]; ok {
+			_, isJoin := n.(*plan.Join)
+			s = plan.CostAnnotation(nc, isJoin)
+		}
+		if vec != nil {
+			s += vec(n)
+		}
+		return s
+	}
+	rendered := pl.RenderAnnotated(annot)
 	out := planLinesDataset(rendered)
 	out.Append([]value.Value{value.NewString(e.executionModeLine(sel, pl))})
 	return out

@@ -27,6 +27,7 @@ type engineMetrics struct {
 	txRollback, txConflict *telemetry.Counter
 	scanChunks, scanCells  *telemetry.Counter
 	scanRows               *telemetry.Counter
+	scanChunksSkipped      *telemetry.Counter
 	snapPinned             *telemetry.Gauge
 }
 
@@ -52,6 +53,8 @@ func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
 		scanCells:   reg.Counter("scan_cells_total"),
 		scanRows:    reg.Counter("scan_rows_total"),
 		snapPinned:  reg.Gauge("snapshots_pinned"),
+
+		scanChunksSkipped: reg.Counter("scan_chunks_skipped_total"),
 	}
 	for _, k := range stmtKinds {
 		m.stmtCount[k] = reg.Counter("stmt_" + k + "_total")

@@ -123,12 +123,8 @@ func parSafeSelect(sel *ast.Select) bool {
 			exprs = append(exprs, it.Expr)
 		}
 		for _, fi := range cur.From {
-			tr, ok := fi.(*ast.TableRef)
-			if !ok {
+			if !collectFromExprs(fi, &exprs) {
 				return false
-			}
-			for _, ix := range tr.Indexers {
-				exprs = append(exprs, ix.Point, ix.Start, ix.Stop, ix.Step)
 			}
 		}
 		exprs = append(exprs, cur.Where, cur.Having, cur.Limit)
@@ -148,6 +144,27 @@ func parSafeSelect(sel *ast.Select) bool {
 		}
 	}
 	return true
+}
+
+// collectFromExprs gathers the scalar expressions of one FROM item
+// (slice indexers, join ON conditions) for the parallel-safety vet,
+// recursing through JOIN trees. False means the item's shape itself
+// cannot run parallel (derived tables re-enter the engine).
+func collectFromExprs(fi ast.FromItem, exprs *[]ast.Expr) bool {
+	switch t := fi.(type) {
+	case *ast.TableRef:
+		if t.Subquery != nil {
+			return false
+		}
+		for _, ix := range t.Indexers {
+			*exprs = append(*exprs, ix.Point, ix.Start, ix.Stop, ix.Step)
+		}
+		return true
+	case *ast.Join:
+		*exprs = append(*exprs, t.On)
+		return collectFromExprs(t.Left, exprs) && collectFromExprs(t.Right, exprs)
+	}
+	return false
 }
 
 // parSafeExpr vets one expression for concurrent evaluation: no
@@ -193,11 +210,20 @@ func warmNames(sel *ast.Select) []string {
 			return true
 		})
 	}
+	var addFrom func(fi ast.FromItem)
+	addFrom = func(fi ast.FromItem) {
+		switch t := fi.(type) {
+		case *ast.TableRef:
+			names[strings.ToLower(t.Name)] = true
+		case *ast.Join:
+			addFrom(t.Left)
+			addFrom(t.Right)
+			visit(t.On)
+		}
+	}
 	for cur := sel; cur != nil; cur = cur.SetRight {
 		for _, fi := range cur.From {
-			if tr, ok := fi.(*ast.TableRef); ok {
-				names[strings.ToLower(tr.Name)] = true
-			}
+			addFrom(fi)
 		}
 		for _, it := range cur.Items {
 			visit(it.Expr)

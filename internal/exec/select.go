@@ -592,8 +592,12 @@ func (e *Engine) buildFrom(items []ast.FromItem, conjs []ast.Expr, outer expr.En
 	var ds *Dataset
 	var sources []*source
 	consumed := make([]bool, len(conjs))
+	// With a single source, unqualified WHERE identifiers bind to it,
+	// so bare conjuncts are trusted for zone-map skipping; join shapes
+	// trust only qualified ones.
+	bare := len(items) == 1
 	for _, fi := range items {
-		d, srcs, err := e.buildFromItem(fi, conjs, consumed, outer, dec)
+		d, srcs, err := e.buildFromItem(fi, conjs, consumed, outer, dec, bare)
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -613,20 +617,20 @@ func (e *Engine) buildFrom(items []ast.FromItem, conjs []ast.Expr, outer expr.En
 	return ds, sources, remaining, nil
 }
 
-func (e *Engine) buildFromItem(fi ast.FromItem, conjs []ast.Expr, consumed []bool, outer expr.Env, dec planDecision) (*Dataset, []*source, error) {
+func (e *Engine) buildFromItem(fi ast.FromItem, conjs []ast.Expr, consumed []bool, outer expr.Env, dec planDecision, bare bool) (*Dataset, []*source, error) {
 	switch t := fi.(type) {
 	case *ast.TableRef:
-		return e.buildTableRef(t, conjs, consumed, outer, dec)
+		return e.buildTableRef(t, conjs, consumed, outer, dec, bare)
 	case *ast.Join:
-		left, ls, err := e.buildFromItem(t.Left, conjs, consumed, outer, dec)
+		left, ls, err := e.buildFromItem(t.Left, conjs, consumed, outer, dec, false)
 		if err != nil {
 			return nil, nil, err
 		}
-		right, rs, err := e.buildFromItem(t.Right, conjs, consumed, outer, dec)
+		right, rs, err := e.buildFromItem(t.Right, conjs, consumed, outer, dec, false)
 		if err != nil {
 			return nil, nil, err
 		}
-		joined, err := e.join(left, right, t, outer)
+		joined, err := e.join(left, right, t, outer, dec.par)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -635,7 +639,7 @@ func (e *Engine) buildFromItem(fi ast.FromItem, conjs []ast.Expr, consumed []boo
 	return nil, nil, fmt.Errorf("unsupported FROM item %T", fi)
 }
 
-func (e *Engine) buildTableRef(t *ast.TableRef, conjs []ast.Expr, consumed []bool, outer expr.Env, dec planDecision) (*Dataset, []*source, error) {
+func (e *Engine) buildTableRef(t *ast.TableRef, conjs []ast.Expr, consumed []bool, outer expr.Env, dec planDecision, bare bool) (*Dataset, []*source, error) {
 	if t.Subquery != nil {
 		ds, err := e.execSelect(t.Subquery, outer)
 		if err != nil {
@@ -678,7 +682,17 @@ func (e *Engine) buildTableRef(t *ast.TableRef, conjs []ast.Expr, consumed []boo
 		if !fromEnv {
 			attrs = dec.scanAttrs(arr, t.Name)
 		}
-		ds, err := e.scanArrayPruned(arr, src.qual(), sels, restrict, attrs, dec.par)
+		// Zone-map skipping compiles against the conjuncts not consumed
+		// by dimension pushdown; they stay in the residual filter, so
+		// skipping only removes chunks that could not contribute rows.
+		var resid []ast.Expr
+		for i, c := range conjs {
+			if !consumed[i] {
+				resid = append(resid, c)
+			}
+		}
+		sk := e.buildChunkSkipper(arr, src.qual(), effectiveSels(arr, sels, restrict), resid, bare)
+		ds, err := e.scanArrayPruned(arr, src.qual(), sels, restrict, attrs, dec.par, sk)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -899,7 +913,7 @@ func selContains(s dimSel, v int64) bool {
 
 // scanArray materializes an array serially with every attribute.
 func (e *Engine) scanArray(a *array.Array, qual string, sels []dimSel, restrict map[int]dimSel) (*Dataset, error) {
-	return e.scanArrayPruned(a, qual, sels, restrict, nil, 1)
+	return e.scanArrayPruned(a, qual, sels, restrict, nil, 1, nil)
 }
 
 // scanChunksPerWorker is how many scan chunks each worker gets on
@@ -920,7 +934,7 @@ const minParallelScanCells = 4096
 // is a direct cell read. par > 1 fans scan chunks across the morsel
 // pool when the store supports chunked scans; per-chunk buffers merge
 // in chunk order, so the result is byte-identical to the serial scan.
-func (e *Engine) scanArrayPruned(a *array.Array, qual string, sels []dimSel, restrict map[int]dimSel, attrs []int, par int) (*Dataset, error) {
+func (e *Engine) scanArrayPruned(a *array.Array, qual string, sels []dimSel, restrict map[int]dimSel, attrs []int, par int, sk *chunkSkipper) (*Dataset, error) {
 	nd := len(a.Schema.Dims)
 	cols := scanColsPruned(a, qual, attrs)
 	out := NewDataset(cols)
@@ -970,6 +984,7 @@ func (e *Engine) scanArrayPruned(a *array.Array, qual string, sels []dimSel, res
 	if par > 1 && e.pool != nil && a.Store.Len() >= minParallelScanCells {
 		if cs, ok := a.Store.(array.ChunkedScanner); ok {
 			if chunks := cs.ScanChunks(par*scanChunksPerWorker, attrs); len(chunks) >= 2 {
+				chunks = e.skipChunks(sk, a.Store, chunks, par*scanChunksPerWorker, e.prof)
 				return e.scanChunksParallel(a, cols, eff, chunks)
 			}
 		}
@@ -977,7 +992,7 @@ func (e *Engine) scanArrayPruned(a *array.Array, qual string, sels []dimSel, res
 	row := make([]value.Value, len(cols))
 	var visited int
 	var scanErr error
-	storeScanPruned(a.Store, attrs, func(coords []int64, vals []value.Value) bool {
+	e.skippedScan(a.Store, attrs, sk, e.prof)(func(coords []int64, vals []value.Value) bool {
 		visited++
 		if visited&8191 == 0 {
 			if err := e.canceled(); err != nil {
@@ -1039,6 +1054,10 @@ func storeScanPruned(st array.Store, attrs []int, visit func(coords []int64, val
 // in a per-chunk dataset; the buffers concatenate in chunk index
 // order, which the store guarantees equals serial scan order.
 func (e *Engine) scanChunksParallel(a *array.Array, cols []Col, eff []dimSel, chunks []array.ChunkScan) (*Dataset, error) {
+	if len(chunks) == 0 {
+		// Every chunk was zone-map-skipped.
+		return NewDataset(cols), nil
+	}
 	nd := len(a.Schema.Dims)
 	parts := make([]*Dataset, len(chunks))
 	ctx := e.ctx()
@@ -1077,6 +1096,13 @@ func (e *Engine) scanChunksParallel(a *array.Array, cols []Col, eff []dimSel, ch
 		return nil, err
 	}
 	out := parts[0]
+	extra := 0
+	for _, p := range parts[1:] {
+		extra += p.NumRows()
+	}
+	for c := range out.Vecs {
+		out.Vecs[c] = bat.Grow(out.Vecs[c], extra)
+	}
 	for _, p := range parts[1:] {
 		for c := range out.Vecs {
 			out.Vecs[c] = bat.Concat(out.Vecs[c], p.Vecs[c])
@@ -1196,120 +1222,6 @@ func crossJoin(l, r *Dataset) *Dataset {
 		}
 	}
 	return out
-}
-
-// join executes JOIN ... ON with a hash join when the condition is a
-// conjunction of cross-side equalities; otherwise it filters the
-// Cartesian product.
-func (e *Engine) join(l, r *Dataset, j *ast.Join, outer expr.Env) (*Dataset, error) {
-	if j.Kind == "CROSS" || j.On == nil {
-		return crossJoin(l, r), nil
-	}
-	type keyPair struct{ li, ri int }
-	var pairs []keyPair
-	var residual []ast.Expr
-	for _, c := range splitConjuncts(j.On) {
-		b, ok := c.(*ast.Binary)
-		if !ok || b.Op != "=" {
-			residual = append(residual, c)
-			continue
-		}
-		lid, lok := b.L.(*ast.Ident)
-		rid, rok := b.R.(*ast.Ident)
-		if !lok || !rok {
-			residual = append(residual, c)
-			continue
-		}
-		li, ri := l.ColIndex(lid.Table, lid.Name), r.ColIndex(rid.Table, rid.Name)
-		if li >= 0 && ri >= 0 {
-			pairs = append(pairs, keyPair{li, ri})
-			continue
-		}
-		li, ri = l.ColIndex(rid.Table, rid.Name), r.ColIndex(lid.Table, lid.Name)
-		if li >= 0 && ri >= 0 {
-			pairs = append(pairs, keyPair{li, ri})
-			continue
-		}
-		residual = append(residual, c)
-	}
-	cols := append(append([]Col(nil), l.Cols...), r.Cols...)
-	out := NewDataset(cols)
-	row := make([]value.Value, len(cols))
-	// One environment serves every emitted row: it reads the shared row
-	// buffer, so allocating it per row (or per residual conjunct) would
-	// only feed the garbage collector.
-	env := &valuesEnv{cols: cols, vals: row, outer: outer}
-	emit := func(i, j2 int) error {
-		for c := range l.Cols {
-			row[c] = l.Vecs[c].Get(i)
-		}
-		for c := range r.Cols {
-			row[len(l.Cols)+c] = r.Vecs[c].Get(j2)
-		}
-		for _, c := range residual {
-			ok, err := e.Ev.EvalBool(c, env)
-			if err != nil {
-				return err
-			}
-			if !ok {
-				return nil
-			}
-		}
-		out.Append(row)
-		return nil
-	}
-	if len(pairs) == 0 {
-		// Pure residual join: filter the cross product.
-		for i := 0; i < l.NumRows(); i++ {
-			for j2 := 0; j2 < r.NumRows(); j2++ {
-				if err := emit(i, j2); err != nil {
-					return nil, err
-				}
-			}
-		}
-		return out, nil
-	}
-	// Hash join on the equality key columns.
-	idx := make(map[string][]int, r.NumRows())
-	for j2 := 0; j2 < r.NumRows(); j2++ {
-		var sb strings.Builder
-		null := false
-		for _, p := range pairs {
-			v := r.Vecs[p.ri].Get(j2)
-			if v.Null {
-				null = true
-				break
-			}
-			sb.WriteString(v.String())
-			sb.WriteByte('\x00')
-		}
-		if null {
-			continue
-		}
-		idx[sb.String()] = append(idx[sb.String()], j2)
-	}
-	for i := 0; i < l.NumRows(); i++ {
-		var sb strings.Builder
-		null := false
-		for _, p := range pairs {
-			v := l.Vecs[p.li].Get(i)
-			if v.Null {
-				null = true
-				break
-			}
-			sb.WriteString(v.String())
-			sb.WriteByte('\x00')
-		}
-		if null {
-			continue
-		}
-		for _, j2 := range idx[sb.String()] {
-			if err := emit(i, j2); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return out, nil
 }
 
 // scalarSubquery is the evaluator hook for subqueries in expression

@@ -240,6 +240,9 @@ type streamPlan struct {
 	// every projection item vectorize; nil falls back to the row
 	// interpreter per cell.
 	vec *streamVec
+	// skip holds the compiled zone-map skip conditions; nil when chunk
+	// skipping is off or nothing in the statement can prune a chunk.
+	skip *chunkSkipper
 	// prof is the profile collector of the arming EXPLAIN ANALYZE,
 	// copied from the session at compile time so parallel workers never
 	// read session state; nil on unprofiled statements.
@@ -525,6 +528,7 @@ func (e *Engine) streamCursorFor(ctx context.Context, sp *streamPlan) *Cursor {
 		// scan — nothing is materialized up front.
 		if cs, ok := sp.arr.Store.(array.ChunkedScanner); ok {
 			if chunks := cs.ScanChunks(sp.par*scanChunksPerWorker, sp.attrs); len(chunks) >= 2 {
+				chunks = e.skipChunks(sp.skip, sp.arr.Store, chunks, sp.par*scanChunksPerWorker, sp.prof)
 				if sp.vec != nil {
 					return e.parallelVecCursor(ctx, sp, chunks, cols)
 				}
@@ -631,6 +635,9 @@ func (e *Engine) compileStream(sel *ast.Select, env *baseEnv) (*streamPlan, bool
 	sp.par = dec.par
 	sp.attrs = dec.scanAttrs(arr, tr.Name)
 	sp.vec = e.compileStreamVec(sp)
+	// Single-source statement: unqualified identifiers bind to this
+	// array, so bare conjuncts are trusted for zone tests.
+	sp.skip = e.buildChunkSkipper(arr, sp.qual, sp.eff, remaining, true)
 	return sp, true, nil
 }
 
@@ -661,6 +668,7 @@ func streamColumns(items []ast.SelectItem, a *array.Array, qual string) []Col {
 // interpreter's single-threaded evaluation model.
 func (e *Engine) serialStreamCursor(ctx context.Context, sp *streamPlan, cols []Col) *Cursor {
 	nd := len(sp.arr.Schema.Dims)
+	scan := e.streamScan(sp)
 	seq := func(yield func(cursorItem) bool) {
 		srcCols := scanColsPruned(sp.arr, sp.qual, sp.attrs)
 		srcRow := make([]value.Value, len(srcCols))
@@ -669,7 +677,7 @@ func (e *Engine) serialStreamCursor(ctx context.Context, sp *streamPlan, cols []
 		var cnt streamCounts
 		scanStart := time.Now()
 		defer func() { e.flushStreamCounts(sp, &cnt, time.Since(scanStart)) }()
-		storeScanPruned(sp.arr.Store, sp.attrs, func(coords []int64, vals []value.Value) bool {
+		scan(func(coords []int64, vals []value.Value) bool {
 			cnt.visited++
 			if cnt.visited&255 == 0 {
 				if err := ctx.Err(); err != nil {
@@ -942,11 +950,10 @@ func (e *Engine) vecScanBatches(ctx context.Context, sp *streamPlan, scan func(v
 // enough rows have surfaced the store walk stops.
 func (e *Engine) serialVecCursor(ctx context.Context, sp *streamPlan, cols []Col) *Cursor {
 	sv := sp.vec
+	scan := e.streamScan(sp)
 	seq := func(yield func(vecBatch) bool) {
 		emitted := 0
-		err := e.vecScanBatches(ctx, sp, func(visit func(coords []int64, vals []value.Value) bool) {
-			storeScanPruned(sp.arr.Store, sp.attrs, visit)
-		}, func(in *Dataset) bool {
+		err := e.vecScanBatches(ctx, sp, scan, func(in *Dataset) bool {
 			if in.NumRows() == 0 {
 				return sp.limit < 0 || emitted < sp.limit
 			}

@@ -182,7 +182,33 @@ func (e *Engine) execTiling(sel *ast.Select, ds *Dataset, sources []*source, rem
 		calls: ac.calls, directAttr: directAttr, mayPreFold: mayPreFold,
 		dimNames: dimNames, attrNames: attrNames, anchorVars: lowerAnchorVars,
 	}
-	if par > 1 && e.pool != nil && len(anchors) >= 2 {
+	// Cost-based strategy choice: estimate total touched cells as
+	// anchors × per-tile extent (anchored dims step the measured span,
+	// unanchored bounded dims contribute their full width) and fan out
+	// only when the estimate clears the same threshold the parallel
+	// scan paths use — below it the per-worker scratch setup dominates.
+	parTiling := par > 1 && e.pool != nil && len(anchors) >= 2
+	if parTiling {
+		work := int64(len(anchors))
+		if extent, _, err := e.tileExtent(gb.Tiles, arr, anchorVars, anchors[0].vals, outer); err == nil {
+			per := int64(1)
+			for _, x := range extent {
+				per *= x
+			}
+			anchored := make(map[int]bool, len(anchorVars))
+			for _, v := range anchorVars {
+				anchored[dimIndexFold(arr, v)] = true
+			}
+			for di, d := range arr.Schema.Dims {
+				if !anchored[di] && d.Bounded() {
+					per *= d.Size()
+				}
+			}
+			work *= per
+		}
+		parTiling = work >= minParallelScanCells
+	}
+	if parTiling {
 		// Morsel-driven: anchors are the work domain; each worker owns
 		// scratch environments and accumulators, rows land in a
 		// preallocated slice so output order matches the serial path.

@@ -105,7 +105,9 @@ func (p *Plan) compileFromItem(fi ast.FromItem, cat Catalog) Node {
 	case *ast.TableRef:
 		return p.compileTableRef(t, cat)
 	case *ast.Join:
-		p.disqualify("join")
+		// JOIN ... ON runs the partitioned hash join, which fans key
+		// extraction, build and probe over the pool itself; only the
+		// unkeyed comma join stays serial.
 		return &Join{Kind: t.Kind, On: t.On, L: p.compileFromItem(t.Left, cat), R: p.compileFromItem(t.Right, cat)}
 	}
 	p.disqualify("unsupported FROM item")

@@ -1,0 +1,441 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/sql/ast"
+)
+
+// This file is the cost model behind EXPLAIN's est_rows/cost
+// annotations. Estimates consume the storage layer's zone-map
+// statistics (row counts, per-column min/max/null-fraction) through
+// the StatsCatalog extension; without statistics the model falls back
+// to textbook default selectivities. Costs are abstract work units
+// (≈ cells visited + rows processed), comparable within one plan but
+// not across plans. The estimator is consulted by EXPLAIN only — the
+// executor's runtime decisions (build-side choice, parallel gates)
+// re-derive cardinalities from materialized inputs, applying the same
+// rules to exact numbers.
+
+// ColStats summarizes one column for selectivity estimation.
+type ColStats struct {
+	// Min/Max bound the non-NULL values; HasRange marks them valid.
+	Min, Max float64
+	HasRange bool
+	// NullFrac is the fraction of NULL values (0..1).
+	NullFrac float64
+}
+
+// Stats summarizes one stored array (or table) for the cost model.
+type Stats struct {
+	Rows int64
+	// Cols maps lowercased dimension and attribute names to their
+	// statistics.
+	Cols map[string]ColStats
+}
+
+// StatsCatalog is the optional Catalog extension supplying zone-map
+// statistics; catalogs without it get default selectivities.
+type StatsCatalog interface {
+	Catalog
+	ArrayStats(name string) (Stats, bool)
+}
+
+// NodeCost is the estimate attached to one plan operator.
+type NodeCost struct {
+	Rows int64 // estimated output rows
+	Cost int64 // cumulative work units, inclusive of children
+	// BuildRight is meaningful on keyed Join nodes: true when the
+	// right (smaller-estimate) input builds the hash table.
+	BuildRight bool
+	Keyed      bool
+}
+
+// Default selectivities for predicates the statistics cannot bound —
+// the System R classics.
+const (
+	defaultRows      = 1000
+	selEquality      = 0.10
+	selRange         = 1.0 / 3.0
+	selDefaultFilter = 1.0 / 3.0
+)
+
+// EstimateCosts walks the plan bottom-up and estimates output
+// cardinality and cumulative cost per operator. cat may implement
+// StatsCatalog for statistics-driven estimates.
+func EstimateCosts(p *Plan, cat Catalog) map[Node]NodeCost {
+	e := &estimator{out: make(map[Node]NodeCost)}
+	e.stats, _ = cat.(StatsCatalog)
+	e.walk(p.Root)
+	return e.out
+}
+
+type estimator struct {
+	stats StatsCatalog
+	out   map[Node]NodeCost
+}
+
+// colScope accumulates the column statistics visible above a subtree,
+// keyed by lowercased bare name and "qual.name".
+type colScope map[string]ColStats
+
+func (e *estimator) walk(n Node) (NodeCost, colScope) {
+	switch t := n.(type) {
+	case *Scan:
+		return e.scan(t)
+	case *Filter:
+		child, scope := e.walk(t.Child)
+		sel := selectivity(t.Cond, scope)
+		nc := NodeCost{
+			Rows: scaleRows(child.Rows, sel),
+			Cost: child.Cost + child.Rows,
+		}
+		e.out[n] = nc
+		return nc, scope
+	case *Join:
+		l, ls := e.walk(t.L)
+		r, rs := e.walk(t.R)
+		scope := mergeScopes(ls, rs)
+		nc := NodeCost{}
+		if t.On != nil && hasEquiKey(t.On) {
+			// Keyed hash join: the FK-ish assumption bounds output by
+			// the larger input; build the smaller side, probe the
+			// larger.
+			nc.Keyed = true
+			nc.BuildRight = r.Rows <= l.Rows
+			small, big := l.Rows, r.Rows
+			if small > big {
+				small, big = big, small
+			}
+			nc.Rows = big
+			nc.Cost = l.Cost + r.Cost + small + big
+		} else {
+			// Cross product (or residual-only condition).
+			nc.Rows = mulRows(l.Rows, r.Rows)
+			nc.Cost = addCost(l.Cost+r.Cost, nc.Rows)
+			if t.On != nil {
+				nc.Rows = scaleRows(nc.Rows, selectivity(t.On, scope))
+			}
+		}
+		e.out[n] = nc
+		return nc, scope
+	case *Project:
+		child, scope := e.walk(t.Child)
+		nc := NodeCost{Rows: child.Rows, Cost: child.Cost + child.Rows}
+		e.out[n] = nc
+		return nc, scope
+	case *Aggregate:
+		child, scope := e.walk(t.Child)
+		rows := int64(1)
+		if len(t.Keys) > 0 {
+			rows = scaleRows(child.Rows, selEquality)
+		}
+		nc := NodeCost{Rows: rows, Cost: child.Cost + child.Rows}
+		e.out[n] = nc
+		return nc, scope
+	case *TiledAggregate:
+		child, scope := e.walk(t.Child)
+		nc := NodeCost{Rows: child.Rows, Cost: addCost(child.Cost, 4*child.Rows)}
+		e.out[n] = nc
+		return nc, scope
+	case *Distinct:
+		child, scope := e.walk(t.Child)
+		nc := NodeCost{Rows: scaleRows(child.Rows, 0.5), Cost: child.Cost + child.Rows}
+		e.out[n] = nc
+		return nc, scope
+	case *Sort:
+		child, scope := e.walk(t.Child)
+		nc := NodeCost{Rows: child.Rows, Cost: addCost(child.Cost, sortCost(child.Rows))}
+		e.out[n] = nc
+		return nc, scope
+	case *Limit:
+		child, scope := e.walk(t.Child)
+		nc := NodeCost{Rows: child.Rows, Cost: child.Cost}
+		if lit, ok := t.Count.(*ast.Literal); ok && !lit.Val.Null {
+			if k := lit.Val.AsInt(); k >= 0 && k < nc.Rows {
+				nc.Rows = k
+			}
+		}
+		e.out[n] = nc
+		return nc, scope
+	case *Union:
+		l, ls := e.walk(t.L)
+		r, rs := e.walk(t.R)
+		rows := l.Rows + r.Rows
+		if !t.All {
+			rows = scaleRows(rows, 0.5)
+		}
+		nc := NodeCost{Rows: rows, Cost: addCost(l.Cost+r.Cost, l.Rows+r.Rows)}
+		e.out[n] = nc
+		return nc, mergeScopes(ls, rs)
+	default:
+		nc := NodeCost{Rows: defaultRows, Cost: defaultRows}
+		e.out[n] = nc
+		return nc, colScope{}
+	}
+}
+
+func (e *estimator) scan(s *Scan) (NodeCost, colScope) {
+	var st Stats
+	haveStats := false
+	if e.stats != nil {
+		st, haveStats = e.stats.ArrayStats(s.Name)
+	}
+	rows := int64(defaultRows)
+	if haveStats {
+		rows = st.Rows
+	}
+	base := rows
+	scope := colScope{}
+	qual := strings.ToLower(s.Qual)
+	if qual == "" {
+		qual = strings.ToLower(s.Name)
+	}
+	for name, cs := range st.Cols {
+		scope[name] = cs
+		scope[qual+"."+name] = cs
+	}
+	// Dimension restrictions shrink the scan's output.
+	frac := 1.0
+	for i := range s.Dims {
+		d := &s.Dims[i]
+		cs, haveCol := st.Cols[strings.ToLower(d.Name)]
+		width := 0.0
+		if haveCol && cs.HasRange {
+			width = cs.Max - cs.Min + 1
+		}
+		switch {
+		case d.Point != "":
+			if width > 1 {
+				frac *= 1 / width
+			} else {
+				frac *= selEquality
+			}
+		case d.Lo != "" || d.Hi != "":
+			lo, loOK := parseBound(d.Lo)
+			hi, hiOK := parseBound(d.Hi)
+			if width > 0 && (loOK || hiOK) {
+				if !loOK {
+					lo = cs.Min
+				}
+				if !hiOK {
+					hi = cs.Max + 1 // half-open
+				}
+				f := (hi - lo) / width
+				frac *= clamp01(f)
+			} else {
+				frac *= selRange
+			}
+		}
+	}
+	nc := NodeCost{Rows: scaleRows(base, frac), Cost: base}
+	e.out[s] = nc
+	return nc, scope
+}
+
+// selectivity estimates the fraction of rows satisfying cond under the
+// column statistics in scope, conjunct by conjunct.
+func selectivity(cond ast.Expr, scope colScope) float64 {
+	sel := 1.0
+	for _, c := range splitAnd(cond) {
+		sel *= conjunctSelectivity(c, scope)
+	}
+	return clamp01(sel)
+}
+
+func conjunctSelectivity(c ast.Expr, scope colScope) float64 {
+	switch t := c.(type) {
+	case *ast.Binary:
+		id, lit, op, ok := identCmpLiteral(t)
+		if !ok {
+			return selDefaultFilter
+		}
+		cs, have := lookupCol(scope, id)
+		if !have || !cs.HasRange {
+			if op == "=" {
+				return selEquality
+			}
+			return selRange
+		}
+		width := cs.Max - cs.Min + 1
+		switch op {
+		case "=":
+			if width > 1 {
+				return clamp01(1 / width)
+			}
+			return selEquality
+		case "<", "<=":
+			return clamp01((lit - cs.Min + 1) / width)
+		case ">", ">=":
+			return clamp01((cs.Max - lit + 1) / width)
+		}
+		return selDefaultFilter
+	case *ast.Between:
+		id, isID := t.X.(*ast.Ident)
+		if !isID || t.Neg {
+			return selDefaultFilter
+		}
+		cs, have := lookupCol(scope, id)
+		lo, loOK := literalFloat(t.Lo)
+		hi, hiOK := literalFloat(t.Hi)
+		if have && cs.HasRange && loOK && hiOK {
+			width := cs.Max - cs.Min + 1
+			return clamp01((hi - lo + 1) / width)
+		}
+		return selRange
+	case *ast.IsNull:
+		id, isID := t.X.(*ast.Ident)
+		if !isID {
+			return selDefaultFilter
+		}
+		if cs, have := lookupCol(scope, id); have {
+			if t.Neg {
+				return clamp01(1 - cs.NullFrac)
+			}
+			return clamp01(cs.NullFrac)
+		}
+		return selDefaultFilter
+	}
+	return selDefaultFilter
+}
+
+// hasEquiKey reports whether the ON condition carries at least one
+// ident = ident conjunct — the executor's criterion for running a
+// keyed (hash) join rather than a filtered cross product.
+func hasEquiKey(on ast.Expr) bool {
+	for _, c := range splitAnd(on) {
+		b, ok := c.(*ast.Binary)
+		if !ok || b.Op != "=" {
+			continue
+		}
+		_, lOK := b.L.(*ast.Ident)
+		_, rOK := b.R.(*ast.Ident)
+		if lOK && rOK {
+			return true
+		}
+	}
+	return false
+}
+
+// identCmpLiteral decomposes <ident> cmp <literal> in either
+// orientation (flipping the operator when the literal is on the left).
+func identCmpLiteral(b *ast.Binary) (id *ast.Ident, lit float64, op string, ok bool) {
+	switch b.Op {
+	case "=", "<", "<=", ">", ">=":
+	default:
+		return nil, 0, "", false
+	}
+	if i, isID := b.L.(*ast.Ident); isID {
+		if f, litOK := literalFloat(b.R); litOK {
+			return i, f, b.Op, true
+		}
+	}
+	if i, isID := b.R.(*ast.Ident); isID {
+		if f, litOK := literalFloat(b.L); litOK {
+			flip := map[string]string{"=": "=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+			return i, f, flip[b.Op], true
+		}
+	}
+	return nil, 0, "", false
+}
+
+func literalFloat(x ast.Expr) (float64, bool) {
+	switch t := x.(type) {
+	case *ast.Literal:
+		if t.Val.Null || !t.Val.Typ.Numeric() {
+			return 0, false
+		}
+		return t.Val.AsFloat(), true
+	case *ast.Unary:
+		if t.Op == "-" {
+			if f, ok := literalFloat(t.X); ok {
+				return -f, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func lookupCol(scope colScope, id *ast.Ident) (ColStats, bool) {
+	if id.Table != "" {
+		cs, ok := scope[strings.ToLower(id.Table)+"."+strings.ToLower(id.Name)]
+		return cs, ok
+	}
+	cs, ok := scope[strings.ToLower(id.Name)]
+	return cs, ok
+}
+
+func mergeScopes(a, b colScope) colScope {
+	out := make(colScope, len(a)+len(b))
+	for k, v := range b {
+		out[k] = v
+	}
+	for k, v := range a {
+		out[k] = v // left side wins bare-name collisions
+	}
+	return out
+}
+
+func parseBound(s string) (float64, bool) {
+	if s == "" {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	return f, err == nil
+}
+
+func clamp01(f float64) float64 {
+	if f < 0 || math.IsNaN(f) {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+func scaleRows(rows int64, sel float64) int64 {
+	out := int64(math.Round(float64(rows) * sel))
+	if out < 0 {
+		return 0
+	}
+	return out
+}
+
+func mulRows(a, b int64) int64 {
+	if a > 0 && b > math.MaxInt64/a {
+		return math.MaxInt64
+	}
+	return a * b
+}
+
+func addCost(a, b int64) int64 {
+	if s := a + b; s >= a {
+		return s
+	}
+	return math.MaxInt64
+}
+
+func sortCost(rows int64) int64 {
+	if rows <= 1 {
+		return rows
+	}
+	return addCost(rows, int64(float64(rows)*math.Log2(float64(rows))))
+}
+
+// CostAnnotation renders one node's estimate as the EXPLAIN suffix:
+// " (est_rows=N cost=C)", plus the chosen build side on keyed joins.
+func CostAnnotation(nc NodeCost, isJoin bool) string {
+	s := fmt.Sprintf(" (est_rows=%d cost=%d)", nc.Rows, nc.Cost)
+	if isJoin && nc.Keyed {
+		side := "left"
+		if nc.BuildRight {
+			side = "right"
+		}
+		s = fmt.Sprintf(" (est_rows=%d cost=%d build=%s)", nc.Rows, nc.Cost, side)
+	}
+	return s
+}

@@ -23,6 +23,7 @@ type linearStore struct {
 	cols     []*column
 	liveCnt  int
 	rowMajor bool
+	zm       zoneMaps
 }
 
 // NewVirtual creates a row-major dense store. All dimensions must be
@@ -147,6 +148,7 @@ func (s *linearStore) Set(coords []int64, attr int, v value.Value) error {
 	if off < 0 {
 		return fmt.Errorf("%s store: coordinates %v out of bounds", s.scheme, coords)
 	}
+	s.zm.bump()
 	wasHole := s.isHole(int(off))
 	s.cols[attr].set(int(off), v)
 	nowHole := s.isHole(int(off))
@@ -236,6 +238,13 @@ func (s *linearStore) ScanChunks(target int, attrs []int) []array.ChunkScan {
 		}
 	}
 	return out
+}
+
+// ChunkStats returns zone maps index-aligned with ScanChunks(target, ·).
+func (s *linearStore) ChunkStats(target int) []array.ChunkStats {
+	return s.zm.get(target, func() []array.ChunkStats {
+		return computeZoneMaps(s, target, s.dims, s.attrs)
+	})
 }
 
 func (s *linearStore) Bounds() (lo, hi []int64, ok bool) {

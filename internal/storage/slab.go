@@ -27,6 +27,7 @@ type slabStore struct {
 	// bounds tracking for unbounded dims.
 	haveCells bool
 	lo, hi    []int64
+	zm        zoneMaps
 }
 
 type slabBlock struct {
@@ -164,6 +165,7 @@ func (s *slabStore) Get(coords []int64, attr int) value.Value {
 }
 
 func (s *slabStore) Set(coords []int64, attr int, v value.Value) error {
+	s.zm.bump()
 	blk, pos := s.block(coords, !v.Null)
 	if blk == nil {
 		return nil // hole write into an unallocated slab
@@ -275,6 +277,13 @@ func (s *slabStore) ScanChunks(target int, attrs []int) []array.ChunkScan {
 		}
 	}
 	return out
+}
+
+// ChunkStats returns zone maps index-aligned with ScanChunks(target, ·).
+func (s *slabStore) ChunkStats(target int) []array.ChunkStats {
+	return s.zm.get(target, func() []array.ChunkStats {
+		return computeZoneMaps(s, target, s.dims, s.attrs)
+	})
 }
 
 func (s *slabStore) Bounds() (lo, hi []int64, ok bool) {

@@ -1,0 +1,216 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/array"
+	"repro/internal/value"
+)
+
+// bruteStats independently recomputes per-chunk statistics by walking
+// the store's chunk partition directly, bypassing the zoneMaps cache.
+// It is the oracle the cached ChunkStats must always agree with.
+func bruteStats(t *testing.T, st array.Store, target int, sch array.Schema) []array.ChunkStats {
+	t.Helper()
+	cs, ok := st.(array.ChunkedScanner)
+	if !ok {
+		t.Fatalf("%s: not a ChunkedScanner", st.Scheme())
+	}
+	chunks := cs.ScanChunks(target, nil)
+	out := make([]array.ChunkStats, len(chunks))
+	for ci, chunk := range chunks {
+		s := &out[ci]
+		s.DimLo = make([]int64, len(sch.Dims))
+		s.DimHi = make([]int64, len(sch.Dims))
+		s.Attrs = make([]array.AttrStats, len(sch.Attrs))
+		for ai, at := range sch.Attrs {
+			s.Attrs[ai].Min = value.NewNull(at.Typ)
+			s.Attrs[ai].Max = value.NewNull(at.Typ)
+		}
+		chunk(func(coords []int64, vals []value.Value) bool {
+			if s.Rows == 0 {
+				copy(s.DimLo, coords)
+				copy(s.DimHi, coords)
+			}
+			for i, c := range coords {
+				if c < s.DimLo[i] {
+					s.DimLo[i] = c
+				}
+				if c > s.DimHi[i] {
+					s.DimHi[i] = c
+				}
+			}
+			s.Rows++
+			for ai, v := range vals {
+				as := &s.Attrs[ai]
+				if v.Null {
+					as.Nulls++
+					continue
+				}
+				if as.Min.Null || value.Compare(v, as.Min) < 0 {
+					as.Min = v
+				}
+				if as.Max.Null || value.Compare(v, as.Max) > 0 {
+					as.Max = v
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func fmtStats(cs array.ChunkStats) string {
+	s := fmt.Sprintf("rows=%d lo=%v hi=%v", cs.Rows, cs.DimLo, cs.DimHi)
+	for _, a := range cs.Attrs {
+		s += fmt.Sprintf(" [nulls=%d min=%s max=%s]", a.Nulls, a.Min, a.Max)
+	}
+	return s
+}
+
+func statsEqual(a, b array.ChunkStats) bool {
+	if a.Rows != b.Rows || len(a.Attrs) != len(b.Attrs) {
+		return false
+	}
+	if a.Rows > 0 { // empty chunks have meaningless bounds
+		for i := range a.DimLo {
+			if a.DimLo[i] != b.DimLo[i] || a.DimHi[i] != b.DimHi[i] {
+				return false
+			}
+		}
+	}
+	for i := range a.Attrs {
+		x, y := a.Attrs[i], b.Attrs[i]
+		if x.Nulls != y.Nulls {
+			return false
+		}
+		if x.Min.Null != y.Min.Null || (!x.Min.Null && value.Compare(x.Min, y.Min) != 0) {
+			return false
+		}
+		if x.Max.Null != y.Max.Null || (!x.Max.Null && value.Compare(x.Max, y.Max) != 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// assertStatsFresh checks the cached zone maps agree with a direct
+// recompute and stay index-aligned with ScanChunks, for several
+// chunking targets.
+func assertStatsFresh(t *testing.T, name string, st array.Store, sch array.Schema, stage string) {
+	t.Helper()
+	sp, ok := st.(array.StatsProvider)
+	if !ok {
+		t.Fatalf("%s: store does not implement StatsProvider", name)
+	}
+	for _, target := range []int{1, 2, 5, 100} {
+		got := sp.ChunkStats(target)
+		want := bruteStats(t, st, target, sch)
+		if len(got) != len(want) {
+			t.Fatalf("%s %s target=%d: %d chunk stats, want %d (must align with ScanChunks)",
+				name, stage, target, len(got), len(want))
+		}
+		for i := range want {
+			if !statsEqual(got[i], want[i]) {
+				t.Errorf("%s %s target=%d chunk %d:\ngot:  %s\nwant: %s",
+					name, stage, target, i, fmtStats(got[i]), fmtStats(want[i]))
+			}
+		}
+	}
+}
+
+// TestZoneMapStatsMatchBruteForce drives every scheme through the
+// mutation lifecycle — initial defaults, inserts into holes, in-place
+// updates, deletes (NULL punches) — and checks after each phase that
+// the cached zone maps exactly match an independent recompute. Stale
+// statistics after any mutation would fail here: every Set must bump
+// the generation.
+func TestZoneMapStatsMatchBruteForce(t *testing.T) {
+	const n = 9
+	sch := chunkTestSchema(n)
+	for name, st := range allSchemes(t, sch) {
+		assertStatsFresh(t, name, st, sch, "empty")
+		rng := rand.New(rand.NewSource(7))
+		// Inserts: populate a scattered subset of both attributes.
+		for i := 0; i < 40; i++ {
+			x, y := rng.Int63n(n), rng.Int63n(n)
+			if err := st.Set([]int64{x, y}, 0, value.NewFloat(float64(rng.Intn(1000))-500)); err != nil {
+				t.Fatal(err)
+			}
+			if rng.Intn(2) == 0 {
+				if err := st.Set([]int64{x, y}, 1, value.NewInt(rng.Int63n(100)-50)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		assertStatsFresh(t, name, st, sch, "insert")
+		// Updates: move the extremes so cached min/max must change.
+		if err := st.Set([]int64{0, 0}, 0, value.NewFloat(-1e6)); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Set([]int64{n - 1, n - 1}, 1, value.NewInt(1 << 40)); err != nil {
+			t.Fatal(err)
+		}
+		assertStatsFresh(t, name, st, sch, "update")
+		// Deletes: punch holes, including the extreme cells, so both
+		// row counts and bounds shrink.
+		for _, c := range [][2]int64{{0, 0}, {n - 1, n - 1}, {4, 4}} {
+			if err := st.Set([]int64{c[0], c[1]}, 0, value.NewNull(value.Float)); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Set([]int64{c[0], c[1]}, 1, value.NewNull(value.Int)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		assertStatsFresh(t, name, st, sch, "delete")
+	}
+}
+
+// TestZoneMapInvalidation pins the cache-freshness contract in the
+// small: read stats (priming the cache), mutate one cell beyond the
+// cached max, read again — the second read must see the new extreme.
+func TestZoneMapInvalidation(t *testing.T) {
+	sch := schema2D(8, 1, true)
+	for name, st := range allSchemes(t, sch) {
+		sp := st.(array.StatsProvider)
+		before := sp.ChunkStats(1)
+		if len(before) != 1 || before[0].Attrs[0].Max.AsFloat() != 1 {
+			t.Fatalf("%s: priming stats = %v", name, before)
+		}
+		if err := st.Set([]int64{3, 3}, 0, value.NewFloat(99)); err != nil {
+			t.Fatal(err)
+		}
+		after := sp.ChunkStats(1)
+		if got := after[0].Attrs[0].Max.AsFloat(); got != 99 {
+			t.Errorf("%s: max after mutation = %v, want 99 (stale cache)", name, got)
+		}
+	}
+}
+
+// TestZoneMapCloneIsolation is the MVCC contract at the storage layer:
+// the engine clones stores copy-on-write before mutating, so a
+// snapshot's zone maps must never observe the clone's mutations and
+// vice versa — in either priming order.
+func TestZoneMapCloneIsolation(t *testing.T) {
+	sch := schema2D(8, 1, true)
+	for name, st := range allSchemes(t, sch) {
+		// Prime the original's cache, then mutate a clone.
+		_ = st.(array.StatsProvider).ChunkStats(1)
+		cl := st.Clone()
+		if err := cl.Set([]int64{2, 2}, 0, value.NewFloat(-77)); err != nil {
+			t.Fatal(err)
+		}
+		clStats := cl.(array.StatsProvider).ChunkStats(1)
+		if got := clStats[0].Attrs[0].Min.AsFloat(); got != -77 {
+			t.Errorf("%s: clone min = %v, want -77 (inherited a stale cache)", name, got)
+		}
+		origStats := st.(array.StatsProvider).ChunkStats(1)
+		if got := origStats[0].Attrs[0].Min.AsFloat(); got != 1 {
+			t.Errorf("%s: original min = %v after clone mutation, want 1", name, got)
+		}
+		assertStatsFresh(t, name, st, sch, "post-clone original")
+		assertStatsFresh(t, name, cl, sch, "post-clone clone")
+	}
+}

@@ -38,6 +38,7 @@ type tabularStore struct {
 	// queries (the morsel-driven executor) may race to build it.
 	dimMu   sync.Mutex
 	dimVals [][]int64
+	zm      zoneMaps
 }
 
 // NewTabular creates a tabular store. Cells materialize on first
@@ -125,6 +126,7 @@ func packCoords(coords []int64) string {
 }
 
 func (s *tabularStore) newRow(coords []int64) int {
+	s.zm.bump()
 	row := -1
 	for i := range s.idx {
 		row = s.idx[i].grow()
@@ -165,6 +167,7 @@ func (s *tabularStore) Get(coords []int64, attr int) value.Value {
 }
 
 func (s *tabularStore) Set(coords []int64, attr int, v value.Value) error {
+	s.zm.bump()
 	key := packCoords(coords)
 	row, ok := s.lookup[key]
 	if !ok || s.tomb[row] {
@@ -250,6 +253,13 @@ func (s *tabularStore) ScanChunks(target int, attrs []int) []array.ChunkScan {
 		}
 	}
 	return out
+}
+
+// ChunkStats returns zone maps index-aligned with ScanChunks(target, ·).
+func (s *tabularStore) ChunkStats(target int) []array.ChunkStats {
+	return s.zm.get(target, func() []array.ChunkStats {
+		return computeZoneMaps(s, target, s.dims, s.attrs)
+	})
 }
 
 // DimValues returns the sorted distinct coordinate values along

@@ -17,6 +17,9 @@ type OpStats struct {
 	RowsOut atomic.Int64
 	Chunks  atomic.Int64
 	Cells   atomic.Int64
+	// Skipped counts scan chunks eliminated by zone-map pruning before
+	// any of their cells were visited (chunk skipping).
+	Skipped atomic.Int64
 	// Nanos is cumulative operator wall time summed across workers
 	// (like per-worker totals in parallel EXPLAIN ANALYZE elsewhere),
 	// inclusive of child work on fused pipelines.
@@ -49,7 +52,7 @@ func (o *OpStats) Mode() string {
 // Ran reports whether the operator recorded any activity.
 func (o *OpStats) Ran() bool {
 	return o.Nanos.Load() > 0 || o.RowsOut.Load() > 0 || o.RowsIn.Load() > 0 ||
-		o.Chunks.Load() > 0 || o.Cells.Load() > 0
+		o.Chunks.Load() > 0 || o.Cells.Load() > 0 || o.Skipped.Load() > 0
 }
 
 // Profile is the per-query collector EXPLAIN ANALYZE threads through
@@ -89,6 +92,9 @@ func RenderOp(o *OpStats, showIn bool) string {
 	}
 	if c := o.Cells.Load(); c > 0 {
 		fmt.Fprintf(&sb, " cells=%d", c)
+	}
+	if c := o.Skipped.Load(); c > 0 {
+		fmt.Fprintf(&sb, " chunks_skipped=%d", c)
 	}
 	sb.WriteByte(')')
 	if m := o.Mode(); m != "" {

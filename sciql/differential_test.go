@@ -156,14 +156,46 @@ func (g *queryGen) query() string {
 	return q
 }
 
+// joinQuery yields a two-source hash-join SELECT. The right side is a
+// small slice so the output stays bounded; every column is qualified,
+// both because two sources are in scope and because the zone-map
+// skipper only trusts qualified names under joins. Half the queries
+// omit ORDER BY, pinning the join's deterministic output order
+// (build-side choice, partitioning and probe merging must all
+// reproduce the serial row order byte-for-byte).
+func (g *queryGen) joinQuery() string {
+	rxl, ryl := g.r.Intn(80), g.r.Intn(80)
+	right := fmt.Sprintf("grid[%d:%d][%d:%d]", rxl, rxl+2+g.r.Intn(6), ryl, ryl+2+g.r.Intn(6))
+	on := "l.x = r.x AND l.y = r.y"
+	if g.r.Intn(3) == 0 {
+		on = "l.y = r.y"
+	}
+	q := fmt.Sprintf(
+		"SELECT l.x, l.y, r.x AS rx, r.y AS ry, (l.a + r.b) AS e0, r.c AS e1 FROM grid AS l JOIN %s AS r ON %s",
+		right, on)
+	switch g.r.Intn(3) {
+	case 0:
+		q += fmt.Sprintf(" WHERE l.a < %d", g.r.Intn(9216))
+	case 1:
+		q += fmt.Sprintf(" WHERE l.b >= %d AND r.c IS NOT NULL", g.r.Intn(60)-30)
+	}
+	if g.r.Intn(2) == 0 {
+		q += " ORDER BY l.x, l.y, rx, ry"
+	}
+	return q
+}
+
 // diffQueries is the deterministic random query set: a fixed seed, so
 // every run, every scheme and every engine configuration sees exactly
-// the same SQL.
+// the same SQL. The tail adds hash-join shapes over the same grid.
 func diffQueries() []string {
 	g := &queryGen{r: rand.New(rand.NewSource(0x5c191))}
-	out := make([]string, 0, 24)
+	out := make([]string, 0, 32)
 	for len(out) < 24 {
 		out = append(out, g.query())
+	}
+	for len(out) < 32 {
+		out = append(out, g.joinQuery())
 	}
 	return out
 }
@@ -178,11 +210,12 @@ func sortedLines(rs *Result) string {
 }
 
 // TestDifferentialRandomQueries is the engine's differential oracle:
-// every generated query must render byte-identically across vectorized
-// on/off × parallelism 1/4 within each storage scheme (the serial
-// interpreted run is the reference), and the sorted row sets must
-// agree across all four schemes. Run under -race in CI this also vets
-// the chunk fan-out and kernel paths for data races.
+// every generated query must render byte-identically across chunk
+// skipping on/off × vectorized on/off × parallelism 1/4 within each
+// storage scheme (the serial interpreted unskipped run is the
+// reference), and the sorted row sets must agree across all five
+// schemes. Run under -race in CI this also vets the chunk fan-out,
+// kernel and partitioned-join paths for data races.
 func TestDifferentialRandomQueries(t *testing.T) {
 	queries := diffQueries()
 	crossScheme := make(map[int]map[string]string) // query index -> scheme -> sorted rows
@@ -199,22 +232,26 @@ func TestDifferentialRandomQueries(t *testing.T) {
 			for qi, q := range queries {
 				db.Vectorize(false)
 				db.Parallelism(1)
+				db.ChunkSkip(false)
 				ref, err := db.Query(q)
 				if err != nil {
 					t.Fatalf("reference %s: %v", q, err)
 				}
 				want := ref.String()
-				for _, vec := range []bool{false, true} {
-					for _, par := range []int{1, 4} {
-						db.Vectorize(vec)
-						db.Parallelism(par)
-						got, err := db.Query(q)
-						if err != nil {
-							t.Fatalf("vec=%v par=%d %s: %v", vec, par, q, err)
-						}
-						if got.String() != want {
-							t.Errorf("vec=%v par=%d differs for %s:\ngot:\n%s\nwant:\n%s",
-								vec, par, q, got.String(), want)
+				for _, skip := range []bool{false, true} {
+					for _, vec := range []bool{false, true} {
+						for _, par := range []int{1, 4} {
+							db.ChunkSkip(skip)
+							db.Vectorize(vec)
+							db.Parallelism(par)
+							got, err := db.Query(q)
+							if err != nil {
+								t.Fatalf("skip=%v vec=%v par=%d %s: %v", skip, vec, par, q, err)
+							}
+							if got.String() != want {
+								t.Errorf("skip=%v vec=%v par=%d differs for %s:\ngot:\n%s\nwant:\n%s",
+									skip, vec, par, q, got.String(), want)
+							}
 						}
 					}
 				}

@@ -36,9 +36,9 @@ func TestExplainBoundedSelect(t *testing.T) {
 	assertExplain(t, db,
 		`SELECT v FROM matrix WHERE x = 1 AND y >= 1 AND y < 3 AND v > 1 + 1`,
 		`
-Project v [vectorized]
-  Filter (v > 2) [vectorized]
-    Scan matrix dims[x=1 (pushed), y=[1:3) (pushed)] attrs[v]
+Project v (est_rows=2 cost=68) [vectorized]
+  Filter (v > 2) (est_rows=2 cost=66) [vectorized]
+    Scan matrix dims[x=1 (pushed), y=[1:3) (pushed)] attrs[v] (est_rows=2 cost=64)
 execution: parallelizable (morsel-driven)
 `)
 }
@@ -52,10 +52,10 @@ func TestExplainVectorizedAnnotation(t *testing.T) {
 	assertExplain(t, db,
 		`SELECT MOD(x, 3) AS k, AVG(v) FROM matrix WHERE v > 1 GROUP BY MOD(x, 3)`,
 		`
-Project MOD(x, 3) AS k, AVG(v)
-  Aggregate keys[MOD(x, 3)] aggs[AVG(v)] [vectorized]
-    Filter (v > 1) [vectorized]
-      Scan matrix attrs[v]
+Project MOD(x, 3) AS k, AVG(v) (est_rows=6 cost=197)
+  Aggregate keys[MOD(x, 3)] aggs[AVG(v)] (est_rows=6 cost=191) [vectorized]
+    Filter (v > 1) (est_rows=63 cost=128) [vectorized]
+      Scan matrix attrs[v] (est_rows=64 cost=64)
 execution: parallelizable (morsel-driven)
 `)
 	// CASE is outside the kernel surface: the projection loses its tag
@@ -63,18 +63,18 @@ execution: parallelizable (morsel-driven)
 	assertExplain(t, db,
 		`SELECT CASE WHEN v > 2 THEN 1 ELSE 0 END AS c FROM matrix WHERE v > 1`,
 		`
-Project CASE WHEN (v > 2) THEN 1 ELSE 0 END AS c
-  Filter (v > 1) [vectorized]
-    Scan matrix attrs[v]
+Project CASE WHEN (v > 2) THEN 1 ELSE 0 END AS c (est_rows=63 cost=191)
+  Filter (v > 1) (est_rows=63 cost=128) [vectorized]
+    Scan matrix attrs[v] (est_rows=64 cost=64)
 execution: parallelizable (morsel-driven)
 `)
 	db.Vectorize(false)
 	assertExplain(t, db,
 		`SELECT v FROM matrix WHERE v > 1`,
 		`
-Project v
-  Filter (v > 1)
-    Scan matrix attrs[v]
+Project v (est_rows=63 cost=191)
+  Filter (v > 1) (est_rows=63 cost=128)
+    Scan matrix attrs[v] (est_rows=64 cost=64)
 execution: parallelizable (morsel-driven)
 `)
 }
@@ -85,9 +85,9 @@ func TestExplainTiledAggregation(t *testing.T) {
 	assertExplain(t, db,
 		`SELECT [x], [y], AVG(v) FROM matrix GROUP BY DISTINCT matrix[x:x+2][y:y+2]`,
 		`
-Project [x], [y], AVG(v)
-  TiledAggregate matrix distinct tiles[matrix[x:(x + 2)][y:(y + 2)]] aggs[AVG(v)]
-    Scan matrix attrs[v]
+Project [x], [y], AVG(v) (est_rows=64 cost=384)
+  TiledAggregate matrix distinct tiles[matrix[x:(x + 2)][y:(y + 2)]] aggs[AVG(v)] (est_rows=64 cost=320)
+    Scan matrix attrs[v] (est_rows=64 cost=64)
 execution: parallelizable (morsel-driven)
 `)
 }
@@ -129,4 +129,31 @@ func TestExplainFallbackReason(t *testing.T) {
 	if !strings.Contains(out, "execution: serial interpreter (expression needs engine state)") {
 		t.Fatalf("missing expression gate:\n%s", out)
 	}
+}
+
+// TestExplainJoinCost checks the cost-based annotations on joins: the
+// estimated cardinalities pick the build side (smaller input builds
+// the hash table), and the choice flips with the input order.
+func TestExplainJoinCost(t *testing.T) {
+	db := explainDB(t)
+	db.MustExec(`CREATE ARRAY small (t INTEGER DIMENSION[4], s FLOAT DEFAULT 2.0)`)
+	assertExplain(t, db,
+		`SELECT m.v, s.s FROM matrix AS m JOIN small AS s ON m.x = s.t WHERE m.v < 16`,
+		`
+Project m.v, s.s (est_rows=17 cost=217)
+  Filter (m.v < 16) (est_rows=17 cost=200)
+    Join INNER on (m.x = s.t) (est_rows=64 cost=136 build=right)
+      Scan matrix AS m attrs[v] (est_rows=64 cost=64)
+      Scan small AS s (est_rows=4 cost=4)
+execution: parallelizable (morsel-driven)
+`)
+	assertExplain(t, db,
+		`SELECT s.s, m.v FROM small AS s JOIN matrix AS m ON s.t = m.x`,
+		`
+Project s.s, m.v (est_rows=64 cost=200)
+  Join INNER on (s.t = m.x) (est_rows=64 cost=136 build=left)
+    Scan small AS s (est_rows=4 cost=4)
+    Scan matrix AS m attrs[v] (est_rows=64 cost=64)
+execution: parallelizable (morsel-driven)
+`)
 }

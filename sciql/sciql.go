@@ -256,6 +256,17 @@ func (db *DB) Vectorize(on bool) {
 	db.engine.SetVectorized(on)
 }
 
+// ChunkSkip toggles zone-map chunk skipping. When on (the default),
+// scans consult per-chunk min/max/null statistics and skip chunks no
+// row of which can satisfy the pushed-down filter conjuncts; skipped
+// chunks surface as chunks_skipped in EXPLAIN ANALYZE. Skipping is
+// conservative — predicates are still re-evaluated on surviving
+// chunks — so results are byte-identical either way. The knob exists
+// for benchmarking and the identity test suite.
+func (db *DB) ChunkSkip(on bool) {
+	db.engine.SetChunkSkip(on)
+}
+
 // Explain compiles sql through the query planner (parse → plan →
 // optimize) and returns the rendered operator tree plus an execution-
 // mode line, without running anything. sql may be a SELECT or an
