@@ -1,7 +1,7 @@
 # Tier-1 verification in one command: vet, lint, build, race-enabled tests.
 GO ?= go
 
-.PHONY: all check build test bench lint fuzz-smoke
+.PHONY: all check build test bench lint fuzz-smoke faulttest
 
 all: check
 
@@ -17,6 +17,14 @@ lint:
 	$(GO) vet ./...
 	$(GO) build -o bin/sciql-lint ./cmd/sciql-lint
 	$(GO) vet -vettool=$(CURDIR)/bin/sciql-lint ./...
+
+# faulttest runs the robustness suites under the race detector: the
+# fault-injection invariants (every fault point armed as error and
+# panic, serial/parallel x vectorized/interpreted), the resource
+# governor's public knobs, and the pool's panic containment.
+faulttest:
+	$(GO) test -race -run 'TestFaultInjectionInvariants|TestPanicContainment|TestMemoryBudget|TestStatementTimeout|TestCallerCancelIsNotStatementTimeout|TestAdmission|TestDrain|TestGovernorTelemetrySeries' ./sciql/
+	$(GO) test -race ./internal/governor/ ./internal/faultinject/ ./internal/parallel/
 
 # fuzz-smoke gives each fuzz target a short budget; crash artifacts
 # land in testdata/fuzz/ and become regression seeds.

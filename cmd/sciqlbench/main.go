@@ -15,6 +15,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -22,6 +23,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/experiments"
@@ -38,6 +40,7 @@ var (
 	p5out = flag.String("p5out", "", "write the P5 measurements as JSON to this file")
 	p6out = flag.String("p6out", "", "write the P6 measurements as JSON to this file")
 	p8out = flag.String("p8out", "", "write the P8 measurements as JSON to this file")
+	p9out = flag.String("p9out", "", "write the P9 measurements as JSON to this file")
 )
 
 func main() {
@@ -62,6 +65,7 @@ func main() {
 	runP5()
 	runP6()
 	runP8()
+	runP9()
 }
 
 func want(id string) bool {
@@ -1223,5 +1227,165 @@ func runP8() {
 			fail("P8", err)
 		}
 		fmt.Printf("(P8 measurements written to %s)\n\n", *p8out)
+	}
+}
+
+// p9AdmissionPoint is one admission-control throughput measurement:
+// a fixed client fleet against 4 execution slots and one queue depth.
+type p9AdmissionPoint struct {
+	QueueDepth int     `json:"queue_depth"`
+	Clients    int     `json:"clients"`
+	Completed  int64   `json:"completed"`
+	Rejected   int64   `json:"rejected"`
+	WallMs     float64 `json:"wall_ms"`
+	Qps        float64 `json:"qps"`
+}
+
+// p9Result is the recorded shape of the P9 experiment: resource-
+// governor overhead on the 1M-cell filter scan (armed vs unarmed,
+// byte-identical results enforced) and admission-control throughput at
+// three queue depths. -p9out writes the latest run (truncating);
+// committing BENCH_P9.json per change keeps the trajectory in git
+// history.
+type p9Result struct {
+	Experiment  string             `json:"experiment"`
+	Cells       int64              `json:"cells"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	Rows        int                `json:"rows"`
+	UnarmedMs   float64            `json:"unarmed_ms"`
+	ArmedMs     float64            `json:"armed_ms"`
+	OverheadPct float64            `json:"overhead_pct"`
+	Admission   []p9AdmissionPoint `json:"admission"`
+}
+
+// runP9 measures the resource governor. Part one: the vectorized
+// 1M-cell filter scan with the governor unarmed (no limits: budgeting
+// is a nil pointer on the scan path) vs armed with generous limits
+// (every chunk charges its byte estimate, the statement timer runs) —
+// the target is <= 5% overhead with byte-identical results. Part two:
+// admission-control throughput: a fleet of clients hammers 4 execution
+// slots through wait queues of depth 1, 8 and 64; deeper queues trade
+// rejections for completed work at roughly constant service rate.
+func runP9() {
+	if !want("P9") {
+		return
+	}
+	n := int64(1024)
+	iters := 5
+	clients, perClient := 16, 12
+	if *quick {
+		n = 512
+		iters = 3
+		perClient = 6
+	}
+	header("P9", fmt.Sprintf("resource governor overhead + admission throughput (%dx%d = %d cells, GOMAXPROCS=%d)",
+		n, n, n*n, runtime.GOMAXPROCS(0)))
+	db := sciql.Open()
+	db.MustExec(fmt.Sprintf(`CREATE ARRAY gscan (x INTEGER DIMENSION[%d], y INTEGER DIMENSION[%d],
+		v FLOAT DEFAUL`+`T 0.0)`, n, n))
+	db.MustExec(`UPDATE gscan SET v = x * ` + fmt.Sprint(n) + ` + y`)
+	db.Parallelism(1)
+	db.Vectorize(true)
+
+	cells := n * n
+	q := fmt.Sprintf(`SELECT x, y, v FROM gscan WHERE v < %d`, cells/2)
+	best := func() (time.Duration, string) {
+		bd, out := time.Duration(0), ""
+		for i := 0; i < iters; i++ {
+			var s string
+			d, err := timeIt(func() error {
+				rs, e := db.Query(q)
+				if e == nil {
+					s = rs.String()
+				}
+				return e
+			})
+			if err != nil {
+				fail("P9", err)
+			}
+			if bd == 0 || d < bd {
+				bd = d
+			}
+			out = s
+		}
+		return bd, out
+	}
+
+	res := p9Result{Experiment: "P9", Cells: cells, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	dOff, outOff := best()
+	// Armed: generous limits nothing trips, so the measurement isolates
+	// the accounting cost — admission slot, statement timer, and the
+	// per-chunk budget charges.
+	db.SetMemoryLimit(1<<40, 1<<40)
+	db.SetStatementTimeout(time.Hour)
+	db.SetMaxConcurrentQueries(64)
+	dOn, outOn := best()
+	db.SetMemoryLimit(0, 0)
+	db.SetStatementTimeout(0)
+	db.SetMaxConcurrentQueries(0)
+	if outOn != outOff {
+		fail("P9", fmt.Errorf("governed scan result differs from ungoverned"))
+	}
+	res.Rows = strings.Count(outOff, "\n")
+	res.UnarmedMs = float64(dOff.Microseconds()) / 1000
+	res.ArmedMs = float64(dOn.Microseconds()) / 1000
+	res.OverheadPct = (float64(dOn.Nanoseconds())/float64(dOff.Nanoseconds()) - 1) * 100
+	fmt.Printf("filter scan, governor unarmed: %8.1f ms\n", res.UnarmedMs)
+	fmt.Printf("filter scan, governor armed:   %8.1f ms  (byte-identical)\n", res.ArmedMs)
+	fmt.Printf("governor overhead: %+.1f%% (target <= 5%%)\n", res.OverheadPct)
+
+	// Admission throughput: a cheap per-query workload so the queue —
+	// not the scan — is the contended resource.
+	adb := sciql.Open()
+	adb.MustExec(`CREATE ARRAY asmall (x INTEGER DIMENSION[256], y INTEGER DIMENSION[256], v FLOAT DEFAUL` + `T 0.0);
+		UPDATE asmall SET v = x + y`)
+	const aq = `SELECT x, y, v FROM asmall WHERE v > 128`
+	adb.SetMaxConcurrentQueries(4)
+	fmt.Printf("%-12s %10s %10s %10s %10s\n", "queue depth", "completed", "rejected", "wall ms", "qps")
+	for _, depth := range []int{1, 8, 64} {
+		adb.SetAdmissionQueue(depth, 50*time.Millisecond)
+		var completed, rejected int64
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perClient; i++ {
+					_, err := adb.Query(aq)
+					switch {
+					case err == nil:
+						atomic.AddInt64(&completed, 1)
+					case errors.Is(err, sciql.ErrAdmission):
+						atomic.AddInt64(&rejected, 1)
+					default:
+						fail("P9", err)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		wall := time.Since(t0)
+		pt := p9AdmissionPoint{
+			QueueDepth: depth,
+			Clients:    clients,
+			Completed:  completed,
+			Rejected:   rejected,
+			WallMs:     float64(wall.Microseconds()) / 1000,
+			Qps:        float64(completed) / wall.Seconds(),
+		}
+		res.Admission = append(res.Admission, pt)
+		fmt.Printf("%-12d %10d %10d %10.1f %10.0f\n", depth, pt.Completed, pt.Rejected, pt.WallMs, pt.Qps)
+	}
+	fmt.Println()
+	if *p9out != "" {
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fail("P9", err)
+		}
+		if err := os.WriteFile(*p9out, append(buf, '\n'), 0o644); err != nil {
+			fail("P9", err)
+		}
+		fmt.Printf("(P9 measurements written to %s)\n\n", *p9out)
 	}
 }

@@ -23,14 +23,22 @@ import (
 //     vals []value.Value) bool), which is the per-cell "loop" of every
 //     storage scheme even though no for keyword appears.
 //
+// The resource governor's Budget.Charge follows the same discipline:
+// every charge is an atomic add on the per-statement and database-wide
+// counters (plus a gauge store), so charging per cell has the same
+// cache-line ping-pong cost as a per-cell instrument. Hot loops
+// accumulate byte estimates into plain locals and charge once per
+// chunk (chargeBudget), and the analyzer flags Budget.Charge in
+// per-cell contexts exactly like an instrument mutation.
+//
 // Calling a flush helper (which does the atomic adds) from a per-chunk
 // loop stays legal: the analyzer is intra-procedural by design — the
 // sanctioned pattern routes atomics through a once-per-chunk function,
 // and that is exactly what it cannot see into.
 var HotLoopFlush = &analysis.Analyzer{
 	Name: "hotloopflush",
-	Doc: "no telemetry atomics inside per-cell loops in internal/exec and internal/bat; " +
-		"accumulate into locals and flush once per chunk",
+	Doc: "no telemetry atomics or governor budget charges inside per-cell loops in " +
+		"internal/exec and internal/bat; accumulate into locals and flush once per chunk",
 	Run: runHotLoopFlush,
 }
 
@@ -90,11 +98,20 @@ func hotWalk(pass *analysis.Pass, n ast.Node, hot bool) {
 			if !hot {
 				return true
 			}
-			if recv, method, ok := methodCall(x); ok && telemetryAtomicMethods[method] {
-				if pkg, name, ok := namedFrom(pass.TypeOf(recv)); ok &&
-					telemetryInstrumentTypes[name] && pkgPathHasSuffix(pkg, "telemetry") {
-					pass.Reportf(x.Pos(),
-						"telemetry %s.%s() inside a per-cell loop: accumulate into a local and flush once per chunk", name, method)
+			if recv, method, ok := methodCall(x); ok {
+				if telemetryAtomicMethods[method] {
+					if pkg, name, ok := namedFrom(pass.TypeOf(recv)); ok &&
+						telemetryInstrumentTypes[name] && pkgPathHasSuffix(pkg, "telemetry") {
+						pass.Reportf(x.Pos(),
+							"telemetry %s.%s() inside a per-cell loop: accumulate into a local and flush once per chunk", name, method)
+					}
+				}
+				if method == "Charge" {
+					if pkg, name, ok := namedFrom(pass.TypeOf(recv)); ok &&
+						name == "Budget" && pkgPathHasSuffix(pkg, "governor") {
+						pass.Reportf(x.Pos(),
+							"governor Budget.Charge() inside a per-cell loop: accumulate bytes into a local and charge once per chunk")
+					}
 				}
 			}
 		}

@@ -1,0 +1,9 @@
+// Package governor is a fixture stand-in for the engine's resource
+// governor. The hotloopflush analyzer matches Budget.Charge by
+// receiver type name and package path suffix ("governor"), so the stub
+// only needs a matching shape.
+package governor
+
+type Budget struct{ used int64 }
+
+func (b *Budget) Charge(n int64) error { return nil }

@@ -1,0 +1,48 @@
+package exec
+
+import (
+	"governor"
+	"value"
+)
+
+// Budget.Charge is an atomic add on shared counters, so the per-cell
+// discipline applies to it exactly like a telemetry instrument.
+
+func perCellCharge(b *governor.Budget, n int) {
+	for i := 0; i < n; i++ {
+		b.Charge(8) // want `governor Budget\.Charge\(\) inside a per-cell loop`
+	}
+}
+
+func perCellChargeRange(b *governor.Budget, rows []value.Value) {
+	for range rows {
+		b.Charge(64) // want `governor Budget\.Charge\(\) inside a per-cell loop`
+	}
+}
+
+// A store-scan visitor literal is per-cell even without a for keyword.
+func visitorCharge(b *governor.Budget) func(coords []int64, vals []value.Value) bool {
+	return func(coords []int64, vals []value.Value) bool {
+		b.Charge(16) // want `governor Budget\.Charge\(\) inside a per-cell loop`
+		return true
+	}
+}
+
+// The sanctioned shape: accumulate bytes into a plain local per cell
+// and charge once per chunk through a helper. Clean.
+func perChunkCharge(b *governor.Budget, chunks [][]value.Value) error {
+	for _, ch := range chunks {
+		var bytes int64
+		for range ch {
+			bytes += 8
+		}
+		if err := chargeChunk(b, bytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func chargeChunk(b *governor.Budget, n int64) error {
+	return b.Charge(n)
+}

@@ -1,0 +1,31 @@
+package bat
+
+// ApproxBytes estimates the heap footprint of a vector's payload for
+// memory-budget accounting. The estimate is deliberately cheap — O(1)
+// for fixed-width vectors, O(n) only for strings — and stable across
+// runs, which is what the governor needs: a monotonic, reproducible
+// proxy for bytes materialized, not an allocator-exact figure.
+func ApproxBytes(v Vector) int64 {
+	if v == nil {
+		return 0
+	}
+	n := int64(v.Len())
+	switch vv := v.(type) {
+	case *IntVector:
+		return n * 8
+	case *FloatVector:
+		return n * 8
+	case *BoolVector:
+		return n
+	case *StringVector:
+		b := n * 16 // string headers
+		for _, s := range vv.data {
+			b += int64(len(s))
+		}
+		return b
+	default:
+		// AnyVector and future types: value.Value is ~64 bytes of struct
+		// plus boxed payload; 80 is a round conservative figure.
+		return n * 80
+	}
+}

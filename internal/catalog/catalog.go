@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/array"
 	"repro/internal/bat"
+	"repro/internal/faultinject"
 	"repro/internal/sql/ast"
 	"repro/internal/telemetry"
 	"repro/internal/value"
@@ -622,6 +623,12 @@ func (m *Mutation) RollbackTo(sp *Savepoint) {
 func (m *Mutation) Commit() error {
 	if m.done {
 		return errors.New("catalog: mutation already finished")
+	}
+	// The commit fault point fires before the mutation is marked done,
+	// so the caller's deferred Abort still runs — releasing the writer
+	// lock — whether the injected failure is an error or a panic.
+	if err := faultinject.Hit("catalog.commit"); err != nil {
+		return err
 	}
 	m.done = true
 	if m.exclusive {

@@ -4,13 +4,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/array"
 	"repro/internal/catalog"
 	"repro/internal/expr"
+	"repro/internal/governor"
 	"repro/internal/parallel"
 	"repro/internal/sql/ast"
 	"repro/internal/storage"
@@ -79,6 +82,10 @@ type Shared struct {
 	vecMu     sync.Mutex
 	vecCache  map[vecCacheKey]*vecCacheEntry
 	fusedSkip map[*ast.Select]int64
+	// gov is the database's resource governor: admission control,
+	// statement timeouts and memory budgets. Nil on a Shared
+	// constructed without New (governor methods are nil-receiver safe).
+	gov *governor.Governor
 	// met holds the database's pre-resolved telemetry instruments
 	// (engine counters, latency histograms, gauges); nil only when the
 	// Shared was constructed without New — metrics() falls back to a
@@ -95,6 +102,10 @@ type Shared struct {
 	// membership doubles as the hooks' idempotency token.
 	curMu  sync.Mutex
 	curRel map[int64]func()
+	// curSeq mints tokens for non-pin cursor releases (governance
+	// cleanups entered in the same ledgers under negative keys, so they
+	// never collide with pinSeq's positive pin tokens).
+	curSeq atomic.Int64
 }
 
 // Engine is one session executing SciQL statements against the shared
@@ -127,6 +138,16 @@ type Engine struct {
 	// exactly one statement; nil (the overwhelmingly common case) skips
 	// every collection site on a single pointer test.
 	prof *telemetry.Profile
+	// budget is the memory account of the in-flight governed statement;
+	// nil when no memory limit is configured (charge sites pay one nil
+	// check). Streaming plans copy it at compile time (streamPlan.budget)
+	// so cursor workers never read session state.
+	budget *governor.Budget
+	// stmtDepth counts nested ExecContext frames: governance (admission,
+	// timeout, budget, panic containment) applies only at depth zero, so
+	// a streaming cursor's materializing fallback is not admitted or
+	// budgeted twice.
+	stmtDepth int
 	// curPins holds the release hooks of this session's open streaming
 	// cursors, keyed by pin token; the connection layer drains it on
 	// teardown (ReleaseCursorPins) so a Rows abandoned without Close
@@ -184,7 +205,16 @@ func New() *Engine {
 		chunkSkip:    true,
 		met:          newEngineMetrics(reg),
 		pins:         make(map[int64]time.Time),
+		gov:          &governor.Governor{},
 	}
+	sh.gov.SetMetrics(governor.Metrics{
+		Admitted:     reg.Counter("queries_admitted_total"),
+		Rejected:     reg.Counter("queries_rejected_total"),
+		TimedOut:     reg.Counter("queries_timed_out_total"),
+		Panicked:     reg.Counter("queries_panicked_total"),
+		BudgetAborts: reg.Counter("mem_budget_aborts_total"),
+		MemInUse:     reg.Gauge("mem_in_use_bytes"),
+	})
 	sh.Cat.SetMetrics(reg.Counter("catalog_cow_clone_total"), reg.Counter("catalog_cow_clone_bytes_total"))
 	reg.RegisterFunc("snapshot_pin_age_seconds", sh.oldestPinAgeSeconds)
 	reg.RegisterFunc("catalog_version", sh.Cat.Version)
@@ -258,8 +288,12 @@ func (e *Engine) runWrite(fn func() error) error {
 	if err := fn(); err != nil {
 		return err
 	}
-	committed = true
-	return m.Commit()
+	// Commit only marks the statement committed when it succeeds: a
+	// failing (or panicking) commit falls through to the deferred Abort,
+	// which releases the writer lock instead of leaving it held.
+	err := m.Commit()
+	committed = err == nil
+	return err
 }
 
 // Begin starts an explicit transaction: reads pin the current catalog
@@ -401,11 +435,52 @@ func (e *Engine) Exec(stmt ast.Statement, params map[string]value.Value) (*Datas
 
 // ExecContext is Exec bound to a context: cancellation stops long
 // scans (serial loops check periodically; the morsel pool checks in
-// its worker loop) and the statement returns ctx.Err().
-func (e *Engine) ExecContext(ctx context.Context, stmt ast.Statement, params map[string]value.Value) (*Dataset, error) {
+// its worker loop) and the statement returns ctx.Err(). It is also the
+// governance boundary: the statement acquires an admission slot and a
+// memory budget, runs under the statement timeout, and any panic it
+// raises is contained here — converted into a *governor.PanicError
+// while the session's snapshot/transaction state unwinds through the
+// inner defers, leaving the session usable.
+func (e *Engine) ExecContext(ctx context.Context, stmt ast.Statement, params map[string]value.Value) (ds *Dataset, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if e.stmtDepth > 0 {
+		// Nested frame (a streaming cursor's materializing fallback): the
+		// outer boundary already admitted, budgeted and armed the timer.
+		return e.execPinned(ctx, stmt, params)
+	}
+	gov := e.gov
+	release, err := gov.Admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	sctx, cancel := gov.WithStatementTimeout(ctx)
+	defer cancel()
+	bud := gov.NewBudget()
+	e.budget = bud
+	e.stmtDepth++
+	defer func() {
+		e.stmtDepth--
+		e.budget = nil
+		bud.Release()
+		// The inner defers (snapshot unpin, qctx restore, mutation abort)
+		// have already run during the unwind by the time this recover
+		// fires, so the session is consistent when the panic surfaces as
+		// an error.
+		if r := recover(); r != nil {
+			ds, err = nil, governor.NewPanicError(r, debug.Stack())
+		}
+		err = govFinish(gov, sctx, err)
+	}()
+	return e.execPinned(sctx, stmt, params)
+}
+
+// execPinned runs one statement inside the governance boundary:
+// snapshot pinning, per-statement context bookkeeping and statement
+// metrics — ExecContext's historical body.
+func (e *Engine) execPinned(ctx context.Context, stmt ast.Statement, params map[string]value.Value) (*Dataset, error) {
 	prev := e.qctx
 	prevSnap := e.snap
 	e.qctx = ctx

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bat"
 	"repro/internal/expr"
+	"repro/internal/faultinject"
 	"repro/internal/sql/ast"
 	"repro/internal/value"
 )
@@ -81,12 +82,26 @@ func (e *Engine) extractJoinKeys(ds *Dataset, cols []int, par int) (*joinKeys, e
 		if err != nil {
 			return nil, err
 		}
-		return jk, nil
+		return jk, e.chargeJoinKeys(jk)
 	}
 	if err := fill(0, n, func(int) error { return e.canceled() }); err != nil {
 		return nil, err
 	}
-	return jk, nil
+	return jk, e.chargeJoinKeys(jk)
+}
+
+// chargeJoinKeys posts one side's key material to the statement budget
+// (one charge per side; the byte walk runs only when a budget is
+// armed).
+func (e *Engine) chargeJoinKeys(jk *joinKeys) error {
+	if e.budget == nil {
+		return nil
+	}
+	n := int64(len(jk.key)) * 25 // string header + hash + null flag
+	for _, k := range jk.key {
+		n += int64(len(k))
+	}
+	return chargeBudget(e.budget, n)
 }
 
 // fnv64a is the FNV-1a hash of s (inlined to avoid per-row hasher
@@ -109,14 +124,25 @@ type joinPartitions struct {
 }
 
 func (e *Engine) buildJoinPartitions(keys *joinKeys, nparts int, par int) (*joinPartitions, error) {
+	if err := faultinject.Hit("join.build"); err != nil {
+		return nil, err
+	}
 	jp := &joinPartitions{mask: uint64(nparts - 1), idx: make([]map[string][]int, nparts)}
 	rows := make([][]int, nparts)
+	built := int64(0)
 	for i := range keys.key {
 		if keys.null[i] {
 			continue
 		}
 		p := keys.hash[i] & jp.mask
 		rows[p] = append(rows[p], i)
+		built++
+	}
+	// Hash-table footprint: per build row, a partition index entry plus
+	// its share of map bucket overhead (keys alias the extracted key
+	// strings, charged by chargeJoinKeys).
+	if err := chargeBudget(e.budget, built*40); err != nil {
+		return nil, err
 	}
 	build := func(p int) {
 		m := make(map[string][]int, len(rows[p]))
@@ -375,6 +401,9 @@ func (e *Engine) join(l, r *Dataset, j *ast.Join, outer expr.Env, par int) (*Dat
 	}
 	for c := range r.Cols {
 		out.Vecs[len(l.Cols)+c] = r.Vecs[c].Gather(rightIdx)
+	}
+	if err := chargeBudget(e.budget, approxDatasetBytes(out)); err != nil {
+		return nil, err
 	}
 	if pf != nil {
 		pf.Join.AddNanos(time.Since(t0))

@@ -344,9 +344,14 @@ func (e *Engine) execValueGroupBy(sel *ast.Select, items []ast.SelectItem, havin
 			vecOK = false
 		}
 	}
+	// groupStateBytes is the budget estimate per first-encountered key:
+	// a hash map entry plus one accumulator per aggregate call.
+	groupStateBytes := int64(64 + 80*len(ac.calls))
 	// processRange folds rows [lo, hi) into wm, calling onNew for each
 	// first-encountered key; serial marks the cancellation-checking
-	// single-threaded caller.
+	// single-threaded caller. The callers charge wm's group state to the
+	// statement budget once per range (one morsel, or the whole serial
+	// fold) — the hotloopflush discipline, no atomics in the row loop.
 	processRange := func(wm map[string]*group, onNew func(string), lo, hi int, env *rowEnv, serial bool) error {
 		if vecOK {
 			var sb strings.Builder
@@ -443,7 +448,10 @@ func (e *Engine) execValueGroupBy(sel *ast.Select, items []ast.SelectItem, havin
 			wm := make(map[string]*group)
 			partials[m.Lo/morsel] = wm
 			env := &rowEnv{d: ds, outer: outer}
-			return processRange(wm, nil, m.Lo, m.Hi, env, false)
+			if err := processRange(wm, nil, m.Lo, m.Hi, env, false); err != nil {
+				return err
+			}
+			return chargeBudget(e.budget, int64(len(wm))*groupStateBytes)
 		})
 		if err != nil {
 			return nil, err
@@ -476,6 +484,9 @@ func (e *Engine) execValueGroupBy(sel *ast.Select, items []ast.SelectItem, havin
 	} else {
 		env := &rowEnv{d: ds, outer: outer}
 		if err := processRange(groups, func(key string) { order = append(order, key) }, 0, n, env, true); err != nil {
+			return nil, err
+		}
+		if err := chargeBudget(e.budget, int64(len(groups))*groupStateBytes); err != nil {
 			return nil, err
 		}
 	}

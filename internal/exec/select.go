@@ -8,6 +8,7 @@ import (
 	"repro/internal/array"
 	"repro/internal/bat"
 	"repro/internal/expr"
+	"repro/internal/faultinject"
 	"repro/internal/plan"
 	"repro/internal/sql/ast"
 	"repro/internal/value"
@@ -992,6 +993,9 @@ func (e *Engine) scanArrayPruned(a *array.Array, qual string, sels []dimSel, res
 	row := make([]value.Value, len(cols))
 	var visited int
 	var scanErr error
+	if err := faultinject.Hit("scan.chunk"); err != nil {
+		return nil, err
+	}
 	e.skippedScan(a.Store, attrs, sk, e.prof)(func(coords []int64, vals []value.Value) bool {
 		visited++
 		if visited&8191 == 0 {
@@ -1012,6 +1016,9 @@ func (e *Engine) scanArrayPruned(a *array.Array, qual string, sels []dimSel, res
 	})
 	if scanErr != nil {
 		return nil, scanErr
+	}
+	if err := chargeBudget(e.budget, approxDatasetBytes(out)); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -1061,8 +1068,12 @@ func (e *Engine) scanChunksParallel(a *array.Array, cols []Col, eff []dimSel, ch
 	nd := len(a.Schema.Dims)
 	parts := make([]*Dataset, len(chunks))
 	ctx := e.ctx()
+	bud := e.budget
 	err := e.pool.ForEachCtx(ctx, len(chunks), 1, func(m parallelMorsel) error {
 		for ci := m.Lo; ci < m.Hi; ci++ {
+			if err := faultinject.Hit("scan.chunk"); err != nil {
+				return err
+			}
 			part := NewDataset(cols)
 			row := make([]value.Value, len(cols))
 			visited := 0
@@ -1087,6 +1098,11 @@ func (e *Engine) scanChunksParallel(a *array.Array, cols []Col, eff []dimSel, ch
 			})
 			if stop != nil {
 				return stop
+			}
+			// One charge per chunk buffer (the merge below concatenates
+			// into parts[0], whose growth these charges already cover).
+			if err := chargeBudget(bud, approxDatasetBytes(part)); err != nil {
+				return err
 			}
 			parts[ci] = part
 		}

@@ -4,11 +4,14 @@ import (
 	"context"
 	"fmt"
 	"iter"
+	"runtime/debug"
 	"strings"
 	"time"
 
 	"repro/internal/array"
 	"repro/internal/bat"
+	"repro/internal/faultinject"
+	"repro/internal/governor"
 	"repro/internal/sql/ast"
 	"repro/internal/telemetry"
 	"repro/internal/value"
@@ -73,6 +76,10 @@ type Cursor struct {
 	// onClose releases resources held for the cursor's lifetime (the
 	// session's pinned catalog snapshot); run once, on first Close.
 	onClose func()
+	// mapErr translates terminal errors at the governance boundary
+	// (timeout translation, panic accounting); nil on ungoverned
+	// cursors. Applied once — c.err latches the translated error.
+	mapErr func(error) error
 	// batchCols is the static output column template of a vectorized
 	// cursor (kernel result types; all-NULL columns refine to Float at
 	// materialization, like the interpreter's type promotion).
@@ -86,10 +93,29 @@ type Cursor struct {
 // qualifiers and dimension flags are exact.
 func (c *Cursor) Cols() []Col { return c.cols }
 
+// finishErr terminates the cursor with err: the governance boundary's
+// translation applies (once — c.err latches the result), the cursor
+// closes, and later Next calls keep returning the same error.
+func (c *Cursor) finishErr(err error) error {
+	if c.mapErr != nil {
+		err = c.mapErr(err)
+	}
+	c.err = err
+	c.Close()
+	return err
+}
+
 // Next returns the next row, or (nil, nil) after the last one. The
 // returned slice is owned by the caller. After an error, Next keeps
-// returning the same error.
-func (c *Cursor) Next() ([]value.Value, error) {
+// returning the same error. A panic in the producing pipeline is
+// contained here: it surfaces as a *governor.PanicError and the
+// cursor's resources (snapshot pin, workers) are released.
+func (c *Cursor) Next() (row []value.Value, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			row, err = nil, c.finishErr(governor.NewPanicError(r, debug.Stack()))
+		}
+	}()
 	if c.err != nil {
 		return nil, c.err
 	}
@@ -113,9 +139,7 @@ func (c *Cursor) Next() ([]value.Value, error) {
 				return nil, nil
 			}
 			if b.err != nil {
-				c.err = b.err
-				c.Close()
-				return nil, b.err
+				return nil, c.finishErr(b.err)
 			}
 			c.batch, c.batchRow = b.ds, 0
 		}
@@ -129,40 +153,63 @@ func (c *Cursor) Next() ([]value.Value, error) {
 		return nil, nil
 	}
 	if it.err != nil {
-		c.err = it.err
-		c.Close()
-		return nil, it.err
+		return nil, c.finishErr(it.err)
 	}
 	return it.row, nil
 }
 
 // Close releases the stream: the producing coroutine is stopped and
 // any in-flight parallel workers are canceled. Safe to call multiple
-// times.
+// times. The resource teardown runs in a deferred block so a failure
+// mid-close (the cursor.close fault point, a panicking stop hook) can
+// never leak the snapshot pin or the admission slot.
 func (c *Cursor) Close() {
+	defer func() {
+		r := recover()
+		if c.cancel != nil {
+			c.cancel()
+		}
+		if c.stop != nil {
+			c.stop()
+		}
+		if c.stopBatch != nil {
+			c.stopBatch()
+		}
+		if c.onClose != nil {
+			oc := c.onClose
+			c.onClose = nil
+			oc()
+		}
+		if r != nil {
+			err := error(governor.NewPanicError(r, debug.Stack()))
+			if c.mapErr != nil {
+				err = c.mapErr(err)
+			}
+			if c.err == nil {
+				c.err = err
+			}
+		}
+	}()
 	c.done = true
-	if c.cancel != nil {
-		c.cancel()
-	}
-	if c.stop != nil {
-		c.stop()
-	}
-	if c.stopBatch != nil {
-		c.stopBatch()
-	}
-	if c.onClose != nil {
-		c.onClose()
-		c.onClose = nil
+	if err := faultinject.Hit("cursor.close"); err != nil {
+		if c.err == nil {
+			c.err = err
+		}
 	}
 }
 
 // Materialize drains the cursor into a dataset with the same column
 // metadata and type promotion as the materializing execution path, so
 // the two views of one query are byte-identical.
-func (c *Cursor) Materialize() (*Dataset, error) {
+func (c *Cursor) Materialize() (ds *Dataset, err error) {
 	if c.ds != nil {
 		return c.ds, nil
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			ds, err = nil, c.finishErr(governor.NewPanicError(r, debug.Stack()))
+		}
+	}()
 	defer c.Close()
 	if c.nextBatch != nil {
 		// Vectorized cursors materialize by concatenating batch columns
@@ -182,7 +229,7 @@ func (c *Cursor) Materialize() (*Dataset, error) {
 				break
 			}
 			if b.err != nil {
-				return nil, b.err
+				return nil, c.finishErr(b.err)
 			}
 			for i := range acc {
 				acc[i] = bat.Concat(acc[i], b.ds.Vecs[i])
@@ -247,6 +294,10 @@ type streamPlan struct {
 	// copied from the session at compile time so parallel workers never
 	// read session state; nil on unprofiled statements.
 	prof *telemetry.Profile
+	// budget is the statement's memory account, copied from the session
+	// at compile time for the same reason as prof; nil when no memory
+	// limit is configured.
+	budget *governor.Budget
 }
 
 // streamCounts accumulates one scan segment's row-flow locally (plain
@@ -439,13 +490,75 @@ func (e *Engine) vecProcessBatch(sp *streamPlan, in *Dataset, max int) *Dataset 
 
 // QueryStream executes a SELECT as a row stream. Statements whose
 // shape does not qualify for incremental execution are materialized
-// (honoring ctx) and streamed from the completed dataset.
-func (e *Engine) QueryStream(ctx context.Context, sel *ast.Select, params map[string]value.Value) (*Cursor, error) {
+// (honoring ctx) and streamed from the completed dataset. Like
+// ExecContext it is a governance boundary, but the admission slot,
+// memory budget and statement timer live for the cursor's lifetime:
+// they release on Cursor.Close (or the teardown safety nets), not when
+// this call returns.
+func (e *Engine) QueryStream(ctx context.Context, sel *ast.Select, params map[string]value.Value) (cur *Cursor, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if e.stmtDepth > 0 {
+		return e.queryStreamPinned(ctx, sel, params)
+	}
+	gov := e.gov
+	admitRel, err := gov.Admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	sctx, cancel := gov.WithStatementTimeout(ctx)
+	bud := gov.NewBudget()
+	e.budget = bud
+	e.stmtDepth++
+	cleanup := func() {
+		cancel()
+		bud.Release()
+		admitRel()
+	}
+	defer func() {
+		e.stmtDepth--
+		e.budget = nil
+		if r := recover(); r != nil {
+			cur, err = nil, governor.NewPanicError(r, debug.Stack())
+		}
+		err = govFinish(gov, sctx, err)
+		if err != nil || cur == nil {
+			cleanup()
+			return
+		}
+		// Success: governance outlives the call. Terminal errors reported
+		// through the cursor translate at the same boundary, and the
+		// cursor's close hook — ledgered so teardown safety nets reach it
+		// for cursors abandoned without Close — releases slot, budget and
+		// timer.
+		govRel := e.registerCursorRelease(cleanup)
+		cur.mapErr = func(err error) error { return govFinish(gov, sctx, err) }
+		prev := cur.onClose
+		cur.onClose = func() {
+			if prev != nil {
+				prev()
+			}
+			govRel()
+		}
+	}()
+	return e.queryStreamPinned(sctx, sel, params)
+}
+
+// queryStreamPinned is QueryStream inside the governance boundary:
+// snapshot pinning, stream compilation and the materializing fallback.
+func (e *Engine) queryStreamPinned(ctx context.Context, sel *ast.Select, params map[string]value.Value) (*Cursor, error) {
 	start := time.Now()
 	release := e.pinCursorSnapshot()
+	// The pin releases on every exit — error, fallback, or a panic
+	// propagating through compilation or the materializing fallback —
+	// except when ownership transfers to the returned stream cursor.
+	pinHeld := release != nil
+	defer func() {
+		if pinHeld {
+			release()
+		}
+	}()
 	norm := make(map[string]value.Value, len(params))
 	for k, v := range params {
 		norm[strings.ToLower(k)] = v
@@ -453,9 +566,6 @@ func (e *Engine) QueryStream(ctx context.Context, sel *ast.Select, params map[st
 	env := &baseEnv{params: norm}
 	sp, ok, err := e.compileStream(sel, env)
 	if err != nil {
-		if release != nil {
-			release()
-		}
 		e.metrics().statement("select", time.Since(start))
 		return nil, err
 	}
@@ -463,9 +573,6 @@ func (e *Engine) QueryStream(ctx context.Context, sel *ast.Select, params map[st
 		// The materializing fallback runs through ExecContext, which
 		// does its own statement accounting and snapshot pinning.
 		ds, err := e.ExecContext(ctx, sel, params)
-		if release != nil {
-			release()
-		}
 		if err != nil {
 			return nil, err
 		}
@@ -479,6 +586,7 @@ func (e *Engine) QueryStream(ctx context.Context, sel *ast.Select, params map[st
 		}
 		met.statement("select", time.Since(start))
 	}
+	pinHeld = false
 	return cur, nil
 }
 
@@ -579,7 +687,7 @@ func (e *Engine) compileStream(sel *ast.Select, env *baseEnv) (*streamPlan, bool
 	if e.fromIsVacuous(sel, env) {
 		return nil, false, nil
 	}
-	sp := &streamPlan{arr: arr, qual: tr.Name, limit: -1, outer: env, prof: e.prof}
+	sp := &streamPlan{arr: arr, qual: tr.Name, limit: -1, outer: env, prof: e.prof, budget: e.budget}
 	if tr.Alias != "" {
 		sp.qual = tr.Alias
 	}
@@ -677,6 +785,10 @@ func (e *Engine) serialStreamCursor(ctx context.Context, sp *streamPlan, cols []
 		var cnt streamCounts
 		scanStart := time.Now()
 		defer func() { e.flushStreamCounts(sp, &cnt, time.Since(scanStart)) }()
+		if err := faultinject.Hit("scan.chunk"); err != nil {
+			yield(cursorItem{err: err})
+			return
+		}
 		scan(func(coords []int64, vals []value.Value) bool {
 			cnt.visited++
 			if cnt.visited&255 == 0 {
@@ -773,6 +885,9 @@ func (e *Engine) parallelStreamCursor(ctx context.Context, sp *streamPlan, chunk
 			defer close(ch)
 			err := e.pool.ForEachCtx(ictx, len(chunks), 1, func(m parallelMorsel) error {
 				for ci := m.Lo; ci < m.Hi; ci++ {
+					if err := faultinject.Hit("scan.chunk"); err != nil {
+						return err
+					}
 					srcRow := make([]value.Value, len(srcCols))
 					venv := &valuesEnv{cols: srcCols, vals: srcRow, outer: sp.outer}
 					var rows [][]value.Value
@@ -813,6 +928,11 @@ func (e *Engine) parallelStreamCursor(ctx context.Context, sp *streamPlan, chunk
 						return true
 					})
 					e.flushStreamCounts(sp, &cnt, time.Since(chunkStart))
+					if evalErr == nil {
+						// One charge per chunk for the buffered rows (the
+						// hotloopflush discipline: no atomics in the cell loop).
+						evalErr = chargeBudget(sp.budget, approxRowsBytes(rows))
+					}
 					if evalErr != nil {
 						return evalErr
 					}
@@ -881,6 +1001,9 @@ func (e *Engine) parallelStreamCursor(ctx context.Context, sp *streamPlan, chunk
 // timed per operator in vecProcessBatch) is subtracted from the scan's
 // attribution.
 func (e *Engine) vecScanBatches(ctx context.Context, sp *streamPlan, scan func(visit func(coords []int64, vals []value.Value) bool), flush func(in *Dataset) bool) error {
+	if err := faultinject.Hit("scan.chunk"); err != nil {
+		return err
+	}
 	sv := sp.vec
 	nd := len(sp.arr.Schema.Dims)
 	in := NewDataset(sv.srcCols)
@@ -953,6 +1076,7 @@ func (e *Engine) serialVecCursor(ctx context.Context, sp *streamPlan, cols []Col
 	scan := e.streamScan(sp)
 	seq := func(yield func(vecBatch) bool) {
 		emitted := 0
+		var chargeErr error
 		err := e.vecScanBatches(ctx, sp, scan, func(in *Dataset) bool {
 			if in.NumRows() == 0 {
 				return sp.limit < 0 || emitted < sp.limit
@@ -962,12 +1086,19 @@ func (e *Engine) serialVecCursor(ctx context.Context, sp *streamPlan, cols []Col
 				max = sp.limit - emitted
 			}
 			out := e.vecProcessBatch(sp, in, max)
+			if cerr := chargeBudget(sp.budget, approxDatasetBytes(out)); cerr != nil {
+				chargeErr = cerr
+				return false
+			}
 			emitted += out.NumRows()
 			if out.NumRows() > 0 && !yield(vecBatch{ds: out}) {
 				return false
 			}
 			return sp.limit < 0 || emitted < sp.limit
 		})
+		if err == nil {
+			err = chargeErr
+		}
 		if err != nil {
 			yield(vecBatch{err: err})
 		}
@@ -1017,6 +1148,9 @@ func (e *Engine) parallelVecCursor(ctx context.Context, sp *streamPlan, chunks [
 						return sp.limit < 0 || out.NumRows() < sp.limit
 					})
 					if err != nil {
+						return err
+					}
+					if err := chargeBudget(sp.budget, approxDatasetBytes(out)); err != nil {
 						return err
 					}
 					select {

@@ -1,0 +1,159 @@
+// Package faultinject provides named fault points for robustness
+// testing. Engine code marks the places failures must be survivable —
+// a catalog commit, a chunk scan, a hash-join build, a pool worker, a
+// cursor close — with a call to Hit("point.name"). In production the
+// call is one atomic load and a branch; tests Arm a point to inject an
+// error, a panic, a delay or a cancellation at the Nth hit, and the
+// invariant suite asserts the engine comes back with either a correct
+// result or a clean typed error — never a wrong answer, a leaked
+// snapshot, a leaked goroutine or a poisoned session.
+//
+// The package is dependency-free (standard library only) so any engine
+// layer — catalog, parallel pool, executor — can host a fault point
+// without import cycles.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the default error an armed Error-kind fault point
+// returns; tests recognize injected failures with errors.Is.
+var ErrInjected = errors.New("faultinject: injected error")
+
+// Kind selects what an armed fault point does when it fires.
+type Kind int
+
+const (
+	// Error makes Hit return Spec.Err (ErrInjected when nil).
+	Error Kind = iota
+	// Panic makes Hit panic with a string naming the point.
+	Panic
+	// Delay makes Hit sleep for Spec.Delay, then return nil.
+	Delay
+	// Cancel makes Hit call Spec.Cancel (typically a context cancel),
+	// then return nil — the failure surfaces through the context.
+	Cancel
+)
+
+// Spec configures one armed fault point.
+type Spec struct {
+	Kind Kind
+	// AfterN fires the fault on exactly the Nth hit (1-based); 0 fires
+	// on every hit.
+	AfterN int64
+	// Err overrides ErrInjected for Error-kind faults.
+	Err error
+	// Delay is the sleep of Delay-kind faults.
+	Delay time.Duration
+	// Cancel is the function Cancel-kind faults invoke.
+	Cancel func()
+	// Once limits the fault to firing a single time even when AfterN
+	// is 0.
+	Once bool
+}
+
+// point is one armed fault point's state.
+type point struct {
+	spec  Spec
+	hits  atomic.Int64
+	fired atomic.Bool
+}
+
+var (
+	// armed is the fast-path gate: zero means no point is armed and
+	// Hit returns after one atomic load.
+	armed atomic.Int32
+	mu    sync.Mutex
+	// points maps fault-point names to their armed state. Hits of
+	// unarmed names are not tracked.
+	points map[string]*point
+)
+
+// Arm installs spec at the named fault point, replacing any previous
+// arming (and resetting its hit count).
+func Arm(name string, spec Spec) {
+	mu.Lock()
+	if points == nil {
+		points = make(map[string]*point)
+	}
+	points[name] = &point{spec: spec}
+	armed.Store(int32(len(points)))
+	mu.Unlock()
+}
+
+// Disarm removes the named fault point's arming.
+func Disarm(name string) {
+	mu.Lock()
+	delete(points, name)
+	armed.Store(int32(len(points)))
+	mu.Unlock()
+}
+
+// Reset disarms every fault point.
+func Reset() {
+	mu.Lock()
+	points = nil
+	armed.Store(0)
+	mu.Unlock()
+}
+
+// Hits reports how many times the named point was reached while
+// armed; 0 when not armed.
+func Hits(name string) int64 {
+	mu.Lock()
+	p := points[name]
+	mu.Unlock()
+	if p == nil {
+		return 0
+	}
+	return p.hits.Load()
+}
+
+// Hit is the fault point: a no-op (one atomic load) unless the named
+// point is armed, in which case the armed Spec decides whether and how
+// to fire. Error-kind faults return non-nil; Panic-kind faults panic;
+// Delay and Cancel faults perform their side effect and return nil.
+func Hit(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	return hitSlow(name)
+}
+
+func hitSlow(name string) error {
+	mu.Lock()
+	p := points[name]
+	mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	n := p.hits.Add(1)
+	if p.spec.AfterN > 0 && n != p.spec.AfterN {
+		return nil
+	}
+	if p.spec.Once && !p.fired.CompareAndSwap(false, true) {
+		return nil
+	}
+	switch p.spec.Kind {
+	case Panic:
+		panic(fmt.Sprintf("faultinject: injected panic at %s", name))
+	case Delay:
+		time.Sleep(p.spec.Delay)
+		return nil
+	case Cancel:
+		if p.spec.Cancel != nil {
+			p.spec.Cancel()
+		}
+		return nil
+	default:
+		if p.spec.Err != nil {
+			return p.spec.Err
+		}
+		return fmt.Errorf("%w (at %s)", ErrInjected, name)
+	}
+}

@@ -1,0 +1,96 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsNoop(t *testing.T) {
+	Reset()
+	if err := Hit("x"); err != nil {
+		t.Fatalf("disarmed Hit returned %v", err)
+	}
+	if Hits("x") != 0 {
+		t.Fatalf("disarmed point tracked hits")
+	}
+}
+
+func TestErrorEveryHit(t *testing.T) {
+	defer Reset()
+	Arm("p", Spec{Kind: Error})
+	for i := 0; i < 3; i++ {
+		if err := Hit("p"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: got %v, want ErrInjected", i, err)
+		}
+	}
+	if Hits("p") != 3 {
+		t.Fatalf("Hits = %d, want 3", Hits("p"))
+	}
+}
+
+func TestErrorAtNthHit(t *testing.T) {
+	defer Reset()
+	custom := errors.New("boom")
+	Arm("p", Spec{Kind: Error, AfterN: 2, Err: custom})
+	if err := Hit("p"); err != nil {
+		t.Fatalf("hit 1 fired early: %v", err)
+	}
+	if err := Hit("p"); !errors.Is(err, custom) {
+		t.Fatalf("hit 2: got %v, want custom error", err)
+	}
+	if err := Hit("p"); err != nil {
+		t.Fatalf("hit 3 fired after AfterN: %v", err)
+	}
+}
+
+func TestOnce(t *testing.T) {
+	defer Reset()
+	Arm("p", Spec{Kind: Error, Once: true})
+	if err := Hit("p"); err == nil {
+		t.Fatalf("first hit did not fire")
+	}
+	if err := Hit("p"); err != nil {
+		t.Fatalf("Once fault fired twice: %v", err)
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	defer Reset()
+	Arm("p", Spec{Kind: Panic})
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Panic kind did not panic")
+		}
+	}()
+	_ = Hit("p")
+}
+
+func TestDelayAndCancel(t *testing.T) {
+	defer Reset()
+	Arm("d", Spec{Kind: Delay, Delay: 5 * time.Millisecond})
+	t0 := time.Now()
+	if err := Hit("d"); err != nil {
+		t.Fatalf("Delay returned %v", err)
+	}
+	if time.Since(t0) < 5*time.Millisecond {
+		t.Fatalf("Delay did not sleep")
+	}
+	canceled := false
+	Arm("c", Spec{Kind: Cancel, Cancel: func() { canceled = true }})
+	if err := Hit("c"); err != nil {
+		t.Fatalf("Cancel returned %v", err)
+	}
+	if !canceled {
+		t.Fatalf("Cancel did not invoke the cancel func")
+	}
+}
+
+func TestDisarmRestoresNoop(t *testing.T) {
+	Arm("p", Spec{Kind: Error})
+	Disarm("p")
+	if err := Hit("p"); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+	Reset()
+}

@@ -1,0 +1,498 @@
+// Package governor is the per-query resource governor: memory budgets
+// charged at the executor's allocation choke points, statement
+// timeouts distinguishable from caller cancellation, admission control
+// with a bounded wait queue, graceful drain, and the typed errors the
+// public API surfaces for each. One Governor belongs to one database
+// (exec.Shared); every statement acquires an admission slot and a
+// Budget from it at the statement boundary.
+//
+// All methods are nil-receiver safe so an ungoverned engine (a Shared
+// constructed without limits, or tests building the struct directly)
+// pays one nil check per call site and nothing else.
+package governor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// ErrMemoryBudget is returned (wrapped) when a statement's memory
+// charges exceed the per-query or database-wide limit set through
+// SetMemoryLimit.
+var ErrMemoryBudget = errors.New("memory budget exceeded")
+
+// ErrStatementTimeout is returned when a statement exceeds the
+// duration set through SetStatementTimeout. It is distinct from the
+// caller's own context cancellation: a caller-canceled statement
+// returns context.Canceled (or the caller deadline's error), never
+// this.
+var ErrStatementTimeout = errors.New("statement timeout exceeded")
+
+// ErrAdmission is returned when admission control rejects a statement:
+// the database is at its concurrency limit with a full wait queue, the
+// queue deadline expired, or the database is draining.
+var ErrAdmission = errors.New("statement rejected by admission control")
+
+// PanicError is the error a contained panic converts into: the
+// recovered value, the goroutine stack at the panic site, and — filled
+// in by the public layer — the text of the query that panicked. The
+// session that hit it remains usable.
+type PanicError struct {
+	// Query is the statement text, attached where it is known.
+	Query string
+	// Val is the value recover() returned.
+	Val any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (p *PanicError) Error() string {
+	if p.Query != "" {
+		return fmt.Sprintf("query panicked: %v (query: %s)", p.Val, p.Query)
+	}
+	return fmt.Sprintf("query panicked: %v", p.Val)
+}
+
+// NewPanicError boxes a recovered panic value. If the value already is
+// a *PanicError (a panic recovered once and rethrown across a layer),
+// it passes through so the original stack survives.
+func NewPanicError(val any, stack []byte) *PanicError {
+	if pe, ok := val.(*PanicError); ok {
+		return pe
+	}
+	return &PanicError{Val: val, Stack: stack}
+}
+
+// Metrics is the governor's instrument set; all fields are optional
+// (telemetry instruments no-op on nil receivers).
+type Metrics struct {
+	Admitted     *telemetry.Counter // queries_admitted_total
+	Rejected     *telemetry.Counter // queries_rejected_total
+	TimedOut     *telemetry.Counter // queries_timed_out_total
+	Panicked     *telemetry.Counter // queries_panicked_total
+	BudgetAborts *telemetry.Counter // mem_budget_aborts_total
+	MemInUse     *telemetry.Gauge   // mem_in_use_bytes
+}
+
+// Governor holds one database's resource-control state. The
+// configuration setters are setup-time calls like the engine's other
+// knobs: settle them before running statements concurrently.
+type Governor struct {
+	// timeoutNS is the statement timeout in nanoseconds; 0 = none.
+	timeoutNS atomic.Int64
+	// perQuery / totalLimit are the memory limits in bytes; <= 0 = off.
+	perQuery   atomic.Int64
+	totalLimit atomic.Int64
+	// inUse is the bytes currently charged across all live statements.
+	inUse atomic.Int64
+
+	mu sync.Mutex
+	// maxConc caps concurrently admitted statements; <= 0 = unlimited.
+	maxConc int
+	// queueCap bounds the admission wait queue; 0 rejects immediately
+	// at the concurrency limit.
+	queueCap int
+	// queueWait is the longest a statement waits in the queue before
+	// ErrAdmission; <= 0 waits only on the caller's context.
+	queueWait time.Duration
+	// queueSet marks an explicit SetAdmissionQueue call, so
+	// SetMaxConcurrentQueries keeps the caller's queue shape instead of
+	// re-deriving defaults.
+	queueSet bool
+	running  int
+	waiters   []*waiter
+	draining  bool
+	drainDone []chan struct{}
+
+	met Metrics
+}
+
+// waiter is one queued admission request. The slot handoff closes ch;
+// ok distinguishes admission (release handed its slot over) from
+// rejection (drain flushed the queue).
+type waiter struct {
+	ch chan struct{}
+	ok bool
+}
+
+// SetMetrics wires the governor's instruments; a setup-time call.
+func (g *Governor) SetMetrics(m Metrics) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.met = m
+	g.mu.Unlock()
+}
+
+// SetStatementTimeout sets the per-statement wall-clock limit; d <= 0
+// disables it.
+func (g *Governor) SetStatementTimeout(d time.Duration) {
+	if g == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	g.timeoutNS.Store(int64(d))
+}
+
+// StatementTimeout returns the configured statement timeout (0 when
+// disabled).
+func (g *Governor) StatementTimeout() time.Duration {
+	if g == nil {
+		return 0
+	}
+	return time.Duration(g.timeoutNS.Load())
+}
+
+// SetMemoryLimit sets the per-query and database-wide memory budgets
+// in bytes; <= 0 disables the respective limit.
+func (g *Governor) SetMemoryLimit(perQuery, total int64) {
+	if g == nil {
+		return
+	}
+	g.perQuery.Store(perQuery)
+	g.totalLimit.Store(total)
+}
+
+// SetMaxConcurrentQueries caps concurrently executing statements at n.
+// Unless SetAdmissionQueue chose otherwise, the wait queue defaults to
+// 2n entries with a one-second queue deadline. n <= 0 removes the cap
+// (statements are still tracked, so Drain works regardless).
+func (g *Governor) SetMaxConcurrentQueries(n int) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.maxConc = n
+	if !g.queueSet {
+		g.queueCap = 2 * n
+		if g.queueCap < 0 {
+			g.queueCap = 0
+		}
+		g.queueWait = time.Second
+	}
+	g.mu.Unlock()
+}
+
+// SetAdmissionQueue sizes the admission wait queue: depth entries,
+// each waiting at most wait before ErrAdmission (wait <= 0 waits only
+// on the caller's context; depth <= 0 rejects immediately at the
+// concurrency limit).
+func (g *Governor) SetAdmissionQueue(depth int, wait time.Duration) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	if depth < 0 {
+		depth = 0
+	}
+	g.queueCap = depth
+	g.queueWait = wait
+	g.queueSet = true
+	g.mu.Unlock()
+}
+
+// Admit acquires an admission slot for one statement, waiting in the
+// bounded queue when the database is at its concurrency limit. The
+// returned release func must be called exactly once when the statement
+// (or its cursor) finishes; it is idempotent. Errors: ErrAdmission
+// (saturated queue, queue deadline, draining) or ctx's error when the
+// caller gave up first.
+func (g *Governor) Admit(ctx context.Context) (release func(), err error) {
+	if g == nil {
+		return func() {}, nil
+	}
+	g.mu.Lock()
+	if g.draining {
+		g.mu.Unlock()
+		g.met.Rejected.Inc()
+		return nil, fmt.Errorf("%w: database is draining", ErrAdmission)
+	}
+	if g.maxConc <= 0 || g.running < g.maxConc {
+		g.running++
+		g.mu.Unlock()
+		g.met.Admitted.Inc()
+		return g.releaseFunc(), nil
+	}
+	if len(g.waiters) >= g.queueCap {
+		g.mu.Unlock()
+		g.met.Rejected.Inc()
+		return nil, fmt.Errorf("%w: %d running, queue full", ErrAdmission, g.maxConc)
+	}
+	w := &waiter{ch: make(chan struct{})}
+	g.waiters = append(g.waiters, w)
+	wait := g.queueWait
+	g.mu.Unlock()
+
+	var timeout <-chan time.Time
+	if wait > 0 {
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case <-w.ch:
+		return g.admittedFromQueue(w)
+	case <-ctx.Done():
+		if g.abandon(w) {
+			g.met.Rejected.Inc()
+			return nil, ctx.Err()
+		}
+		// Lost the race: release already handed us its slot.
+		return g.admittedFromQueue(w)
+	case <-timeout:
+		if g.abandon(w) {
+			g.met.Rejected.Inc()
+			return nil, fmt.Errorf("%w: queue deadline exceeded", ErrAdmission)
+		}
+		return g.admittedFromQueue(w)
+	}
+}
+
+// admittedFromQueue finishes a queued admission once w.ch closed (or
+// the abandon race was lost): admitted waiters got a slot handed over,
+// drained waiters were rejected.
+func (g *Governor) admittedFromQueue(w *waiter) (func(), error) {
+	<-w.ch
+	g.mu.Lock()
+	ok := w.ok
+	g.mu.Unlock()
+	if !ok {
+		g.met.Rejected.Inc()
+		return nil, fmt.Errorf("%w: database is draining", ErrAdmission)
+	}
+	g.met.Admitted.Inc()
+	return g.releaseFunc(), nil
+}
+
+// abandon removes w from the wait queue; false when it is no longer
+// queued (admitted or drained), in which case w.ch is closed or about
+// to close.
+func (g *Governor) abandon(w *waiter) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i, q := range g.waiters {
+		if q == w {
+			g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// releaseFunc returns the idempotent release of one admission slot.
+func (g *Governor) releaseFunc() func() {
+	var once sync.Once
+	return func() { once.Do(g.release) }
+}
+
+// release frees one slot: the oldest queued waiter inherits it, or the
+// running count drops (waking Drain at zero).
+func (g *Governor) release() {
+	g.mu.Lock()
+	if !g.draining && len(g.waiters) > 0 {
+		w := g.waiters[0]
+		g.waiters = g.waiters[1:]
+		w.ok = true
+		close(w.ch)
+		g.mu.Unlock()
+		return
+	}
+	g.running--
+	if g.draining && g.running <= 0 && len(g.drainDone) > 0 {
+		for _, ch := range g.drainDone {
+			close(ch)
+		}
+		g.drainDone = nil
+	}
+	g.mu.Unlock()
+}
+
+// Drain stops admitting statements (every later Admit returns
+// ErrAdmission), rejects queued waiters, and waits for in-flight
+// statements to finish — the graceful-shutdown primitive. Returns
+// ctx's error if it fires first; draining remains in effect either
+// way.
+func (g *Governor) Drain(ctx context.Context) error {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	g.draining = true
+	for _, w := range g.waiters {
+		close(w.ch) // w.ok stays false: rejected
+	}
+	g.waiters = nil
+	if g.running <= 0 {
+		g.mu.Unlock()
+		return nil
+	}
+	done := make(chan struct{})
+	g.drainDone = append(g.drainDone, done)
+	g.mu.Unlock()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (g *Governor) Draining() bool {
+	if g == nil {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.draining
+}
+
+// Running reports the number of currently admitted statements.
+func (g *Governor) Running() int {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.running
+}
+
+// InUseBytes reports the bytes currently charged across all live
+// statements.
+func (g *Governor) InUseBytes() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.inUse.Load()
+}
+
+// NoteTimeout records one statement timeout.
+func (g *Governor) NoteTimeout() {
+	if g != nil {
+		g.met.TimedOut.Inc()
+	}
+}
+
+// NotePanic records one contained panic.
+func (g *Governor) NotePanic() {
+	if g != nil {
+		g.met.Panicked.Inc()
+	}
+}
+
+// --- memory budgets ----------------------------------------------------------
+
+// Budget is one statement's memory account. Charges are cumulative for
+// the statement's lifetime — the budget measures bytes materialized by
+// the statement, a deliberate proxy for runaway result sets — and flow
+// into the database-wide in-use gauge until Release. Charge is an
+// atomic add: hot loops accumulate into plain locals and charge once
+// per chunk (the hotloopflush discipline), never per cell. A nil
+// Budget (no limits configured) charges nothing.
+type Budget struct {
+	g     *Governor
+	limit int64
+	used  atomic.Int64
+	// released latches Release so a double release (cursor close plus
+	// teardown safety net) cannot drive the shared gauge negative.
+	released atomic.Bool
+}
+
+// NewBudget opens a statement budget, nil when no memory limit is
+// configured (so charge sites pay one nil check and no atomics).
+func (g *Governor) NewBudget() *Budget {
+	if g == nil {
+		return nil
+	}
+	pq := g.perQuery.Load()
+	if pq <= 0 && g.totalLimit.Load() <= 0 {
+		return nil
+	}
+	return &Budget{g: g, limit: pq}
+}
+
+// Charge adds n bytes to the statement's account, returning a typed
+// error (wrapping ErrMemoryBudget) when the per-query or database-wide
+// limit is exceeded. Call once per chunk with a locally accumulated
+// total, not per cell.
+func (b *Budget) Charge(n int64) error {
+	if b == nil || n <= 0 {
+		return nil
+	}
+	used := b.used.Add(n)
+	g := b.g
+	inUse := g.inUse.Add(n)
+	g.met.MemInUse.Set(inUse)
+	if b.limit > 0 && used > b.limit {
+		g.met.BudgetAborts.Inc()
+		return fmt.Errorf("%w: statement used %d of %d bytes", ErrMemoryBudget, used, b.limit)
+	}
+	if total := g.totalLimit.Load(); total > 0 && inUse > total {
+		g.met.BudgetAborts.Inc()
+		return fmt.Errorf("%w: database using %d of %d bytes", ErrMemoryBudget, inUse, total)
+	}
+	return nil
+}
+
+// Used reports the bytes charged so far.
+func (b *Budget) Used() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.used.Load()
+}
+
+// Release returns the statement's charges to the database-wide pool;
+// idempotent, so teardown safety nets may call it after cursor close
+// already did.
+func (b *Budget) Release() {
+	if b == nil || !b.released.CompareAndSwap(false, true) {
+		return
+	}
+	inUse := b.g.inUse.Add(-b.used.Load())
+	b.g.met.MemInUse.Set(inUse)
+}
+
+// --- timeout plumbing --------------------------------------------------------
+
+// WithStatementTimeout wraps ctx with the governor's statement
+// deadline, tagging the cancellation cause as ErrStatementTimeout so
+// TimeoutErr can tell it apart from the caller's own deadline. The
+// cancel func must be called to free the timer.
+func (g *Governor) WithStatementTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
+	d := g.StatementTimeout()
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeoutCause(ctx, d, ErrStatementTimeout)
+}
+
+// TimeoutErr translates a context-deadline error caused by the
+// governor's statement timer into ErrStatementTimeout (recording the
+// timeout), and passes every other error through — a caller-canceled
+// statement keeps context.Canceled.
+func (g *Governor) TimeoutErr(ctx context.Context, err error) error {
+	if err == nil || ctx == nil {
+		return err
+	}
+	if errors.Is(err, ErrStatementTimeout) {
+		return err
+	}
+	if errors.Is(err, context.DeadlineExceeded) && errors.Is(context.Cause(ctx), ErrStatementTimeout) {
+		g.NoteTimeout()
+		return fmt.Errorf("%w (after %s)", ErrStatementTimeout, g.StatementTimeout())
+	}
+	return err
+}

@@ -1,0 +1,325 @@
+package governor
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilGovernorIsNoop(t *testing.T) {
+	var g *Governor
+	rel, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatalf("nil Admit: %v", err)
+	}
+	rel()
+	if b := g.NewBudget(); b != nil {
+		t.Fatalf("nil governor returned a budget")
+	}
+	var b *Budget
+	if err := b.Charge(1 << 30); err != nil {
+		t.Fatalf("nil budget charged: %v", err)
+	}
+	b.Release()
+	if d := g.StatementTimeout(); d != 0 {
+		t.Fatalf("nil timeout = %v", d)
+	}
+	if err := g.Drain(context.Background()); err != nil {
+		t.Fatalf("nil Drain: %v", err)
+	}
+}
+
+func TestBudgetPerQueryLimit(t *testing.T) {
+	g := &Governor{}
+	g.SetMemoryLimit(1000, 0)
+	b := g.NewBudget()
+	if b == nil {
+		t.Fatalf("no budget with per-query limit set")
+	}
+	if err := b.Charge(600); err != nil {
+		t.Fatalf("first charge: %v", err)
+	}
+	err := b.Charge(600)
+	if !errors.Is(err, ErrMemoryBudget) {
+		t.Fatalf("over-limit charge: %v, want ErrMemoryBudget", err)
+	}
+	if g.InUseBytes() != 1200 {
+		t.Fatalf("InUseBytes = %d, want 1200", g.InUseBytes())
+	}
+	b.Release()
+	b.Release() // idempotent
+	if g.InUseBytes() != 0 {
+		t.Fatalf("InUseBytes after release = %d, want 0", g.InUseBytes())
+	}
+}
+
+func TestBudgetTotalLimit(t *testing.T) {
+	g := &Governor{}
+	g.SetMemoryLimit(0, 1000)
+	b1, b2 := g.NewBudget(), g.NewBudget()
+	if err := b1.Charge(700); err != nil {
+		t.Fatalf("b1: %v", err)
+	}
+	if err := b2.Charge(200); err != nil {
+		t.Fatalf("b2 within total: %v", err)
+	}
+	if err := b2.Charge(200); !errors.Is(err, ErrMemoryBudget) {
+		t.Fatalf("b2 over total: %v, want ErrMemoryBudget", err)
+	}
+	b1.Release()
+	b2.Release()
+	if g.InUseBytes() != 0 {
+		t.Fatalf("InUseBytes = %d after releases", g.InUseBytes())
+	}
+}
+
+func TestNoBudgetWithoutLimits(t *testing.T) {
+	g := &Governor{}
+	if b := g.NewBudget(); b != nil {
+		t.Fatalf("budget handed out with no limits configured")
+	}
+}
+
+func TestAdmitUnlimitedTracksRunning(t *testing.T) {
+	g := &Governor{}
+	rel, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	if g.Running() != 1 {
+		t.Fatalf("Running = %d, want 1", g.Running())
+	}
+	rel()
+	rel() // idempotent
+	if g.Running() != 0 {
+		t.Fatalf("Running = %d after release", g.Running())
+	}
+}
+
+func TestAdmitRejectsWhenSaturated(t *testing.T) {
+	g := &Governor{}
+	g.SetMaxConcurrentQueries(1)
+	g.SetAdmissionQueue(0, 0)
+	rel, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatalf("first Admit: %v", err)
+	}
+	if _, err := g.Admit(context.Background()); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("saturated Admit: %v, want ErrAdmission", err)
+	}
+	rel()
+	rel2, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatalf("Admit after release: %v", err)
+	}
+	rel2()
+}
+
+func TestAdmitQueueHandoff(t *testing.T) {
+	g := &Governor{}
+	g.SetMaxConcurrentQueries(1)
+	g.SetAdmissionQueue(4, time.Second)
+	rel, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatalf("first Admit: %v", err)
+	}
+	got := make(chan error, 1)
+	var rel2 func()
+	go func() {
+		r, err := g.Admit(context.Background())
+		rel2 = r
+		got <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the waiter queue
+	rel()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("queued Admit: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatalf("queued waiter never admitted")
+	}
+	if g.Running() != 1 {
+		t.Fatalf("Running = %d after handoff, want 1", g.Running())
+	}
+	rel2()
+}
+
+func TestAdmitQueueDeadline(t *testing.T) {
+	g := &Governor{}
+	g.SetMaxConcurrentQueries(1)
+	g.SetAdmissionQueue(4, 10*time.Millisecond)
+	rel, _ := g.Admit(context.Background())
+	defer rel()
+	if _, err := g.Admit(context.Background()); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("queue-deadline Admit: %v, want ErrAdmission", err)
+	}
+}
+
+func TestAdmitCallerCancel(t *testing.T) {
+	g := &Governor{}
+	g.SetMaxConcurrentQueries(1)
+	g.SetAdmissionQueue(4, time.Second)
+	rel, _ := g.Admit(context.Background())
+	defer rel()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	if _, err := g.Admit(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled Admit: %v, want context.Canceled", err)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	g := &Governor{}
+	rel, _ := g.Admit(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- g.Drain(context.Background()) }()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatalf("Drain returned with a statement in flight")
+	default:
+	}
+	if _, err := g.Admit(context.Background()); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("Admit while draining: %v, want ErrAdmission", err)
+	}
+	rel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Drain: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatalf("Drain never finished after last release")
+	}
+	if !g.Draining() {
+		t.Fatalf("Draining = false after Drain")
+	}
+}
+
+func TestDrainRejectsQueuedWaiters(t *testing.T) {
+	g := &Governor{}
+	g.SetMaxConcurrentQueries(1)
+	g.SetAdmissionQueue(4, time.Second)
+	rel, _ := g.Admit(context.Background())
+	waitErr := make(chan error, 1)
+	go func() {
+		_, err := g.Admit(context.Background())
+		waitErr <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	drained := make(chan error, 1)
+	go func() { drained <- g.Drain(context.Background()) }()
+	select {
+	case err := <-waitErr:
+		if !errors.Is(err, ErrAdmission) {
+			t.Fatalf("drained waiter: %v, want ErrAdmission", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatalf("queued waiter not rejected by drain")
+	}
+	rel()
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+}
+
+func TestDrainHonorsContext(t *testing.T) {
+	g := &Governor{}
+	rel, _ := g.Admit(context.Background())
+	defer rel()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := g.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain with stuck statement: %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestTimeoutErrTranslation(t *testing.T) {
+	g := &Governor{}
+	g.SetStatementTimeout(5 * time.Millisecond)
+	ctx, cancel := g.WithStatementTimeout(context.Background())
+	defer cancel()
+	<-ctx.Done()
+	err := g.TimeoutErr(ctx, ctx.Err())
+	if !errors.Is(err, ErrStatementTimeout) {
+		t.Fatalf("TimeoutErr = %v, want ErrStatementTimeout", err)
+	}
+	// A caller-supplied deadline must NOT translate.
+	cctx, ccancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer ccancel()
+	<-cctx.Done()
+	if err := g.TimeoutErr(cctx, cctx.Err()); errors.Is(err, ErrStatementTimeout) {
+		t.Fatalf("caller deadline translated to statement timeout")
+	}
+	// Caller cancellation passes through untouched.
+	xctx, xcancel := context.WithCancel(context.Background())
+	xcancel()
+	if err := g.TimeoutErr(xctx, xctx.Err()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled ctx: %v, want context.Canceled", err)
+	}
+}
+
+func TestPanicErrorPassThrough(t *testing.T) {
+	orig := NewPanicError("boom", []byte("stack"))
+	re := NewPanicError(orig, []byte("other"))
+	if re != orig {
+		t.Fatalf("rethrown PanicError was re-boxed")
+	}
+	orig.Query = "SELECT 1"
+	if got := orig.Error(); got == "" || !contains(got, "SELECT 1") {
+		t.Fatalf("Error() = %q, want query text included", got)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		func() bool {
+			for i := 0; i+len(sub) <= len(s); i++ {
+				if s[i:i+len(sub)] == sub {
+					return true
+				}
+			}
+			return false
+		}())
+}
+
+func TestAdmitConcurrencyStress(t *testing.T) {
+	g := &Governor{}
+	g.SetMaxConcurrentQueries(4)
+	g.SetAdmissionQueue(64, time.Second)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	peak, cur := 0, 0
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := g.Admit(context.Background())
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			cur++
+			if cur > peak {
+				peak = cur
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			cur--
+			mu.Unlock()
+			rel()
+		}()
+	}
+	wg.Wait()
+	if peak > 4 {
+		t.Fatalf("peak concurrency %d exceeded limit 4", peak)
+	}
+	if g.Running() != 0 {
+		t.Fatalf("Running = %d after quiescence", g.Running())
+	}
+}

@@ -11,9 +11,12 @@ package parallel
 import (
 	"context"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
+	"repro/internal/governor"
 	"repro/internal/telemetry"
 )
 
@@ -77,7 +80,11 @@ func (p *Pool) ForEach(n, morsel int, fn func(m Morsel) error) error {
 // checks ctx between morsels, so canceling the context stops a long
 // scan after at most one in-flight morsel per worker. The first error
 // — ctx.Err() when the context fired first — is returned after all
-// in-flight morsels finish; no worker goroutines outlive the call.
+// in-flight morsels finish; no worker goroutines outlive the call. A
+// panic inside fn is contained: it surfaces as a *governor.PanicError
+// return value (carrying the panicking goroutine's stack), peers stop
+// scheduling further morsels, and the WaitGroup still drains — the
+// process never crashes and no waiter deadlocks.
 func (p *Pool) ForEachCtx(ctx context.Context, n, morsel int, fn func(m Morsel) error) error {
 	if n <= 0 {
 		return nil
@@ -100,12 +107,24 @@ func (p *Pool) ForEachCtx(ctx context.Context, n, morsel int, fn func(m Morsel) 
 	p.met.Queue.Add(int64(total))
 	var claimed atomic.Int64
 	defer func() { p.met.Queue.Add(claimed.Load() - int64(total)) }()
-	runMorsel := func(m Morsel) error {
+	runMorsel := func(m Morsel) (err error) {
 		claimed.Add(1)
 		p.met.Queue.Add(-1)
 		p.met.Morsels.Inc()
 		p.met.InFlight.Add(1)
 		defer p.met.InFlight.Add(-1)
+		// A panicking morsel must not crash the process or strand the
+		// WaitGroup: recover converts it into an error, which the worker
+		// loop propagates like any other failure — peers stop scheduling
+		// and ForEachCtx returns it after in-flight morsels finish.
+		defer func() {
+			if r := recover(); r != nil {
+				err = governor.NewPanicError(r, debug.Stack())
+			}
+		}()
+		if err := faultinject.Hit("pool.worker"); err != nil {
+			return err
+		}
 		return fn(m)
 	}
 	if nw <= 1 {

@@ -3,7 +3,11 @@ package parallel
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/governor"
 )
 
 // TestForEachCoversDomain checks every index is visited exactly once
@@ -97,5 +101,59 @@ func TestMorselFor(t *testing.T) {
 	}
 	if m := p.MorselFor(10_000_000); m != DefaultMorsel {
 		t.Fatalf("huge domain morsel = %d, want %d", m, DefaultMorsel)
+	}
+}
+
+// TestForEachPanicContained asserts the satellite fix: a worker panic
+// mid-morsel surfaces as a *governor.PanicError from ForEachCtx —
+// peers stop, the WaitGroup drains, the process survives.
+func TestForEachPanicContained(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := NewPool(workers)
+		var ran atomic.Int64
+		err := p.ForEach(1000, 16, func(m Morsel) error {
+			if ran.Add(1) == 3 {
+				panic("injected mid-morsel panic")
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic did not surface as an error", workers)
+		}
+		var pe *governor.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: got %T (%v), want *governor.PanicError", workers, err, err)
+		}
+		if pe.Val != "injected mid-morsel panic" {
+			t.Fatalf("workers=%d: PanicError.Val = %v", workers, pe.Val)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: PanicError carries no stack", workers)
+		}
+	}
+}
+
+// TestForEachFaultPoint checks the pool.worker fault point: armed, the
+// injected error propagates like a worker failure and stops the run.
+func TestForEachFaultPoint(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Arm("pool.worker", faultinject.Spec{Kind: faultinject.Error, AfterN: 2})
+	p := NewPool(4)
+	err := p.ForEach(1000, 16, func(m Morsel) error { return nil })
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("got %v, want ErrInjected", err)
+	}
+}
+
+// TestForEachPanicFaultPoint arms pool.worker with a panic: the pool
+// must still contain it and return a PanicError.
+func TestForEachPanicFaultPoint(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Arm("pool.worker", faultinject.Spec{Kind: faultinject.Panic, AfterN: 1})
+	p := NewPool(4)
+	err := p.ForEach(1000, 16, func(m Morsel) error { return nil })
+	var pe *governor.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %T (%v), want *governor.PanicError", err, err)
 	}
 }

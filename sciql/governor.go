@@ -1,0 +1,103 @@
+package sciql
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/governor"
+)
+
+// This file is the public face of the query resource governor: memory
+// budgets, statement timeouts, admission control, drain, and the typed
+// errors they surface. The knobs are setup-time calls like Parallelism
+// and Vectorize — settle them before issuing concurrent statements —
+// except Drain, which is explicitly a shutdown-time call.
+
+// ErrMemoryBudget terminates a statement whose estimated working-set
+// memory exceeded the per-query or database-wide limit configured with
+// SetMemoryLimit. Test with errors.Is.
+var ErrMemoryBudget = governor.ErrMemoryBudget
+
+// ErrStatementTimeout terminates a statement that ran longer than the
+// deadline configured with SetStatementTimeout. It is distinct from
+// caller cancellation: canceling the context you passed in still
+// surfaces context.Canceled (or your cause), never this error.
+var ErrStatementTimeout = governor.ErrStatementTimeout
+
+// ErrAdmission rejects a statement that could not get an execution
+// slot: the admission queue was full, the queue wait expired, or the
+// database is draining.
+var ErrAdmission = governor.ErrAdmission
+
+// PanicError is the error a statement returns when execution panicked.
+// The panic is contained at the statement boundary (and inside every
+// parallel worker): the session and database remain usable, the
+// statement's catalog snapshot is released, and the panic value, the
+// query text and the goroutine stack are preserved here for the bug
+// report. Retrieve with errors.As.
+type PanicError = governor.PanicError
+
+// SetMemoryLimit arms memory budgeting: perQuery bounds the estimated
+// working-set bytes of any single statement, total bounds the sum
+// across all concurrently-running statements. A statement that would
+// exceed either limit aborts with ErrMemoryBudget (wrapped; test with
+// errors.Is) and releases everything it held. Zero or negative
+// disables that limit; both zero (the default) makes budgeting free —
+// scans charge nothing. Accounting is estimated column/row footprint,
+// not allocator-exact bytes.
+func (db *DB) SetMemoryLimit(perQuery, total int64) {
+	db.engine.Gov().SetMemoryLimit(perQuery, total)
+}
+
+// SetStatementTimeout bounds the wall-clock time of every statement
+// and cursor. A statement (or an open Rows cursor) that exceeds d
+// fails with ErrStatementTimeout. The timer starts at admission and,
+// for QueryContext, covers the cursor's whole lifetime — a client that
+// sits on an open cursor past the deadline gets the timeout on its
+// next call. d <= 0 (the default) disables the timeout.
+func (db *DB) SetStatementTimeout(d time.Duration) {
+	db.engine.Gov().SetStatementTimeout(d)
+}
+
+// SetMaxConcurrentQueries arms admission control: at most n statements
+// execute at once, and up to 2n more wait in an admission queue for at
+// most one second before failing with ErrAdmission (tune the queue
+// with SetAdmissionQueue). A Rows cursor holds its slot until Close.
+// n <= 0 (the default) disables admission control.
+func (db *DB) SetMaxConcurrentQueries(n int) {
+	db.engine.Gov().SetMaxConcurrentQueries(n)
+}
+
+// SetAdmissionQueue tunes the admission wait queue: at most depth
+// statements wait for a slot, each for at most wait, before failing
+// with ErrAdmission. depth 0 rejects immediately when all slots are
+// busy. Only meaningful once SetMaxConcurrentQueries has armed
+// admission control.
+func (db *DB) SetAdmissionQueue(depth int, wait time.Duration) {
+	db.engine.Gov().SetAdmissionQueue(depth, wait)
+}
+
+// Drain moves the database into shutdown mode: new statements are
+// rejected with ErrAdmission, queued statements are bounced, and Drain
+// blocks until every admitted statement (and open cursor) finishes or
+// ctx expires. Drain requires admission control to be armed
+// (SetMaxConcurrentQueries), since only admitted statements are
+// tracked.
+func (db *DB) Drain(ctx context.Context) error {
+	return db.engine.Gov().Drain(ctx)
+}
+
+// tagQuery attaches the query text to a contained-panic error
+// surfacing through the public API, so the bug report carries the
+// statement that crashed. Other errors pass through untouched.
+func tagQuery(err error, query string) error {
+	if err == nil {
+		return nil
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) && pe.Query == "" {
+		pe.Query = query
+	}
+	return err
+}

@@ -34,6 +34,8 @@ type Rows struct {
 	row    []Value
 	err    error
 	closed bool
+	// query is the SQL text, attached to contained-panic errors.
+	query string
 	// tr is the per-cursor trace state when the owning DB has a trace
 	// hook or slow-query threshold armed; nil otherwise.
 	tr *rowsTrace
@@ -76,7 +78,7 @@ func (r *Rows) Next() bool {
 	}
 	row, err := r.cur.Next()
 	if err != nil {
-		r.err = err
+		r.err = tagQuery(err, r.query)
 		r.close()
 		return false
 	}
@@ -142,6 +144,7 @@ func (r *Rows) close() {
 func (r *Rows) materialize() (*Result, error) {
 	defer r.close()
 	ds, err := r.cur.Materialize()
+	err = tagQuery(err, r.query)
 	if t := r.tr; t != nil && err == nil && ds != nil {
 		// Materialization bypasses Next, so record the row count here
 		// for the TraceClose event fired by the deferred close.

@@ -169,12 +169,14 @@ func scriptKind(stmts []ast.Statement) string {
 // two atomic loads.
 func (db *DB) execTraced(ctx context.Context, eng *exec.Engine, query string, stmts []ast.Statement, args []Arg) (*Result, error) {
 	if !db.traceArmed() {
-		return execAll(ctx, eng, stmts, args)
+		last, err := execAll(ctx, eng, stmts, args)
+		return last, tagQuery(err, query)
 	}
 	kind := scriptKind(stmts)
 	start := time.Now()
 	db.fire(TraceEvent{Phase: TraceExecStart, Query: query, Kind: kind, When: start})
 	last, err := execAll(ctx, eng, stmts, args)
+	err = tagQuery(err, query)
 	var rows int64
 	if last != nil {
 		rows = int64(last.NumRows())
@@ -195,9 +197,9 @@ func (db *DB) queryTraced(ctx context.Context, eng *exec.Engine, query string, s
 	if !db.traceArmed() {
 		cur, err := db.queryCursor(ctx, eng, stmt, sel, isSel, args)
 		if err != nil {
-			return nil, err
+			return nil, tagQuery(err, query)
 		}
-		return &Rows{cur: cur}, nil
+		return &Rows{cur: cur, query: query}, nil
 	}
 	if isSel {
 		t0 := time.Now()
@@ -208,10 +210,11 @@ func (db *DB) queryTraced(ctx context.Context, eng *exec.Engine, query string, s
 	db.fire(TraceEvent{Phase: TraceExecStart, Query: query, Kind: kind, When: start})
 	cur, err := db.queryCursor(ctx, eng, stmt, sel, isSel, args)
 	if err != nil {
+		err = tagQuery(err, query)
 		db.noteClose(query, kind, start, 0, err)
 		return nil, err
 	}
-	return &Rows{cur: cur, tr: &rowsTrace{db: db, query: query, kind: kind, start: start}}, nil
+	return &Rows{cur: cur, query: query, tr: &rowsTrace{db: db, query: query, kind: kind, start: start}}, nil
 }
 
 // queryCursor opens the cursor behind a Query call: the streaming

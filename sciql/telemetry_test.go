@@ -291,3 +291,80 @@ func TestMetricsAccounting(t *testing.T) {
 		t.Errorf("stmt_cache_hit_total advanced by %d, want >= 1 (second query reuses the AST)", d)
 	}
 }
+
+// TestGovernorTelemetrySeries walks every resource-governor series
+// through one advancing event: admitted on any statement, then — armed
+// one knob at a time — a budget abort, a statement timeout, an
+// admission rejection and a contained panic, each strictly
+// incrementing its counter, with the memory gauge back at zero when
+// the database is idle.
+func TestGovernorTelemetrySeries(t *testing.T) {
+	db := setupTelemetryDB(t)
+	for _, name := range []string{
+		"queries_admitted_total", "queries_rejected_total",
+		"queries_timed_out_total", "queries_panicked_total",
+		"mem_budget_aborts_total", "mem_in_use_bytes",
+	} {
+		if _, ok := db.Metrics()[name]; !ok {
+			t.Errorf("series %q missing from the metrics snapshot", name)
+		}
+	}
+	const q = `SELECT x, y, v FROM tmatrix WHERE v > 100`
+
+	before := db.Metrics()
+	db.MustQuery(q)
+	if d := db.Metrics()["queries_admitted_total"] - before["queries_admitted_total"]; d < 1 {
+		t.Errorf("queries_admitted_total advanced by %d, want >= 1", d)
+	}
+
+	db.SetMemoryLimit(1<<10, 0)
+	before = db.Metrics()
+	if _, err := db.Query(q); err == nil {
+		t.Fatal("1 KiB budget did not abort the scan")
+	}
+	if d := db.Metrics()["mem_budget_aborts_total"] - before["mem_budget_aborts_total"]; d != 1 {
+		t.Errorf("mem_budget_aborts_total advanced by %d, want 1", d)
+	}
+	db.SetMemoryLimit(0, 0)
+
+	db.SetStatementTimeout(time.Nanosecond)
+	before = db.Metrics()
+	if _, err := db.Query(q); err == nil {
+		t.Fatal("1ns statement timeout did not fire")
+	}
+	if d := db.Metrics()["queries_timed_out_total"] - before["queries_timed_out_total"]; d != 1 {
+		t.Errorf("queries_timed_out_total advanced by %d, want 1", d)
+	}
+	db.SetStatementTimeout(0)
+
+	db.SetMaxConcurrentQueries(1)
+	db.SetAdmissionQueue(0, 0)
+	rows, err := db.QueryContext(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows.Next()
+	before = db.Metrics()
+	if _, err := db.Query(q); err == nil {
+		t.Fatal("saturated admission did not reject")
+	}
+	if d := db.Metrics()["queries_rejected_total"] - before["queries_rejected_total"]; d != 1 {
+		t.Errorf("queries_rejected_total advanced by %d, want 1", d)
+	}
+	rows.Close()
+	db.SetMaxConcurrentQueries(0)
+
+	db.RegisterExternal("telboom", func(args []Value) (Value, error) { panic("telemetry boom") })
+	db.MustExec(`CREATE FUNCTION telboom (v FLOAT) RETURNS FLOAT EXTERNAL NAME 'telboom'`)
+	before = db.Metrics()
+	if _, err := db.Query(`SELECT telboom(v) FROM tmatrix`); err == nil {
+		t.Fatal("panicking statement returned no error")
+	}
+	if d := db.Metrics()["queries_panicked_total"] - before["queries_panicked_total"]; d != 1 {
+		t.Errorf("queries_panicked_total advanced by %d, want 1", d)
+	}
+
+	if got := db.Metrics()["mem_in_use_bytes"]; got != 0 {
+		t.Errorf("idle mem_in_use_bytes = %d, want 0", got)
+	}
+}
