@@ -1,7 +1,7 @@
 # Tier-1 verification in one command: vet, lint, build, race-enabled tests.
 GO ?= go
 
-.PHONY: all check build test bench lint fuzz-smoke faulttest
+.PHONY: all check build test bench lint fuzz-smoke faulttest servertest
 
 all: check
 
@@ -33,6 +33,14 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzLexerAll -fuzztime=15s -run '^$$' ./internal/sql/lexer/
 	$(GO) test -fuzz=FuzzParseRoundTrip -fuzztime=30s -run '^$$' ./internal/sql/parser/
 	$(GO) test -fuzz=FuzzParseNoCrash -fuzztime=15s -run '^$$' ./internal/sql/parser/
+	$(GO) test -fuzz=FuzzPgwireDecode -fuzztime=30s -run '^$$' ./internal/server/pgwire/
+
+# servertest runs the sciqld network stack under the race detector:
+# wire-protocol conformance over real TCP sockets (simple + extended
+# flows, transactions, cancellation, admission, disconnects, drain
+# shutdown), the HTTP/JSON surface, and the codec unit tests.
+servertest:
+	$(GO) test -race ./internal/server/...
 
 build:
 	$(GO) build ./...

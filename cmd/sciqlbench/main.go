@@ -32,15 +32,16 @@ import (
 )
 
 var (
-	quick = flag.Bool("quick", false, "use smaller sizes")
-	only  = flag.String("only", "", "run only experiments whose id has this prefix")
-	par   = flag.Int("par", 4, "worker count for the parallel-execution experiments (P1, P3)")
-	p3out = flag.String("p3out", "", "write the P3 measurements as JSON to this file")
-	p4out = flag.String("p4out", "", "write the P4 measurements as JSON to this file")
-	p5out = flag.String("p5out", "", "write the P5 measurements as JSON to this file")
-	p6out = flag.String("p6out", "", "write the P6 measurements as JSON to this file")
-	p8out = flag.String("p8out", "", "write the P8 measurements as JSON to this file")
-	p9out = flag.String("p9out", "", "write the P9 measurements as JSON to this file")
+	quick  = flag.Bool("quick", false, "use smaller sizes")
+	only   = flag.String("only", "", "run only experiments whose id has this prefix")
+	par    = flag.Int("par", 4, "worker count for the parallel-execution experiments (P1, P3)")
+	p3out  = flag.String("p3out", "", "write the P3 measurements as JSON to this file")
+	p4out  = flag.String("p4out", "", "write the P4 measurements as JSON to this file")
+	p5out  = flag.String("p5out", "", "write the P5 measurements as JSON to this file")
+	p6out  = flag.String("p6out", "", "write the P6 measurements as JSON to this file")
+	p8out  = flag.String("p8out", "", "write the P8 measurements as JSON to this file")
+	p9out  = flag.String("p9out", "", "write the P9 measurements as JSON to this file")
+	p10out = flag.String("p10out", "", "write the P10 measurements as JSON to this file")
 )
 
 func main() {
@@ -66,6 +67,7 @@ func main() {
 	runP6()
 	runP8()
 	runP9()
+	runP10()
 }
 
 func want(id string) bool {

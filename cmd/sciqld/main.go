@@ -1,0 +1,132 @@
+// Command sciqld serves a SciQL database over the network: the
+// PostgreSQL wire protocol (any psql/pgx/JDBC client) on one port and
+// an HTTP/JSON API (+ /metrics, /healthz, /readyz) on another.
+//
+// Every flag also reads a SCIQLD_* environment variable (flag wins):
+//
+//	sciqld -pg :5433 -http :8080 -max-concurrent 8 -statement-timeout 30s
+//
+// The process runs until SIGINT/SIGTERM, then drains: listeners
+// close, idle connections are told goodbye (SQLSTATE 57P01),
+// in-flight statements get the grace period, the engine admission
+// gate drains, and stragglers are cut.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/sciql"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sciqld:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		pgAddr    = flag.String("pg", envStr("SCIQLD_PG_ADDR", "127.0.0.1:5433"), "pgwire listen address (empty disables)")
+		httpAddr  = flag.String("http", envStr("SCIQLD_HTTP_ADDR", "127.0.0.1:8080"), "HTTP/JSON listen address (empty disables)")
+		password  = flag.String("password", envStr("SCIQLD_PASSWORD", ""), "cleartext auth password (empty = trust)")
+		maxConns  = flag.Int("max-conns", envInt("SCIQLD_MAX_CONNS", 0), "max concurrent pgwire connections (0 = unlimited)")
+		maxQ      = flag.Int("max-concurrent", envInt("SCIQLD_MAX_CONCURRENT", 0), "max concurrently executing statements (0 = off; arms admission control)")
+		queueLen  = flag.Int("admission-queue", envInt("SCIQLD_ADMISSION_QUEUE", 0), "admission queue depth")
+		queueWait = flag.Duration("admission-wait", envDur("SCIQLD_ADMISSION_WAIT", 0), "max admission queue wait")
+		memQuery  = flag.Int64("mem-per-query", envInt64("SCIQLD_MEM_PER_QUERY", 0), "per-query memory budget in bytes (0 = off)")
+		memTotal  = flag.Int64("mem-total", envInt64("SCIQLD_MEM_TOTAL", 0), "total memory budget in bytes (0 = off)")
+		stmtTO    = flag.Duration("statement-timeout", envDur("SCIQLD_STATEMENT_TIMEOUT", 0), "per-statement wall-clock timeout (0 = off)")
+		slowQ     = flag.Duration("slow-query", envDur("SCIQLD_SLOW_QUERY", 0), "slow-query log threshold (0 = off)")
+		grace     = flag.Duration("shutdown-grace", envDur("SCIQLD_SHUTDOWN_GRACE", 10*time.Second), "graceful-shutdown grace period")
+		initFile  = flag.String("init", envStr("SCIQLD_INIT", ""), "SQL script to run at startup (schema/bootstrap)")
+		logLevel  = flag.String("log-level", envStr("SCIQLD_LOG_LEVEL", "info"), "log level: debug, info, warn, error")
+	)
+	flag.Parse()
+
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("bad -log-level %q: %w", *logLevel, err)
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+
+	db := sciql.Open()
+	defer db.Close()
+	if *initFile != "" {
+		src, err := os.ReadFile(*initFile)
+		if err != nil {
+			return fmt.Errorf("read -init: %w", err)
+		}
+		if _, err := db.Exec(string(src)); err != nil {
+			return fmt.Errorf("run -init script: %w", err)
+		}
+		log.Info("init script applied", "file", *initFile)
+	}
+
+	srv := server.New(db, server.Config{
+		PgAddr:               *pgAddr,
+		HTTPAddr:             *httpAddr,
+		Password:             *password,
+		MaxConns:             *maxConns,
+		MaxConcurrentQueries: *maxQ,
+		AdmissionQueueDepth:  *queueLen,
+		AdmissionQueueWait:   *queueWait,
+		MemoryLimitPerQuery:  *memQuery,
+		MemoryLimitTotal:     *memTotal,
+		StatementTimeout:     *stmtTO,
+		SlowQueryThreshold:   *slowQ,
+		ShutdownGrace:        *grace,
+		Log:                  log,
+	})
+	if err := srv.Start(); err != nil {
+		return err
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	log.Info("signal received, shutting down", "signal", got.String())
+	return srv.Shutdown(nil)
+}
+
+func envStr(key, def string) string {
+	if v, ok := os.LookupEnv(key); ok {
+		return v
+	}
+	return def
+}
+
+func envInt(key string, def int) int {
+	if v, ok := os.LookupEnv(key); ok {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+func envInt64(key string, def int64) int64 {
+	if v, ok := os.LookupEnv(key); ok {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+func envDur(key string, def time.Duration) time.Duration {
+	if v, ok := os.LookupEnv(key); ok {
+		if d, err := time.ParseDuration(v); err == nil {
+			return d
+		}
+	}
+	return def
+}

@@ -18,8 +18,16 @@ func TestHotLoopFlush(t *testing.T) {
 	analyzertest.Run(t, "testdata", one(analyzers.HotLoopFlush), "hotloopflush/internal/exec")
 }
 
+func TestHotLoopFlushServer(t *testing.T) {
+	analyzertest.Run(t, "testdata", one(analyzers.HotLoopFlush), "hotloopflush/internal/server/pgwire")
+}
+
 func TestCtxPoll(t *testing.T) {
 	analyzertest.Run(t, "testdata", one(analyzers.CtxPoll), "ctxpoll/internal/exec")
+}
+
+func TestCtxPollServer(t *testing.T) {
+	analyzertest.Run(t, "testdata", one(analyzers.CtxPoll), "ctxpoll/internal/server/pgwire")
 }
 
 func TestLockOrder(t *testing.T) {

@@ -24,16 +24,30 @@ import (
 //   - a call forwarding to another visitor value (a wrapper like the
 //     ones in storeScanPruned: its callee polls, it must not).
 //
+// PR 10 extends the same convention to the network server's
+// connection read loops in internal/server/pgwire: any for-loop that
+// pulls protocol frames (Reader.Peek under a poll deadline, or
+// Reader.ReadMessage) runs for the lifetime of a client connection,
+// and must poll a context between frames so a draining server's
+// shutdown reaches idle connections instead of leaking handler
+// goroutines until the client disconnects on its own. Client-side
+// loops that bound each read with a socket deadline instead can be
+// suppressed with //lint:allow ctxpoll <reason>.
+//
 // Visitors over provably tiny domains can be suppressed with
 // //lint:allow ctxpoll <reason>.
 var CtxPoll = &analysis.Analyzer{
 	Name: "ctxpoll",
 	Doc: "store-scan visitor literals in internal/exec must poll ctx.Err()/Done() or " +
-		"Engine.canceled() so cancellation stops chunk-scale scans",
+		"Engine.canceled() so cancellation stops chunk-scale scans; connection read " +
+		"loops in internal/server/pgwire must poll a shutdown context between frames",
 	Run: runCtxPoll,
 }
 
 func runCtxPoll(pass *analysis.Pass) (any, error) {
+	if pkgPathHasSuffix(pass.Pkg, "internal/server/pgwire") {
+		return runCtxPollServer(pass)
+	}
 	if !pkgPathHasSuffix(pass.Pkg, "internal/exec") {
 		return nil, nil
 	}
@@ -56,6 +70,80 @@ func runCtxPoll(pass *analysis.Pass) (any, error) {
 		})
 	}
 	return nil, nil
+}
+
+// runCtxPollServer checks the server read-loop rule: a for/range loop
+// that pulls frames from a pgwire.Reader must poll a context.
+func runCtxPollServer(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch x := n.(type) {
+			case *ast.ForStmt:
+				body = x.Body
+			case *ast.RangeStmt:
+				body = x.Body
+			default:
+				return true
+			}
+			if loopReadsFrames(pass, body) && !containsCtxPoll(pass, body) {
+				pass.Reportf(n.Pos(),
+					"connection read loop without a shutdown poll: check ctx.Err()/Done() between frames so draining reaches idle connections")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// loopReadsFrames reports whether body calls Reader.Peek or
+// Reader.ReadMessage on a pgwire Reader — the marks of a connection
+// message pump.
+func loopReadsFrames(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if recv, method, ok := methodCall(call); ok &&
+			(method == "Peek" || method == "ReadMessage") &&
+			isNamedType(pass.TypeOf(recv), "internal/server/pgwire", "Reader") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// containsCtxPoll reports whether node contains a ctx.Err()/ctx.Done()
+// call on a context.Context value.
+func containsCtxPoll(pass *analysis.Pass, node ast.Node) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if recv, method, ok := methodCall(call); ok &&
+			(method == "Err" || method == "Done") &&
+			isContextType(pass.TypeOf(recv)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
 }
 
 // visitorPolls reports whether the literal's body contains a

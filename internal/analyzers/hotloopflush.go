@@ -35,10 +35,19 @@ import (
 // loop stays legal: the analyzer is intra-procedural by design — the
 // sanctioned pattern routes atomics through a once-per-chunk function,
 // and that is exactly what it cannot see into.
+//
+// PR 10 extends the scope to the network server packages
+// (internal/server and its pgwire/httpapi subpackages): a DataRow
+// streaming loop runs per row of a result, which for array queries is
+// the same cell-scale cardinality as a store scan, so per-row
+// instrument mutations there get the same treatment — accumulate into
+// a local, flush once per result (sendRows' rows-sent counter is the
+// reference pattern).
 var HotLoopFlush = &analysis.Analyzer{
 	Name: "hotloopflush",
 	Doc: "no telemetry atomics or governor budget charges inside per-cell loops in " +
-		"internal/exec and internal/bat; accumulate into locals and flush once per chunk",
+		"internal/exec, internal/bat, or the internal/server row-streaming paths; " +
+		"accumulate into locals and flush once per chunk",
 	Run: runHotLoopFlush,
 }
 
@@ -55,7 +64,10 @@ var telemetryInstrumentTypes = map[string]bool{
 }
 
 func runHotLoopFlush(pass *analysis.Pass) (any, error) {
-	if !pkgPathHasSuffix(pass.Pkg, "internal/exec") && !pkgPathHasSuffix(pass.Pkg, "internal/bat") {
+	if !pkgPathHasSuffix(pass.Pkg, "internal/exec") && !pkgPathHasSuffix(pass.Pkg, "internal/bat") &&
+		!pkgPathHasSuffix(pass.Pkg, "internal/server") &&
+		!pkgPathHasSuffix(pass.Pkg, "internal/server/pgwire") &&
+		!pkgPathHasSuffix(pass.Pkg, "internal/server/httpapi") {
 		return nil, nil
 	}
 	for _, f := range pass.Files {

@@ -1,0 +1,100 @@
+package pgwire
+
+import (
+	"context"
+)
+
+// Stub of the wire decoder: the analyzer keys on the Reader named type
+// in a package suffixed internal/server/pgwire, so the fixture defines
+// its own.
+type Msg struct {
+	Type byte
+	Data []byte
+}
+
+type Reader struct{}
+
+func (r *Reader) Peek(n int) ([]byte, error)   { return nil, nil }
+func (r *Reader) ReadMessage() (Msg, error)    { return Msg{}, nil }
+func (r *Reader) ReadStartup() (string, error) { return "", nil }
+
+func dispatch(m Msg) {}
+
+// A message pump with no shutdown poll never notices a draining
+// server: it blocks in Peek/ReadMessage until the client goes away.
+func readLoopNoPoll(rd *Reader) {
+	for { // want `connection read loop without a shutdown poll`
+		msg, err := rd.ReadMessage()
+		if err != nil {
+			return
+		}
+		dispatch(msg)
+	}
+}
+
+func peekLoopNoPoll(rd *Reader) {
+	for i := 0; i < 100; i++ { // want `connection read loop without a shutdown poll`
+		if _, err := rd.Peek(1); err != nil {
+			return
+		}
+		rd.ReadMessage()
+	}
+}
+
+// The sanctioned shape: poll the connection context between frames,
+// using a short read deadline on Peek so the poll actually runs.
+func readLoopPolls(ctx context.Context, rd *Reader) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		if _, err := rd.Peek(1); err != nil {
+			continue
+		}
+		msg, err := rd.ReadMessage()
+		if err != nil {
+			return
+		}
+		dispatch(msg)
+	}
+}
+
+func readLoopSelectsDone(ctx context.Context, rd *Reader) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		msg, err := rd.ReadMessage()
+		if err != nil {
+			return
+		}
+		dispatch(msg)
+	}
+}
+
+// Startup negotiation is a bounded handshake, not a pump; loops that
+// never frame regular messages are out of scope.
+func startupLoop(rd *Reader) {
+	for i := 0; i < 3; i++ {
+		if _, err := rd.ReadStartup(); err != nil {
+			return
+		}
+	}
+}
+
+// Client-side response folding bounds each read with a socket deadline
+// instead of a context; that opts out with a reasoned suppression.
+func clientFoldSuppressed(rd *Reader) {
+	//lint:allow ctxpoll client read bounded by per-message socket deadline
+	for {
+		msg, err := rd.ReadMessage()
+		if err != nil {
+			return
+		}
+		if msg.Type == 'Z' {
+			return
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package pgwire
+
+import (
+	"telemetry"
+)
+
+type serverMetrics struct {
+	rowsSent *telemetry.Counter
+	queries  *telemetry.Counter
+	active   *telemetry.Gauge
+}
+
+type row struct{ fields [][]byte }
+
+func writeRow(r row) {}
+
+// A DataRow streaming loop is per-row of a result — cell-scale for
+// array queries — so a per-row atomic is the same ping-pong as a
+// per-cell instrument in a scan.
+func streamRowsPerRow(m *serverMetrics, rows []row) {
+	for _, r := range rows {
+		writeRow(r)
+		m.rowsSent.Inc() // want `telemetry Counter\.Inc\(\) inside a per-cell loop`
+	}
+}
+
+// The sendRows discipline: accumulate into a plain local, flush the
+// counter once per result.
+func streamRowsFlushed(m *serverMetrics, rows []row) {
+	var sent int64
+	for _, r := range rows {
+		writeRow(r)
+		sent++
+	}
+	m.rowsSent.Add(sent)
+}
+
+// Per-connection and per-query instruments outside any row loop stay
+// legal: one atomic per request is not a hot path.
+func perQuery(m *serverMetrics) {
+	m.queries.Inc()
+	m.active.Set(1)
+}

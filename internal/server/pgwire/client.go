@@ -1,0 +1,290 @@
+package pgwire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// This file is the frontend half of the protocol: a minimal scripted
+// client used by the conformance suite and the concurrent-client
+// benchmark. It is intentionally not a driver — tests drive exact
+// message sequences through Raw() when the convenience calls are too
+// coarse.
+
+// PgError is an ErrorResponse surfaced client-side.
+type PgError struct {
+	Severity string
+	Code     string
+	Message  string
+}
+
+func (e *PgError) Error() string {
+	return fmt.Sprintf("%s %s: %s", e.Severity, e.Code, e.Message)
+}
+
+// ClientConfig parameterizes Dial.
+type ClientConfig struct {
+	User     string
+	Database string
+	Password string
+	// Timeout bounds each protocol read; 0 means 30s.
+	Timeout time.Duration
+}
+
+// Client is one frontend connection.
+type Client struct {
+	nc      net.Conn
+	rd      *Reader
+	wr      *Writer
+	timeout time.Duration
+
+	// PID and Secret are the BackendKeyData pair (for CancelQuery).
+	PID    int32
+	Secret int32
+	// Params collects ParameterStatus values from the greeting.
+	Params map[string]string
+	// TxStatus is the last ReadyForQuery status ('I', 'T' or 'E').
+	TxStatus byte
+}
+
+// Dial connects and completes the startup handshake.
+func Dial(addr string, cfg ClientConfig) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		nc: nc, rd: NewReader(nc, 0), wr: NewWriter(nc),
+		timeout: cfg.Timeout, Params: map[string]string{},
+	}
+	if c.timeout <= 0 {
+		c.timeout = 30 * time.Second
+	}
+	user := cfg.User
+	if user == "" {
+		user = "sciql"
+	}
+	params := map[string]string{"user": user}
+	if cfg.Database != "" {
+		params["database"] = cfg.Database
+	}
+	if err := c.wr.WriteStartup(params); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if err := c.wr.Flush(); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if err := c.handshake(cfg.Password); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// handshake consumes the authentication exchange and greeting.
+func (c *Client) handshake(password string) error {
+	for {
+		msg, err := c.read()
+		if err != nil {
+			return err
+		}
+		switch msg.Type {
+		case MsgAuth:
+			p := payload{data: msg.Data}
+			code, err := p.int32()
+			if err != nil {
+				return err
+			}
+			switch code {
+			case 0: // AuthenticationOk
+			case 3: // CleartextPassword
+				if err := c.wr.WritePassword(password); err != nil {
+					return err
+				}
+				if err := c.wr.Flush(); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("pgwire client: unsupported auth code %d", code)
+			}
+		case MsgParameterStatus:
+			k, v, err := ParseParameterStatus(msg.Data)
+			if err != nil {
+				return err
+			}
+			c.Params[k] = v
+		case MsgBackendKeyData:
+			c.PID, c.Secret, _ = ParseBackendKeyData(msg.Data)
+		case MsgErrorResponse:
+			f, err := ParseErrorResponse(msg.Data)
+			if err != nil {
+				return err
+			}
+			return &PgError{Severity: f.Severity, Code: f.Code, Message: f.Message}
+		case MsgReadyForQuery:
+			if len(msg.Data) == 1 {
+				c.TxStatus = msg.Data[0]
+			}
+			return nil
+		case MsgNoticeResponse:
+			// ignore
+		default:
+			return fmt.Errorf("pgwire client: unexpected %q during startup", msg.Type)
+		}
+	}
+}
+
+func (c *Client) read() (Msg, error) {
+	c.nc.SetReadDeadline(time.Now().Add(c.timeout))
+	return c.rd.ReadMessage()
+}
+
+// Raw exposes the codec for scripted message sequences; call
+// ReadCycle (or read messages manually) afterwards.
+func (c *Client) Raw() (*Reader, *Writer) { return c.rd, c.wr }
+
+// Result is one statement's outcome within a query cycle.
+type Result struct {
+	// Columns is the row description (nil for row-less statements).
+	Columns []RowDescriptionField
+	// Rows holds the DataRow fields; a nil field is NULL.
+	Rows [][][]byte
+	// Tag is the CommandComplete tag ("SELECT 3", "BEGIN", ...).
+	Tag string
+	// Suspended marks a row-limited Execute that left the portal open.
+	Suspended bool
+}
+
+// SimpleQuery runs one simple-protocol query cycle and returns its
+// per-statement results. A server error ends the cycle: results
+// produced before it are returned alongside the *PgError.
+func (c *Client) SimpleQuery(sql string) ([]Result, error) {
+	if err := c.wr.WriteQuery(sql); err != nil {
+		return nil, err
+	}
+	if err := c.wr.Flush(); err != nil {
+		return nil, err
+	}
+	return c.ReadCycle()
+}
+
+// ReadCycle consumes messages until ReadyForQuery, folding them into
+// per-statement results. The first ErrorResponse is returned as a
+// *PgError (after the cycle completes, per protocol).
+func (c *Client) ReadCycle() ([]Result, error) {
+	var (
+		results []Result
+		cur     *Result
+		pgErr   *PgError
+	)
+	flush := func(tag string, suspended bool) {
+		if cur == nil {
+			cur = &Result{}
+		}
+		cur.Tag = tag
+		cur.Suspended = suspended
+		results = append(results, *cur)
+		cur = nil
+	}
+	for {
+		msg, err := c.read()
+		if err != nil {
+			return results, err
+		}
+		switch msg.Type {
+		case MsgRowDescription:
+			cols, err := ParseRowDescription(msg.Data)
+			if err != nil {
+				return results, err
+			}
+			cur = &Result{Columns: cols}
+		case MsgDataRow:
+			fields, err := ParseDataRow(msg.Data)
+			if err != nil {
+				return results, err
+			}
+			if cur == nil {
+				cur = &Result{}
+			}
+			cur.Rows = append(cur.Rows, fields)
+		case MsgCommandComplete:
+			tag := msg.Data
+			if n := len(tag); n > 0 && tag[n-1] == 0 {
+				tag = tag[:n-1]
+			}
+			flush(string(tag), false)
+		case MsgPortalSuspended:
+			flush("", true)
+		case MsgEmptyQuery:
+			flush("", false)
+		case MsgErrorResponse:
+			f, err := ParseErrorResponse(msg.Data)
+			if err != nil {
+				return results, err
+			}
+			if pgErr == nil {
+				pgErr = &PgError{Severity: f.Severity, Code: f.Code, Message: f.Message}
+			}
+			cur = nil
+		case MsgReadyForQuery:
+			if len(msg.Data) == 1 {
+				c.TxStatus = msg.Data[0]
+			}
+			if pgErr != nil {
+				return results, pgErr
+			}
+			return results, nil
+		case MsgParseComplete, MsgBindComplete, MsgCloseComplete, MsgNoData, MsgParamDescription, MsgNoticeResponse, MsgParameterStatus:
+			// structural acknowledgements; nothing to fold
+		default:
+			return results, fmt.Errorf("pgwire client: unexpected message %q", msg.Type)
+		}
+	}
+}
+
+// ExtQuery runs sql through one unnamed Parse/Bind/Execute/Sync
+// cycle. Text-format params bind positionally (nil = NULL).
+func (c *Client) ExtQuery(sql string, params ...[]byte) ([]Result, error) {
+	w := c.wr
+	if err := errors.Join(
+		w.WriteParse("", sql, nil),
+		w.WriteBind("", "", params),
+		w.WriteDescribe('P', ""),
+		w.WriteExecute("", 0),
+		w.WriteSync(),
+		w.Flush(),
+	); err != nil {
+		return nil, err
+	}
+	return c.ReadCycle()
+}
+
+// CancelQuery opens a throwaway connection to addr and fires a
+// CancelRequest against this client's backend.
+func CancelQuery(addr string, pid, secret int32) error {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer nc.Close()
+	wr := NewWriter(nc)
+	if err := wr.WriteCancelRequest(pid, secret); err != nil {
+		return err
+	}
+	return wr.Flush()
+}
+
+// Close terminates politely.
+func (c *Client) Close() error {
+	c.wr.WriteTerminate()
+	c.wr.Flush()
+	return c.nc.Close()
+}
+
+// CloseAbrupt severs the TCP connection with no Terminate — the
+// mid-stream-disconnect case the conformance suite exercises.
+func (c *Client) CloseAbrupt() error { return c.nc.Close() }

@@ -1,0 +1,125 @@
+package pgwire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzPgwireDecode throws arbitrary bytes at the wire decoder: the
+// startup path, the message framer, and every typed payload parser.
+// The decoder must never panic, and a forged length word must never
+// make it allocate beyond its step bound — adversarial frames fail
+// with ErrFrameTooLarge or a truncation error instead. Byte one
+// selects the entry point so the corpus explores both framings.
+func FuzzPgwireDecode(f *testing.F) {
+	// Well-formed frames, built by the real encoder.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteStartup(map[string]string{"user": "u", "database": "d"})
+	w.WriteQuery("SELECT x, y, v FROM matrix WHERE v > 2; SELECT 1")
+	w.WriteParse("s1", "SELECT v FROM matrix WHERE x = ?1", []uint32{OIDInt8})
+	w.WriteBind("p1", "s1", [][]byte{[]byte("42"), nil})
+	w.WriteDescribe('P', "p1")
+	w.WriteExecute("p1", 100)
+	w.WriteClose('S', "s1")
+	w.WriteSync()
+	w.WritePassword("hunter2")
+	w.WriteCancelRequest(7, 1234)
+	w.WriteTerminate()
+	w.Flush()
+	f.Add(buf.Bytes())
+
+	backend := func(build func(w *Writer)) []byte {
+		var b bytes.Buffer
+		bw := NewWriter(&b)
+		build(bw)
+		bw.Flush()
+		return b.Bytes()
+	}
+	f.Add(backend(func(w *Writer) {
+		w.WriteAuthOK()
+		w.WriteParameterStatus("server_encoding", "UTF8")
+		w.WriteBackendKeyData(1, 2)
+		w.WriteRowDescription([]Column{{Name: "v", OID: OIDFloat8}})
+		w.WriteDataRow([][]byte{[]byte("1.5"), nil})
+		w.WriteCommandComplete("SELECT 1")
+		w.WriteError("42601", "syntax error")
+		w.WriteReady('I')
+	}))
+
+	// Adversarial shapes: forged lengths, truncations, hostile counts.
+	huge := []byte{'Q', 0x7f, 0xff, 0xff, 0xff}
+	f.Add(huge)
+	f.Add([]byte{'Q', 0xff, 0xff, 0xff, 0xff}) // negative length
+	f.Add([]byte{'Q', 0, 0, 0, 3})             // length below minimum
+	f.Add([]byte{0, 0, 0, 8, 4, 210, 22, 47})  // SSLRequest
+	startupHuge := binary.BigEndian.AppendUint32(nil, 0xfffffff0)
+	f.Add(binary.BigEndian.AppendUint32(startupHuge, ProtocolVersion))
+	// Bind declaring 65535 parameters with no bytes behind them.
+	bind := []byte{'B', 0, 0, 0, 10, 0, 0, 0xff, 0xff, 0xff, 0xff}
+	f.Add(bind)
+	f.Add([]byte{'D', 0, 0, 0, 5, 'S'}) // Describe with no name terminator
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return // framing bugs show up well below 64KiB
+		}
+		// Startup framing.
+		rd := NewReader(bytes.NewReader(data), 0)
+		if st, err := rd.ReadStartup(); err == nil && st.Kind == "startup" && st.Params == nil {
+			t.Fatal("startup decoded with nil params")
+		}
+
+		// Regular message stream: frame, then run every payload parser
+		// that accepts this type byte — frontend and backend alike,
+		// since the test client decodes backend frames too.
+		rd = NewReader(bytes.NewReader(data), 0)
+		for i := 0; i < 64; i++ {
+			msg, err := rd.ReadMessage()
+			if err != nil {
+				break
+			}
+			ParseQuery(msg.Data)
+			ParseParse(msg.Data)
+			ParseBind(msg.Data)
+			ParseDescribe(msg.Data)
+			ParseExecute(msg.Data)
+			ParseClose(msg.Data)
+			ParsePassword(msg.Data)
+			ParseErrorResponse(msg.Data)
+			ParseRowDescription(msg.Data)
+			ParseDataRow(msg.Data)
+			ParseBackendKeyData(msg.Data)
+			ParseParameterStatus(msg.Data)
+		}
+	})
+}
+
+// TestDecoderAllocationBound pins the over-allocation guarantee the
+// fuzz target relies on: a frame declaring a huge length on a short
+// stream must fail without the decoder allocating the declared size.
+func TestDecoderAllocationBound(t *testing.T) {
+	// 8 MiB declared (within MaxFrameLen), 4 real bytes behind it.
+	frame := []byte{'Q', 0, 128, 0, 4, 'a', 'b', 'c', 'd'}
+	allocs := testing.AllocsPerRun(10, func() {
+		rd := NewReader(bytes.NewReader(frame), 0)
+		if _, err := rd.ReadMessage(); err == nil {
+			t.Fatal("truncated huge frame decoded successfully")
+		}
+	})
+	// The real bound under test is bytes, not object count; assert it
+	// indirectly by requiring the per-run allocation count to stay
+	// tiny (a full 8 MiB prealloc would still be one alloc, so also
+	// check the buffer growth path directly).
+	if allocs > 16 {
+		t.Fatalf("decoder made %v allocations on a truncated frame", allocs)
+	}
+	rd := NewReader(bytes.NewReader(frame), 0)
+	if _, err := rd.ReadMessage(); err == nil {
+		t.Fatal("truncated huge frame decoded successfully")
+	}
+	if grown := rd.BufCap(); grown > 2*allocStep {
+		t.Fatalf("decoder grew its buffer to %d bytes for a 4-byte stream (step %d)", grown, allocStep)
+	}
+}
